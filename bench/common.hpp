@@ -1,0 +1,62 @@
+// Shared plumbing for the figure/table bench harnesses: argument parsing
+// and study construction. Every harness accepts:
+//   --days D   override every system's synthesis window (default: each
+//              system's calibrated window — 120 d, 14 d for Helios)
+//   --seed S   RNG seed (default 42)
+//   --systems a,b,c   restrict to a subset
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/lumos.hpp"
+#include "util/string_util.hpp"
+
+namespace lumos::bench {
+
+struct Args {
+  core::StudyOptions study;
+  bool ablation = false;
+  double days_or(double fallback) const {
+    return study.duration_days.value_or(fallback);
+  }
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--days" && i + 1 < argc) {
+      args.study.duration_days = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      args.study.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--systems" && i + 1 < argc) {
+      for (auto part : util::split(argv[++i], ',')) {
+        args.study.systems.emplace_back(part);
+      }
+    } else if (arg == "--ablation") {
+      args.ablation = true;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--days D] [--seed S] [--systems a,b,c] [--ablation]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline core::CrossSystemStudy make_study(const Args& args) {
+  return core::CrossSystemStudy(args.study);
+}
+
+/// Prints the standard harness banner.
+inline void banner(const std::string& what, const std::string& expectation) {
+  std::cout << "==================================================\n"
+            << what << '\n'
+            << "Paper expectation: " << expectation << '\n'
+            << "==================================================\n";
+}
+
+}  // namespace lumos::bench

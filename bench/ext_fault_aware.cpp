@@ -1,0 +1,28 @@
+// Extension harness: fault-aware job management (Takeaway 7) — how many of
+// the core-hours burned by doomed jobs a doom-probability monitor could
+// recover, against how much useful work it would destroy.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/fault_aware_study.hpp"
+
+int main(int argc, char** argv) {
+  auto args = lumos::bench::parse_args(argc, argv);
+  if (args.study.systems.empty()) {
+    args.study.systems = {"Philly", "Mira"};
+  }
+  if (!args.study.duration_days) args.study.duration_days = 20.0;
+  lumos::bench::banner(
+      "Extension: fault-aware termination of doomed jobs",
+      "killed/failed jobs burn a large share of core-hours (Fig 6); a "
+      "monitor that stops jobs whose predicted doom probability crosses a "
+      "threshold recovers part of that waste, trading off collateral "
+      "kills of healthy jobs as the threshold drops");
+
+  const auto study = lumos::bench::make_study(args);
+  for (const auto& trace : study.traces()) {
+    const auto result = lumos::core::run_fault_aware_study(trace);
+    std::cout << lumos::core::render_fault_aware_study(result) << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Extension harness: job-status prediction from elapsed time (the §V-C
+// observation made operational — Fig 11's separable per-user distributions
+// imply a scheduler can predict whether a running job will pass).
+#include <iostream>
+
+#include "common.hpp"
+#include "predict/status_predictor.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  auto args = lumos::bench::parse_args(argc, argv);
+  if (args.study.systems.empty()) {
+    args.study.systems = {"Philly", "BlueWaters"};
+  }
+  if (!args.study.duration_days) args.study.duration_days = 30.0;
+  lumos::bench::banner(
+      "Extension: predicting final job status from elapsed time",
+      "knowing a job has already run T seconds should improve doomed-job "
+      "classification over the no-elapsed baseline, increasingly with T");
+
+  const auto study = lumos::bench::make_study(args);
+  for (const auto& trace : study.traces()) {
+    const auto result = lumos::predict::run_status_study(trace);
+    std::cout << "\nSystem " << result.system << " (avg runtime "
+              << lumos::util::fixed(result.avg_runtime_s, 0) << " s):\n";
+    lumos::util::TextTable t({"elapsed", "doomed rate", "accuracy base",
+                              "accuracy +elapsed", "test jobs"});
+    for (const auto& row : result.rows) {
+      t.add_row({lumos::util::format("avg/%.0f", 1.0 / row.elapsed_fraction),
+                 lumos::util::percent(row.doomed_rate),
+                 lumos::util::percent(row.base_accuracy),
+                 lumos::util::percent(row.accuracy),
+                 std::to_string(row.test_jobs)});
+    }
+    std::cout << t.render();
+  }
+  return 0;
+}

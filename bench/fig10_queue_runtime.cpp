@@ -1,0 +1,17 @@
+// Fig 10: submitted jobs' runtime vs queue length at submission.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = lumos::bench::parse_args(argc, argv);
+  lumos::bench::banner(
+      "Fig 10: runtime mix vs queue length",
+      "DL users submit SHORTER jobs when the system is busy; Mira/Theta/BW "
+      "runtimes are essentially insensitive to queue length");
+  const auto study = lumos::bench::make_study(args);
+  std::cout << lumos::analysis::render_queue_behavior_runtime(
+      study.queue_behaviors());
+  return 0;
+}

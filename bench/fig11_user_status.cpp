@@ -1,0 +1,39 @@
+// Fig 11: per-user runtime distribution split by job status (violin
+// medians/modes for the top submitting users).
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+#include "util/time_util.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = lumos::bench::parse_args(argc, argv);
+  lumos::bench::banner(
+      "Fig 11: per-user runtime by status (top 3 users per system)",
+      "per user, Failed jobs are much shorter than Passed (early crashes) "
+      "and Killed jobs much longer — separable distributions that make "
+      "elapsed-time-aware prediction possible");
+  const auto study = lumos::bench::make_study(args);
+  const auto res = study.user_statuses();
+  std::cout << lumos::analysis::render_user_status(res) << '\n';
+
+  std::cout << "Violin modes (highest-density runtime) per status:\n";
+  lumos::util::TextTable t(
+      {"System", "user", "Passed mode", "Failed mode", "Killed mode"});
+  for (const auto& r : res) {
+    int rank = 1;
+    for (const auto& u : r.top_users) {
+      auto mode = [&](lumos::trace::JobStatus s) -> std::string {
+        const auto& v = u.violin[static_cast<std::size_t>(s)];
+        return v.count ? lumos::util::format_duration(v.mode) : "-";
+      };
+      t.add_row({r.system, "U" + std::to_string(rank++),
+                 mode(lumos::trace::JobStatus::Passed),
+                 mode(lumos::trace::JobStatus::Failed),
+                 mode(lumos::trace::JobStatus::Killed)});
+    }
+  }
+  std::cout << t.render();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig 2: core-hour domination of job size / length groups.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = lumos::bench::parse_args(argc, argv);
+  lumos::bench::banner(
+      "Fig 2: core-hour domination by job group",
+      "BW small jobs >85% of core hours; Mira/Theta/Philly/Helios small "
+      "<35%/<16%/<19%/<5%; HPC dominated by middle-length jobs, DL by long "
+      "jobs");
+  const auto study = lumos::bench::make_study(args);
+  std::cout << lumos::analysis::render_domination(study.dominations());
+  return 0;
+}

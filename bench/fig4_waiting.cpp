@@ -1,0 +1,35 @@
+// Fig 4: CDFs of job waiting time and turnaround time.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+#include "util/time_util.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = lumos::bench::parse_args(argc, argv);
+  lumos::bench::banner(
+      "Fig 4: waiting and turnaround time CDFs",
+      "Helios: ~80% wait <10s; Philly: >50% wait >=10min; Blue Waters "
+      "longest (median ~1.5h, roughly its median runtime)");
+  const auto study = lumos::bench::make_study(args);
+  const auto waits = study.waitings();
+  std::cout << lumos::analysis::render_waiting(waits) << '\n';
+
+  std::cout << "Wait-time CDF (quantiles):\n";
+  lumos::util::TextTable t([&] {
+    std::vector<std::string> header{"P(wait <= x)"};
+    for (const auto& w : waits) header.push_back(w.system);
+    return header;
+  }());
+  for (int q10 = 1; q10 <= 9; ++q10) {
+    const double q = q10 / 10.0;
+    std::vector<std::string> row{lumos::util::percent(q, 0)};
+    for (const auto& w : waits) {
+      row.push_back(lumos::util::format_duration(w.wait_cdf.quantile(q)));
+    }
+    t.add_row(row);
+  }
+  std::cout << t.render();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig 5: waiting time correlated with job size and runtime categories.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = lumos::bench::parse_args(argc, argv);
+  lumos::bench::banner(
+      "Fig 5: wait time vs job size / runtime",
+      "middle-SIZE jobs wait longest everywhere except Theta (largest "
+      "wait longest there); LONG jobs wait longest on every system "
+      "(backfilling favours short jobs)");
+  const auto study = lumos::bench::make_study(args);
+  std::cout << lumos::analysis::render_wait_by_geometry(study.waitings());
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig 6: distribution of job statuses — counts vs consumed core hours.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = lumos::bench::parse_args(argc, argv);
+  lumos::bench::banner(
+      "Fig 6: job status distribution (counts % vs core-hours %)",
+      "Passed <70% everywhere; Killed jobs consume disproportionately MORE "
+      "core-hours than their count (Philly: ~60% passed jobs use only ~34% "
+      "of GPU hours); Failed jobs consume LESS (fail early)");
+  const auto study = lumos::bench::make_study(args);
+  std::cout << lumos::analysis::render_status_distribution(study.failures());
+  return 0;
+}

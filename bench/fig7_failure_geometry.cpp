@@ -1,0 +1,17 @@
+// Fig 7: job failure correlated with requested resources and runtime.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = lumos::bench::parse_args(argc, argv);
+  lumos::bench::banner(
+      "Fig 7: failure vs job geometry",
+      "pass rate falls with size ONLY in DL systems (Philly/Helios); pass "
+      "rate falls with runtime on EVERY system — on Mira nearly all >1-day "
+      "jobs end Killed");
+  const auto study = lumos::bench::make_study(args);
+  std::cout << lumos::analysis::render_failure_by_geometry(study.failures());
+  return 0;
+}

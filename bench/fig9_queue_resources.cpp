@@ -1,0 +1,17 @@
+// Fig 9: requested resources vs queue length at submission.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = lumos::bench::parse_args(argc, argv);
+  lumos::bench::banner(
+      "Fig 9: requested size mix vs queue length",
+      "as the queue grows users request smaller jobs on every system; under "
+      "the longest Philly queues nearly all submissions are 1 GPU");
+  const auto study = lumos::bench::make_study(args);
+  std::cout << lumos::analysis::render_queue_behavior_size(
+      study.queue_behaviors());
+  return 0;
+}

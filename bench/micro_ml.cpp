@@ -1,0 +1,80 @@
+// google-benchmark micro benchmarks: prediction-model training/inference
+// throughput on realistic feature extracts.
+#include <benchmark/benchmark.h>
+
+#include "core/lumos.hpp"
+#include "ml/gbrt.hpp"
+#include "ml/linear.hpp"
+#include "ml/mlp.hpp"
+#include "ml/tobit.hpp"
+#include "predict/features.hpp"
+
+namespace {
+
+lumos::ml::Dataset make_dataset(std::size_t max_jobs) {
+  lumos::synth::GeneratorOptions options;
+  options.duration_days = 7.0;
+  options.max_jobs = max_jobs;
+  const auto trace = lumos::synth::generate_system("Philly", options);
+  const auto feats = lumos::predict::extract_features(trace);
+  return lumos::predict::build_dataset(feats, {});
+}
+
+void BM_FitLinear(benchmark::State& state) {
+  const auto data = make_dataset(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    lumos::ml::LinearRegression model;
+    model.fit(data);
+    benchmark::DoNotOptimize(model.weights().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_FitLinear)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_FitGbrt(benchmark::State& state) {
+  const auto data = make_dataset(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    lumos::ml::GbrtOptions options;
+    options.n_trees = 30;
+    lumos::ml::GradientBoosting model(options);
+    model.fit(data);
+    benchmark::DoNotOptimize(model.tree_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_FitGbrt)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_FitMlp(benchmark::State& state) {
+  const auto data = make_dataset(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    lumos::ml::MlpOptions options;
+    options.epochs = 5;
+    lumos::ml::Mlp model(options);
+    model.fit(data);
+    benchmark::DoNotOptimize(&model);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_FitMlp)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_PredictGbrt(benchmark::State& state) {
+  const auto data = make_dataset(4000);
+  lumos::ml::GbrtOptions options;
+  options.n_trees = 30;
+  lumos::ml::GradientBoosting model(options);
+  model.fit(data);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(data.x.row(i % data.size())));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictGbrt);
+
+}  // namespace
+
+BENCHMARK_MAIN();

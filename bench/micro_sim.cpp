@@ -1,0 +1,70 @@
+// google-benchmark micro benchmarks: simulator event throughput and
+// workload-generation speed.
+#include <benchmark/benchmark.h>
+
+#include "core/lumos.hpp"
+
+namespace {
+
+lumos::trace::Trace make_trace(const char* system, double days) {
+  lumos::synth::GeneratorOptions options;
+  options.duration_days = days;
+  return lumos::synth::generate_system(system, options);
+}
+
+void BM_GenerateWorkload(benchmark::State& state) {
+  const double days = static_cast<double>(state.range(0));
+  std::size_t jobs = 0;
+  for (auto _ : state) {
+    const auto trace = make_trace("BlueWaters", days);
+    jobs = trace.size();
+    benchmark::DoNotOptimize(trace.jobs().data());
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs) *
+                          state.iterations());
+}
+BENCHMARK(BM_GenerateWorkload)->Arg(2)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateEasy(benchmark::State& state) {
+  const auto trace = make_trace("Theta", static_cast<double>(state.range(0)));
+  lumos::sim::SimConfig config;
+  config.backfill.kind = lumos::sim::BackfillKind::Easy;
+  for (auto _ : state) {
+    const auto result = lumos::sim::simulate(trace, config);
+    benchmark::DoNotOptimize(result.outcomes.data());
+  }
+  state.counters["jobs"] = static_cast<double>(trace.size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(trace.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimulateEasy)->Arg(7)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateAdaptive(benchmark::State& state) {
+  const auto trace = make_trace("Theta", static_cast<double>(state.range(0)));
+  lumos::sim::SimConfig config;
+  config.backfill.kind = lumos::sim::BackfillKind::AdaptiveRelaxed;
+  for (auto _ : state) {
+    const auto result = lumos::sim::simulate(trace, config);
+    benchmark::DoNotOptimize(result.outcomes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(trace.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimulateAdaptive)->Arg(7)->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QueueLengthSweep(benchmark::State& state) {
+  const auto trace = make_trace("Philly", 7.0);
+  for (auto _ : state) {
+    const auto q = lumos::analysis::queue_length_at_submit(trace);
+    benchmark::DoNotOptimize(q.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(trace.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_QueueLengthSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

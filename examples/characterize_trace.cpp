@@ -1,0 +1,64 @@
+// Cross-system characterization on real or synthetic traces.
+//
+//   ./characterize_trace                      # all five synthetic systems
+//   ./characterize_trace --days 14 --seed 7   # faster, different seed
+//   ./characterize_trace --swf file.swf --system Theta
+//
+// With --swf, the given SWF trace is characterized standalone (this is the
+// path a user with the actual ALCF/NCSA downloads would take).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/lumos.hpp"
+
+int main(int argc, char** argv) {
+  std::string swf_path;
+  std::string system = "Theta";
+  lumos::core::StudyOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--swf" && i + 1 < argc) {
+      swf_path = argv[++i];
+    } else if (arg == "--system" && i + 1 < argc) {
+      system = argv[++i];
+    } else if (arg == "--days" && i + 1 < argc) {
+      options.duration_days = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::cerr << "usage: characterize_trace [--swf FILE --system NAME] "
+                   "[--days D] [--seed S]\n";
+      return 2;
+    }
+  }
+
+  try {
+    if (!swf_path.empty()) {
+      const auto spec = lumos::trace::find_system_spec(system);
+      if (!spec) {
+        std::cerr << "unknown system: " << system << "\n";
+        return 2;
+      }
+      auto trace = lumos::trace::read_swf_file(swf_path, *spec);
+      std::cout << "Loaded " << trace.size() << " jobs from " << swf_path
+                << "\n"
+                << lumos::trace::validate(trace).to_string() << "\n";
+      lumos::core::CrossSystemStudy study(
+          std::vector<lumos::trace::Trace>{std::move(trace)});
+      std::cout << study.full_report();
+      return 0;
+    }
+
+    lumos::core::CrossSystemStudy study(options);
+    std::cout << study.full_report() << "\n";
+    std::cout << "=== Takeaway verdicts ===\n"
+              << lumos::core::render_takeaways(
+                     lumos::core::check_takeaways(study));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

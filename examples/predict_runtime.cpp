@@ -1,0 +1,50 @@
+// Use case 1 demo: train the five runtime predictors on one system's
+// history and show how the elapsed-time feature changes underestimation.
+//
+//   ./predict_runtime [system] [days] [max_jobs]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/lumos.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::string system = argc > 1 ? argv[1] : "Philly";
+  const double days = argc > 2 ? std::atof(argv[2]) : 14.0;
+  const std::size_t max_jobs =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 8000;
+
+  lumos::synth::GeneratorOptions gen;
+  gen.duration_days = days;
+  const auto trace = lumos::synth::generate_system(system, gen);
+
+  lumos::predict::StudyConfig config;
+  config.max_jobs = max_jobs;
+  std::cout << "Prediction study on " << system << " ("
+            << std::min(trace.size(), max_jobs) << " jobs)\n";
+  const auto result = lumos::predict::run_prediction_study(trace, config);
+  std::cout << "average runtime: " << result.avg_runtime_s << " s\n\n";
+
+  lumos::util::TextTable table({"model", "elapsed", "underest (base)",
+                                "underest (+elapsed)", "accuracy (base)",
+                                "accuracy (+elapsed)", "test jobs"});
+  for (auto model :
+       {lumos::predict::ModelKind::Last2, lumos::predict::ModelKind::Tobit,
+        lumos::predict::ModelKind::Xgboost,
+        lumos::predict::ModelKind::LinearReg, lumos::predict::ModelKind::Mlp}) {
+    for (double frac : config.elapsed_fractions) {
+      const auto& base = result.row(model, false, frac);
+      const auto& with = result.row(model, true, frac);
+      table.add_row({lumos::predict::to_string(model),
+                     lumos::util::format("avg/%.0f", 1.0 / frac),
+                     lumos::util::percent(base.underestimate_rate),
+                     lumos::util::percent(with.underestimate_rate),
+                     lumos::util::percent(base.accuracy),
+                     lumos::util::percent(with.accuracy),
+                     std::to_string(base.test_jobs)});
+    }
+  }
+  std::cout << table.render();
+  return 0;
+}

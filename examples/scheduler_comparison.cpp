@@ -1,0 +1,51 @@
+// Scheduling-policy shoot-out on one system: every queue policy crossed
+// with every backfill strategy, on the same synthetic trace.
+//
+//   ./scheduler_comparison [system] [days]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/lumos.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::string system = argc > 1 ? argv[1] : "Theta";
+  const double days = argc > 2 ? std::atof(argv[2]) : 14.0;
+
+  lumos::synth::GeneratorOptions options;
+  options.duration_days = days;
+  const auto trace = lumos::synth::generate_system(system, options);
+  std::cout << "Scheduling " << trace.size() << " " << system
+            << " jobs (" << days << " days)\n\n";
+
+  using lumos::sim::BackfillKind;
+  using lumos::sim::PolicyKind;
+  const PolicyKind policies[] = {PolicyKind::Fcfs, PolicyKind::Sjf,
+                                 PolicyKind::Wfp3, PolicyKind::Unicep,
+                                 PolicyKind::Saf};
+  const BackfillKind backfills[] = {BackfillKind::None, BackfillKind::Easy,
+                                    BackfillKind::Conservative,
+                                    BackfillKind::Relaxed,
+                                    BackfillKind::AdaptiveRelaxed};
+
+  lumos::util::TextTable table({"policy", "backfill", "avg wait (s)", "bsld",
+                                "util", "violation (s)", "backfilled"});
+  for (auto policy : policies) {
+    for (auto backfill : backfills) {
+      lumos::sim::SimConfig config;
+      config.policy = policy;
+      config.backfill.kind = backfill;
+      const auto result = lumos::sim::simulate(trace, config);
+      const auto m = lumos::sim::compute_metrics(trace, result);
+      table.add_row({std::string(to_string(policy)),
+                     std::string(to_string(backfill)),
+                     lumos::util::fixed(m.avg_wait, 1),
+                     lumos::util::fixed(m.avg_bounded_slowdown, 2),
+                     lumos::util::fixed(m.utilization, 4),
+                     lumos::util::fixed(m.violation, 1),
+                     std::to_string(m.backfilled_jobs)});
+    }
+  }
+  std::cout << table.render();
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "analysis/arrival.hpp"
+
+#include <algorithm>
+
+#include "stats/histogram.hpp"
+#include "util/time_util.hpp"
+
+namespace lumos::analysis {
+
+ArrivalResult analyze_arrivals(const trace::Trace& trace) {
+  ArrivalResult r;
+  r.system = trace.spec().name;
+  const auto gaps = trace.interarrival_times();
+  r.interarrival_cdf = stats::Ecdf(gaps);
+  r.interarrival_summary = stats::summarize(gaps);
+  r.frac_within_10s = r.interarrival_cdf(10.0);
+  r.frac_within_100s = r.interarrival_cdf(100.0);
+
+  const auto& spec = trace.spec();
+  r.hourly = stats::hourly_counts(trace.submit_times(), spec.epoch_unix,
+                                  spec.utc_offset_hours);
+  const auto [mn, mx] = std::minmax_element(r.hourly.begin(), r.hourly.end());
+  r.hourly_min = *mn;
+  r.hourly_max = *mx;
+  r.peak_ratio = r.hourly_min > 0.0 ? r.hourly_max / r.hourly_min
+                                    : r.hourly_max;
+  double business = 0.0, total = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    total += r.hourly[h];
+    if (h >= 8 && h <= 17) business += r.hourly[h];
+  }
+  r.business_hours_share = total > 0.0 ? business / total : 0.0;
+
+  double weekday = 0.0, weekend = 0.0;
+  for (const auto& j : trace.jobs()) {
+    const int dow = util::day_of_week(j.submit_time, spec.epoch_unix,
+                                      spec.utc_offset_hours);
+    (dow >= 5 ? weekend : weekday) += 1.0;
+  }
+  if (weekday > 0.0) {
+    r.weekend_rate_ratio = (weekend / 2.0) / (weekday / 5.0);
+  }
+  return r;
+}
+
+}  // namespace lumos::analysis

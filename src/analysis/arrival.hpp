@@ -1,0 +1,31 @@
+// Fig 1(b): job arrival patterns — inter-arrival CDF and the local-time
+// hourly submission profile (with the max/min "peak" ratio the paper uses
+// to contrast Helios's strong diurnality with Philly's flat profile).
+#pragma once
+
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::analysis {
+
+struct ArrivalResult {
+  std::string system;
+  stats::Ecdf interarrival_cdf;
+  stats::Summary interarrival_summary;
+  double frac_within_10s = 0.0;   ///< P(gap <= 10 s)
+  double frac_within_100s = 0.0;  ///< P(gap <= 100 s)
+  /// Jobs per local hour-of-day (24 entries, counts).
+  std::vector<double> hourly;
+  double hourly_max = 0.0;
+  double hourly_min = 0.0;
+  double peak_ratio = 1.0;        ///< max/min over hours
+  /// Fraction of jobs submitted in 8am-5pm local time.
+  double business_hours_share = 0.0;
+  /// Per-day submission rate ratio, weekend vs weekday (1 = no dip).
+  double weekend_rate_ratio = 1.0;
+};
+
+[[nodiscard]] ArrivalResult analyze_arrivals(const trace::Trace& trace);
+
+}  // namespace lumos::analysis

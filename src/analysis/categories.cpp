@@ -1,0 +1,72 @@
+#include "analysis/categories.hpp"
+
+namespace lumos::analysis {
+
+namespace {
+template <typename T>
+double frac(const T& arr_num, double denom, std::size_t i) noexcept {
+  return denom > 0.0 ? static_cast<double>(arr_num[i]) / denom : 0.0;
+}
+}  // namespace
+
+std::size_t SizeTally::total_jobs() const noexcept {
+  std::size_t t = 0;
+  for (auto v : jobs) t += v;
+  return t;
+}
+double SizeTally::total_core_hours() const noexcept {
+  double t = 0.0;
+  for (auto v : core_hours) t += v;
+  return t;
+}
+double SizeTally::job_fraction(trace::SizeCategory c) const noexcept {
+  return frac(jobs, static_cast<double>(total_jobs()),
+              static_cast<std::size_t>(c));
+}
+double SizeTally::core_hour_fraction(trace::SizeCategory c) const noexcept {
+  return frac(core_hours, total_core_hours(), static_cast<std::size_t>(c));
+}
+
+std::size_t LengthTally::total_jobs() const noexcept {
+  std::size_t t = 0;
+  for (auto v : jobs) t += v;
+  return t;
+}
+double LengthTally::total_core_hours() const noexcept {
+  double t = 0.0;
+  for (auto v : core_hours) t += v;
+  return t;
+}
+double LengthTally::job_fraction(trace::LengthCategory c) const noexcept {
+  return frac(jobs, static_cast<double>(total_jobs()),
+              static_cast<std::size_t>(c));
+}
+double LengthTally::core_hour_fraction(trace::LengthCategory c) const
+    noexcept {
+  return frac(core_hours, total_core_hours(), static_cast<std::size_t>(c));
+}
+
+SizeTally tally_by_size(const trace::Trace& trace, bool with_minimal) {
+  SizeTally t;
+  const auto& spec = trace.spec();
+  for (const auto& j : trace.jobs()) {
+    const auto c =
+        static_cast<std::size_t>(spec.size_category(j.cores, with_minimal));
+    t.jobs[c] += 1;
+    t.core_hours[c] += j.core_hours();
+  }
+  return t;
+}
+
+LengthTally tally_by_length(const trace::Trace& trace, bool with_minimal) {
+  LengthTally t;
+  for (const auto& j : trace.jobs()) {
+    const auto c = static_cast<std::size_t>(
+        trace::SystemSpec::length_category(j.run_time, with_minimal));
+    t.jobs[c] += 1;
+    t.core_hours[c] += j.core_hours();
+  }
+  return t;
+}
+
+}  // namespace lumos::analysis

@@ -1,0 +1,44 @@
+// Category bookkeeping shared by the figure analyses: per-size and
+// per-length job/core-hour tallies using the paper's §III-A thresholds.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "trace/trace.hpp"
+
+namespace lumos::analysis {
+
+inline constexpr std::size_t kNumSizeCats = 4;   // Minimal/Small/Middle/Large
+inline constexpr std::size_t kNumLengthCats = 4; // Minimal/Short/Middle/Long
+
+/// Job counts and core-hours per size category.
+struct SizeTally {
+  std::array<std::size_t, kNumSizeCats> jobs{};
+  std::array<double, kNumSizeCats> core_hours{};
+  [[nodiscard]] std::size_t total_jobs() const noexcept;
+  [[nodiscard]] double total_core_hours() const noexcept;
+  [[nodiscard]] double job_fraction(trace::SizeCategory c) const noexcept;
+  [[nodiscard]] double core_hour_fraction(trace::SizeCategory c) const
+      noexcept;
+};
+
+struct LengthTally {
+  std::array<std::size_t, kNumLengthCats> jobs{};
+  std::array<double, kNumLengthCats> core_hours{};
+  [[nodiscard]] std::size_t total_jobs() const noexcept;
+  [[nodiscard]] double total_core_hours() const noexcept;
+  [[nodiscard]] double job_fraction(trace::LengthCategory c) const noexcept;
+  [[nodiscard]] double core_hour_fraction(trace::LengthCategory c) const
+      noexcept;
+};
+
+/// Tallies a trace. `with_minimal` enables the extra Minimal bucket used in
+/// the queue-behaviour figures (Figs 9/10); otherwise minimal jobs merge
+/// into Small/Short as in Figs 2/5/7.
+[[nodiscard]] SizeTally tally_by_size(const trace::Trace& trace,
+                                      bool with_minimal = false);
+[[nodiscard]] LengthTally tally_by_length(const trace::Trace& trace,
+                                          bool with_minimal = false);
+
+}  // namespace lumos::analysis

@@ -1,0 +1,30 @@
+#include "analysis/domination.hpp"
+
+namespace lumos::analysis {
+
+DominationResult analyze_domination(const trace::Trace& trace) {
+  DominationResult r;
+  r.system = trace.spec().name;
+  r.by_size = tally_by_size(trace);
+  r.by_length = tally_by_length(trace);
+
+  for (std::size_t c = 0; c < kNumSizeCats; ++c) {
+    const auto cat = static_cast<trace::SizeCategory>(c);
+    const double share = r.by_size.core_hour_fraction(cat);
+    if (share > r.dominant_size_share) {
+      r.dominant_size_share = share;
+      r.dominant_size = cat;
+    }
+  }
+  for (std::size_t c = 0; c < kNumLengthCats; ++c) {
+    const auto cat = static_cast<trace::LengthCategory>(c);
+    const double share = r.by_length.core_hour_fraction(cat);
+    if (share > r.dominant_length_share) {
+      r.dominant_length_share = share;
+      r.dominant_length = cat;
+    }
+  }
+  return r;
+}
+
+}  // namespace lumos::analysis

@@ -1,0 +1,24 @@
+// Fig 2: which job group dominates core-hour consumption.
+#pragma once
+
+#include <string>
+
+#include "analysis/categories.hpp"
+
+namespace lumos::analysis {
+
+struct DominationResult {
+  std::string system;
+  SizeTally by_size;
+  LengthTally by_length;
+  /// Category with the largest core-hour share.
+  trace::SizeCategory dominant_size = trace::SizeCategory::Small;
+  trace::LengthCategory dominant_length = trace::LengthCategory::Middle;
+  /// Its share (the paper calls a group dominating when > 50%).
+  double dominant_size_share = 0.0;
+  double dominant_length_share = 0.0;
+};
+
+[[nodiscard]] DominationResult analyze_domination(const trace::Trace& trace);
+
+}  // namespace lumos::analysis

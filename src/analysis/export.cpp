@@ -1,0 +1,164 @@
+#include "analysis/export.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace lumos::analysis {
+
+namespace {
+
+std::ofstream open_csv(const std::string& dir, const std::string& name) {
+  std::filesystem::create_directories(dir);
+  const auto path = std::filesystem::path(dir) / name;
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open for writing: " + path.string());
+  return out;
+}
+
+std::string num(double v) { return util::format("%.6g", v); }
+
+}  // namespace
+
+void export_runtime_cdf(const std::string& dir,
+                        const std::vector<GeometryResult>& results,
+                        std::size_t points) {
+  auto out = open_csv(dir, "fig1a_runtime_cdf.csv");
+  util::CsvWriter w(out);
+  w.write_row({"system", "quantile", "runtime_s"});
+  for (const auto& r : results) {
+    for (std::size_t i = 1; i <= points; ++i) {
+      const double q = static_cast<double>(i) / (points + 1);
+      w.write_row({r.system, num(q), num(r.runtime_cdf.quantile(q))});
+    }
+  }
+}
+
+void export_hourly(const std::string& dir,
+                   const std::vector<ArrivalResult>& results) {
+  auto out = open_csv(dir, "fig1b_hourly.csv");
+  util::CsvWriter w(out);
+  w.write_row({"system", "hour", "jobs"});
+  for (const auto& r : results) {
+    for (int h = 0; h < 24; ++h) {
+      w.write_row({r.system, std::to_string(h), num(r.hourly[h])});
+    }
+  }
+}
+
+void export_cores_cdf(const std::string& dir,
+                      const std::vector<GeometryResult>& results,
+                      std::size_t points) {
+  auto out = open_csv(dir, "fig1c_cores_cdf.csv");
+  util::CsvWriter w(out);
+  w.write_row({"system", "quantile", "cores"});
+  for (const auto& r : results) {
+    for (std::size_t i = 1; i <= points; ++i) {
+      const double q = static_cast<double>(i) / (points + 1);
+      w.write_row({r.system, num(q), num(r.cores_cdf.quantile(q))});
+    }
+  }
+}
+
+void export_domination(const std::string& dir,
+                       const std::vector<DominationResult>& results) {
+  auto out = open_csv(dir, "fig2_domination.csv");
+  util::CsvWriter w(out);
+  w.write_row({"system", "dimension", "category", "job_frac", "ch_frac"});
+  for (const auto& r : results) {
+    for (std::size_t c = 1; c < kNumSizeCats; ++c) {
+      const auto cat = static_cast<trace::SizeCategory>(c);
+      w.write_row({r.system, "size", std::string(to_string(cat)),
+                   num(r.by_size.job_fraction(cat)),
+                   num(r.by_size.core_hour_fraction(cat))});
+    }
+    for (std::size_t c = 1; c < kNumLengthCats; ++c) {
+      const auto cat = static_cast<trace::LengthCategory>(c);
+      w.write_row({r.system, "length", std::string(to_string(cat)),
+                   num(r.by_length.job_fraction(cat)),
+                   num(r.by_length.core_hour_fraction(cat))});
+    }
+  }
+}
+
+void export_utilization(const std::string& dir,
+                        const std::vector<UtilizationResult>& results) {
+  auto out = open_csv(dir, "fig3_utilization.csv");
+  util::CsvWriter w(out);
+  w.write_row({"system", "hour_index", "utilization"});
+  for (const auto& r : results) {
+    for (std::size_t b = 0; b < r.series.size(); ++b) {
+      w.write_row({r.system, std::to_string(b), num(r.series[b])});
+    }
+  }
+}
+
+void export_wait_cdf(const std::string& dir,
+                     const std::vector<WaitingResult>& results,
+                     std::size_t points) {
+  auto out = open_csv(dir, "fig4_wait_cdf.csv");
+  util::CsvWriter w(out);
+  w.write_row({"system", "quantile", "wait_s", "turnaround_s"});
+  for (const auto& r : results) {
+    for (std::size_t i = 1; i <= points; ++i) {
+      const double q = static_cast<double>(i) / (points + 1);
+      w.write_row({r.system, num(q), num(r.wait_cdf.quantile(q)),
+                   num(r.turnaround_cdf.quantile(q))});
+    }
+  }
+}
+
+void export_status(const std::string& dir,
+                   const std::vector<FailureResult>& results) {
+  auto out = open_csv(dir, "fig6_status.csv");
+  util::CsvWriter w(out);
+  w.write_row({"system", "status", "job_frac", "core_hour_frac"});
+  for (const auto& r : results) {
+    for (int s = 0; s < trace::kNumStatuses; ++s) {
+      const auto status = static_cast<trace::JobStatus>(s);
+      w.write_row({r.system, std::string(to_string(status)),
+                   num(r.overall.job_fraction(status)),
+                   num(r.overall.core_hour_fraction(status))});
+    }
+  }
+}
+
+void export_repetition(const std::string& dir,
+                       const std::vector<RepetitionResult>& results) {
+  auto out = open_csv(dir, "fig8_repetition.csv");
+  util::CsvWriter w(out);
+  w.write_row({"system", "k", "cumulative_share"});
+  for (const auto& r : results) {
+    for (std::size_t k = 0; k < 10; ++k) {
+      w.write_row({r.system, std::to_string(k + 1),
+                   num(r.cumulative_share[k])});
+    }
+  }
+}
+
+void export_queue_mix(const std::string& dir,
+                      const std::vector<QueueBehaviorResult>& results) {
+  auto out = open_csv(dir, "fig9_10_queue_mix.csv");
+  util::CsvWriter w(out);
+  w.write_row({"system", "bucket", "dimension", "category", "fraction"});
+  const char* buckets[] = {"short", "middle", "long"};
+  const char* size_names[] = {"Minimal", "Small", "Middle", "Large"};
+  const char* len_names[] = {"Minimal", "Short", "Middle", "Long"};
+  for (const auto& r : results) {
+    for (std::size_t b = 0; b < kNumQueueBuckets; ++b) {
+      for (std::size_t c = 0; c < kNumSizeCats; ++c) {
+        w.write_row({r.system, buckets[b], "size", size_names[c],
+                     num(r.size_mix[b][c])});
+      }
+      for (std::size_t c = 0; c < kNumLengthCats; ++c) {
+        w.write_row({r.system, buckets[b], "length", len_names[c],
+                     num(r.length_mix[b][c])});
+      }
+    }
+  }
+}
+
+}  // namespace lumos::analysis

@@ -1,0 +1,59 @@
+// Machine-readable export of every figure's data series (CSV, one file per
+// panel) — the hand-off point to plotting tools, mirroring the data files
+// behind the paper's matplotlib figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/arrival.hpp"
+#include "analysis/domination.hpp"
+#include "analysis/failure.hpp"
+#include "analysis/geometry.hpp"
+#include "analysis/user_behavior.hpp"
+#include "analysis/utilization.hpp"
+#include "analysis/waiting.hpp"
+
+namespace lumos::analysis {
+
+/// Writes fig1a_runtime_cdf.csv: system,quantile,runtime_s.
+void export_runtime_cdf(const std::string& dir,
+                        const std::vector<GeometryResult>& results,
+                        std::size_t points = 99);
+
+/// Writes fig1b_hourly.csv: system,hour,jobs.
+void export_hourly(const std::string& dir,
+                   const std::vector<ArrivalResult>& results);
+
+/// Writes fig1c_cores_cdf.csv: system,quantile,cores.
+void export_cores_cdf(const std::string& dir,
+                      const std::vector<GeometryResult>& results,
+                      std::size_t points = 99);
+
+/// Writes fig2_domination.csv: system,dimension,category,job_frac,ch_frac.
+void export_domination(const std::string& dir,
+                       const std::vector<DominationResult>& results);
+
+/// Writes fig3_utilization.csv: system,hour_index,utilization.
+void export_utilization(const std::string& dir,
+                        const std::vector<UtilizationResult>& results);
+
+/// Writes fig4_wait_cdf.csv: system,quantile,wait_s,turnaround_s.
+void export_wait_cdf(const std::string& dir,
+                     const std::vector<WaitingResult>& results,
+                     std::size_t points = 99);
+
+/// Writes fig6_status.csv: system,status,job_frac,core_hour_frac.
+void export_status(const std::string& dir,
+                   const std::vector<FailureResult>& results);
+
+/// Writes fig8_repetition.csv: system,k,cumulative_share.
+void export_repetition(const std::string& dir,
+                       const std::vector<RepetitionResult>& results);
+
+/// Writes fig9_10_queue_mix.csv:
+/// system,bucket,dimension,category,fraction.
+void export_queue_mix(const std::string& dir,
+                      const std::vector<QueueBehaviorResult>& results);
+
+}  // namespace lumos::analysis

@@ -1,0 +1,76 @@
+#include "analysis/failure.hpp"
+
+namespace lumos::analysis {
+
+std::size_t StatusTally::total_jobs() const noexcept {
+  std::size_t t = 0;
+  for (auto v : jobs) t += v;
+  return t;
+}
+double StatusTally::total_core_hours() const noexcept {
+  double t = 0.0;
+  for (auto v : core_hours) t += v;
+  return t;
+}
+double StatusTally::job_fraction(trace::JobStatus s) const noexcept {
+  const auto total = total_jobs();
+  return total > 0 ? static_cast<double>(jobs[static_cast<std::size_t>(s)]) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+double StatusTally::core_hour_fraction(trace::JobStatus s) const noexcept {
+  const double total = total_core_hours();
+  return total > 0.0 ? core_hours[static_cast<std::size_t>(s)] / total : 0.0;
+}
+
+namespace {
+
+/// Least-squares slope of pass rate over category index (only categories
+/// with jobs participate).
+template <typename Tallies>
+double pass_trend(const Tallies& tallies, std::size_t first,
+                  std::size_t count) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (std::size_t c = first; c < first + count; ++c) {
+    if (tallies[c].total_jobs() == 0) continue;
+    const double x = static_cast<double>(c);
+    const double y = tallies[c].job_fraction(trace::JobStatus::Passed);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  return denom != 0.0 ? (static_cast<double>(n) * sxy - sx * sy) / denom
+                      : 0.0;
+}
+
+}  // namespace
+
+FailureResult analyze_failures(const trace::Trace& trace) {
+  FailureResult r;
+  r.system = trace.spec().name;
+  const auto& spec = trace.spec();
+  for (const auto& j : trace.jobs()) {
+    const auto s = static_cast<std::size_t>(j.status);
+    const double ch = j.core_hours();
+    r.overall.jobs[s] += 1;
+    r.overall.core_hours[s] += ch;
+    const auto sc = static_cast<std::size_t>(spec.size_category(j.cores));
+    const auto lc = static_cast<std::size_t>(
+        trace::SystemSpec::length_category(j.run_time));
+    r.by_size[sc].jobs[s] += 1;
+    r.by_size[sc].core_hours[s] += ch;
+    r.by_length[lc].jobs[s] += 1;
+    r.by_length[lc].core_hours[s] += ch;
+  }
+  // Trend over Small..Large (skip the unused Minimal slot 0).
+  r.pass_rate_size_trend = pass_trend(r.by_size, 1, kNumSizeCats - 1);
+  r.pass_rate_length_trend = pass_trend(r.by_length, 1, kNumLengthCats - 1);
+  return r;
+}
+
+}  // namespace lumos::analysis

@@ -1,0 +1,39 @@
+// Figs 6 & 7: job-status distribution (counts vs core-hours) and its
+// correlation with job size and runtime.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "analysis/categories.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::analysis {
+
+/// Per-status tallies (index by trace::JobStatus).
+struct StatusTally {
+  std::array<std::size_t, trace::kNumStatuses> jobs{};
+  std::array<double, trace::kNumStatuses> core_hours{};
+  [[nodiscard]] std::size_t total_jobs() const noexcept;
+  [[nodiscard]] double total_core_hours() const noexcept;
+  [[nodiscard]] double job_fraction(trace::JobStatus s) const noexcept;
+  [[nodiscard]] double core_hour_fraction(trace::JobStatus s) const noexcept;
+};
+
+struct FailureResult {
+  std::string system;
+  StatusTally overall;                       // Fig 6
+  /// Status mix within each size category (Fig 7a): fraction of jobs.
+  std::array<StatusTally, kNumSizeCats> by_size;
+  /// Status mix within each length category (Fig 7b).
+  std::array<StatusTally, kNumLengthCats> by_length;
+  /// Pass-rate trend across size categories Small->Large (negative =
+  /// bigger jobs pass less often — the DL pattern in Fig 7a).
+  double pass_rate_size_trend = 0.0;
+  /// Same across Short->Long (negative everywhere in Fig 7b).
+  double pass_rate_length_trend = 0.0;
+};
+
+[[nodiscard]] FailureResult analyze_failures(const trace::Trace& trace);
+
+}  // namespace lumos::analysis

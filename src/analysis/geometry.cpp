@@ -1,0 +1,36 @@
+#include "analysis/geometry.hpp"
+
+namespace lumos::analysis {
+
+GeometryResult analyze_geometry(const trace::Trace& trace) {
+  GeometryResult r;
+  r.system = trace.spec().name;
+  const auto runs = trace.run_times();
+  r.runtime_cdf = stats::Ecdf(runs);
+  r.runtime_summary = stats::summarize(runs);
+  r.runtime_violin = stats::violin_log(runs);
+
+  const auto cores = trace.cores_requested();
+  r.cores_cdf = stats::Ecdf(cores);
+  r.cores_summary = stats::summarize(cores);
+
+  const double capacity =
+      std::max<double>(1.0, trace.spec().primary_capacity());
+  std::vector<double> fracs;
+  fracs.reserve(cores.size());
+  std::size_t single = 0, over1000 = 0, over10 = 0;
+  for (double c : cores) {
+    fracs.push_back(c / capacity);
+    if (c <= 1.0) ++single;
+    if (c > 1000.0) ++over1000;
+    if (c > 10.0) ++over10;
+  }
+  const auto n = static_cast<double>(cores.empty() ? 1 : cores.size());
+  r.frac_single_core = static_cast<double>(single) / n;
+  r.frac_over_1000 = static_cast<double>(over1000) / n;
+  r.frac_over_10 = static_cast<double>(over10) / n;
+  r.core_fraction_summary = stats::summarize(fracs);
+  return r;
+}
+
+}  // namespace lumos::analysis

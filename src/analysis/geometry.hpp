@@ -1,0 +1,29 @@
+// Fig 1(a)/(c): job runtime and resource-allocation geometry.
+#pragma once
+
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/kde.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::analysis {
+
+struct GeometryResult {
+  std::string system;
+  // Fig 1a: runtime CDF + log-space violin.
+  stats::Ecdf runtime_cdf;
+  stats::Summary runtime_summary;
+  stats::ViolinSummary runtime_violin;
+  // Fig 1c: requested cores CDF, absolute and as a fraction of capacity.
+  stats::Ecdf cores_cdf;
+  stats::Summary cores_summary;
+  double frac_single_core = 0.0;     ///< P(cores == 1)
+  double frac_over_1000 = 0.0;       ///< P(cores > 1000)
+  double frac_over_10 = 0.0;         ///< P(cores > 10)
+  /// Quantiles of cores / primary capacity (Fig 1c bottom).
+  stats::Summary core_fraction_summary;
+};
+
+[[nodiscard]] GeometryResult analyze_geometry(const trace::Trace& trace);
+
+}  // namespace lumos::analysis

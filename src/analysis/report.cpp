@@ -1,0 +1,323 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/time_util.hpp"
+
+namespace lumos::analysis {
+
+using util::fixed;
+using util::format;
+using util::percent;
+using util::TextTable;
+
+std::string render_geometry(const std::vector<GeometryResult>& results) {
+  TextTable t({"System", "run p50", "run mean", "run p99", "violin mode",
+               "cores p50", "1-core", ">10 cores", ">1000 cores",
+               "size-frac p50"});
+  for (const auto& r : results) {
+    t.add_row({r.system, util::format_duration(r.runtime_summary.median),
+               util::format_duration(r.runtime_summary.mean),
+               util::format_duration(r.runtime_summary.p99),
+               util::format_duration(r.runtime_violin.mode),
+               fixed(r.cores_summary.median, 0), percent(r.frac_single_core),
+               percent(r.frac_over_10), percent(r.frac_over_1000),
+               format("%.2e", r.core_fraction_summary.median)});
+  }
+  return t.render();
+}
+
+std::string render_runtime_cdf(const std::vector<GeometryResult>& results,
+                               std::size_t points) {
+  TextTable t([&] {
+    std::vector<std::string> header{"P(run <= x)"};
+    for (const auto& r : results) header.push_back(r.system);
+    return header;
+  }());
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i + 1) /
+                     static_cast<double>(points + 1);
+    std::vector<std::string> row{percent(q, 0)};
+    for (const auto& r : results) {
+      row.push_back(util::format_duration(r.runtime_cdf.quantile(q)));
+    }
+    t.add_row(row);
+  }
+  return t.render();
+}
+
+std::string render_arrivals(const std::vector<ArrivalResult>& results) {
+  TextTable t({"System", "gap p50", "gap mean", "<=10s", "<=100s",
+               "peak ratio", "8am-5pm share", "weekend rate"});
+  for (const auto& r : results) {
+    t.add_row({r.system, util::format_duration(r.interarrival_summary.median),
+               util::format_duration(r.interarrival_summary.mean),
+               percent(r.frac_within_10s), percent(r.frac_within_100s),
+               fixed(r.peak_ratio, 1), percent(r.business_hours_share),
+               fixed(r.weekend_rate_ratio, 2) + "x"});
+  }
+  return t.render();
+}
+
+std::string render_hourly(const std::vector<ArrivalResult>& results) {
+  TextTable t([&] {
+    std::vector<std::string> header{"Hour"};
+    for (const auto& r : results) header.push_back(r.system);
+    return header;
+  }());
+  for (int h = 0; h < 24; ++h) {
+    std::vector<std::string> row{std::to_string(h)};
+    for (const auto& r : results) {
+      // Normalise to each system's own mean for comparability.
+      double mean = 0.0;
+      for (double v : r.hourly) mean += v;
+      mean /= 24.0;
+      row.push_back(mean > 0.0 ? fixed(r.hourly[h] / mean, 2) : "0");
+    }
+    t.add_row(row);
+  }
+  return t.render();
+}
+
+std::string render_domination(const std::vector<DominationResult>& results) {
+  std::ostringstream os;
+  TextTable size_t_({"System", "Small jobs%", "Small CH%", "Middle CH%",
+                     "Large CH%", "dominant size"});
+  for (const auto& r : results) {
+    size_t_.add_row(
+        {r.system, percent(r.by_size.job_fraction(trace::SizeCategory::Small)),
+         percent(r.by_size.core_hour_fraction(trace::SizeCategory::Small)),
+         percent(r.by_size.core_hour_fraction(trace::SizeCategory::Middle)),
+         percent(r.by_size.core_hour_fraction(trace::SizeCategory::Large)),
+         std::string(to_string(r.dominant_size)) + " (" +
+             percent(r.dominant_size_share) + ")"});
+  }
+  os << "Core-hour share by job size:\n" << size_t_.render() << '\n';
+  TextTable len({"System", "Short CH%", "Middle CH%", "Long CH%",
+                 "dominant length"});
+  for (const auto& r : results) {
+    len.add_row(
+        {r.system,
+         percent(r.by_length.core_hour_fraction(trace::LengthCategory::Short)),
+         percent(
+             r.by_length.core_hour_fraction(trace::LengthCategory::Middle)),
+         percent(r.by_length.core_hour_fraction(trace::LengthCategory::Long)),
+         std::string(to_string(r.dominant_length)) + " (" +
+             percent(r.dominant_length_share) + ")"});
+  }
+  os << "Core-hour share by job length:\n" << len.render();
+  return os.str();
+}
+
+std::string render_utilization(const std::vector<UtilizationResult>& results) {
+  TextTable t({"System", "avg util", "median util", ">80% of time",
+               "clamped", "virtual clusters"});
+  for (const auto& r : results) {
+    std::string vc = "-";
+    if (!r.per_vc_average.empty()) {
+      double lo = 1.0, hi = 0.0;
+      for (double v : r.per_vc_average) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      vc = format("%zu VCs, util %s..%s", r.per_vc_average.size(),
+                  percent(lo).c_str(), percent(hi).c_str());
+    }
+    t.add_row({r.system, percent(r.average), percent(r.median),
+               percent(r.frac_above_80), percent(r.clamped_fraction), vc});
+  }
+  return t.render();
+}
+
+std::string render_waiting(const std::vector<WaitingResult>& results) {
+  TextTable t({"System", "wait p50", "wait mean", "<10s", ">10min",
+               ">90min", "turnaround p50"});
+  for (const auto& r : results) {
+    t.add_row({r.system, util::format_duration(r.wait_summary.median),
+               util::format_duration(r.wait_summary.mean),
+               percent(r.frac_wait_under_10s), percent(r.frac_wait_over_10min),
+               percent(r.frac_wait_over_90min),
+               util::format_duration(r.turnaround_summary.median)});
+  }
+  return t.render();
+}
+
+std::string render_wait_by_geometry(const std::vector<WaitingResult>& results) {
+  std::ostringstream os;
+  TextTable size_t_({"System", "Small wait", "Middle wait", "Large wait",
+                     "longest"});
+  for (const auto& r : results) {
+    size_t_.add_row(
+        {r.system,
+         util::format_duration(r.mean_wait_by_size[static_cast<std::size_t>(
+             trace::SizeCategory::Small)]),
+         util::format_duration(r.mean_wait_by_size[static_cast<std::size_t>(
+             trace::SizeCategory::Middle)]),
+         util::format_duration(r.mean_wait_by_size[static_cast<std::size_t>(
+             trace::SizeCategory::Large)]),
+         std::string(to_string(r.longest_wait_size))});
+  }
+  os << "Mean wait by job size:\n" << size_t_.render() << '\n';
+  TextTable len({"System", "Short wait", "Middle wait", "Long wait",
+                 "longest"});
+  for (const auto& r : results) {
+    len.add_row(
+        {r.system,
+         util::format_duration(r.mean_wait_by_length[static_cast<std::size_t>(
+             trace::LengthCategory::Short)]),
+         util::format_duration(r.mean_wait_by_length[static_cast<std::size_t>(
+             trace::LengthCategory::Middle)]),
+         util::format_duration(r.mean_wait_by_length[static_cast<std::size_t>(
+             trace::LengthCategory::Long)]),
+         std::string(to_string(r.longest_wait_length))});
+  }
+  os << "Mean wait by job length:\n" << len.render();
+  return os.str();
+}
+
+std::string render_status_distribution(
+    const std::vector<FailureResult>& results) {
+  TextTable t({"System", "Passed%", "Failed%", "Killed%", "Passed CH%",
+               "Failed CH%", "Killed CH%"});
+  for (const auto& r : results) {
+    t.add_row({r.system,
+               percent(r.overall.job_fraction(trace::JobStatus::Passed)),
+               percent(r.overall.job_fraction(trace::JobStatus::Failed)),
+               percent(r.overall.job_fraction(trace::JobStatus::Killed)),
+               percent(r.overall.core_hour_fraction(trace::JobStatus::Passed)),
+               percent(r.overall.core_hour_fraction(trace::JobStatus::Failed)),
+               percent(
+                   r.overall.core_hour_fraction(trace::JobStatus::Killed))});
+  }
+  return t.render();
+}
+
+std::string render_failure_by_geometry(
+    const std::vector<FailureResult>& results) {
+  std::ostringstream os;
+  TextTable size_t_({"System", "Small pass%", "Middle pass%", "Large pass%",
+                     "size trend"});
+  auto pass = [](const StatusTally& tally) {
+    return tally.total_jobs() > 0
+               ? percent(tally.job_fraction(trace::JobStatus::Passed))
+               : std::string("-");
+  };
+  for (const auto& r : results) {
+    size_t_.add_row(
+        {r.system,
+         pass(r.by_size[static_cast<std::size_t>(trace::SizeCategory::Small)]),
+         pass(r.by_size[static_cast<std::size_t>(
+             trace::SizeCategory::Middle)]),
+         pass(r.by_size[static_cast<std::size_t>(trace::SizeCategory::Large)]),
+         format("%+.3f/cat", r.pass_rate_size_trend)});
+  }
+  os << "Pass rate by job size:\n" << size_t_.render() << '\n';
+  TextTable len({"System", "Short pass%", "Middle pass%", "Long pass%",
+                 "Long killed%", "length trend"});
+  for (const auto& r : results) {
+    const auto& long_tally =
+        r.by_length[static_cast<std::size_t>(trace::LengthCategory::Long)];
+    len.add_row(
+        {r.system,
+         pass(r.by_length[static_cast<std::size_t>(
+             trace::LengthCategory::Short)]),
+         pass(r.by_length[static_cast<std::size_t>(
+             trace::LengthCategory::Middle)]),
+         pass(long_tally),
+         long_tally.total_jobs() > 0
+             ? percent(long_tally.job_fraction(trace::JobStatus::Killed))
+             : "-",
+         format("%+.3f/cat", r.pass_rate_length_trend)});
+  }
+  os << "Pass rate by job length:\n" << len.render();
+  return os.str();
+}
+
+std::string render_repetition(const std::vector<RepetitionResult>& results) {
+  TextTable t([&] {
+    std::vector<std::string> header{"System", "users", "groups/user"};
+    for (int k = 1; k <= 10; ++k) header.push_back("top-" + std::to_string(k));
+    return header;
+  }());
+  for (const auto& r : results) {
+    std::vector<std::string> row{r.system,
+                                 std::to_string(r.representative_users),
+                                 fixed(r.mean_groups_per_user, 1)};
+    for (std::size_t k = 0; k < 10; ++k) {
+      row.push_back(percent(r.cumulative_share[k], 0));
+    }
+    t.add_row(row);
+  }
+  return t.render();
+}
+
+namespace {
+const char* bucket_name(std::size_t b) {
+  switch (b) {
+    case 0: return "Short";
+    case 1: return "Middle";
+    case 2: return "Long";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string render_queue_behavior_size(
+    const std::vector<QueueBehaviorResult>& results) {
+  TextTable t({"System", "queue", "jobs", "Minimal%", "Small%", "Middle%",
+               "Large%", "mean cores"});
+  for (const auto& r : results) {
+    for (std::size_t b = 0; b < kNumQueueBuckets; ++b) {
+      t.add_row({r.system, bucket_name(b),
+                 std::to_string(r.jobs_per_bucket[b]),
+                 percent(r.size_mix[b][0]), percent(r.size_mix[b][1]),
+                 percent(r.size_mix[b][2]), percent(r.size_mix[b][3]),
+                 fixed(r.mean_cores[b], 1)});
+    }
+  }
+  return t.render();
+}
+
+std::string render_queue_behavior_runtime(
+    const std::vector<QueueBehaviorResult>& results) {
+  TextTable t({"System", "queue", "jobs", "Minimal%", "Short%", "Middle%",
+               "Long%", "median run"});
+  for (const auto& r : results) {
+    for (std::size_t b = 0; b < kNumQueueBuckets; ++b) {
+      t.add_row({r.system, bucket_name(b),
+                 std::to_string(r.jobs_per_bucket[b]),
+                 percent(r.length_mix[b][0]), percent(r.length_mix[b][1]),
+                 percent(r.length_mix[b][2]), percent(r.length_mix[b][3]),
+                 util::format_duration(r.median_run[b])});
+    }
+  }
+  return t.render();
+}
+
+std::string render_user_status(const std::vector<UserStatusResult>& results) {
+  TextTable t({"System", "user", "jobs", "Passed p50", "Failed p50",
+               "Killed p50", "Killed/Passed"});
+  for (const auto& r : results) {
+    int rank = 1;
+    for (const auto& u : r.top_users) {
+      const auto& passed =
+          u.runtime[static_cast<std::size_t>(trace::JobStatus::Passed)];
+      const auto& failed =
+          u.runtime[static_cast<std::size_t>(trace::JobStatus::Failed)];
+      const auto& killed =
+          u.runtime[static_cast<std::size_t>(trace::JobStatus::Killed)];
+      t.add_row({r.system, format("U%d", rank++), std::to_string(u.jobs),
+                 passed.count ? util::format_duration(passed.median) : "-",
+                 failed.count ? util::format_duration(failed.median) : "-",
+                 killed.count ? util::format_duration(killed.median) : "-",
+                 passed.count && killed.count && passed.median > 0.0
+                     ? fixed(killed.median / passed.median, 1) + "x"
+                     : "-"});
+    }
+  }
+  return t.render();
+}
+
+}  // namespace lumos::analysis

@@ -1,0 +1,47 @@
+// Text rendering of the figure analyses — each function returns the
+// cross-system comparison table a bench binary prints for its figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/arrival.hpp"
+#include "analysis/domination.hpp"
+#include "analysis/failure.hpp"
+#include "analysis/geometry.hpp"
+#include "analysis/user_behavior.hpp"
+#include "analysis/utilization.hpp"
+#include "analysis/waiting.hpp"
+
+namespace lumos::analysis {
+
+[[nodiscard]] std::string render_geometry(
+    const std::vector<GeometryResult>& results);
+[[nodiscard]] std::string render_runtime_cdf(
+    const std::vector<GeometryResult>& results, std::size_t points = 9);
+[[nodiscard]] std::string render_arrivals(
+    const std::vector<ArrivalResult>& results);
+[[nodiscard]] std::string render_hourly(
+    const std::vector<ArrivalResult>& results);
+[[nodiscard]] std::string render_domination(
+    const std::vector<DominationResult>& results);
+[[nodiscard]] std::string render_utilization(
+    const std::vector<UtilizationResult>& results);
+[[nodiscard]] std::string render_waiting(
+    const std::vector<WaitingResult>& results);
+[[nodiscard]] std::string render_wait_by_geometry(
+    const std::vector<WaitingResult>& results);
+[[nodiscard]] std::string render_status_distribution(
+    const std::vector<FailureResult>& results);
+[[nodiscard]] std::string render_failure_by_geometry(
+    const std::vector<FailureResult>& results);
+[[nodiscard]] std::string render_repetition(
+    const std::vector<RepetitionResult>& results);
+[[nodiscard]] std::string render_queue_behavior_size(
+    const std::vector<QueueBehaviorResult>& results);
+[[nodiscard]] std::string render_queue_behavior_runtime(
+    const std::vector<QueueBehaviorResult>& results);
+[[nodiscard]] std::string render_user_status(
+    const std::vector<UserStatusResult>& results);
+
+}  // namespace lumos::analysis

@@ -1,0 +1,179 @@
+#include "analysis/user_behavior.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace lumos::analysis {
+
+// ---------------------------------------------------------------- Fig 8 --
+
+std::vector<std::size_t> config_group_sizes(
+    std::span<const trace::Job> user_jobs, double run_tolerance) {
+  struct Group {
+    std::uint32_t cores;
+    double mean_run;
+    std::size_t count;
+  };
+  std::vector<Group> groups;
+  for (const auto& j : user_jobs) {
+    bool placed = false;
+    for (auto& g : groups) {
+      if (g.cores != j.cores) continue;
+      // §V-A rule: run times within 10% of the group's mean run time.
+      if (std::fabs(j.run_time - g.mean_run) <=
+          run_tolerance * std::max(g.mean_run, 1.0)) {
+        g.mean_run = (g.mean_run * static_cast<double>(g.count) + j.run_time) /
+                     static_cast<double>(g.count + 1);
+        g.count += 1;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({j.cores, j.run_time, 1});
+  }
+  std::vector<std::size_t> sizes;
+  sizes.reserve(groups.size());
+  for (const auto& g : groups) sizes.push_back(g.count);
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return sizes;
+}
+
+RepetitionResult analyze_repetition(const trace::Trace& trace,
+                                    std::size_t min_jobs_per_user,
+                                    double run_tolerance) {
+  RepetitionResult r;
+  r.system = trace.spec().name;
+
+  std::unordered_map<std::uint32_t, std::vector<trace::Job>> by_user;
+  for (const auto& j : trace.jobs()) by_user[j.user].push_back(j);
+
+  double groups_total = 0.0;
+  std::array<double, 10> share_sum{};
+  for (const auto& [user, jobs] : by_user) {
+    if (jobs.size() < min_jobs_per_user) continue;
+    const auto sizes = config_group_sizes(jobs, run_tolerance);
+    const double total = static_cast<double>(jobs.size());
+    double cum = 0.0;
+    for (std::size_t k = 0; k < 10; ++k) {
+      if (k < sizes.size()) cum += static_cast<double>(sizes[k]);
+      share_sum[k] += cum / total;
+    }
+    groups_total += static_cast<double>(sizes.size());
+    ++r.representative_users;
+  }
+  if (r.representative_users > 0) {
+    for (std::size_t k = 0; k < 10; ++k) {
+      r.cumulative_share[k] =
+          share_sum[k] / static_cast<double>(r.representative_users);
+    }
+    r.mean_groups_per_user =
+        groups_total / static_cast<double>(r.representative_users);
+  }
+  return r;
+}
+
+// ----------------------------------------------------------- Figs 9/10 --
+
+std::vector<std::uint32_t> queue_length_at_submit(const trace::Trace& trace) {
+  LUMOS_REQUIRE(trace.is_sorted_by_submit(),
+                "queue computation needs a submit-sorted trace");
+  std::vector<std::uint32_t> out;
+  out.reserve(trace.size());
+  std::priority_queue<double, std::vector<double>, std::greater<>> starts;
+  for (const auto& j : trace.jobs()) {
+    while (!starts.empty() && starts.top() <= j.submit_time) starts.pop();
+    out.push_back(static_cast<std::uint32_t>(starts.size()));
+    starts.push(j.start_time());
+  }
+  return out;
+}
+
+QueueBehaviorResult analyze_queue_behavior(const trace::Trace& trace) {
+  QueueBehaviorResult r;
+  r.system = trace.spec().name;
+  const auto qlen = queue_length_at_submit(trace);
+  for (auto q : qlen) r.max_queue = std::max(r.max_queue, q);
+  const double third =
+      std::max(1.0, static_cast<double>(r.max_queue) / 3.0);
+
+  const auto& spec = trace.spec();
+  std::array<std::array<std::size_t, kNumSizeCats>, kNumQueueBuckets>
+      size_count{};
+  std::array<std::array<std::size_t, kNumLengthCats>, kNumQueueBuckets>
+      length_count{};
+  std::array<double, kNumQueueBuckets> cores_sum{};
+  std::array<std::vector<double>, kNumQueueBuckets> runs;
+
+  const auto jobs = trace.jobs();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const double q = static_cast<double>(qlen[i]);
+    const auto bucket = static_cast<std::size_t>(
+        q < third ? QueueBucket::Short
+                  : (q < 2.0 * third ? QueueBucket::Middle
+                                     : QueueBucket::Long));
+    r.jobs_per_bucket[bucket] += 1;
+    const auto sc = static_cast<std::size_t>(
+        spec.size_category(jobs[i].cores, /*with_minimal=*/true));
+    const auto lc = static_cast<std::size_t>(trace::SystemSpec::length_category(
+        jobs[i].run_time, /*with_minimal=*/true));
+    size_count[bucket][sc] += 1;
+    length_count[bucket][lc] += 1;
+    cores_sum[bucket] += static_cast<double>(jobs[i].cores);
+    runs[bucket].push_back(jobs[i].run_time);
+  }
+  for (std::size_t b = 0; b < kNumQueueBuckets; ++b) {
+    const double n = static_cast<double>(r.jobs_per_bucket[b]);
+    if (n == 0.0) continue;
+    for (std::size_t c = 0; c < kNumSizeCats; ++c) {
+      r.size_mix[b][c] = static_cast<double>(size_count[b][c]) / n;
+    }
+    for (std::size_t c = 0; c < kNumLengthCats; ++c) {
+      r.length_mix[b][c] = static_cast<double>(length_count[b][c]) / n;
+    }
+    r.mean_cores[b] = cores_sum[b] / n;
+    r.median_run[b] = stats::median(runs[b]);
+  }
+  return r;
+}
+
+// --------------------------------------------------------------- Fig 11 --
+
+UserStatusResult analyze_user_status(const trace::Trace& trace,
+                                     std::size_t top_k) {
+  UserStatusResult r;
+  r.system = trace.spec().name;
+
+  std::unordered_map<std::uint32_t, std::size_t> counts;
+  for (const auto& j : trace.jobs()) counts[j.user] += 1;
+  std::vector<std::pair<std::uint32_t, std::size_t>> order(counts.begin(),
+                                                           counts.end());
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (order.size() > top_k) order.resize(top_k);
+
+  for (const auto& [user, n] : order) {
+    UserStatusRuntime u;
+    u.user = user;
+    u.jobs = n;
+    std::array<std::vector<double>, trace::kNumStatuses> runs;
+    for (const auto& j : trace.jobs()) {
+      if (j.user == user) {
+        runs[static_cast<std::size_t>(j.status)].push_back(j.run_time);
+      }
+    }
+    for (std::size_t s = 0; s < trace::kNumStatuses; ++s) {
+      u.runtime[s] = stats::summarize(runs[s]);
+      u.violin[s] = stats::violin_log(runs[s]);
+    }
+    r.top_users.push_back(std::move(u));
+  }
+  return r;
+}
+
+}  // namespace lumos::analysis

@@ -1,0 +1,92 @@
+// Figs 8-11: per-user behaviour analyses.
+//
+//  * Fig 8  — resource-configuration repetition: jobs grouped per user by
+//    (exact cores, runtime within 10% of the group mean), cumulative share
+//    of the top-k groups, averaged over representative (heavy) users.
+//  * Fig 9  — requested-size mix vs queue length at submission.
+//  * Fig 10 — runtime mix vs queue length at submission.
+//  * Fig 11 — per-user runtime distribution split by job status.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/categories.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/kde.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::analysis {
+
+// ---------------------------------------------------------------- Fig 8 --
+
+struct RepetitionResult {
+  std::string system;
+  /// cumulative_share[k] = average fraction of a representative user's jobs
+  /// covered by their k+1 largest groups (k = 0..9).
+  std::array<double, 10> cumulative_share{};
+  std::size_t representative_users = 0;
+  double mean_groups_per_user = 0.0;
+};
+
+/// `min_jobs_per_user`: users with fewer jobs are not representative.
+/// `run_tolerance`: the 10% rule from §V-A.
+[[nodiscard]] RepetitionResult analyze_repetition(
+    const trace::Trace& trace, std::size_t min_jobs_per_user = 50,
+    double run_tolerance = 0.10);
+
+/// The §V-A grouping for a single user's jobs: returns group sizes,
+/// descending. Exposed for tests and custom analyses.
+[[nodiscard]] std::vector<std::size_t> config_group_sizes(
+    std::span<const trace::Job> user_jobs, double run_tolerance = 0.10);
+
+// ----------------------------------------------------------- Figs 9/10 --
+
+/// Queue length (jobs submitted but not yet started) observed by each job
+/// at its submit instant, computed from recorded waits. Index-aligned with
+/// the trace.
+[[nodiscard]] std::vector<std::uint32_t> queue_length_at_submit(
+    const trace::Trace& trace);
+
+enum class QueueBucket : std::uint8_t { Short = 0, Middle = 1, Long = 2 };
+inline constexpr std::size_t kNumQueueBuckets = 3;
+
+struct QueueBehaviorResult {
+  std::string system;
+  std::uint32_t max_queue = 0;
+  std::array<std::size_t, kNumQueueBuckets> jobs_per_bucket{};
+  /// size_mix[bucket][size category incl. Minimal] = job fraction (Fig 9).
+  std::array<std::array<double, kNumSizeCats>, kNumQueueBuckets> size_mix{};
+  /// length_mix[bucket][length category incl. Minimal] (Fig 10).
+  std::array<std::array<double, kNumLengthCats>, kNumQueueBuckets>
+      length_mix{};
+  /// Mean requested cores / runtime per bucket (trend summaries).
+  std::array<double, kNumQueueBuckets> mean_cores{};
+  std::array<double, kNumQueueBuckets> median_run{};
+};
+
+[[nodiscard]] QueueBehaviorResult analyze_queue_behavior(
+    const trace::Trace& trace);
+
+// --------------------------------------------------------------- Fig 11 --
+
+struct UserStatusRuntime {
+  std::uint32_t user = 0;
+  std::size_t jobs = 0;
+  /// Per-status runtime summaries and log-space violins (index JobStatus).
+  std::array<stats::Summary, trace::kNumStatuses> runtime;
+  std::array<stats::ViolinSummary, trace::kNumStatuses> violin;
+};
+
+struct UserStatusResult {
+  std::string system;
+  /// Top users by submission count, descending.
+  std::vector<UserStatusRuntime> top_users;
+};
+
+[[nodiscard]] UserStatusResult analyze_user_status(const trace::Trace& trace,
+                                                   std::size_t top_k = 3);
+
+}  // namespace lumos::analysis

@@ -1,0 +1,38 @@
+// Fig 3: system utilization over time, reconstructed from each job's
+// recorded (start = submit + wait, runtime, cores).
+//
+// Because recorded waits come from the production scheduler (or, for
+// synthetic traces, the calibrated wait model), instantaneous usage can
+// marginally exceed capacity; per-bucket utilization is clamped to 1 and
+// the clamped mass reported.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::analysis {
+
+struct UtilizationResult {
+  std::string system;
+  double bucket_seconds = 3600.0;
+  /// Per-bucket utilization in [0,1].
+  std::vector<double> series;
+  double average = 0.0;
+  double median = 0.0;
+  /// Fraction of buckets above 80% utilization (the paper's Philly/Helios
+  /// contrast: "most of the time, less than 80% of the GPUs are used").
+  double frac_above_80 = 0.0;
+  /// Share of busy core-seconds lost to clamping (diagnostic).
+  double clamped_fraction = 0.0;
+  /// Per-virtual-cluster average utilization (empty when no VCs) — shows
+  /// the Philly fragmentation effect.
+  std::vector<double> per_vc_average;
+};
+
+[[nodiscard]] UtilizationResult analyze_utilization(
+    const trace::Trace& trace, double bucket_seconds = 3600.0);
+
+}  // namespace lumos::analysis

@@ -1,0 +1,54 @@
+#include "analysis/waiting.hpp"
+
+namespace lumos::analysis {
+
+WaitingResult analyze_waiting(const trace::Trace& trace) {
+  WaitingResult r;
+  r.system = trace.spec().name;
+  const auto waits = trace.wait_times();
+  const auto turns = trace.turnarounds();
+  r.wait_cdf = stats::Ecdf(waits);
+  r.turnaround_cdf = stats::Ecdf(turns);
+  r.wait_summary = stats::summarize(waits);
+  r.turnaround_summary = stats::summarize(turns);
+  r.frac_wait_under_10s = r.wait_cdf(10.0);
+  r.frac_wait_over_10min = 1.0 - r.wait_cdf(600.0);
+  r.frac_wait_over_90min = 1.0 - r.wait_cdf(5400.0);
+
+  const auto& spec = trace.spec();
+  std::array<double, kNumSizeCats> wait_sum_size{};
+  std::array<double, kNumLengthCats> wait_sum_len{};
+  for (const auto& j : trace.jobs()) {
+    const auto sc = static_cast<std::size_t>(spec.size_category(j.cores));
+    const auto lc = static_cast<std::size_t>(
+        trace::SystemSpec::length_category(j.run_time));
+    wait_sum_size[sc] += j.wait_time;
+    r.jobs_by_size[sc] += 1;
+    wait_sum_len[lc] += j.wait_time;
+    r.jobs_by_length[lc] += 1;
+  }
+  double best_size = -1.0, best_len = -1.0;
+  for (std::size_t c = 0; c < kNumSizeCats; ++c) {
+    if (r.jobs_by_size[c] > 0) {
+      r.mean_wait_by_size[c] =
+          wait_sum_size[c] / static_cast<double>(r.jobs_by_size[c]);
+      if (r.mean_wait_by_size[c] > best_size) {
+        best_size = r.mean_wait_by_size[c];
+        r.longest_wait_size = static_cast<trace::SizeCategory>(c);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < kNumLengthCats; ++c) {
+    if (r.jobs_by_length[c] > 0) {
+      r.mean_wait_by_length[c] =
+          wait_sum_len[c] / static_cast<double>(r.jobs_by_length[c]);
+      if (r.mean_wait_by_length[c] > best_len) {
+        best_len = r.mean_wait_by_length[c];
+        r.longest_wait_length = static_cast<trace::LengthCategory>(c);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace lumos::analysis

@@ -1,0 +1,37 @@
+// Figs 4 & 5: waiting time / turnaround CDFs, and average wait grouped by
+// job size and runtime category.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "analysis/categories.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::analysis {
+
+struct WaitingResult {
+  std::string system;
+  // Fig 4.
+  stats::Ecdf wait_cdf;
+  stats::Ecdf turnaround_cdf;
+  stats::Summary wait_summary;
+  stats::Summary turnaround_summary;
+  double frac_wait_under_10s = 0.0;
+  double frac_wait_over_10min = 0.0;
+  double frac_wait_over_90min = 0.0;
+  // Fig 5: mean wait per size / length category (seconds; 0 when empty).
+  std::array<double, kNumSizeCats> mean_wait_by_size{};
+  std::array<std::size_t, kNumSizeCats> jobs_by_size{};
+  std::array<double, kNumLengthCats> mean_wait_by_length{};
+  std::array<std::size_t, kNumLengthCats> jobs_by_length{};
+  /// Which size category waits longest (the paper's middle-size surprise).
+  trace::SizeCategory longest_wait_size = trace::SizeCategory::Small;
+  trace::LengthCategory longest_wait_length = trace::LengthCategory::Short;
+};
+
+[[nodiscard]] WaitingResult analyze_waiting(const trace::Trace& trace);
+
+}  // namespace lumos::analysis

@@ -1,0 +1,46 @@
+// Use case 2 (Table II): fixed relaxed backfilling vs the paper's adaptive
+// relaxed backfilling, simulated on the walltime-bearing systems
+// (Blue Waters, Mira, Theta — DL traces carry no walltime requests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::core {
+
+struct BackfillStudyConfig {
+  sim::PolicyKind policy = sim::PolicyKind::Fcfs;
+  double relax_factor = 0.10;  ///< the paper's 10% base factor
+  sim::AdaptiveShape adaptive_shape = sim::AdaptiveShape::Linear;
+  double bsld_bound = 10.0;
+};
+
+struct BackfillComparison {
+  std::string system;
+  sim::SimMetrics relaxed;    ///< fixed-factor relaxed backfilling
+  sim::SimMetrics adaptive;   ///< adaptive relaxed backfilling (Eq. 1)
+  /// Positive = adaptive better. "Improved" columns of Table II.
+  double wait_improvement = 0.0;
+  double bsld_improvement = 0.0;
+  double util_improvement = 0.0;
+  double violation_reduction = 0.0;  ///< on total violation delay
+};
+
+/// Runs both configurations on one trace.
+[[nodiscard]] BackfillComparison compare_backfill(
+    const trace::Trace& trace, const BackfillStudyConfig& config = {});
+
+/// Runs the study over several traces (skips traces without walltime
+/// requests, mirroring the paper's exclusion of Philly/Helios).
+[[nodiscard]] std::vector<BackfillComparison> run_backfill_study(
+    const std::vector<trace::Trace>& traces,
+    const BackfillStudyConfig& config = {});
+
+[[nodiscard]] std::string render_backfill_study(
+    const std::vector<BackfillComparison>& rows);
+
+}  // namespace lumos::core

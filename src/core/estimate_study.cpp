@@ -1,0 +1,161 @@
+#include "core/estimate_study.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ml/gbrt.hpp"
+#include "ml/metrics.hpp"
+#include "predict/features.hpp"
+#include "predict/last2.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace lumos::core {
+
+std::string to_string(EstimateSource s) {
+  switch (s) {
+    case EstimateSource::UserRequest: return "user-request";
+    case EstimateSource::Oracle: return "oracle";
+    case EstimateSource::Last2: return "last2";
+    case EstimateSource::Model: return "gbrt";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Applies estimates to a copy of the trace: planning walltime becomes the
+/// estimate, and jobs overrunning it are killed at the estimate.
+trace::Trace with_estimates(const trace::Trace& original,
+                            std::span<const double> estimates,
+                            std::size_t* killed,
+                            double* wasted_core_hours) {
+  trace::Trace out(original.spec());
+  out.reserve(original.size());
+  *killed = 0;
+  *wasted_core_hours = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    trace::Job j = original[i];
+    j.requested_time = std::max(estimates[i], 1.0);
+    if (j.run_time > j.requested_time) {
+      // The scheduler terminates the job at its estimate; everything it
+      // computed is lost.
+      *killed += 1;
+      *wasted_core_hours +=
+          static_cast<double>(j.cores) * j.requested_time / 3600.0;
+      j.run_time = j.requested_time;
+      j.status = trace::JobStatus::Killed;
+    }
+    out.add(j);
+  }
+  // Copying preserves submit order.
+  return out;
+}
+
+}  // namespace
+
+EstimateStudyResult run_estimate_study(const trace::Trace& trace,
+                                       const EstimateStudyConfig& config) {
+  LUMOS_REQUIRE(trace.size() >= 50, "estimate study needs >= 50 jobs");
+  EstimateStudyResult result;
+  result.system = trace.spec().name;
+
+  // Work on a bounded chronological prefix.
+  trace::Trace working(trace.spec());
+  const std::size_t n = config.max_jobs > 0
+                            ? std::min(trace.size(), config.max_jobs)
+                            : trace.size();
+  working.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) working.add(trace[i]);
+
+  const auto feats = predict::extract_features(working);
+  std::vector<double> actual(n);
+  for (std::size_t i = 0; i < n; ++i) actual[i] = feats[i].run_time;
+
+  // --- estimate sources ---------------------------------------------------
+  std::vector<std::pair<EstimateSource, std::vector<double>>> sources;
+
+  if (working.spec().has_walltime_estimates) {
+    std::vector<double> est(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      est[i] = working[i].has_requested_time() ? working[i].requested_time
+                                               : config.min_estimate_s;
+    }
+    sources.emplace_back(EstimateSource::UserRequest, std::move(est));
+  }
+  {
+    std::vector<double> est(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      est[i] = std::max(actual[i], 1.0);
+    }
+    sources.emplace_back(EstimateSource::Oracle, std::move(est));
+  }
+  {
+    predict::Last2 last2;
+    std::vector<double> est(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      est[i] = std::max(last2.predict(feats[i]) * config.padding,
+                        config.min_estimate_s);
+    }
+    sources.emplace_back(EstimateSource::Last2, std::move(est));
+  }
+  {
+    const auto n_train = std::max<std::size_t>(
+        25, static_cast<std::size_t>(config.train_fraction *
+                                     static_cast<double>(n)));
+    const std::span<const predict::JobFeatures> train(feats.data(),
+                                                      std::min(n_train, n));
+    const auto train_data = predict::build_dataset(train, {});
+    ml::GbrtOptions options;
+    options.n_trees = 50;
+    ml::GradientBoosting model(options);
+    model.fit(train_data);
+    std::vector<double> est(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pred =
+          predict::runtime_of_target(model.predict(feats[i].values));
+      est[i] = std::max(pred * config.padding, config.min_estimate_s);
+    }
+    sources.emplace_back(EstimateSource::Model, std::move(est));
+  }
+
+  // --- simulate each source ------------------------------------------------
+  for (auto& [source, estimates] : sources) {
+    EstimateStudyRow row;
+    row.source = source;
+    row.estimate_accuracy = ml::prediction_accuracy(actual, estimates);
+    row.underestimate_rate = ml::underestimate_rate(actual, estimates);
+
+    const trace::Trace scheduled = with_estimates(
+        working, estimates, &row.killed_by_underestimate,
+        &row.wasted_core_hours);
+    sim::SimConfig sim_config;
+    sim_config.policy = config.policy;
+    sim_config.backfill.kind = config.backfill;
+    const auto sim_result = sim::simulate(scheduled, sim_config);
+    row.metrics = sim::compute_metrics(scheduled, sim_result);
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+std::string render_estimate_study(const EstimateStudyResult& result) {
+  util::TextTable t({"source", "est accuracy", "underest", "avg wait (s)",
+                     "bsld", "util", "killed@est", "wasted CH"});
+  for (const auto& row : result.rows) {
+    t.add_row({to_string(row.source),
+               util::percent(row.estimate_accuracy),
+               util::percent(row.underestimate_rate),
+               util::fixed(row.metrics.avg_wait, 1),
+               util::fixed(row.metrics.avg_bounded_slowdown, 2),
+               util::fixed(row.metrics.utilization, 4),
+               std::to_string(row.killed_by_underestimate),
+               util::fixed(row.wasted_core_hours, 0)});
+  }
+  std::ostringstream os;
+  os << "System " << result.system << ":\n" << t.render();
+  return os.str();
+}
+
+}  // namespace lumos::core

@@ -1,0 +1,68 @@
+// Extension: backfilling on system-generated runtime estimates.
+//
+// The paper's use case 1 improves runtime prediction and argues it is
+// "helpful in making effective scheduling decisions"; Tsafrir et al.
+// (TPDS'07) showed system predictions can replace user walltime requests
+// inside backfilling. This study closes the loop with lumos's own
+// components: schedule one trace under EASY backfilling with walltime
+// estimates drawn from different sources and compare scheduling quality.
+//
+// Underestimates are modelled honestly: a job whose actual runtime exceeds
+// its (padded) estimate is killed at the estimate — the cost the paper
+// warns about when motivating the Underestimation Rate metric.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::core {
+
+enum class EstimateSource {
+  UserRequest,  ///< the trace's walltime requests (skipped when absent)
+  Oracle,       ///< exact runtimes (upper bound on estimate quality)
+  Last2,        ///< mean of the user's last two runtimes, padded
+  Model,        ///< gradient-boosted regression on job features, padded
+};
+
+[[nodiscard]] std::string to_string(EstimateSource s);
+
+struct EstimateStudyConfig {
+  sim::PolicyKind policy = sim::PolicyKind::Fcfs;
+  sim::BackfillKind backfill = sim::BackfillKind::Easy;
+  /// Safety padding multiplier applied to predicted runtimes.
+  double padding = 1.5;
+  /// Minimum estimate (seconds) — schedulers round tiny requests up.
+  double min_estimate_s = 600.0;
+  /// Chronological fraction used to train the Model source (in-sample for
+  /// the prefix, documented limitation).
+  double train_fraction = 0.4;
+  std::size_t max_jobs = 30000;
+};
+
+struct EstimateStudyRow {
+  EstimateSource source;
+  sim::SimMetrics metrics;
+  /// Paper's prediction metrics for the estimates themselves.
+  double estimate_accuracy = 0.0;      ///< mean min/max ratio
+  double underestimate_rate = 0.0;
+  /// Jobs killed because their estimate undershot the actual runtime.
+  std::size_t killed_by_underestimate = 0;
+  /// Core-hours lost to those premature kills.
+  double wasted_core_hours = 0.0;
+};
+
+struct EstimateStudyResult {
+  std::string system;
+  std::vector<EstimateStudyRow> rows;
+};
+
+[[nodiscard]] EstimateStudyResult run_estimate_study(
+    const trace::Trace& trace, const EstimateStudyConfig& config = {});
+
+[[nodiscard]] std::string render_estimate_study(
+    const EstimateStudyResult& result);
+
+}  // namespace lumos::core

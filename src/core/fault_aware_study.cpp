@@ -1,0 +1,108 @@
+#include "core/fault_aware_study.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "predict/status_predictor.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace lumos::core {
+
+FaultAwareResult run_fault_aware_study(const trace::Trace& trace,
+                                       const FaultAwareConfig& config) {
+  LUMOS_REQUIRE(trace.size() >= 100, "fault-aware study needs >= 100 jobs");
+  FaultAwareResult result;
+  result.system = trace.spec().name;
+
+  auto feats = predict::extract_features(trace);
+  if (config.max_jobs > 0 && feats.size() > config.max_jobs) {
+    feats.resize(config.max_jobs);
+  }
+  double avg = 0.0;
+  for (const auto& f : feats) avg += f.run_time;
+  avg /= static_cast<double>(feats.size());
+
+  // Monitor trained on the chronological prefix; evaluated on the rest.
+  const predict::StatusPredictor monitor(trace, config.train_fraction,
+                                         config.max_jobs);
+  const auto n_train = static_cast<std::size_t>(
+      config.train_fraction * static_cast<double>(feats.size()));
+
+  std::vector<double> checkpoints;
+  for (double f : config.checkpoint_fractions) checkpoints.push_back(f * avg);
+  std::sort(checkpoints.begin(), checkpoints.end());
+
+  // Baseline waste over the evaluation slice.
+  const auto jobs = trace.jobs();
+  for (std::size_t i = n_train; i < feats.size(); ++i) {
+    const double ch =
+        static_cast<double>(jobs[i].cores) * feats[i].run_time / 3600.0;
+    result.total_core_hours += ch;
+    if (feats[i].status != trace::JobStatus::Passed) {
+      result.total_doomed_core_hours += ch;
+    }
+  }
+
+  for (double threshold : config.thresholds) {
+    FaultAwareRow row;
+    row.threshold = threshold;
+    for (std::size_t i = n_train; i < feats.size(); ++i) {
+      const auto& f = feats[i];
+      // First checkpoint (within the job's lifetime) where the monitor
+      // would pull the plug.
+      double stop_at = -1.0;
+      for (double cp : checkpoints) {
+        if (cp >= f.run_time) break;  // job ended before this checkpoint
+        if (monitor.doom_probability(f, cp) >= threshold) {
+          stop_at = cp;
+          break;
+        }
+      }
+      if (stop_at < 0.0) continue;
+      const double cores = static_cast<double>(jobs[i].cores);
+      if (f.status != trace::JobStatus::Passed) {
+        ++row.stopped_doomed;
+        row.saved_core_hours += cores * (f.run_time - stop_at) / 3600.0;
+      } else {
+        ++row.stopped_passed;
+        // Everything the passed job consumed (up to the stop) is wasted,
+        // and its useful result is lost — charge its full core-hours.
+        row.collateral_core_hours += cores * f.run_time / 3600.0;
+      }
+    }
+    const auto acted = row.stopped_doomed + row.stopped_passed;
+    row.precision = acted > 0 ? static_cast<double>(row.stopped_doomed) /
+                                    static_cast<double>(acted)
+                              : 0.0;
+    row.waste_recall = result.total_doomed_core_hours > 0.0
+                           ? row.saved_core_hours /
+                                 result.total_doomed_core_hours
+                           : 0.0;
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+std::string render_fault_aware_study(const FaultAwareResult& result) {
+  util::TextTable t({"threshold", "stopped doomed", "stopped passed",
+                     "precision", "saved CH", "collateral CH",
+                     "waste recalled"});
+  for (const auto& row : result.rows) {
+    t.add_row({util::fixed(row.threshold, 2),
+               std::to_string(row.stopped_doomed),
+               std::to_string(row.stopped_passed),
+               util::percent(row.precision),
+               util::fixed(row.saved_core_hours, 0),
+               util::fixed(row.collateral_core_hours, 0),
+               util::percent(row.waste_recall)});
+  }
+  std::ostringstream os;
+  os << "System " << result.system << " (doomed jobs burn "
+     << util::fixed(result.total_doomed_core_hours, 0) << " of "
+     << util::fixed(result.total_core_hours, 0) << " core-hours):\n"
+     << t.render();
+  return os.str();
+}
+
+}  // namespace lumos::core

@@ -1,0 +1,62 @@
+// Extension: fault-aware job management (Takeaway 7 made operational).
+//
+// The paper finds killed jobs consume outsized core-hours on every system
+// and concludes fault-aware schedulers "should be revisited in the new
+// hybrid workload setting". This study quantifies the opportunity: a
+// doomed-job monitor (predict::StatusPredictor) inspects every running job
+// at periodic checkpoints and terminates those whose predicted
+// doom-probability exceeds a threshold.
+//
+// Accounting per threshold:
+//  * saved core-hours      — resources a truly doomed (Failed/Killed) job
+//    would have burned after the checkpoint that stopped it;
+//  * collateral core-hours — useful work destroyed when a job that would
+//    have Passed is stopped (its entire consumption becomes waste);
+//  * precision/recall of the doomed classification at the acting
+//    checkpoints.
+//
+// Sweeping the threshold exposes the operating curve a production system
+// would choose from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace lumos::core {
+
+struct FaultAwareConfig {
+  /// Doom-probability thresholds to sweep.
+  std::vector<double> thresholds{0.6, 0.75, 0.9};
+  /// Checkpoints as fractions of the average runtime.
+  std::vector<double> checkpoint_fractions{0.25, 0.5, 1.0, 2.0};
+  double train_fraction = 0.5;
+  std::size_t max_jobs = 20000;
+};
+
+struct FaultAwareRow {
+  double threshold = 0.0;
+  std::size_t stopped_doomed = 0;    ///< true positives (jobs)
+  std::size_t stopped_passed = 0;    ///< false positives (jobs)
+  double saved_core_hours = 0.0;
+  double collateral_core_hours = 0.0;
+  double precision = 0.0;
+  /// Fraction of all doomed core-hour waste recovered.
+  double waste_recall = 0.0;
+};
+
+struct FaultAwareResult {
+  std::string system;
+  double total_doomed_core_hours = 0.0;  ///< waste without intervention
+  double total_core_hours = 0.0;
+  std::vector<FaultAwareRow> rows;
+};
+
+[[nodiscard]] FaultAwareResult run_fault_aware_study(
+    const trace::Trace& trace, const FaultAwareConfig& config = {});
+
+[[nodiscard]] std::string render_fault_aware_study(
+    const FaultAwareResult& result);
+
+}  // namespace lumos::core

@@ -1,0 +1,246 @@
+#include "core/takeaways.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace lumos::core {
+
+namespace {
+
+using util::format;
+
+template <typename T>
+const T* find_system(const std::vector<T>& results, std::string_view name) {
+  for (const auto& r : results) {
+    if (r.system == name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<TakeawayCheck> check_takeaways(const CrossSystemStudy& study) {
+  std::vector<TakeawayCheck> checks;
+  const auto geo = study.geometries();
+  const auto arr = study.arrivals();
+  const auto dom = study.dominations();
+  const auto util_r = study.utilizations();
+  const auto wait = study.waitings();
+  const auto fail = study.failures();
+  const auto rep = study.repetitions();
+  const auto queue = study.queue_behaviors();
+
+  const auto* g_bw = find_system(geo, "BlueWaters");
+  const auto* g_mira = find_system(geo, "Mira");
+  const auto* g_philly = find_system(geo, "Philly");
+  const auto* g_helios = find_system(geo, "Helios");
+
+  // T1: DL runtimes are shorter and more diverse.
+  {
+    TakeawayCheck c{1,
+                    "DL job runtimes are shorter and more diverse than HPC",
+                    false, ""};
+    if (g_bw && g_mira && g_philly && g_helios) {
+      const double hpc_med =
+          std::min(g_bw->runtime_summary.median, g_mira->runtime_summary.median);
+      const double dl_med = std::max(g_philly->runtime_summary.median,
+                                     g_helios->runtime_summary.median);
+      // Diversity: p99/p50 ratio as a tail-spread proxy.
+      auto spread = [](const analysis::GeometryResult& g) {
+        return g.runtime_summary.median > 0.0
+                   ? g.runtime_summary.p99 / g.runtime_summary.median
+                   : 0.0;
+      };
+      const double dl_spread = std::min(spread(*g_philly), spread(*g_helios));
+      const double hpc_spread = std::max(spread(*g_mira), spread(*g_bw));
+      c.holds = dl_med < hpc_med && dl_spread > hpc_spread;
+      c.evidence = format(
+          "median run DL<=%.0fs vs HPC>=%.0fs; p99/p50 DL>=%.0fx vs "
+          "HPC<=%.0fx",
+          dl_med, hpc_med, dl_spread, hpc_spread);
+    } else {
+      c.evidence = "missing systems";
+    }
+    checks.push_back(c);
+  }
+
+  // T2: periodic (peak-hours) patterns exist but are not universal.
+  {
+    TakeawayCheck c{2, "diurnal peaks exist but are system-specific", false,
+                    ""};
+    const auto* a_helios = find_system(arr, "Helios");
+    const auto* a_philly = find_system(arr, "Philly");
+    const auto* a_bw = find_system(arr, "BlueWaters");
+    if (a_helios && a_philly && a_bw) {
+      c.holds = a_helios->peak_ratio > 2.0 * a_philly->peak_ratio &&
+                a_bw->business_hours_share > 0.45 &&
+                a_philly->business_hours_share < 0.45;
+      c.evidence = format(
+          "peak ratio Helios %.1fx vs Philly %.1fx; 8am-5pm share BW %.0f%% "
+          "vs Philly %.0f%%",
+          a_helios->peak_ratio, a_philly->peak_ratio,
+          100 * a_bw->business_hours_share,
+          100 * a_philly->business_hours_share);
+    } else {
+      c.evidence = "missing systems";
+    }
+    checks.push_back(c);
+  }
+
+  // T3: DL workloads are dominated by small (1-GPU) requests.
+  {
+    TakeawayCheck c{3, "DL jobs request far fewer cores (mostly 1 GPU)",
+                    false, ""};
+    if (g_philly && g_helios && g_mira) {
+      c.holds = g_philly->frac_single_core > 0.6 &&
+                g_helios->frac_single_core > 0.6 &&
+                g_mira->frac_over_1000 > 0.5;
+      c.evidence = format(
+          "1-core share Philly %.0f%%, Helios %.0f%%; Mira >1000 cores "
+          "%.0f%%",
+          100 * g_philly->frac_single_core, 100 * g_helios->frac_single_core,
+          100 * g_mira->frac_over_1000);
+    } else {
+      c.evidence = "missing systems";
+    }
+    checks.push_back(c);
+  }
+
+  // T4: dominating core-hour groups exist everywhere but shift.
+  {
+    TakeawayCheck c{4, "dominant core-hour groups exist but shift across "
+                       "systems", false, ""};
+    const auto* d_bw = find_system(dom, "BlueWaters");
+    const auto* d_mira = find_system(dom, "Mira");
+    const auto* d_philly = find_system(dom, "Philly");
+    if (d_bw && d_mira && d_philly) {
+      const bool bw_small =
+          d_bw->by_size.core_hour_fraction(trace::SizeCategory::Small) > 0.6;
+      const bool hpc_middle =
+          d_mira->dominant_length == trace::LengthCategory::Middle;
+      const bool dl_long =
+          d_philly->dominant_length == trace::LengthCategory::Long;
+      c.holds = bw_small && hpc_middle && dl_long;
+      c.evidence = format(
+          "BW small-size CH %.0f%%; Mira dominant length %s; Philly "
+          "dominant length %s",
+          100 * d_bw->by_size.core_hour_fraction(trace::SizeCategory::Small),
+          std::string(to_string(d_mira->dominant_length)).c_str(),
+          std::string(to_string(d_philly->dominant_length)).c_str());
+    } else {
+      c.evidence = "missing systems";
+    }
+    checks.push_back(c);
+  }
+
+  // T5: DL clusters run at lower utilization.
+  {
+    TakeawayCheck c{5, "DL clusters exhibit lower utilization than HPC",
+                    false, ""};
+    const auto* u_philly = find_system(util_r, "Philly");
+    const auto* u_helios = find_system(util_r, "Helios");
+    const auto* u_mira = find_system(util_r, "Mira");
+    const auto* u_theta = find_system(util_r, "Theta");
+    if (u_philly && u_helios && u_mira && u_theta) {
+      const double hpc_min = std::min(u_mira->average, u_theta->average);
+      c.holds = u_philly->average < u_helios->average &&
+                u_helios->average < hpc_min;
+      c.evidence = format(
+          "avg util Philly %.0f%% < Helios %.0f%% < HPC min %.0f%%",
+          100 * u_philly->average, 100 * u_helios->average, 100 * hpc_min);
+    } else {
+      c.evidence = "missing systems";
+    }
+    checks.push_back(c);
+  }
+
+  // T6: waiting-time regimes differ sharply (Helios minimal, Philly long,
+  // BW longest median).
+  {
+    TakeawayCheck c{6, "waiting time regimes differ (Helios tiny, Philly "
+                       "long, BW longest)", false, ""};
+    const auto* w_helios = find_system(wait, "Helios");
+    const auto* w_philly = find_system(wait, "Philly");
+    const auto* w_bw = find_system(wait, "BlueWaters");
+    const auto* w_mira = find_system(wait, "Mira");
+    if (w_helios && w_philly && w_bw && w_mira) {
+      c.holds = w_helios->frac_wait_under_10s > 0.6 &&
+                w_philly->frac_wait_over_10min > 0.4 &&
+                w_bw->wait_summary.median > w_mira->wait_summary.median;
+      c.evidence = format(
+          "Helios <10s: %.0f%%; Philly >10min: %.0f%%; median wait BW %.0fs "
+          "vs Mira %.0fs",
+          100 * w_helios->frac_wait_under_10s,
+          100 * w_philly->frac_wait_over_10min, w_bw->wait_summary.median,
+          w_mira->wait_summary.median);
+    } else {
+      c.evidence = "missing systems";
+    }
+    checks.push_back(c);
+  }
+
+  // T7: failures are common everywhere and killed jobs waste outsized
+  // resources.
+  {
+    TakeawayCheck c{7, "high failure rates everywhere; killed jobs consume "
+                       "disproportionate core-hours", false, ""};
+    bool all_below = !fail.empty();
+    bool killed_outsized = !fail.empty();
+    std::ostringstream ev;
+    for (const auto& f : fail) {
+      const double passed = f.overall.job_fraction(trace::JobStatus::Passed);
+      const double killed_jobs =
+          f.overall.job_fraction(trace::JobStatus::Killed);
+      const double killed_ch =
+          f.overall.core_hour_fraction(trace::JobStatus::Killed);
+      all_below = all_below && passed < 0.80;
+      killed_outsized = killed_outsized && killed_ch > killed_jobs;
+      ev << f.system << " passed " << format("%.0f%%", 100 * passed) << "; ";
+    }
+    c.holds = all_below && killed_outsized;
+    c.evidence = ev.str();
+    checks.push_back(c);
+  }
+
+  // T8: per-user patterns are consistent and exploitable (repetition +
+  // queue-aware submissions).
+  {
+    TakeawayCheck c{8, "strong per-user repetition; users shrink requests "
+                       "under queue pressure", false, ""};
+    bool top10_high = !rep.empty();
+    for (const auto& r : rep) {
+      top10_high = top10_high && r.cumulative_share[9] > 0.75;
+    }
+    // Queue pressure: the Large+Middle size share should drop from the
+    // Short to the Long queue bucket in at least 4 of 5 systems.
+    int shrinking = 0;
+    for (const auto& q : queue) {
+      const double big_short = q.size_mix[0][2] + q.size_mix[0][3];
+      const double big_long = q.size_mix[2][2] + q.size_mix[2][3];
+      if (big_long < big_short) ++shrinking;
+    }
+    c.holds = top10_high && shrinking * 5 >= static_cast<int>(queue.size()) * 4;
+    c.evidence = format(
+        "top-10 group coverage >75%% on all systems: %s; %d/%zu systems "
+        "submit smaller jobs under long queues",
+        top10_high ? "yes" : "no", shrinking, queue.size());
+    checks.push_back(c);
+  }
+
+  return checks;
+}
+
+std::string render_takeaways(const std::vector<TakeawayCheck>& checks) {
+  std::ostringstream os;
+  for (const auto& c : checks) {
+    os << "Takeaway " << c.number << " ["
+       << (c.holds ? "REPRODUCED" : "NOT REPRODUCED") << "] " << c.claim
+       << "\n    evidence: " << c.evidence << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lumos::core

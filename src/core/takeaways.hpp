@@ -1,0 +1,32 @@
+// Programmatic checks of the paper's eight takeaways against a study.
+//
+// Each check reads the relevant figure analyses and decides whether the
+// qualitative claim the paper derives holds on the (synthetic or real)
+// traces at hand — the repository's built-in "did the shape reproduce?"
+// verdicts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+
+namespace lumos::core {
+
+struct TakeawayCheck {
+  int number = 0;          ///< 1..8 as in the paper
+  std::string claim;       ///< short restatement
+  bool holds = false;
+  std::string evidence;    ///< numbers backing the verdict
+};
+
+/// Evaluates all eight takeaways. The study must contain the five paper
+/// systems (checks referencing a missing system are reported as not held
+/// with an explanatory note).
+[[nodiscard]] std::vector<TakeawayCheck> check_takeaways(
+    const CrossSystemStudy& study);
+
+[[nodiscard]] std::string render_takeaways(
+    const std::vector<TakeawayCheck>& checks);
+
+}  // namespace lumos::core

@@ -1,0 +1,77 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lumos::ml {
+
+Split chronological_split(const Dataset& data, double train_fraction) {
+  LUMOS_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
+                "train_fraction must be in (0,1)");
+  const std::size_t n = data.size();
+  const std::size_t n_train = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(n) * train_fraction));
+  Split split;
+  split.train.feature_names = data.feature_names;
+  split.test.feature_names = data.feature_names;
+  split.train.x = Matrix(n_train, data.dims());
+  split.train.y.assign(data.y.begin(),
+                       data.y.begin() + static_cast<std::ptrdiff_t>(n_train));
+  const std::size_t n_test = n - n_train;
+  split.test.x = Matrix(n_test, data.dims());
+  split.test.y.assign(data.y.begin() + static_cast<std::ptrdiff_t>(n_train),
+                      data.y.end());
+  for (std::size_t i = 0; i < n_train; ++i) {
+    for (std::size_t j = 0; j < data.dims(); ++j) {
+      split.train.x(i, j) = data.x(i, j);
+    }
+  }
+  for (std::size_t i = 0; i < n_test; ++i) {
+    for (std::size_t j = 0; j < data.dims(); ++j) {
+      split.test.x(i, j) = data.x(n_train + i, j);
+    }
+  }
+  return split;
+}
+
+Standardizer::Standardizer(const Matrix& x) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 1.0);
+  if (n == 0) return;
+  for (std::size_t j = 0; j < d; ++j) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < n; ++i) m += x(i, j);
+    m /= static_cast<double>(n);
+    double v = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = x(i, j) - m;
+      v += dx * dx;
+    }
+    v /= static_cast<double>(n);
+    mean_[j] = m;
+    std_[j] = v > 1e-12 ? std::sqrt(v) : 1.0;
+  }
+}
+
+Matrix Standardizer::transform(const Matrix& x) const {
+  LUMOS_REQUIRE(x.cols() == mean_.size(), "standardizer dims mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      out(i, j) = (x(i, j) - mean_[j]) / std_[j];
+    }
+  }
+  return out;
+}
+
+void Standardizer::transform_row(std::span<double> row) const noexcept {
+  for (std::size_t j = 0; j < row.size() && j < mean_.size(); ++j) {
+    row[j] = (row[j] - mean_[j]) / std_[j];
+  }
+}
+
+}  // namespace lumos::ml

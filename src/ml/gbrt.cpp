@@ -1,0 +1,61 @@
+#include "ml/gbrt.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lumos::ml {
+
+void GradientBoosting::fit(const Dataset& train) {
+  const std::size_t n = train.size();
+  LUMOS_REQUIRE(n > 0, "cannot fit on an empty dataset");
+  trees_.clear();
+  util::Rng rng(options_.seed);
+
+  base_prediction_ = 0.0;
+  for (double y : train.y) base_prediction_ += y;
+  base_prediction_ /= static_cast<double>(n);
+
+  std::vector<double> residual(n);
+  std::vector<double> current(n, base_prediction_);
+  for (int t = 0; t < options_.n_trees; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      residual[i] = train.y[i] - current[i];
+    }
+    // Row subsampling: train the tree on a sampled subset by zero-weighting
+    // — we materialise the subset matrix to keep RegressionTree simple.
+    RegressionTree tree(options_.tree);
+    if (options_.subsample < 1.0) {
+      const auto m = static_cast<std::size_t>(
+          std::max(1.0, options_.subsample * static_cast<double>(n)));
+      Matrix xsub(m, train.x.cols());
+      std::vector<double> ysub(m);
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::size_t i = rng.uniform_index(n);
+        for (std::size_t j = 0; j < train.x.cols(); ++j) {
+          xsub(k, j) = train.x(i, j);
+        }
+        ysub[k] = residual[i];
+      }
+      tree.fit_target(xsub, ysub);
+    } else {
+      tree.fit_target(train.x, residual);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      current[i] += options_.learning_rate * tree.predict(train.x.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoosting::predict(std::span<const double> row) const {
+  LUMOS_REQUIRE(!trees_.empty(), "predict before fit");
+  double y = base_prediction_;
+  for (const auto& tree : trees_) {
+    y += options_.learning_rate * tree.predict(row);
+  }
+  return y;
+}
+
+}  // namespace lumos::ml

@@ -1,0 +1,40 @@
+// Gradient-boosted regression trees (squared loss) — the paper's "XGBoost"
+// baseline, reimplemented from scratch: shrinkage, row subsampling, and
+// depth-limited CART base learners.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/regressor.hpp"
+#include "ml/tree.hpp"
+
+namespace lumos::ml {
+
+struct GbrtOptions {
+  int n_trees = 120;
+  double learning_rate = 0.1;
+  double subsample = 0.8;        ///< row fraction per tree
+  TreeOptions tree{/*max_depth=*/4, /*min_samples_leaf=*/8,
+                   /*candidate_splits=*/24};
+  std::uint64_t seed = 7;
+};
+
+class GradientBoosting final : public Regressor {
+ public:
+  explicit GradientBoosting(GbrtOptions options = {}) : options_(options) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override { return "XGBoost"; }
+
+  [[nodiscard]] std::size_t tree_count() const noexcept {
+    return trees_.size();
+  }
+
+ private:
+  GbrtOptions options_;
+  double base_prediction_ = 0.0;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace lumos::ml

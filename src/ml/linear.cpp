@@ -1,0 +1,50 @@
+#include "ml/linear.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lumos::ml {
+
+void LinearRegression::fit(const Dataset& train) {
+  LUMOS_REQUIRE(train.size() > 0, "cannot fit on an empty dataset");
+  scaler_ = Standardizer(train.x);
+  const Matrix xs = scaler_.transform(train.x);
+  const std::size_t n = xs.rows();
+  const std::size_t d = xs.cols();
+
+  // Augment with a bias column; solve (X^T X + l2 I) w = X^T y.
+  Matrix xtx(d + 1, d + 1);
+  std::vector<double> xty(d + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < d; ++a) {
+      const double xa = xs(i, a);
+      for (std::size_t b = a; b < d; ++b) {
+        xtx(a, b) += xa * xs(i, b);
+      }
+      xtx(a, d) += xa;  // bias column
+      xty[a] += xa * train.y[i];
+    }
+    xtx(d, d) += 1.0;
+    xty[d] += train.y[i];
+  }
+  for (std::size_t a = 0; a < d + 1; ++a) {
+    for (std::size_t b = 0; b < a; ++b) xtx(a, b) = xtx(b, a);
+  }
+  for (std::size_t a = 0; a < d; ++a) xtx(a, a) += l2_;  // bias unpenalised
+  xtx(d, d) += 1e-9;  // numerical floor
+  weights_ = cholesky_solve(std::move(xtx), std::move(xty));
+}
+
+double LinearRegression::predict(std::span<const double> row) const {
+  LUMOS_REQUIRE(!weights_.empty(), "predict before fit");
+  std::vector<double> scaled(row.begin(), row.end());
+  scaler_.transform_row(scaled);
+  double y = weights_.back();
+  for (std::size_t j = 0; j < scaled.size() && j + 1 < weights_.size(); ++j) {
+    y += weights_[j] * scaled[j];
+  }
+  return y;
+}
+
+}  // namespace lumos::ml

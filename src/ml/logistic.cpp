@@ -1,0 +1,75 @@
+#include "ml/logistic.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lumos::ml {
+
+namespace {
+double sigmoid(double z) noexcept {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+void LogisticRegression::fit(const Matrix& x, std::span<const double> y) {
+  const std::size_t n = x.rows();
+  LUMOS_REQUIRE(n > 0 && n == y.size(), "logistic: bad training shapes");
+  scaler_ = Standardizer(x);
+  const Matrix xs = scaler_.transform(x);
+  const std::size_t d = xs.cols();
+
+  weights_.assign(d + 1, 0.0);
+  std::vector<double> m(d + 1, 0.0), v(d + 1, 0.0);
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
+    std::vector<double> grad(d + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double z = weights_[d];
+      for (std::size_t j = 0; j < d; ++j) z += weights_[j] * xs(i, j);
+      const double err = sigmoid(z) - y[i];
+      for (std::size_t j = 0; j < d; ++j) grad[j] += err * xs(i, j) * inv_n;
+      grad[d] += err * inv_n;
+    }
+    for (std::size_t j = 0; j < d; ++j) grad[j] += options_.l2 * weights_[j];
+    for (std::size_t k = 0; k < d + 1; ++k) {
+      m[k] = b1 * m[k] + (1 - b1) * grad[k];
+      v[k] = b2 * v[k] + (1 - b2) * grad[k] * grad[k];
+      const double mhat = m[k] / (1.0 - std::pow(b1, epoch));
+      const double vhat = v[k] / (1.0 - std::pow(b2, epoch));
+      weights_[k] -= options_.learning_rate * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+double LogisticRegression::predict_proba(std::span<const double> row) const {
+  LUMOS_REQUIRE(!weights_.empty(), "predict before fit");
+  std::vector<double> scaled(row.begin(), row.end());
+  scaler_.transform_row(scaled);
+  double z = weights_.back();
+  for (std::size_t j = 0; j < scaled.size() && j + 1 < weights_.size(); ++j) {
+    z += weights_[j] * scaled[j];
+  }
+  return sigmoid(z);
+}
+
+double LogisticRegression::accuracy(const Matrix& x,
+                                    std::span<const double> y,
+                                    double threshold) const {
+  LUMOS_REQUIRE(x.rows() == y.size() && !y.empty(),
+                "accuracy: bad shapes");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const bool label = y[i] >= 0.5;
+    if (predict(x.row(i), threshold) == label) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(y.size());
+}
+
+}  // namespace lumos::ml

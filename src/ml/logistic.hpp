@@ -1,0 +1,49 @@
+// L2-regularised binary logistic regression (Adam on the log-loss).
+//
+// Used by the status predictor (predict/status_predictor.hpp): §V-C of the
+// paper observes that per-user runtime-by-status distributions are
+// separable enough that "schedulers may reversely predict job status".
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace lumos::ml {
+
+struct LogisticOptions {
+  int epochs = 200;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticOptions options = {})
+      : options_(options) {}
+
+  /// Fits on features `x` and binary labels (0/1) `y`.
+  void fit(const Matrix& x, std::span<const double> y);
+
+  /// P(label = 1 | row).
+  [[nodiscard]] double predict_proba(std::span<const double> row) const;
+  /// Hard decision at the given threshold.
+  [[nodiscard]] bool predict(std::span<const double> row,
+                             double threshold = 0.5) const {
+    return predict_proba(row) >= threshold;
+  }
+
+  /// Classification accuracy on a labelled set.
+  [[nodiscard]] double accuracy(const Matrix& x, std::span<const double> y,
+                                double threshold = 0.5) const;
+
+  /// Learned weights in standardised space (bias last); empty before fit.
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  LogisticOptions options_;
+  Standardizer scaler_;
+  std::vector<double> weights_;
+};
+
+}  // namespace lumos::ml

@@ -1,0 +1,72 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lumos::ml {
+
+namespace {
+void check(std::span<const double> a, std::span<const double> b) {
+  LUMOS_REQUIRE(a.size() == b.size() && !a.empty(),
+                "metric inputs must be equal-length and non-empty");
+}
+}  // namespace
+
+double mse(std::span<const double> truth, std::span<const double> pred) {
+  check(truth, pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(truth.size());
+}
+
+double mae(std::span<const double> truth, std::span<const double> pred) {
+  check(truth, pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    s += std::fabs(truth[i] - pred[i]);
+  }
+  return s / static_cast<double>(truth.size());
+}
+
+double r2(std::span<const double> truth, std::span<const double> pred) {
+  check(truth, pred);
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot <= 1e-12) return ss_res <= 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double prediction_accuracy(std::span<const double> truth,
+                           std::span<const double> pred) {
+  check(truth, pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double lo = std::min(truth[i], pred[i]);
+    const double hi = std::max(truth[i], pred[i]);
+    if (lo > 0.0 && hi > 0.0) s += lo / hi;
+  }
+  return s / static_cast<double>(truth.size());
+}
+
+double underestimate_rate(std::span<const double> truth,
+                          std::span<const double> pred) {
+  check(truth, pred);
+  std::size_t under = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (pred[i] < truth[i]) ++under;
+  }
+  return static_cast<double>(under) / static_cast<double>(truth.size());
+}
+
+}  // namespace lumos::ml

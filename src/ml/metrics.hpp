@@ -1,0 +1,30 @@
+// Regression evaluation metrics, including the two the paper uses for
+// runtime prediction (§VI-A): prediction accuracy min/max ratio and the
+// underestimation rate.
+#pragma once
+
+#include <span>
+
+namespace lumos::ml {
+
+/// Mean squared error.
+[[nodiscard]] double mse(std::span<const double> truth,
+                         std::span<const double> pred);
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const double> truth,
+                         std::span<const double> pred);
+/// R^2 coefficient of determination.
+[[nodiscard]] double r2(std::span<const double> truth,
+                        std::span<const double> pred);
+
+/// Paper metric: mean of min(truth,pred)/max(truth,pred) — in (0,1],
+/// higher is better. Non-positive pairs contribute 0.
+[[nodiscard]] double prediction_accuracy(std::span<const double> truth,
+                                         std::span<const double> pred);
+
+/// Paper metric: fraction of jobs whose runtime was underestimated
+/// (pred < truth). Lower is better.
+[[nodiscard]] double underestimate_rate(std::span<const double> truth,
+                                        std::span<const double> pred);
+
+}  // namespace lumos::ml

@@ -1,0 +1,159 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lumos::ml {
+
+namespace {
+double relu(double x) noexcept { return x > 0.0 ? x : 0.0; }
+}  // namespace
+
+double Mlp::forward(std::span<const double> x,
+                    std::vector<std::vector<double>>* acts) const {
+  std::vector<double> cur(x.begin(), x.end());
+  if (acts) acts->push_back(cur);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> next(layer.b);
+    for (std::size_t o = 0; o < layer.w.rows(); ++o) {
+      double s = next[o];
+      for (std::size_t i = 0; i < layer.w.cols() && i < cur.size(); ++i) {
+        s += layer.w(o, i) * cur[i];
+      }
+      next[o] = s;
+    }
+    const bool last = l + 1 == layers_.size();
+    if (!last) {
+      for (double& v : next) v = relu(v);
+    }
+    if (acts) acts->push_back(next);
+    cur = std::move(next);
+  }
+  return cur.empty() ? 0.0 : cur[0];
+}
+
+void Mlp::fit(const Dataset& train) {
+  const std::size_t n = train.size();
+  LUMOS_REQUIRE(n > 0, "cannot fit on an empty dataset");
+  scaler_ = Standardizer(train.x);
+  const Matrix xs = scaler_.transform(train.x);
+  const std::size_t d = xs.cols();
+
+  y_mean_ = std::accumulate(train.y.begin(), train.y.end(), 0.0) /
+            static_cast<double>(n);
+  double var = 0.0;
+  for (double y : train.y) var += (y - y_mean_) * (y - y_mean_);
+  y_std_ = var > 1e-12 ? std::sqrt(var / static_cast<double>(n)) : 1.0;
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) ys[i] = (train.y[i] - y_mean_) / y_std_;
+
+  // Layer sizes: d -> hidden... -> 1.
+  util::Rng rng(options_.seed);
+  layers_.clear();
+  std::vector<std::size_t> sizes{d};
+  for (auto h : options_.hidden) sizes.push_back(h);
+  sizes.push_back(1);
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    const std::size_t in = sizes[l], out = sizes[l + 1];
+    layer.w = Matrix(out, in);
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (std::size_t o = 0; o < out; ++o) {
+      for (std::size_t i = 0; i < in; ++i) {
+        layer.w(o, i) = rng.normal(0.0, scale);
+      }
+    }
+    layer.b.assign(out, 0.0);
+    layer.mw = Matrix(out, in);
+    layer.vw = Matrix(out, in);
+    layer.mb.assign(out, 0.0);
+    layer.vb.assign(out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  long long step = 0;
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t batch = 0; batch < n; batch += options_.batch_size) {
+      const std::size_t hi = std::min(n, batch + options_.batch_size);
+      // Accumulate gradients over the mini-batch.
+      std::vector<Matrix> gw;
+      std::vector<std::vector<double>> gb;
+      for (const auto& layer : layers_) {
+        gw.emplace_back(layer.w.rows(), layer.w.cols());
+        gb.emplace_back(layer.b.size(), 0.0);
+      }
+      for (std::size_t k = batch; k < hi; ++k) {
+        const std::size_t i = order[k];
+        std::vector<std::vector<double>> acts;
+        const double pred = forward(xs.row(i), &acts);
+        // dL/dpred for 0.5*(pred-y)^2.
+        std::vector<double> delta{pred - ys[i]};
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+          const Layer& layer = layers_[l];
+          const auto& input = acts[l];
+          // Grad w.r.t. weights/bias.
+          for (std::size_t o = 0; o < layer.w.rows(); ++o) {
+            gb[l][o] += delta[o];
+            for (std::size_t ii = 0; ii < layer.w.cols(); ++ii) {
+              gw[l](o, ii) += delta[o] * input[ii];
+            }
+          }
+          if (l == 0) break;
+          // Backprop through the ReLU of the previous layer.
+          std::vector<double> prev_delta(layer.w.cols(), 0.0);
+          for (std::size_t ii = 0; ii < layer.w.cols(); ++ii) {
+            double s = 0.0;
+            for (std::size_t o = 0; o < layer.w.rows(); ++o) {
+              s += layer.w(o, ii) * delta[o];
+            }
+            prev_delta[ii] = acts[l][ii] > 0.0 ? s : 0.0;
+          }
+          delta = std::move(prev_delta);
+        }
+      }
+      // Adam update.
+      ++step;
+      const double inv_batch = 1.0 / static_cast<double>(hi - batch);
+      const double bc1 = 1.0 - std::pow(b1, static_cast<double>(step));
+      const double bc2 = 1.0 - std::pow(b2, static_cast<double>(step));
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (std::size_t o = 0; o < layer.w.rows(); ++o) {
+          for (std::size_t ii = 0; ii < layer.w.cols(); ++ii) {
+            const double g =
+                gw[l](o, ii) * inv_batch + options_.l2 * layer.w(o, ii);
+            layer.mw(o, ii) = b1 * layer.mw(o, ii) + (1 - b1) * g;
+            layer.vw(o, ii) = b2 * layer.vw(o, ii) + (1 - b2) * g * g;
+            layer.w(o, ii) -= options_.learning_rate *
+                              (layer.mw(o, ii) / bc1) /
+                              (std::sqrt(layer.vw(o, ii) / bc2) + eps);
+          }
+          const double g = gb[l][o] * inv_batch;
+          layer.mb[o] = b1 * layer.mb[o] + (1 - b1) * g;
+          layer.vb[o] = b2 * layer.vb[o] + (1 - b2) * g * g;
+          layer.b[o] -= options_.learning_rate * (layer.mb[o] / bc1) /
+                        (std::sqrt(layer.vb[o] / bc2) + eps);
+        }
+      }
+    }
+  }
+}
+
+double Mlp::predict(std::span<const double> row) const {
+  LUMOS_REQUIRE(!layers_.empty(), "predict before fit");
+  std::vector<double> scaled(row.begin(), row.end());
+  scaler_.transform_row(scaled);
+  return forward(scaled, nullptr) * y_std_ + y_mean_;
+}
+
+}  // namespace lumos::ml

@@ -1,0 +1,47 @@
+// Multilayer perceptron regressor (the paper's "MLP" baseline): dense
+// ReLU hidden layers trained with Adam on standardised inputs/targets.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/regressor.hpp"
+
+namespace lumos::ml {
+
+struct MlpOptions {
+  std::vector<std::size_t> hidden{32, 16};
+  int epochs = 60;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  double l2 = 1e-5;
+  std::uint64_t seed = 11;
+};
+
+class Mlp final : public Regressor {
+ public:
+  explicit Mlp(MlpOptions options = {}) : options_(std::move(options)) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override { return "MLP"; }
+
+ private:
+  struct Layer {
+    Matrix w;                 ///< out x in
+    std::vector<double> b;    ///< out
+    // Adam state
+    Matrix mw, vw;
+    std::vector<double> mb, vb;
+  };
+
+  MlpOptions options_;
+  Standardizer scaler_;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  std::vector<Layer> layers_;
+
+  [[nodiscard]] double forward(std::span<const double> x,
+                               std::vector<std::vector<double>>* acts) const;
+};
+
+}  // namespace lumos::ml

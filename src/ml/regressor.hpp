@@ -1,0 +1,35 @@
+// Common interface for the runtime-prediction model zoo.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace lumos::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fits on the training set. May be called once per instance.
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predicts the target for one feature row (same column order as fit).
+  [[nodiscard]] virtual double predict(std::span<const double> row) const = 0;
+
+  /// Model name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Predicts all rows of a matrix.
+  [[nodiscard]] std::vector<double> predict_all(const Matrix& x) const {
+    std::vector<double> out;
+    out.reserve(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(predict(x.row(i)));
+    return out;
+  }
+};
+
+}  // namespace lumos::ml

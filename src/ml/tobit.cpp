@@ -1,0 +1,109 @@
+#include "ml/tobit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace lumos::ml {
+
+namespace {
+
+double norm_pdf(double z) noexcept {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double norm_cdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+/// Inverse Mills ratio phi(z)/(1-Phi(z)) with a stable large-z asymptote.
+double mills(double z) noexcept {
+  if (z > 6.0) return z + 1.0 / z;  // asymptotic expansion
+  const double denom = 1.0 - norm_cdf(z);
+  if (denom < 1e-300) return z + 1.0 / std::max(z, 1e-6);
+  return norm_pdf(z) / denom;
+}
+
+}  // namespace
+
+void TobitRegression::fit(const Dataset& train) {
+  const std::size_t n = train.size();
+  LUMOS_REQUIRE(n > 0, "cannot fit on an empty dataset");
+  LUMOS_REQUIRE(censored_.empty() || censored_.size() == n,
+                "censoring flags must match the training set");
+  scaler_ = Standardizer(train.x);
+  const Matrix xs = scaler_.transform(train.x);
+  const std::size_t d = xs.cols();
+
+  // Standardise the target too (keeps sigma O(1)).
+  y_mean_ = 0.0;
+  for (double y : train.y) y_mean_ += y;
+  y_mean_ /= static_cast<double>(n);
+  double var = 0.0;
+  for (double y : train.y) var += (y - y_mean_) * (y - y_mean_);
+  y_std_ = var > 1e-12 ? std::sqrt(var / static_cast<double>(n)) : 1.0;
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) ys[i] = (train.y[i] - y_mean_) / y_std_;
+
+  // Parameters: weights (d), bias, log sigma — Adam ascent on the Tobit
+  // log-likelihood.
+  weights_.assign(d + 1, 0.0);
+  double log_sigma = 0.0;
+  std::vector<double> m(d + 2, 0.0), v(d + 2, 0.0);
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
+    std::vector<double> grad(d + 2, 0.0);
+    const double sigma = std::exp(log_sigma);
+    for (std::size_t i = 0; i < n; ++i) {
+      double mu = weights_[d];
+      for (std::size_t j = 0; j < d; ++j) mu += weights_[j] * xs(i, j);
+      const double z = (ys[i] - mu) / sigma;
+      double dmu, dls;
+      if (!censored_.empty() && censored_[i]) {
+        // Censored: log(1 - Phi((c - mu)/sigma)); here ys[i] is the bound.
+        const double lambda = mills(z);
+        dmu = lambda / sigma;
+        dls = lambda * z;
+      } else {
+        dmu = z / sigma;
+        dls = z * z - 1.0;
+      }
+      for (std::size_t j = 0; j < d; ++j) grad[j] += dmu * xs(i, j) * inv_n;
+      grad[d] += dmu * inv_n;
+      grad[d + 1] += dls * inv_n;
+    }
+    for (std::size_t j = 0; j < d; ++j) grad[j] -= options_.l2 * weights_[j];
+
+    for (std::size_t k = 0; k < d + 2; ++k) {
+      m[k] = b1 * m[k] + (1.0 - b1) * grad[k];
+      v[k] = b2 * v[k] + (1.0 - b2) * grad[k] * grad[k];
+      const double mhat = m[k] / (1.0 - std::pow(b1, epoch));
+      const double vhat = v[k] / (1.0 - std::pow(b2, epoch));
+      const double step =
+          options_.learning_rate * mhat / (std::sqrt(vhat) + eps);
+      if (k < d + 1) {
+        weights_[k] += step;
+      } else {
+        log_sigma = std::clamp(log_sigma + step, -6.0, 6.0);
+      }
+    }
+  }
+  sigma_ = std::exp(log_sigma);
+}
+
+double TobitRegression::predict(std::span<const double> row) const {
+  LUMOS_REQUIRE(!weights_.empty(), "predict before fit");
+  std::vector<double> scaled(row.begin(), row.end());
+  scaler_.transform_row(scaled);
+  double mu = weights_.back();
+  for (std::size_t j = 0; j < scaled.size() && j + 1 < weights_.size(); ++j) {
+    mu += weights_[j] * scaled[j];
+  }
+  return mu * y_std_ + y_mean_;
+}
+
+}  // namespace lumos::ml

@@ -1,0 +1,47 @@
+// Tobit (right-censored Gaussian) regression.
+//
+// The Tobit baseline of Fan et al. (CLUSTER'17): observed runtimes are
+// right-censored at the requested walltime (a job killed at its limit would
+// have run longer). Maximum likelihood over (weights, log sigma) via Adam.
+// Without censoring flags it degrades gracefully to Gaussian-MLE linear
+// regression.
+#pragma once
+
+#include "ml/regressor.hpp"
+
+namespace lumos::ml {
+
+struct TobitOptions {
+  int epochs = 200;
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+};
+
+class TobitRegression final : public Regressor {
+ public:
+  explicit TobitRegression(TobitOptions options = {}) : options_(options) {}
+
+  /// Marks rows of the next fit() as censored (y is a lower bound).
+  /// Must match the training set length.
+  void set_censoring(std::vector<bool> censored) {
+    censored_ = std::move(censored);
+  }
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override { return "Tobit"; }
+
+  /// Fitted noise scale (of the standardised target).
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  TobitOptions options_;
+  std::vector<bool> censored_;
+  Standardizer scaler_;
+  std::vector<double> weights_;  ///< d weights + bias
+  double sigma_ = 1.0;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+};
+
+}  // namespace lumos::ml

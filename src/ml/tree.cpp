@@ -1,0 +1,143 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace lumos::ml {
+
+void RegressionTree::fit(const Dataset& train) {
+  fit_target(train.x, train.y);
+}
+
+void RegressionTree::fit_target(const Matrix& x, std::span<const double> y) {
+  LUMOS_REQUIRE(x.rows() == y.size(), "tree: x/y length mismatch");
+  LUMOS_REQUIRE(y.size() > 0, "tree: empty training set");
+  nodes_.clear();
+  std::vector<std::uint32_t> indices(y.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  build(x, y, indices, 0);
+}
+
+std::int32_t RegressionTree::build(const Matrix& x, std::span<const double> y,
+                                   std::vector<std::uint32_t>& indices,
+                                   int depth) {
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  double sum = 0.0;
+  for (auto i : indices) sum += y[i];
+  const double mean = sum / static_cast<double>(indices.size());
+  nodes_[node_id].value = mean;
+
+  if (depth >= options_.max_depth ||
+      indices.size() < 2 * options_.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Parent impurity (sum of squared deviations).
+  double parent_sse = 0.0;
+  for (auto i : indices) parent_sse += (y[i] - mean) * (y[i] - mean);
+  if (parent_sse <= 1e-12) return node_id;
+
+  // Best split over quantile-spaced candidate thresholds per feature.
+  const std::size_t d = x.cols();
+  std::int32_t best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-9;
+  std::vector<double> values(indices.size());
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      values[k] = x(indices[k], f);
+    }
+    // Threshold candidates come from (sub)sampled quantiles: sorting every
+    // value at every node dominates build time on large nodes.
+    std::vector<double> sorted;
+    constexpr std::size_t kMaxSorted = 4096;
+    if (values.size() > kMaxSorted) {
+      sorted.reserve(kMaxSorted);
+      const std::size_t stride = values.size() / kMaxSorted;
+      for (std::size_t k = 0; k < values.size(); k += stride) {
+        sorted.push_back(values[k]);
+      }
+    } else {
+      sorted = values;
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front() == sorted.back()) continue;
+    const int cands = options_.candidate_splits;
+    double prev_threshold = std::numeric_limits<double>::quiet_NaN();
+    for (int c = 1; c <= cands; ++c) {
+      const double q =
+          static_cast<double>(c) / static_cast<double>(cands + 1);
+      const double threshold =
+          sorted[static_cast<std::size_t>(q *
+                 static_cast<double>(sorted.size() - 1))];
+      if (threshold == prev_threshold) continue;
+      prev_threshold = threshold;
+      double lsum = 0.0, lsq = 0.0, rsum = 0.0, rsq = 0.0;
+      std::size_t ln = 0;
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        const double yi = y[indices[k]];
+        if (values[k] <= threshold) {
+          lsum += yi;
+          lsq += yi * yi;
+          ++ln;
+        } else {
+          rsum += yi;
+          rsq += yi * yi;
+        }
+      }
+      const std::size_t rn = indices.size() - ln;
+      if (ln < options_.min_samples_leaf || rn < options_.min_samples_leaf) {
+        continue;
+      }
+      const double lsse = lsq - lsum * lsum / static_cast<double>(ln);
+      const double rsse = rsq - rsum * rsum / static_cast<double>(rn);
+      const double gain = parent_sse - lsse - rsse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<std::int32_t>(f);
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  std::vector<std::uint32_t> left, right;
+  left.reserve(indices.size());
+  right.reserve(indices.size());
+  for (auto i : indices) {
+    (x(i, static_cast<std::size_t>(best_feature)) <= best_threshold ? left
+                                                                    : right)
+        .push_back(i);
+  }
+  // Free the parent's index storage before recursing.
+  indices.clear();
+  indices.shrink_to_fit();
+
+  const std::int32_t l = build(x, y, left, depth + 1);
+  const std::int32_t r = build(x, y, right, depth + 1);
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  nodes_[node_id].left = l;
+  nodes_[node_id].right = r;
+  return node_id;
+}
+
+double RegressionTree::predict(std::span<const double> row) const {
+  LUMOS_REQUIRE(!nodes_.empty(), "predict before fit");
+  std::int32_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[node];
+    if (n.feature < 0) return n.value;
+    const auto f = static_cast<std::size_t>(n.feature);
+    const double v = f < row.size() ? row[f] : 0.0;
+    node = v <= n.threshold ? n.left : n.right;
+  }
+}
+
+}  // namespace lumos::ml

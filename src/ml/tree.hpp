@@ -1,0 +1,48 @@
+// CART-style regression tree (variance-reduction splits, histogram
+// candidate thresholds). Building block for the gradient-boosted ensemble.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/regressor.hpp"
+
+namespace lumos::ml {
+
+struct TreeOptions {
+  int max_depth = 6;
+  std::size_t min_samples_leaf = 8;
+  /// Candidate thresholds per feature (quantile-spaced).
+  int candidate_splits = 32;
+};
+
+class RegressionTree final : public Regressor {
+ public:
+  explicit RegressionTree(TreeOptions options = {}) : options_(options) {}
+
+  void fit(const Dataset& train) override;
+  /// Fits on an explicit target (used by boosting on residuals).
+  void fit_target(const Matrix& x, std::span<const double> y);
+  [[nodiscard]] double predict(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override { return "Tree"; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+
+ private:
+  struct Node {
+    std::int32_t feature = -1;   ///< -1 = leaf
+    double threshold = 0.0;
+    double value = 0.0;          ///< leaf prediction
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+
+  std::int32_t build(const Matrix& x, std::span<const double> y,
+                     std::vector<std::uint32_t>& indices, int depth);
+};
+
+}  // namespace lumos::ml

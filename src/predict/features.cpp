@@ -1,0 +1,164 @@
+#include "predict/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/time_util.hpp"
+
+namespace lumos::predict {
+
+namespace {
+
+constexpr std::size_t kHistoryDepth = 16;
+
+struct UserState {
+  std::deque<double> runs;   ///< most recent first, completed jobs only
+  double sum_log_run = 0.0;  ///< over `runs`
+  std::size_t jobs = 0;      ///< total completed
+  std::size_t passed = 0;
+
+  void add(double run, bool pass) {
+    runs.push_front(run);
+    sum_log_run += std::log1p(run);
+    if (runs.size() > kHistoryDepth) {
+      sum_log_run -= std::log1p(runs.back());
+      runs.pop_back();
+    }
+    ++jobs;
+    if (pass) ++passed;
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> base_feature_names() {
+  return {"log2_cores",    "log_walltime",  "log_last_run",
+          "log_last_run2", "mean_log_run",  "log_user_jobs",
+          "user_pass_rate", "submit_hour",  "log_size_frac"};
+}
+
+std::vector<JobFeatures> extract_features(const trace::Trace& trace) {
+  LUMOS_REQUIRE(trace.is_sorted_by_submit(),
+                "feature extraction needs a submit-sorted trace");
+  const auto& spec = trace.spec();
+  const double capacity =
+      std::max<double>(1.0, spec.primary_capacity());
+
+  std::vector<JobFeatures> out;
+  out.reserve(trace.size());
+  std::unordered_map<std::uint32_t, UserState> users;
+
+  // Completion queue so user history only contains jobs finished before the
+  // current submit.
+  using Completion = std::pair<double, std::size_t>;  // (end time, index)
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions;
+
+  const auto jobs = trace.jobs();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& j = jobs[i];
+    while (!completions.empty() &&
+           completions.top().first <= j.submit_time) {
+      const auto& done = jobs[completions.top().second];
+      completions.pop();
+      users[done.user].add(done.run_time,
+                           done.status == trace::JobStatus::Passed);
+    }
+
+    const UserState& u = users[j.user];  // default state for new users
+    JobFeatures f;
+    f.run_time = j.run_time;
+    f.user = j.user;
+    f.status = j.status;
+    f.last_run = u.runs.empty() ? 0.0 : u.runs[0];
+    f.last_run2 = u.runs.size() < 2 ? f.last_run : u.runs[1];
+    f.recent_runs.assign(u.runs.begin(), u.runs.end());
+
+    const double mean_log =
+        u.runs.empty() ? 0.0
+                       : u.sum_log_run / static_cast<double>(u.runs.size());
+    const double pass_rate =
+        u.jobs == 0 ? 0.5
+                    : static_cast<double>(u.passed) /
+                          static_cast<double>(u.jobs);
+    const int hour = util::hour_of_day(j.submit_time, spec.epoch_unix,
+                                       spec.utc_offset_hours);
+    f.values = {
+        std::log2(static_cast<double>(j.cores) + 1.0),
+        j.has_requested_time() ? std::log1p(j.requested_time) : 0.0,
+        std::log1p(f.last_run),
+        std::log1p(f.last_run2),
+        mean_log,
+        std::log1p(static_cast<double>(u.jobs)),
+        pass_rate,
+        static_cast<double>(hour),
+        std::log(static_cast<double>(j.cores) / capacity + 1e-9),
+    };
+    out.push_back(std::move(f));
+    completions.emplace(j.end_time(), i);
+  }
+  return out;
+}
+
+ml::Dataset build_dataset(std::span<const JobFeatures> feats,
+                          std::span<const double> elapsed_grid,
+                          std::vector<bool>* censored,
+                          std::vector<std::uint32_t>* row_jobs) {
+  if (censored) censored->clear();
+  if (row_jobs) row_jobs->clear();
+  ml::Dataset data;
+  data.feature_names = base_feature_names();
+  const bool with_elapsed = !elapsed_grid.empty();
+  if (with_elapsed) data.feature_names.push_back("log_elapsed");
+  const std::size_t d = data.feature_names.size();
+
+  std::size_t rows = 0;
+  if (with_elapsed) {
+    for (const auto& f : feats) {
+      for (double e : elapsed_grid) {
+        if (f.run_time > e) ++rows;
+      }
+    }
+  } else {
+    rows = feats.size();
+  }
+  data.x = ml::Matrix(rows, d);
+  data.y.reserve(rows);
+
+  std::size_t r = 0;
+  for (std::size_t fi = 0; fi < feats.size(); ++fi) {
+    const auto& f = feats[fi];
+    if (with_elapsed) {
+      for (double e : elapsed_grid) {
+        if (f.run_time <= e) continue;
+        for (std::size_t c = 0; c < f.values.size(); ++c) {
+          data.x(r, c) = f.values[c];
+        }
+        data.x(r, d - 1) = std::log1p(e);
+        data.y.push_back(target_of_runtime(f.run_time));
+        if (censored) {
+          censored->push_back(f.status == trace::JobStatus::Killed);
+        }
+        if (row_jobs) row_jobs->push_back(static_cast<std::uint32_t>(fi));
+        ++r;
+      }
+    } else {
+      for (std::size_t c = 0; c < f.values.size(); ++c) {
+        data.x(r, c) = f.values[c];
+      }
+      data.y.push_back(target_of_runtime(f.run_time));
+      if (censored) {
+        censored->push_back(f.status == trace::JobStatus::Killed);
+      }
+      if (row_jobs) row_jobs->push_back(static_cast<std::uint32_t>(fi));
+      ++r;
+    }
+  }
+  return data;
+}
+
+}  // namespace lumos::predict

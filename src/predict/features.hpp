@@ -1,0 +1,63 @@
+// Feature extraction for runtime prediction (use case 1, §VI-A).
+//
+// Features are built chronologically so every job only sees information
+// available at its own submit time (user history = jobs that *completed*
+// before this submit). The "elapsed time" feature is what the paper adds:
+// the time a job has already been running when the prediction is made.
+// Targets are ln(1 + runtime); predictions are transformed back.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::predict {
+
+/// Per-job base features plus bookkeeping used by the harness.
+struct JobFeatures {
+  std::vector<double> values;  ///< base features, fixed order
+  double run_time = 0.0;       ///< actual runtime (target source)
+  std::uint32_t user = 0;
+  trace::JobStatus status = trace::JobStatus::Passed;
+  double last_run = 0.0;       ///< user's most recent completed runtime
+  double last_run2 = 0.0;      ///< and the one before (for Last2)
+  /// User's recent completed runtimes (most recent first, bounded) —
+  /// Last2-with-elapsed needs "most recent two above the elapsed bound".
+  std::vector<double> recent_runs;
+};
+
+/// Names of the base features, index-aligned with JobFeatures::values.
+[[nodiscard]] std::vector<std::string> base_feature_names();
+
+/// Extracts base features for every job, in submit order.
+[[nodiscard]] std::vector<JobFeatures> extract_features(
+    const trace::Trace& trace);
+
+/// Builds an ml::Dataset from [begin, end) of `feats`.
+/// When `elapsed_grid` is empty the dataset has no elapsed feature
+/// (the paper's "Without Elapsed Time" baseline). Otherwise each job
+/// contributes one row per grid value strictly below its runtime, with
+/// ln(1+elapsed) appended as the final feature.
+/// `censored` (optional) receives one flag per emitted row: true when the
+/// source job was Killed (its runtime is a lower bound on the intended
+/// one) — the Tobit model's censoring input.
+/// `row_jobs` (optional) receives the index into `feats` each row came
+/// from (classification harnesses need per-row labels).
+[[nodiscard]] ml::Dataset build_dataset(
+    std::span<const JobFeatures> feats, std::span<const double> elapsed_grid,
+    std::vector<bool>* censored = nullptr,
+    std::vector<std::uint32_t>* row_jobs = nullptr);
+
+/// Target transform and its inverse.
+[[nodiscard]] inline double target_of_runtime(double run) noexcept {
+  return std::log1p(run > 0.0 ? run : 0.0);
+}
+[[nodiscard]] inline double runtime_of_target(double t) noexcept {
+  return std::expm1(t) > 0.0 ? std::expm1(t) : 0.0;
+}
+
+}  // namespace lumos::predict

@@ -1,0 +1,70 @@
+// Use case 1 harness: runtime prediction with vs without elapsed time
+// (reproduces Fig 12).
+//
+// Protocol (§VI-A): all methods predict only for jobs that have been
+// running for at least the elapsed threshold T (fair comparison). The
+// baseline uses the base features; the "+elapsed" variant additionally
+// receives the elapsed time as a feature (trained on an elapsed grid) and
+// clamps its prediction to at least T. T sweeps 1/8, 1/4, 1/2 of the
+// trace's average runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "predict/features.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::predict {
+
+enum class ModelKind { Last2, Tobit, Xgboost, LinearReg, Mlp };
+
+[[nodiscard]] std::string to_string(ModelKind m);
+
+/// How elapsed time is integrated (ablation, DESIGN.md §4.3):
+///  * FeatureAndClamp — elapsed as an input feature AND a lower bound on
+///    the prediction (the paper's approach; a job that survived T seconds
+///    cannot finish before T).
+///  * FeatureOnly — input feature without the survival clamp.
+///  * ClampOnly — the baseline model's prediction clamped to >= T.
+enum class ElapsedMode { FeatureAndClamp, FeatureOnly, ClampOnly };
+
+[[nodiscard]] std::string to_string(ElapsedMode m);
+
+struct StudyConfig {
+  double train_fraction = 0.6;
+  /// Elapsed thresholds as fractions of the average runtime.
+  std::vector<double> elapsed_fractions{0.125, 0.25, 0.5};
+  /// Cap on jobs considered (chronological prefix; 0 = all).
+  std::size_t max_jobs = 20000;
+  std::vector<ModelKind> models{ModelKind::Last2, ModelKind::Tobit,
+                                ModelKind::Xgboost, ModelKind::LinearReg,
+                                ModelKind::Mlp};
+  ElapsedMode elapsed_mode = ElapsedMode::FeatureAndClamp;
+};
+
+struct StudyRow {
+  ModelKind model;
+  bool with_elapsed = false;
+  double elapsed_fraction = 0.0;  ///< 0 for the baseline column
+  double elapsed_s = 0.0;
+  double accuracy = 0.0;          ///< mean min/max ratio (higher better)
+  double underestimate_rate = 0.0;///< lower better
+  std::size_t test_jobs = 0;
+};
+
+struct StudyResult {
+  std::string system;
+  double avg_runtime_s = 0.0;
+  std::vector<StudyRow> rows;
+
+  /// Row lookup (throws InvalidArgument when absent).
+  [[nodiscard]] const StudyRow& row(ModelKind model, bool with_elapsed,
+                                    double elapsed_fraction) const;
+};
+
+/// Runs the full study on one trace.
+[[nodiscard]] StudyResult run_prediction_study(const trace::Trace& trace,
+                                               const StudyConfig& config = {});
+
+}  // namespace lumos::predict

@@ -1,0 +1,40 @@
+#include "predict/last2.hpp"
+
+#include <algorithm>
+
+namespace lumos::predict {
+
+double Last2::predict(const JobFeatures& job) const {
+  if (job.recent_runs.empty()) return options_.cold_start_s;
+  if (job.recent_runs.size() == 1) return job.recent_runs[0];
+  return 0.5 * (job.recent_runs[0] + job.recent_runs[1]);
+}
+
+double Last2::predict_with_elapsed(const JobFeatures& job,
+                                   double elapsed_s) const {
+  // Most recent runtimes that exceed the survival bound.
+  double a = -1.0, b = -1.0;
+  for (double r : job.recent_runs) {
+    if (r > elapsed_s) {
+      if (a < 0.0) {
+        a = r;
+      } else {
+        b = r;
+        break;
+      }
+    }
+  }
+  double prediction;
+  if (a < 0.0) {
+    prediction = std::max(elapsed_s * options_.fallback_multiplier,
+                          job.recent_runs.empty() ? options_.cold_start_s
+                                                  : 0.0);
+  } else if (b < 0.0) {
+    prediction = a;
+  } else {
+    prediction = 0.5 * (a + b);
+  }
+  return std::max(prediction, elapsed_s);
+}
+
+}  // namespace lumos::predict

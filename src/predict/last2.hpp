@@ -1,0 +1,39 @@
+// Last2 runtime predictor (Tsafrir et al., TPDS'07).
+//
+// Baseline: the prediction for a user's next job is the mean of their last
+// two completed runtimes. With elapsed time e, the paper's thresholding
+// insight (§VI-A) applies: having survived past e, the job will likely
+// reach the user's next-larger typical runtime — so Last2 averages the
+// most recent two runtimes *greater than e*, falling back to a multiple of
+// e when the user has none.
+#pragma once
+
+#include <span>
+
+#include "predict/features.hpp"
+
+namespace lumos::predict {
+
+struct Last2Options {
+  /// Fallback prediction when no history exceeds the elapsed bound.
+  double fallback_multiplier = 2.0;
+  /// Prediction when a user has no history at all (seconds).
+  double cold_start_s = 3600.0;
+};
+
+class Last2 {
+ public:
+  explicit Last2(Last2Options options = {}) : options_(options) {}
+
+  /// Baseline prediction (no elapsed knowledge).
+  [[nodiscard]] double predict(const JobFeatures& job) const;
+
+  /// Prediction knowing the job has already run `elapsed_s` seconds.
+  [[nodiscard]] double predict_with_elapsed(const JobFeatures& job,
+                                            double elapsed_s) const;
+
+ private:
+  Last2Options options_;
+};
+
+}  // namespace lumos::predict

@@ -1,0 +1,122 @@
+#include "predict/status_predictor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lumos::predict {
+
+namespace {
+
+double average_runtime(std::span<const JobFeatures> feats) {
+  double avg = 0.0;
+  for (const auto& f : feats) avg += f.run_time;
+  return feats.empty() ? 0.0 : avg / static_cast<double>(feats.size());
+}
+
+bool doomed(const JobFeatures& f) noexcept {
+  return f.status != trace::JobStatus::Passed;
+}
+
+/// Labels aligned with build_dataset's rows.
+std::vector<double> labels_for(std::span<const JobFeatures> feats,
+                               std::span<const std::uint32_t> row_jobs) {
+  std::vector<double> y;
+  y.reserve(row_jobs.size());
+  for (auto fi : row_jobs) y.push_back(doomed(feats[fi]) ? 1.0 : 0.0);
+  return y;
+}
+
+std::vector<double> elapsed_row(const JobFeatures& f, double elapsed_s) {
+  std::vector<double> row = f.values;
+  row.push_back(std::log1p(elapsed_s));
+  return row;
+}
+
+}  // namespace
+
+StatusStudyResult run_status_study(const trace::Trace& trace,
+                                   const StatusStudyConfig& config) {
+  LUMOS_REQUIRE(trace.size() >= 50, "status study needs >= 50 jobs");
+  StatusStudyResult result;
+  result.system = trace.spec().name;
+
+  auto feats = extract_features(trace);
+  if (config.max_jobs > 0 && feats.size() > config.max_jobs) {
+    feats.resize(config.max_jobs);
+  }
+  const double avg = average_runtime(feats);
+  result.avg_runtime_s = avg;
+
+  const auto n_train = static_cast<std::size_t>(
+      config.train_fraction * static_cast<double>(feats.size()));
+  const std::span<const JobFeatures> train(feats.data(), n_train);
+  const std::span<const JobFeatures> test(feats.data() + n_train,
+                                          feats.size() - n_train);
+  LUMOS_REQUIRE(!train.empty() && !test.empty(), "degenerate split");
+
+  std::vector<double> thresholds;
+  for (double f : config.elapsed_fractions) thresholds.push_back(f * avg);
+  std::vector<double> grid{0.0};
+  grid.insert(grid.end(), thresholds.begin(), thresholds.end());
+
+  // Baseline classifier: no elapsed feature.
+  std::vector<std::uint32_t> base_rows;
+  const auto base_data = build_dataset(train, {}, nullptr, &base_rows);
+  ml::LogisticRegression base_model;
+  base_model.fit(base_data.x, labels_for(train, base_rows));
+
+  // +elapsed classifier: trained across the elapsed grid.
+  std::vector<std::uint32_t> el_rows;
+  const auto el_data = build_dataset(train, grid, nullptr, &el_rows);
+  ml::LogisticRegression el_model;
+  el_model.fit(el_data.x, labels_for(train, el_rows));
+
+  for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {
+    const double T = thresholds[ti];
+    StatusStudyRow row;
+    row.elapsed_fraction = config.elapsed_fractions[ti];
+    row.elapsed_s = T;
+    std::size_t base_hits = 0, el_hits = 0, doomed_count = 0;
+    for (const auto& f : test) {
+      if (f.run_time <= T) continue;
+      ++row.test_jobs;
+      const bool label = doomed(f);
+      doomed_count += label;
+      if (base_model.predict(f.values) == label) ++base_hits;
+      if (el_model.predict(elapsed_row(f, T)) == label) ++el_hits;
+    }
+    if (row.test_jobs == 0) continue;
+    const auto n = static_cast<double>(row.test_jobs);
+    row.base_accuracy = static_cast<double>(base_hits) / n;
+    row.accuracy = static_cast<double>(el_hits) / n;
+    row.doomed_rate = static_cast<double>(doomed_count) / n;
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+StatusPredictor::StatusPredictor(const trace::Trace& trace,
+                                 double train_fraction,
+                                 std::size_t max_jobs) {
+  LUMOS_REQUIRE(trace.size() >= 50, "StatusPredictor needs >= 50 jobs");
+  auto feats = extract_features(trace);
+  if (max_jobs > 0 && feats.size() > max_jobs) feats.resize(max_jobs);
+  avg_runtime_ = average_runtime(feats);
+  const auto n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(feats.size()));
+  const std::span<const JobFeatures> train(feats.data(),
+                                           std::max<std::size_t>(n_train, 1));
+  const std::vector<double> grid{0.0, avg_runtime_ / 8.0, avg_runtime_ / 4.0,
+                                 avg_runtime_ / 2.0, avg_runtime_};
+  std::vector<std::uint32_t> rows;
+  const auto data = build_dataset(train, grid, nullptr, &rows);
+  model_.fit(data.x, labels_for(train, rows));
+}
+
+double StatusPredictor::doom_probability(const JobFeatures& job,
+                                         double elapsed_s) const {
+  return model_.predict_proba(elapsed_row(job, elapsed_s));
+}
+
+}  // namespace lumos::predict

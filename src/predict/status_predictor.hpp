@@ -1,0 +1,64 @@
+// Job-status prediction from elapsed time (extension of §V-C).
+//
+// Fig 11 shows per-user runtime distributions that separate cleanly by
+// final status — the paper notes a scheduler "may reversely predict job
+// status" from them. This module makes that concrete: a logistic model
+// P(job will NOT pass | features, elapsed) trained per system, usable by
+// fault-aware schedulers to stop feeding doomed jobs (Takeaway 7).
+#pragma once
+
+#include <vector>
+
+#include "ml/logistic.hpp"
+#include "predict/features.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::predict {
+
+struct StatusStudyConfig {
+  double train_fraction = 0.6;
+  /// Elapsed fractions (of average runtime) at which predictions are made.
+  std::vector<double> elapsed_fractions{0.125, 0.25, 0.5};
+  std::size_t max_jobs = 20000;
+};
+
+struct StatusStudyRow {
+  double elapsed_fraction = 0.0;
+  double elapsed_s = 0.0;
+  double accuracy = 0.0;        ///< with the elapsed feature
+  double base_accuracy = 0.0;   ///< without it
+  double doomed_rate = 0.0;     ///< base rate of non-Passed in the test set
+  std::size_t test_jobs = 0;
+};
+
+struct StatusStudyResult {
+  std::string system;
+  double avg_runtime_s = 0.0;
+  std::vector<StatusStudyRow> rows;
+};
+
+/// Binary target: 1 when the job ends Failed or Killed ("doomed").
+/// For each elapsed threshold T, both classifiers are evaluated on jobs
+/// still running at T (runtime > T); only the "+elapsed" variant receives
+/// ln(1+T) as a feature (and is trained on an elapsed grid).
+[[nodiscard]] StatusStudyResult run_status_study(
+    const trace::Trace& trace, const StatusStudyConfig& config = {});
+
+/// Standalone kill-probability model over (base features, elapsed).
+class StatusPredictor {
+ public:
+  /// Trains on the chronological prefix of `trace` given by
+  /// `train_fraction`, with elapsed-grid augmentation.
+  StatusPredictor(const trace::Trace& trace, double train_fraction = 0.6,
+                  std::size_t max_jobs = 20000);
+
+  /// P(job will not pass | job features, it has run `elapsed_s`).
+  [[nodiscard]] double doom_probability(const JobFeatures& job,
+                                        double elapsed_s) const;
+
+ private:
+  ml::LogisticRegression model_;
+  double avg_runtime_ = 0.0;
+};
+
+}  // namespace lumos::predict

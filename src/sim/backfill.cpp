@@ -1,0 +1,61 @@
+#include "sim/backfill.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace lumos::sim {
+
+std::string_view to_string(BackfillKind b) noexcept {
+  switch (b) {
+    case BackfillKind::None: return "none";
+    case BackfillKind::Easy: return "easy";
+    case BackfillKind::Conservative: return "conservative";
+    case BackfillKind::Relaxed: return "relaxed";
+    case BackfillKind::AdaptiveRelaxed: return "adaptive-relaxed";
+  }
+  return "?";
+}
+
+BackfillKind backfill_from_string(std::string_view name) {
+  const std::string n = util::to_lower(name);
+  if (n == "none") return BackfillKind::None;
+  if (n == "easy") return BackfillKind::Easy;
+  if (n == "conservative") return BackfillKind::Conservative;
+  if (n == "relaxed") return BackfillKind::Relaxed;
+  if (n == "adaptive" || n == "adaptive-relaxed") {
+    return BackfillKind::AdaptiveRelaxed;
+  }
+  throw InvalidArgument("unknown backfill strategy: " + std::string(name));
+}
+
+std::string_view to_string(AdaptiveShape s) noexcept {
+  switch (s) {
+    case AdaptiveShape::Linear: return "linear";
+    case AdaptiveShape::Quadratic: return "quadratic";
+    case AdaptiveShape::Sqrt: return "sqrt";
+  }
+  return "?";
+}
+
+double effective_relax_factor(const BackfillConfig& config,
+                              std::size_t queue_length,
+                              std::size_t max_queue_length) noexcept {
+  if (config.kind == BackfillKind::Relaxed) return config.relax_factor;
+  if (config.kind != BackfillKind::AdaptiveRelaxed) return 0.0;
+  if (max_queue_length == 0) return 0.0;
+  const double ratio =
+      std::clamp(static_cast<double>(queue_length) /
+                     static_cast<double>(max_queue_length),
+                 0.0, 1.0);
+  switch (config.adaptive_shape) {
+    case AdaptiveShape::Linear: return config.relax_factor * ratio;
+    case AdaptiveShape::Quadratic: return config.relax_factor * ratio * ratio;
+    case AdaptiveShape::Sqrt: return config.relax_factor * std::sqrt(ratio);
+  }
+  return config.relax_factor * ratio;
+}
+
+}  // namespace lumos::sim

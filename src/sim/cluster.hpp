@@ -1,0 +1,66 @@
+// Cluster resource model.
+//
+// Like SchedGym, lumos schedules against an aggregate pool of cores per
+// partition: rigid jobs request `cores` and hold them for their runtime.
+// Partitions model Philly-style isolated virtual clusters (§III-B) — a job
+// bound to VC k can only draw from partition k's capacity. Systems without
+// VCs use a single partition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/system_spec.hpp"
+
+namespace lumos::sim {
+
+class Cluster {
+ public:
+  /// Single-partition cluster with `capacity` cores.
+  explicit Cluster(std::uint64_t capacity);
+
+  /// Multi-partition cluster; partition i has capacities[i] cores.
+  explicit Cluster(std::vector<std::uint64_t> capacities);
+
+  /// Builds from a system spec: primary capacity split evenly across the
+  /// spec's virtual clusters (1 partition when the spec has none).
+  static Cluster from_spec(const trace::SystemSpec& spec);
+
+  [[nodiscard]] std::size_t partitions() const noexcept {
+    return free_.size();
+  }
+  [[nodiscard]] std::uint64_t capacity(std::size_t p = 0) const noexcept {
+    return capacity_[p];
+  }
+  [[nodiscard]] std::uint64_t total_capacity() const noexcept {
+    return total_capacity_;
+  }
+  [[nodiscard]] std::uint64_t free(std::size_t p = 0) const noexcept {
+    return free_[p];
+  }
+  [[nodiscard]] std::uint64_t total_free() const noexcept;
+
+  /// True when partition p currently has `cores` free.
+  [[nodiscard]] bool fits(std::uint64_t cores, std::size_t p = 0) const
+      noexcept {
+    return cores <= free_[p];
+  }
+
+  /// Claims cores from partition p; returns false (no change) if they do
+  /// not fit.
+  [[nodiscard]] bool allocate(std::uint64_t cores, std::size_t p = 0) noexcept;
+
+  /// Returns cores to partition p. Over-release is clamped (and indicates a
+  /// caller bug; debug builds assert).
+  void release(std::uint64_t cores, std::size_t p = 0) noexcept;
+
+  /// Maps a job's virtual-cluster id to a partition index (clamped).
+  [[nodiscard]] std::size_t partition_for(std::int32_t vc) const noexcept;
+
+ private:
+  std::vector<std::uint64_t> capacity_;
+  std::vector<std::uint64_t> free_;
+  std::uint64_t total_capacity_ = 0;
+};
+
+}  // namespace lumos::sim

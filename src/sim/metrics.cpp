@@ -1,0 +1,61 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace lumos::sim {
+
+SimMetrics compute_metrics(const trace::Trace& trace, const SimResult& result,
+                           double bsld_bound) {
+  LUMOS_REQUIRE(result.outcomes.size() == trace.size(),
+                "result does not match trace");
+  SimMetrics m;
+  m.makespan = result.makespan;
+  m.backfilled_jobs = result.backfilled_jobs;
+
+  double wait_sum = 0.0;
+  double bsld_sum = 0.0;
+  double busy_core_seconds = 0.0;
+  const auto jobs = trace.jobs();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& outcome = result.outcomes[i];
+    if (!outcome.started()) continue;
+    const auto& j = jobs[i];
+    ++m.jobs;
+    const double wait = outcome.start_time - j.submit_time;
+    wait_sum += wait;
+    const double denom = std::max(j.run_time, bsld_bound);
+    bsld_sum += std::max(1.0, (wait + j.run_time) / denom);
+    busy_core_seconds += static_cast<double>(j.cores) * j.run_time;
+    const double delay = outcome.reservation_delay();
+    if (delay > 0.0) {
+      ++m.violated_jobs;
+      m.total_violation += delay;
+    }
+  }
+  if (m.jobs > 0) {
+    m.avg_wait = wait_sum / static_cast<double>(m.jobs);
+    m.avg_bounded_slowdown = bsld_sum / static_cast<double>(m.jobs);
+  }
+  if (m.violated_jobs > 0) {
+    m.violation = m.total_violation / static_cast<double>(m.violated_jobs);
+  }
+  const double capacity =
+      static_cast<double>(trace.spec().primary_capacity());
+  if (capacity > 0.0 && m.makespan > 0.0) {
+    m.utilization = busy_core_seconds / (capacity * m.makespan);
+  }
+  return m;
+}
+
+std::string SimMetrics::to_string() const {
+  return util::format(
+      "jobs=%zu wait=%.2fs bsld=%.2f util=%.4f violation=%.2fs "
+      "(violated=%zu, backfilled=%zu, makespan=%.0fs)",
+      jobs, avg_wait, avg_bounded_slowdown, utilization, violation,
+      violated_jobs, backfilled_jobs, makespan);
+}
+
+}  // namespace lumos::sim

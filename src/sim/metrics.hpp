@@ -1,0 +1,32 @@
+// Scheduling-quality metrics — the paper's Table II columns.
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::sim {
+
+struct SimMetrics {
+  std::size_t jobs = 0;             ///< jobs that started
+  double avg_wait = 0.0;            ///< "wait" (seconds)
+  double avg_bounded_slowdown = 0.0;///< "bsld"
+  double utilization = 0.0;         ///< "util" in [0,1]
+  double violation = 0.0;           ///< mean reservation delay (s) over
+                                    ///< jobs whose promise was pushed
+  std::size_t violated_jobs = 0;    ///< how many promises were pushed
+  double total_violation = 0.0;     ///< summed delay (s)
+  double makespan = 0.0;
+  std::size_t backfilled_jobs = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Computes metrics for a finished simulation of `trace`.
+/// `bsld_bound` must match the config used for the run (default 10 s).
+[[nodiscard]] SimMetrics compute_metrics(const trace::Trace& trace,
+                                         const SimResult& result,
+                                         double bsld_bound = 10.0);
+
+}  // namespace lumos::sim

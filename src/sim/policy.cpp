@@ -1,0 +1,56 @@
+#include "sim/policy.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace lumos::sim {
+
+std::string_view to_string(PolicyKind p) noexcept {
+  switch (p) {
+    case PolicyKind::Fcfs: return "FCFS";
+    case PolicyKind::Sjf: return "SJF";
+    case PolicyKind::Wfp3: return "WFP3";
+    case PolicyKind::Unicep: return "UNICEP";
+    case PolicyKind::Saf: return "SAF";
+  }
+  return "?";
+}
+
+PolicyKind policy_from_string(std::string_view name) {
+  const std::string n = util::to_lower(name);
+  if (n == "fcfs") return PolicyKind::Fcfs;
+  if (n == "sjf") return PolicyKind::Sjf;
+  if (n == "wfp3") return PolicyKind::Wfp3;
+  if (n == "unicep") return PolicyKind::Unicep;
+  if (n == "saf") return PolicyKind::Saf;
+  throw InvalidArgument("unknown scheduling policy: " + std::string(name));
+}
+
+double policy_score(PolicyKind policy, const PolicyJobView& job) noexcept {
+  const double request = job.expected_run > 0.0 ? job.expected_run : 1.0;
+  const double cores = static_cast<double>(job.cores > 0 ? job.cores : 1);
+  switch (policy) {
+    case PolicyKind::Fcfs:
+      return job.submit_time;
+    case PolicyKind::Sjf:
+      return request;
+    case PolicyKind::Wfp3: {
+      // Original WFP3 maximises (wait/request)^3 * cores; negate for
+      // lower-is-better.
+      const double w = job.wait_time / request;
+      return -(w * w * w) * cores;
+    }
+    case PolicyKind::Unicep: {
+      // Maximise wait / (log2(cores) * request).
+      const double denom = std::max(1.0, std::log2(cores + 1.0)) * request;
+      return -(job.wait_time / denom);
+    }
+    case PolicyKind::Saf:
+      return cores * request;
+  }
+  return job.submit_time;
+}
+
+}  // namespace lumos::sim

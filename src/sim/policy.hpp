@@ -1,0 +1,41 @@
+// Queue-ordering policies.
+//
+// The scheduler sorts its waiting queue by a policy score and serves the
+// head. FCFS and SJF are the classics the paper names (§II-C); WFP3 and
+// UNICEP are the hand-tuned priority functions used as baselines in the
+// SchedGym line of work (RLScheduler, SchedInspector) that this simulator
+// reimplements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lumos::sim {
+
+enum class PolicyKind : std::uint8_t {
+  Fcfs,    ///< first come, first served (by submit time)
+  Sjf,     ///< shortest (requested) job first
+  Wfp3,    ///< -(wait/request)^3 * cores — favours long-waiting small jobs
+  Unicep,  ///< wait / (log2(cores) * request) — UNICEP/F4-style
+  Saf,     ///< smallest area (cores * request) first
+};
+
+[[nodiscard]] std::string_view to_string(PolicyKind p) noexcept;
+/// Parses "fcfs"/"sjf"/"wfp3"/"unicep"/"saf" (case-insensitive); throws
+/// InvalidArgument on anything else.
+[[nodiscard]] PolicyKind policy_from_string(std::string_view name);
+
+/// A waiting job as a policy sees it.
+struct PolicyJobView {
+  double submit_time = 0.0;
+  double wait_time = 0.0;       ///< now - submit
+  double expected_run = 0.0;    ///< requested walltime (or oracle runtime)
+  std::uint64_t cores = 1;
+};
+
+/// Priority score — *lower is served earlier* (so FCFS returns submit time).
+[[nodiscard]] double policy_score(PolicyKind policy,
+                                  const PolicyJobView& job) noexcept;
+
+}  // namespace lumos::sim

@@ -1,0 +1,73 @@
+#include "sim/profile.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lumos::sim {
+
+ResourceProfile::ResourceProfile(double now, std::uint64_t capacity)
+    : times_{now}, free_{capacity}, capacity_(capacity) {
+  LUMOS_REQUIRE(capacity > 0, "profile capacity must be positive");
+}
+
+std::size_t ResourceProfile::step_index(double t) const noexcept {
+  // Last step whose start is <= t.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return 0;
+  return static_cast<std::size_t>(it - times_.begin()) - 1;
+}
+
+std::size_t ResourceProfile::split_at(double t) {
+  if (t <= times_.front()) return 0;
+  const std::size_t i = step_index(t);
+  if (times_[i] == t) return i;
+  times_.insert(times_.begin() + static_cast<std::ptrdiff_t>(i) + 1, t);
+  free_.insert(free_.begin() + static_cast<std::ptrdiff_t>(i) + 1, free_[i]);
+  return i + 1;
+}
+
+void ResourceProfile::reserve(double start, double end, std::uint64_t cores) {
+  if (end <= start || cores == 0) return;
+  start = std::max(start, times_.front());
+  const std::size_t s = split_at(start);
+  const std::size_t e = end >= kTimeInfinity ? times_.size() : split_at(end);
+  for (std::size_t i = s; i < e; ++i) {
+    free_[i] = cores >= free_[i] ? 0 : free_[i] - cores;
+  }
+}
+
+std::uint64_t ResourceProfile::free_at(double t) const noexcept {
+  if (t < times_.front()) return free_.front();
+  return free_[step_index(t)];
+}
+
+double ResourceProfile::earliest_start(double earliest, double duration,
+                                       std::uint64_t cores) const noexcept {
+  if (cores > capacity_) return kTimeInfinity;
+  const double t0 = std::max(earliest, times_.front());
+  if (cores == 0) return t0;
+  std::size_t i = step_index(t0);
+  while (i < times_.size()) {
+    if (free_[i] < cores) {
+      ++i;
+      continue;
+    }
+    const double candidate = std::max(t0, times_[i]);
+    const double end = candidate + duration;
+    // Every step overlapping [candidate, end) must have >= cores free.
+    bool ok = true;
+    std::size_t j = i;
+    for (; j < times_.size() && times_[j] < end; ++j) {
+      if (free_[j] < cores) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return candidate;
+    i = j + 1;  // resume after the blocking step
+  }
+  return kTimeInfinity;
+}
+
+}  // namespace lumos::sim

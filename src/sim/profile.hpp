@@ -1,0 +1,53 @@
+// Future resource-availability profile.
+//
+// A step function over time giving the number of free cores in one
+// partition, built from the expected end times of running jobs and from
+// reservations already granted to queued jobs. Conservative backfilling and
+// EASY shadow-time computation are both queries against this structure.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lumos::sim {
+
+/// Far-future sentinel for "never".
+inline constexpr double kTimeInfinity = std::numeric_limits<double>::max() / 4;
+
+class ResourceProfile {
+ public:
+  /// Starts with `capacity` cores free from `now` to infinity.
+  ResourceProfile(double now, std::uint64_t capacity);
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// Subtracts `cores` over [start, end). Clamps at zero free (callers
+  /// should only commit feasible reservations).
+  void reserve(double start, double end, std::uint64_t cores);
+
+  /// Earliest time >= `earliest` at which `cores` are continuously free for
+  /// `duration` seconds. Returns kTimeInfinity when cores > capacity.
+  [[nodiscard]] double earliest_start(double earliest, double duration,
+                                      std::uint64_t cores) const noexcept;
+
+  /// Free cores at time t.
+  [[nodiscard]] std::uint64_t free_at(double t) const noexcept;
+
+  /// Number of internal steps (for tests).
+  [[nodiscard]] std::size_t steps() const noexcept { return times_.size(); }
+
+ private:
+  // times_[i] is the start of step i; free_[i] holds until times_[i+1]
+  // (the final step extends to infinity). times_ is strictly increasing.
+  std::vector<double> times_;
+  std::vector<std::uint64_t> free_;
+  std::uint64_t capacity_;
+
+  /// Index of the step containing time t (t must be >= times_.front()).
+  [[nodiscard]] std::size_t step_index(double t) const noexcept;
+  /// Ensures a step boundary exists exactly at t; returns its index.
+  std::size_t split_at(double t);
+};
+
+}  // namespace lumos::sim

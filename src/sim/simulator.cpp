@@ -1,0 +1,322 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "sim/profile.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace lumos::sim {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+/// A job currently executing.
+struct RunningJob {
+  double end = 0.0;          ///< actual completion time
+  double planned_end = 0.0;  ///< scheduler-visible completion time
+  std::uint64_t cores = 0;
+  std::size_t partition = 0;
+  std::uint32_t index = 0;
+  bool operator>(const RunningJob& o) const noexcept { return end > o.end; }
+};
+
+}  // namespace
+
+Simulator::Simulator(const trace::Trace& trace, SimConfig config)
+    : trace_(trace), config_(config) {
+  LUMOS_REQUIRE(trace.is_sorted_by_submit(),
+                "Simulator requires a submit-sorted trace");
+}
+
+SimResult Simulator::run() {
+  SimResult result;
+  const auto jobs = trace_.jobs();
+  result.outcomes.assign(jobs.size(), JobOutcome{});
+  if (jobs.empty()) return result;
+
+  Cluster cluster = Cluster::from_spec(trace_.spec());
+
+  // Build pending-job descriptors; detect whether planning falls back to
+  // oracle runtimes (DL traces without walltime requests).
+  std::vector<PendingJob> pending(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& j = jobs[i];
+    PendingJob p;
+    p.index = static_cast<std::uint32_t>(i);
+    p.cores = j.cores > 0 ? j.cores : 1;
+    p.partition = cluster.partition_for(j.virtual_cluster);
+    p.submit = j.submit_time;
+    p.run = std::max(0.0, j.run_time);
+    if (j.has_requested_time()) {
+      p.planned = std::max(j.requested_time, 1.0);
+    } else {
+      p.planned = std::max(p.run, 1.0);
+      result.used_oracle_runtimes = true;
+    }
+    pending[i] = p;
+  }
+
+  // Per-partition waiting queues (indices into `pending`).
+  std::vector<std::deque<std::uint32_t>> queues(cluster.partitions());
+  std::priority_queue<RunningJob, std::vector<RunningJob>,
+                      std::greater<RunningJob>>
+      running;
+  // Per-partition running jobs for profile building.
+  std::vector<std::vector<RunningJob>> running_by_part(cluster.partitions());
+
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  double ema_wait = 0.0;
+  bool ema_init = false;
+  std::size_t total_queued = 0;
+
+  auto start_job = [&](std::uint32_t idx, bool as_backfill) {
+    const PendingJob& p = pending[idx];
+    const bool ok = cluster.allocate(p.cores, p.partition);
+    if (!ok) throw InternalError("start_job without free cores");
+    auto& outcome = result.outcomes[idx];
+    outcome.start_time = now;
+    outcome.backfilled = as_backfill;
+    if (as_backfill) ++result.backfilled_jobs;
+    RunningJob r;
+    r.end = now + p.run;
+    r.planned_end = now + p.planned;
+    r.cores = p.cores;
+    r.partition = p.partition;
+    r.index = idx;
+    running.push(r);
+    running_by_part[p.partition].push_back(r);
+    const double wait = now - p.submit;
+    ema_wait = ema_init
+                   ? (1.0 - config_.wait_ema_alpha) * ema_wait +
+                         config_.wait_ema_alpha * wait
+                   : wait;
+    ema_init = true;
+  };
+
+  // Planned-availability profile for one partition from its running jobs.
+  // Planned ends already in the past (jobs overrunning their estimate) are
+  // treated as ending shortly after `now`.
+  auto build_profile = [&](std::size_t part) {
+    ResourceProfile profile(now, cluster.capacity(part));
+    for (const RunningJob& r : running_by_part[part]) {
+      const double planned_end =
+          r.planned_end > now + kEps ? r.planned_end : now + 60.0;
+      profile.reserve(now, planned_end, r.cores);
+    }
+    return profile;
+  };
+
+  auto erase_from_queue = [&](std::deque<std::uint32_t>& queue,
+                              std::uint32_t idx) {
+    queue.erase(std::find(queue.begin(), queue.end(), idx));
+    --total_queued;
+  };
+
+  // One scheduling pass over partition `part`; returns jobs started.
+  auto schedule_partition = [&](std::size_t part) -> std::size_t {
+    auto& queue = queues[part];
+    if (queue.empty()) return 0;
+
+    // Drop jobs that can never fit this partition (Supercloud-style
+    // inputs); they would wedge the head of the queue forever.
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (pending[*it].cores > cluster.capacity(part)) {
+        ++result.skipped_oversized;
+        it = queue.erase(it);
+        --total_queued;
+      } else {
+        ++it;
+      }
+    }
+    if (queue.empty()) return 0;
+
+    // Order the queue by the policy (lower score first, FCFS tiebreak).
+    // Arrivals are pushed in submit order, so FCFS needs no sort.
+    if (config_.policy != PolicyKind::Fcfs) {
+      std::stable_sort(
+          queue.begin(), queue.end(),
+          [&](std::uint32_t a, std::uint32_t b) {
+            PolicyJobView va{pending[a].submit, now - pending[a].submit,
+                             pending[a].planned, pending[a].cores};
+            PolicyJobView vb{pending[b].submit, now - pending[b].submit,
+                             pending[b].planned, pending[b].cores};
+            const double sa = policy_score(config_.policy, va);
+            const double sb = policy_score(config_.policy, vb);
+            if (sa != sb) return sa < sb;
+            return pending[a].submit < pending[b].submit;
+          });
+    }
+
+    std::size_t started = 0;
+
+    if (config_.backfill.kind == BackfillKind::Conservative) {
+      // Reservation for every queued job; start those whose earliest start
+      // is now.
+      ResourceProfile profile = build_profile(part);
+      std::vector<std::uint32_t> to_start;
+      const std::size_t scan =
+          std::min(queue.size(), config_.backfill.scan_limit);
+      for (std::size_t qi = 0; qi < scan; ++qi) {
+        const PendingJob& p = pending[queue[qi]];
+        const double est = profile.earliest_start(now, p.planned, p.cores);
+        profile.reserve(est, est + p.planned, p.cores);
+        auto& outcome = result.outcomes[queue[qi]];
+        if (outcome.first_reservation < 0.0 && est > now + kEps) {
+          outcome.first_reservation = est;
+        }
+        if (est <= now + kEps) to_start.push_back(queue[qi]);
+      }
+      for (std::uint32_t idx : to_start) {
+        start_job(idx, /*as_backfill=*/idx != queue.front());
+        erase_from_queue(queue, idx);
+        ++started;
+      }
+      return started;
+    }
+
+    // Head service with optional EASY/relaxed backfilling.
+    while (!queue.empty()) {
+      const std::uint32_t head = queue.front();
+      if (!cluster.fits(pending[head].cores, part)) break;
+      start_job(head, /*as_backfill=*/false);
+      queue.pop_front();
+      --total_queued;
+      ++started;
+    }
+    if (queue.empty() || config_.backfill.kind == BackfillKind::None) {
+      return started;
+    }
+
+    // Head is blocked: compute its EASY reservation (shadow time).
+    const std::uint32_t head = queue.front();
+    const PendingJob& hp = pending[head];
+    ResourceProfile profile = build_profile(part);
+    double shadow = profile.earliest_start(now, hp.planned, hp.cores);
+    auto& head_outcome = result.outcomes[head];
+    if (head_outcome.first_reservation < 0.0) {
+      head_outcome.first_reservation = shadow;
+    }
+    // Cores free at the shadow time beyond what the head needs; a backfill
+    // running past the shadow is harmless if it fits within them.
+    auto extra_at = [&](double t) -> std::uint64_t {
+      const std::uint64_t f = profile.free_at(t);
+      return f > hp.cores ? f - hp.cores : 0;
+    };
+    std::uint64_t extra = extra_at(shadow);
+
+    // Relaxation allowance: how far past its *first* promise the head may
+    // be pushed. Reference is the EMA of realized waits ("expected job
+    // waiting time"), floored by the head's own wait so far.
+    const double eff_factor = effective_relax_factor(
+        config_.backfill, total_queued, result.max_queue_length);
+    const double reference_wait = std::max(ema_wait, now - hp.submit);
+    const double deadline =
+        head_outcome.first_reservation + eff_factor * reference_wait;
+
+    const std::size_t scan =
+        std::min(queue.size(), config_.backfill.scan_limit);
+    std::vector<std::uint32_t> to_start;
+    std::uint64_t committed = 0;  // cores promised to accepted backfills
+    for (std::size_t qi = 1; qi < scan; ++qi) {
+      const std::uint32_t cand = queue[qi];
+      const PendingJob& cp = pending[cand];
+      if (cp.cores + committed > cluster.free(part)) continue;
+      const double cand_end = now + cp.planned;
+      bool accept = false;
+      if (cand_end <= shadow + kEps) {
+        accept = true;  // finishes before the head needs the machine
+      } else if (cp.cores <= extra) {
+        accept = true;  // runs on cores the head will not need
+      } else if (eff_factor > 0.0 && shadow < deadline) {
+        // Relaxed path: admit the candidate if the head's recomputed
+        // earliest start stays within the allowance.
+        ResourceProfile with_cand = profile;
+        with_cand.reserve(now, cand_end, cp.cores);
+        const double pushed =
+            with_cand.earliest_start(now, hp.planned, hp.cores);
+        accept = pushed <= deadline + kEps;
+      }
+      if (accept) {
+        to_start.push_back(cand);
+        committed += cp.cores;
+        // Keep the planning state consistent for later candidates.
+        profile.reserve(now, cand_end, cp.cores);
+        shadow = profile.earliest_start(now, hp.planned, hp.cores);
+        extra = extra_at(shadow);
+      }
+    }
+    for (std::uint32_t idx : to_start) {
+      start_job(idx, /*as_backfill=*/true);
+      erase_from_queue(queue, idx);
+      ++started;
+    }
+    return started;
+  };
+
+  auto schedule_all = [&]() {
+    for (;;) {
+      std::size_t started = 0;
+      for (std::size_t part = 0; part < cluster.partitions(); ++part) {
+        started += schedule_partition(part);
+      }
+      if (started == 0) break;
+    }
+    result.max_queue_length = std::max(result.max_queue_length, total_queued);
+    if (config_.record_queue_series) {
+      result.queue_series.push_back(
+          {now, static_cast<std::uint32_t>(total_queued)});
+    }
+  };
+
+  // Main event loop.
+  while (next_arrival < pending.size() || !running.empty()) {
+    double next_time;
+    if (next_arrival < pending.size() && !running.empty()) {
+      next_time = std::min(pending[next_arrival].submit, running.top().end);
+    } else if (next_arrival < pending.size()) {
+      next_time = pending[next_arrival].submit;
+    } else {
+      next_time = running.top().end;
+    }
+    now = std::max(now, next_time);
+
+    // Process all completions at or before `now`.
+    while (!running.empty() && running.top().end <= now + kEps) {
+      const RunningJob r = running.top();
+      running.pop();
+      cluster.release(r.cores, r.partition);
+      auto& vec = running_by_part[r.partition];
+      const auto it =
+          std::find_if(vec.begin(), vec.end(), [&](const RunningJob& x) {
+            return x.index == r.index;
+          });
+      if (it != vec.end()) vec.erase(it);
+      result.makespan = std::max(result.makespan, r.end);
+    }
+    // Enqueue all arrivals at or before `now`.
+    while (next_arrival < pending.size() &&
+           pending[next_arrival].submit <= now + kEps) {
+      const PendingJob& p = pending[next_arrival];
+      queues[p.partition].push_back(p.index);
+      ++total_queued;
+      ++next_arrival;
+    }
+    result.max_queue_length = std::max(result.max_queue_length, total_queued);
+    schedule_all();
+  }
+
+  return result;
+}
+
+SimResult simulate(const trace::Trace& trace, const SimConfig& config) {
+  Simulator sim(trace, config);
+  return sim.run();
+}
+
+}  // namespace lumos::sim

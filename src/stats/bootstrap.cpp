@@ -1,0 +1,56 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace lumos::stats {
+
+ConfidenceInterval bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t resamples, double level, std::uint64_t seed) {
+  LUMOS_REQUIRE(!sample.empty(), "bootstrap needs a non-empty sample");
+  LUMOS_REQUIRE(level > 0.0 && level < 1.0, "level must be in (0,1)");
+  LUMOS_REQUIRE(resamples >= 10, "too few bootstrap resamples");
+
+  ConfidenceInterval ci;
+  ci.level = level;
+  ci.point = statistic(sample);
+
+  util::Rng rng(seed);
+  std::vector<double> resample(sample.size());
+  std::vector<double> stats_v;
+  stats_v.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& x : resample) {
+      x = sample[rng.uniform_index(sample.size())];
+    }
+    stats_v.push_back(statistic(resample));
+  }
+  std::sort(stats_v.begin(), stats_v.end());
+  const double alpha = (1.0 - level) / 2.0;
+  ci.lo = quantile_sorted(stats_v, alpha);
+  ci.hi = quantile_sorted(stats_v, 1.0 - alpha);
+  return ci;
+}
+
+ConfidenceInterval bootstrap_median_ci(std::span<const double> sample,
+                                       std::size_t resamples, double level,
+                                       std::uint64_t seed) {
+  return bootstrap_ci(
+      sample, [](std::span<const double> xs) { return median(xs); },
+      resamples, level, seed);
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample,
+                                     std::size_t resamples, double level,
+                                     std::uint64_t seed) {
+  return bootstrap_ci(
+      sample, [](std::span<const double> xs) { return mean(xs); }, resamples,
+      level, seed);
+}
+
+}  // namespace lumos::stats

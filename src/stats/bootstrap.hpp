@@ -1,0 +1,41 @@
+// Nonparametric bootstrap confidence intervals.
+//
+// The cross-system claims rest on medians and means of heavy-tailed
+// samples; bootstrap CIs quantify how much a reported statistic could move
+// under resampling — used by the report layer and available to users
+// comparing their own traces against the paper's numbers.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace lumos::stats {
+
+struct ConfidenceInterval {
+  double point = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+  double level = 0.95;
+};
+
+/// Percentile-bootstrap CI for an arbitrary statistic. `resamples` draws
+/// with replacement; deterministic for a given seed.
+[[nodiscard]] ConfidenceInterval bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t resamples = 500, double level = 0.95,
+    std::uint64_t seed = 1234);
+
+/// Convenience: CI of the median.
+[[nodiscard]] ConfidenceInterval bootstrap_median_ci(
+    std::span<const double> sample, std::size_t resamples = 500,
+    double level = 0.95, std::uint64_t seed = 1234);
+
+/// Convenience: CI of the mean.
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(
+    std::span<const double> sample, std::size_t resamples = 500,
+    double level = 0.95, std::uint64_t seed = 1234);
+
+}  // namespace lumos::stats

@@ -1,0 +1,23 @@
+// Pearson and Spearman correlation, used in the failure-vs-geometry and
+// queue-length behaviour analyses to quantify the trends the paper reads
+// off its bar charts.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lumos::stats {
+
+/// Pearson product-moment correlation; 0 for degenerate inputs.
+/// Both spans must be the same length.
+[[nodiscard]] double pearson(std::span<const double> x,
+                             std::span<const double> y);
+
+/// Spearman rank correlation (average ranks for ties).
+[[nodiscard]] double spearman(std::span<const double> x,
+                              std::span<const double> y);
+
+/// Mid-ranks (1-based, ties averaged) of a sample.
+[[nodiscard]] std::vector<double> ranks(std::span<const double> xs);
+
+}  // namespace lumos::stats

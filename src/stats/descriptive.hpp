@@ -1,0 +1,53 @@
+// Descriptive statistics over double samples.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lumos::stats {
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty sample.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample variance; 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+
+/// sqrt(variance).
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated quantile, q in [0,1]. Sorts a copy; O(n log n).
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Quantile over data the caller has already sorted ascending; O(1).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted,
+                                     double q) noexcept;
+
+/// Median (quantile 0.5).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Full summary in one pass over a sorted copy.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Renders "n=... mean=... p50=..." for reports.
+[[nodiscard]] std::string to_string(const Summary& s);
+
+/// Geometric mean of strictly positive samples (0 when any is <= 0).
+[[nodiscard]] double geometric_mean(std::span<const double> xs) noexcept;
+
+}  // namespace lumos::stats

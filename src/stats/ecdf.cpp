@@ -1,0 +1,41 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+
+namespace lumos::stats {
+
+Ecdf::Ecdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const noexcept {
+  return quantile_sorted(sorted_, q);
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) return out;
+  if (points == 1) {
+    out.emplace_back(sorted_.back(), 1.0);
+    return out;
+  }
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q =
+        static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(quantile(q), q);
+  }
+  return out;
+}
+
+}  // namespace lumos::stats

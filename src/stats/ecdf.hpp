@@ -1,0 +1,42 @@
+// Empirical cumulative distribution functions.
+//
+// The paper's Figures 1 and 4 are CDF plots; `Ecdf` provides both directions
+// (F(x) and quantiles) plus a downsampled point series the bench harnesses
+// print as the reproduced curve.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lumos::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  /// Builds from an arbitrary sample (copied and sorted).
+  explicit Ecdf(std::span<const double> sample);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+
+  /// F(x) = P(X <= x); 0 for an empty sample.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// Inverse CDF with linear interpolation; q clamped to [0,1].
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// The sorted sample (ascending).
+  [[nodiscard]] std::span<const double> sorted() const noexcept {
+    return sorted_;
+  }
+
+  /// `points` (x, F(x)) pairs evenly spaced in probability — the printable
+  /// curve. Always includes the min and max.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace lumos::stats

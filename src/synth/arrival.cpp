@@ -1,0 +1,37 @@
+#include "synth/arrival.hpp"
+
+#include <algorithm>
+
+#include "util/time_util.hpp"
+
+namespace lumos::synth {
+
+ArrivalProcess::ArrivalProcess(const SystemCalibration& cal, util::Rng& rng)
+    : cal_(cal), rng_(rng) {}
+
+double ArrivalProcess::intensity(double t) const noexcept {
+  const auto& spec = cal_.spec;
+  const int hour =
+      util::hour_of_day(t, spec.epoch_unix, spec.utc_offset_hours);
+  const int dow =
+      util::day_of_week(t, spec.epoch_unix, spec.utc_offset_hours);
+  double m = cal_.hourly[static_cast<std::size_t>(hour)];
+  if (dow >= 5) m *= cal_.weekend_factor;
+  return std::max(m, 1e-3);
+}
+
+double ArrivalProcess::next() {
+  double gap;
+  if (rng_.bernoulli(cal_.burst_prob)) {
+    gap = rng_.exponential(1.0 / std::max(cal_.burst_mean_s, 1e-3));
+    in_burst_ = true;
+  } else {
+    const double mean = cal_.idle_mean_s / intensity(now_);
+    gap = rng_.exponential(1.0 / std::max(mean, 1e-3));
+    in_burst_ = false;
+  }
+  now_ += std::max(gap, 1e-3);
+  return now_;
+}
+
+}  // namespace lumos::synth

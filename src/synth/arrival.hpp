@@ -1,0 +1,42 @@
+// Job arrival process: hyperexponential bursts modulated by a diurnal and
+// weekly intensity profile.
+//
+// Submissions in production traces are far from Poisson (§III-A): users
+// submit in bursts (sweeps, retries, session work), and intensity follows
+// local time of day. The process here draws each gap either from a short
+// "burst" exponential or from an "idle" exponential whose mean is divided
+// by the current local-time intensity multiplier, which reproduces both
+// the inter-arrival CDF (Fig 1b top) and the hourly profile (Fig 1b
+// bottom).
+#pragma once
+
+#include "synth/calibration.hpp"
+#include "util/rng.hpp"
+
+namespace lumos::synth {
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const SystemCalibration& cal, util::Rng& rng);
+
+  /// Advances and returns the next submit time (seconds since epoch start,
+  /// strictly increasing). Also updates the in-burst flag.
+  double next();
+
+  /// Whether the *last* returned arrival continued a burst (used to keep
+  /// burst jobs on the same user).
+  [[nodiscard]] bool in_burst() const noexcept { return in_burst_; }
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+ private:
+  const SystemCalibration& cal_;
+  util::Rng& rng_;
+  double now_ = 0.0;
+  bool in_burst_ = false;
+
+  /// Local-time intensity multiplier at time t (hour-of-day x weekday).
+  [[nodiscard]] double intensity(double t) const noexcept;
+};
+
+}  // namespace lumos::synth

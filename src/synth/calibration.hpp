@@ -1,0 +1,140 @@
+// Per-system workload calibrations.
+//
+// The real traces behind the paper are multi-GB downloads that are not
+// available offline, so lumos synthesises statistically equivalent
+// workloads: every parameter below is chosen to hit a statistic the paper
+// reports (DESIGN.md §1 documents the substitution). The generator
+// (synth/generator.hpp) turns one of these calibrations into a Trace with
+// the same schema the real-trace parsers produce, so all analyses and
+// simulations run unchanged on either source.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/system_spec.hpp"
+
+namespace lumos::synth {
+
+/// One entry of the discrete job-size distribution.
+struct SizeChoice {
+  std::uint32_t cores = 1;   ///< CPUs or GPUs, per the system's primary kind
+  std::uint32_t nodes = 1;
+  double weight = 1.0;       ///< unnormalised probability
+};
+
+struct SystemCalibration {
+  trace::SystemSpec spec;
+
+  // --- volume -----------------------------------------------------------
+  double duration_days = 120.0;  ///< trace window length to synthesise
+  int num_users = 200;
+
+  // --- arrival process (Fig 1b) -----------------------------------------
+  // Hyperexponential bursts: with probability `burst_prob` the next gap is
+  // Exp(burst_mean_s), otherwise Exp(idle_mean_s / diurnal(t)). Bursts give
+  // the 5-10 s median inter-arrivals of DL/hybrid systems while idle gaps
+  // set the overall job count (and thereby offered load / utilization).
+  double burst_prob = 0.5;
+  double burst_mean_s = 10.0;
+  double idle_mean_s = 300.0;
+  /// Hour-of-day intensity multipliers (local time), mean-normalised to 1.
+  std::array<double, 24> hourly{};
+  /// Intensity multiplier applied on Saturday/Sunday.
+  double weekend_factor = 1.0;
+  /// Probability that a burst-continuation job comes from the same user.
+  double burst_same_user = 0.7;
+
+  // --- per-user application templates (Fig 8) ---------------------------
+  // Each user owns a fixed set of (cores, runtime-median) templates chosen
+  // at construction; per job the user picks a template Zipf(s)-weighted.
+  int templates_min = 8;
+  int templates_max = 16;
+  double zipf_s = 2.0;        ///< template-popularity skew
+  double p_explore = 0.05;    ///< chance of a one-off ad-hoc configuration
+  double user_activity_s = 1.0;  ///< Zipf skew of per-user submission volume
+
+  // --- runtime model (Fig 1a) -------------------------------------------
+  double log_run_mu = 8.6;     ///< ln of the population median runtime (s)
+  double log_run_sigma = 1.2;  ///< between-template spread
+  double within_template_sigma = 0.05;  ///< ±5% keeps a template one
+                                        ///< resource-config group (§V-A)
+  /// Runtime scales as cores^corr — positive for DL systems, where bigger
+  /// training jobs run longer (drives Fig 2's long-job domination).
+  double size_runtime_corr = 0.0;
+  double run_min_s = 5.0;
+  double run_max_s = 30.0 * 86400.0;
+
+  // --- size model (Fig 1c) ----------------------------------------------
+  std::vector<SizeChoice> sizes;
+
+  // --- status model (Figs 6, 7, 11) --------------------------------------
+  // P(Killed | runtime) is a sigmoid in ln(runtime): cancellations and
+  // walltime terminations concentrate on long jobs (Mira's long jobs are
+  // ~99% killed in the paper).
+  double kill_base = 0.10;
+  double kill_max = 0.99;
+  double kill_log_mid = 11.4;   ///< ln(seconds) of the sigmoid midpoint
+  double kill_log_width = 1.2;
+  double fail_base = 0.08;      ///< P(Failed) before truncation
+  /// DL-only: extra kill/fail probability per log2(cores) (Fig 7a).
+  double fail_size_slope = 0.0;
+  double kill_size_slope = 0.0;
+  /// Failed jobs die early: runtime is multiplied by U(lo, hi).
+  double fail_trunc_lo = 0.02;
+  double fail_trunc_hi = 0.40;
+  /// Per-user jitter (stddev of a shift on kill_log_mid) — gives Fig 11's
+  /// user-distinct status/runtime distributions.
+  double user_kill_mid_sigma = 0.6;
+
+  // --- recorded-wait model (Figs 4, 5) -----------------------------------
+  // Mixture: with `wait_zero_prob` the job starts almost immediately
+  // (Exp(wait_zero_mean)); otherwise a lognormal queue wait.
+  double wait_zero_prob = 0.3;
+  double wait_zero_mean_s = 30.0;
+  double wait_log_med_s = 3600.0;
+  double wait_log_sigma = 1.6;
+  /// Size-category multipliers (middle-size jobs wait longest in the paper,
+  /// except Theta where the largest do).
+  double wait_mult_small = 0.7;
+  double wait_mult_middle = 1.6;
+  double wait_mult_large = 1.0;
+  /// Long jobs wait longer (backfilling favours short jobs):
+  /// multiplier = 1 + kappa * ln(1 + run/1h).
+  double wait_runtime_kappa = 0.30;
+  /// Load coupling: multiplier = 1 + lambda * (queue/max_queue).
+  double wait_load_lambda = 0.5;
+  /// Hard cap on synthesised waits (production queues rarely exceed days;
+  /// uncapped lognormal tails would otherwise distort makespans).
+  double wait_max_s = 5.0 * 86400.0;
+
+  // --- queue-aware submission behaviour (Figs 9, 10) ---------------------
+  /// Under load users favour smaller templates:
+  /// template weight *= exp(-beta * load * log2(cores)).
+  double queue_size_beta = 0.3;
+  /// DL-only: under load users favour shorter templates:
+  /// weight *= exp(-gamma * load * (ln run - mean ln run)).
+  double queue_runtime_gamma = 0.0;
+
+  // --- walltime requests --------------------------------------------------
+  bool emit_walltime = true;  ///< false for DL traces (no Wall Time, §VI-B)
+  /// Users pad estimates by a coarse per-user factor from this menu.
+  std::vector<double> walltime_factors{1.1, 1.33, 2.0, 3.0, 5.0, 10.0};
+};
+
+/// Calibrations for the five study systems (values documented inline with
+/// the paper statistic they target).
+[[nodiscard]] SystemCalibration mira_calibration();
+[[nodiscard]] SystemCalibration theta_calibration();
+[[nodiscard]] SystemCalibration blue_waters_calibration();
+[[nodiscard]] SystemCalibration philly_calibration();
+[[nodiscard]] SystemCalibration helios_calibration();
+
+/// All five, presentation order (BW, Mira, Theta, Philly, Helios).
+[[nodiscard]] std::vector<SystemCalibration> all_calibrations();
+
+/// Calibration by system name (case-insensitive); throws InvalidArgument.
+[[nodiscard]] SystemCalibration calibration_for(std::string_view name);
+
+}  // namespace lumos::synth

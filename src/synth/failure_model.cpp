@@ -1,0 +1,60 @@
+#include "synth/failure_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumos::synth {
+
+namespace {
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+double FailureModel::kill_probability(double run_s, std::uint32_t cores,
+                                      double user_shift) const noexcept {
+  const double log_run = std::log(std::max(run_s, 1.0));
+  const double mid = cal_.kill_log_mid + user_shift;
+  double p = cal_.kill_base +
+             (cal_.kill_max - cal_.kill_base) *
+                 sigmoid((log_run - mid) / cal_.kill_log_width);
+  if (cal_.kill_size_slope > 0.0) {
+    p += cal_.kill_size_slope * std::log2(static_cast<double>(cores) + 1.0);
+  }
+  return std::clamp(p, 0.0, 0.995);
+}
+
+double FailureModel::fail_probability(std::uint32_t cores) const noexcept {
+  double p = cal_.fail_base;
+  if (cal_.fail_size_slope > 0.0) {
+    p += cal_.fail_size_slope * std::log2(static_cast<double>(cores) + 1.0);
+  }
+  return std::clamp(p, 0.0, 0.9);
+}
+
+StatusDraw FailureModel::draw(double intended_run_s, std::uint32_t cores,
+                              const UserProfile& user, util::Rng& rng) const {
+  StatusDraw out;
+  out.run_time_s = intended_run_s;
+  if (rng.bernoulli(
+          kill_probability(intended_run_s, cores, user.kill_mid_shift))) {
+    out.status = trace::JobStatus::Killed;
+    // Cancellations happen at any point; walltime kills at the end. Trim a
+    // uniform fraction for a small share of kills to model mid-run
+    // cancellation (most kills land at or near the intended length, which
+    // keeps the killed-longer-than-passed signal of Fig 11).
+    if (rng.bernoulli(0.15)) {
+      out.run_time_s *= rng.uniform(0.5, 1.0);
+    }
+    return out;
+  }
+  if (rng.bernoulli(fail_probability(cores))) {
+    out.status = trace::JobStatus::Failed;
+    // Failed jobs die early (bad config, missing file, crash at startup).
+    out.run_time_s *= rng.uniform(cal_.fail_trunc_lo, cal_.fail_trunc_hi);
+    out.run_time_s = std::max(out.run_time_s, 1.0);
+    return out;
+  }
+  out.status = trace::JobStatus::Passed;
+  return out;
+}
+
+}  // namespace lumos::synth

@@ -1,0 +1,48 @@
+// Job status assignment.
+//
+// Encodes the paper's §IV findings as a generative model:
+//  * P(Killed) rises with runtime along a sigmoid in ln(run) — long jobs
+//    are overwhelmingly killed (walltime terminations, abandoned training).
+//  * In DL systems P(Failed)/P(Killed) also rise with GPU count (Fig 7a);
+//    HPC pass rates are size-independent.
+//  * Failed jobs die early: their recorded runtime is a small fraction of
+//    the intended one, so Failed jobs cost fewer core-hours than their
+//    count suggests (Fig 6).
+//  * Per-user shifts on the kill midpoint give the distinct per-user
+//    runtime-by-status distributions of Fig 11.
+#pragma once
+
+#include "synth/calibration.hpp"
+#include "synth/user_model.hpp"
+#include "trace/job.hpp"
+#include "util/rng.hpp"
+
+namespace lumos::synth {
+
+struct StatusDraw {
+  trace::JobStatus status = trace::JobStatus::Passed;
+  double run_time_s = 0.0;  ///< possibly truncated (Failed jobs die early)
+};
+
+class FailureModel {
+ public:
+  explicit FailureModel(const SystemCalibration& cal) : cal_(cal) {}
+
+  /// Kill probability for a job with intended runtime `run_s` and `cores`,
+  /// submitted by a user with kill-midpoint shift `user_shift`.
+  [[nodiscard]] double kill_probability(double run_s, std::uint32_t cores,
+                                        double user_shift) const noexcept;
+
+  /// Failure probability (evaluated after the kill draw fails).
+  [[nodiscard]] double fail_probability(std::uint32_t cores) const noexcept;
+
+  /// Draws the final status and (possibly truncated) runtime.
+  [[nodiscard]] StatusDraw draw(double intended_run_s, std::uint32_t cores,
+                                const UserProfile& user,
+                                util::Rng& rng) const;
+
+ private:
+  const SystemCalibration& cal_;
+};
+
+}  // namespace lumos::synth

@@ -1,0 +1,285 @@
+#include "synth/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ml/logistic.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "util/error.hpp"
+#include "util/time_util.hpp"
+
+namespace lumos::synth {
+
+namespace {
+
+double mean_of(std::span<const double> xs) { return stats::mean(xs); }
+
+/// ln-space mean/std over strictly positive samples.
+std::pair<double, double> log_moments(std::span<const double> xs) {
+  std::vector<double> logs;
+  logs.reserve(xs.size());
+  for (double x : xs) {
+    if (x > 0.0) logs.push_back(std::log(x));
+  }
+  if (logs.empty()) return {0.0, 1.0};
+  return {stats::mean(logs), std::max(0.05, stats::stddev(logs))};
+}
+
+void fit_arrivals(const trace::Trace& trace, const FitOptions& options,
+                  SystemCalibration& cal) {
+  const auto gaps = trace.interarrival_times();
+  if (gaps.empty()) return;
+  std::vector<double> burst, idle;
+  for (double g : gaps) {
+    (g <= options.burst_gap_threshold_s ? burst : idle).push_back(g);
+  }
+  cal.burst_prob =
+      std::clamp(static_cast<double>(burst.size()) /
+                     static_cast<double>(gaps.size()),
+                 0.02, 0.95);
+  cal.burst_mean_s = burst.empty() ? 5.0 : std::max(0.5, mean_of(burst));
+  cal.idle_mean_s = idle.empty() ? 300.0 : std::max(5.0, mean_of(idle));
+
+  // Diurnal profile: normalised hourly counts; weekend factor from the
+  // weekday/weekend submission-rate ratio.
+  const auto& spec = trace.spec();
+  const auto hourly = stats::hourly_counts(trace.submit_times(),
+                                           spec.epoch_unix,
+                                           spec.utc_offset_hours);
+  double total = 0.0;
+  for (double h : hourly) total += h;
+  if (total > 0.0) {
+    for (int h = 0; h < 24; ++h) {
+      cal.hourly[static_cast<std::size_t>(h)] =
+          std::max(0.05, hourly[static_cast<std::size_t>(h)] * 24.0 / total);
+    }
+  }
+  double weekday = 0.0, weekend = 0.0;
+  for (const auto& j : trace.jobs()) {
+    const int dow = util::day_of_week(j.submit_time, spec.epoch_unix,
+                                      spec.utc_offset_hours);
+    (dow >= 5 ? weekend : weekday) += 1.0;
+  }
+  // Rates per day: 5 weekdays vs 2 weekend days.
+  if (weekday > 0.0) {
+    const double ratio = (weekend / 2.0) / (weekday / 5.0);
+    cal.weekend_factor = std::clamp(ratio, 0.2, 1.5);
+  }
+}
+
+void fit_runtime(const trace::Trace& trace, SystemCalibration& cal) {
+  // Fit on Passed jobs: Failed runtimes are truncated artifacts and Killed
+  // ones censored; the generator re-applies both distortions.
+  std::vector<double> passed_runs;
+  for (const auto& j : trace.jobs()) {
+    if (j.status == trace::JobStatus::Passed && j.run_time > 0.0) {
+      passed_runs.push_back(j.run_time);
+    }
+  }
+  if (passed_runs.empty()) passed_runs = trace.run_times();
+  const auto [mu, sigma] = log_moments(passed_runs);
+  cal.log_run_mu = mu;
+  cal.log_run_sigma = sigma;
+  cal.run_min_s = std::max(1.0, stats::quantile(passed_runs, 0.001));
+  cal.run_max_s = std::max(cal.run_min_s * 2.0,
+                           stats::quantile(passed_runs, 0.999) * 2.0);
+  cal.size_runtime_corr = 0.0;  // identified only with a size spread
+  // Estimate the size-runtime coupling when sizes vary: regression slope
+  // of ln(run) on ln(cores) over passed jobs.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (const auto& j : trace.jobs()) {
+    if (j.status != trace::JobStatus::Passed || j.run_time <= 0.0) continue;
+    const double x = std::log(static_cast<double>(j.cores));
+    const double y = std::log(j.run_time);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n > 10) {
+    const double denom = static_cast<double>(n) * sxx - sx * sx;
+    if (denom > 1e-9) {
+      cal.size_runtime_corr = std::clamp(
+          (static_cast<double>(n) * sxy - sx * sy) / denom, 0.0, 1.0);
+    }
+  }
+}
+
+void fit_sizes(const trace::Trace& trace, const FitOptions& options,
+               SystemCalibration& cal) {
+  std::map<std::uint32_t, std::pair<std::size_t, std::uint32_t>> counts;
+  for (const auto& j : trace.jobs()) {
+    auto& [count, nodes] = counts[j.cores];
+    ++count;
+    nodes = j.nodes;
+  }
+  std::vector<std::pair<std::size_t, std::uint32_t>> order;  // (count, cores)
+  order.reserve(counts.size());
+  for (const auto& [cores, cn] : counts) order.emplace_back(cn.first, cores);
+  std::sort(order.begin(), order.end(), std::greater<>());
+  if (order.size() > options.max_size_choices) {
+    order.resize(options.max_size_choices);
+  }
+  cal.sizes.clear();
+  for (const auto& [count, cores] : order) {
+    SizeChoice choice;
+    choice.cores = cores;
+    choice.nodes = counts[cores].second;
+    choice.weight = static_cast<double>(count);
+    cal.sizes.push_back(choice);
+  }
+}
+
+void fit_status(const trace::Trace& trace, SystemCalibration& cal) {
+  std::size_t killed = 0, failed = 0;
+  for (const auto& j : trace.jobs()) {
+    killed += j.status == trace::JobStatus::Killed;
+    failed += j.status == trace::JobStatus::Failed;
+  }
+  const auto n = static_cast<double>(trace.size());
+  cal.fail_base = std::clamp(static_cast<double>(failed) / n, 0.0, 0.5);
+
+  // Kill sigmoid via 1-D logistic regression on ln(runtime).
+  ml::Matrix x(trace.size(), 1);
+  std::vector<double> y(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    x(i, 0) = std::log(std::max(trace[i].run_time, 1.0));
+    y[i] = trace[i].status == trace::JobStatus::Killed ? 1.0 : 0.0;
+  }
+  ml::LogisticRegression logit;
+  logit.fit(x, y);
+  // Recover base/max from the empirical kill rate in the runtime extremes,
+  // and mid/width from probe points of the fitted curve.
+  std::vector<double> runs = trace.run_times();
+  const double lo = stats::quantile(runs, 0.05);
+  const double hi = stats::quantile(runs, 0.95);
+  const double p_lo =
+      logit.predict_proba(std::vector<double>{std::log(std::max(lo, 1.0))});
+  const double p_hi =
+      logit.predict_proba(std::vector<double>{std::log(std::max(hi, 2.0))});
+  cal.kill_base = std::clamp(std::min(p_lo, p_hi), 0.0, 0.6);
+  cal.kill_max = std::clamp(std::max(p_hi, cal.kill_base + 0.1), 0.2, 0.99);
+  // Bisect the fitted curve for its midpoint between base and max.
+  double a = std::log(std::max(lo, 1.0));
+  double b = std::log(std::max(hi, 2.0)) + 3.0;
+  const double target = 0.5 * (cal.kill_base + cal.kill_max);
+  for (int it = 0; it < 48; ++it) {
+    const double m = 0.5 * (a + b);
+    const double p = logit.predict_proba(std::vector<double>{m});
+    (p < target ? a : b) = m;
+  }
+  cal.kill_log_mid = 0.5 * (a + b);
+  // Width from the fitted slope at the midpoint: d sigmoid/dx = s(1-s)/w.
+  const double eps = 0.25;
+  const double p1 = logit.predict_proba(
+      std::vector<double>{cal.kill_log_mid - eps});
+  const double p2 = logit.predict_proba(
+      std::vector<double>{cal.kill_log_mid + eps});
+  const double slope = std::max(1e-3, (p2 - p1) / (2.0 * eps));
+  cal.kill_log_width = std::clamp(0.25 * (cal.kill_max - cal.kill_base) /
+                                      slope,
+                                  0.2, 4.0);
+
+  // Failure truncation: ratio of failed-job runtimes to passed medians.
+  std::vector<double> failed_runs, passed_runs;
+  for (const auto& j : trace.jobs()) {
+    if (j.status == trace::JobStatus::Failed) failed_runs.push_back(j.run_time);
+    if (j.status == trace::JobStatus::Passed) passed_runs.push_back(j.run_time);
+  }
+  if (!failed_runs.empty() && !passed_runs.empty()) {
+    const double ratio = std::clamp(
+        stats::median(failed_runs) / std::max(1.0, stats::median(passed_runs)),
+        0.005, 0.9);
+    cal.fail_trunc_lo = std::max(0.002, ratio / 4.0);
+    cal.fail_trunc_hi = std::min(0.95, ratio * 2.0);
+  }
+}
+
+void fit_waits(const trace::Trace& trace, const FitOptions& options,
+               SystemCalibration& cal) {
+  const auto waits = trace.wait_times();
+  std::vector<double> zero, queued;
+  for (double w : waits) {
+    (w <= options.zero_wait_threshold_s ? zero : queued).push_back(w);
+  }
+  cal.wait_zero_prob = std::clamp(static_cast<double>(zero.size()) /
+                                      std::max<double>(1.0, waits.size()),
+                                  0.01, 0.95);
+  cal.wait_zero_mean_s = zero.empty() ? 5.0 : std::max(0.5, mean_of(zero));
+  if (!queued.empty()) {
+    cal.wait_log_med_s = std::max(1.0, stats::median(queued));
+    cal.wait_log_sigma = log_moments(queued).second;
+    cal.wait_max_s = std::max(cal.wait_log_med_s * 4.0,
+                              stats::quantile(queued, 0.999) * 1.5);
+  }
+  // Size-category multipliers from mean waits per category.
+  const auto& spec = trace.spec();
+  std::array<double, 4> sum{};
+  std::array<std::size_t, 4> count{};
+  for (const auto& j : trace.jobs()) {
+    const auto c = static_cast<std::size_t>(spec.size_category(j.cores));
+    sum[c] += j.wait_time;
+    count[c] += 1;
+  }
+  double overall = stats::mean(waits);
+  if (overall > 0.0) {
+    auto mult = [&](std::size_t c, double fallback) {
+      if (count[c] < 10) return fallback;
+      return std::clamp(sum[c] / static_cast<double>(count[c]) / overall,
+                        0.2, 5.0);
+    };
+    cal.wait_mult_small = mult(static_cast<std::size_t>(
+                                   trace::SizeCategory::Small), 1.0);
+    cal.wait_mult_middle = mult(static_cast<std::size_t>(
+                                    trace::SizeCategory::Middle), 1.0);
+    cal.wait_mult_large = mult(static_cast<std::size_t>(
+                                   trace::SizeCategory::Large), 1.0);
+  }
+}
+
+}  // namespace
+
+FitResult fit_calibration(const trace::Trace& trace,
+                          const FitOptions& options) {
+  LUMOS_REQUIRE(trace.size() >= 100, "fit_calibration needs >= 100 jobs");
+  LUMOS_REQUIRE(trace.is_sorted_by_submit(),
+                "fit_calibration needs a submit-sorted trace");
+
+  FitResult result;
+  SystemCalibration& cal = result.calibration;
+  cal.spec = trace.spec();
+  cal.duration_days = std::max(trace.last_submit() / 86400.0, 0.1);
+  cal.num_users = static_cast<int>(std::max<std::size_t>(trace.user_count(),
+                                                         1));
+
+  // Walltime availability follows the data.
+  std::size_t with_walltime = 0;
+  for (const auto& j : trace.jobs()) with_walltime += j.has_requested_time();
+  cal.emit_walltime = with_walltime * 2 > trace.size();
+  cal.spec.has_walltime_estimates = cal.emit_walltime;
+
+  fit_arrivals(trace, options, cal);
+  fit_runtime(trace, cal);
+  fit_sizes(trace, options, cal);
+  fit_status(trace, cal);
+  fit_waits(trace, options, cal);
+
+  auto& d = result.diagnostics;
+  d.runtime_median_s = stats::median(trace.run_times());
+  d.gap_median_s = stats::median(trace.interarrival_times());
+  d.wait_median_s = stats::median(trace.wait_times());
+  std::size_t passed = 0;
+  for (const auto& j : trace.jobs()) {
+    passed += j.status == trace::JobStatus::Passed;
+  }
+  d.passed_fraction =
+      static_cast<double>(passed) / static_cast<double>(trace.size());
+  d.distinct_sizes = cal.sizes.size();
+  return result;
+}
+
+}  // namespace lumos::synth

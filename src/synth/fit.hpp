@@ -1,0 +1,51 @@
+// Calibration fitting: estimate a SystemCalibration from a trace.
+//
+// The paper ships its analysis as a package "for others to easily conduct
+// similar analysis using their own job traces". lumos goes one step
+// further: `fit_calibration` inverts the workload generator by
+// method-of-moments, so a site can ingest its own trace (SWF/CSV), fit a
+// calibration, and then synthesise arbitrarily long statistically similar
+// workloads for scheduler studies — without sharing the raw trace.
+//
+// Fitted components: arrival process (burst/idle split, diurnal profile,
+// weekend factor), runtime lognormal, empirical size distribution, the
+// kill sigmoid (via logistic regression on ln runtime), failure rate and
+// truncation, and the recorded-wait mixture. Behavioural parameters that
+// need intervention-style identification (queue_size_beta,
+// queue_runtime_gamma) keep their defaults.
+#pragma once
+
+#include "synth/calibration.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::synth {
+
+struct FitOptions {
+  /// Gaps at or below this are treated as burst arrivals (seconds).
+  double burst_gap_threshold_s = 15.0;
+  /// Waits at or below this count as the near-zero mixture component.
+  double zero_wait_threshold_s = 30.0;
+  /// Maximum number of distinct size choices kept (most frequent first).
+  std::size_t max_size_choices = 24;
+};
+
+/// Diagnostics comparing the input trace's moments with the fit.
+struct FitDiagnostics {
+  double runtime_median_s = 0.0;
+  double gap_median_s = 0.0;
+  double wait_median_s = 0.0;
+  double passed_fraction = 0.0;
+  std::size_t distinct_sizes = 0;
+};
+
+struct FitResult {
+  SystemCalibration calibration;
+  FitDiagnostics diagnostics;
+};
+
+/// Fits a calibration to `trace` (which must be non-trivially sized and
+/// submit-sorted). Throws InvalidArgument on traces below 100 jobs.
+[[nodiscard]] FitResult fit_calibration(const trace::Trace& trace,
+                                        const FitOptions& options = {});
+
+}  // namespace lumos::synth

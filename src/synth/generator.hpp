@@ -1,0 +1,49 @@
+// Workload generator: calibration -> Trace.
+//
+// Drives the arrival process, user population, failure model and wait
+// model to produce a full synthetic trace. The generator tracks the
+// system backlog while it generates (queue length computed from the
+// already-emitted jobs' submit+wait), so queue-aware user behaviour (Figs
+// 9/10) reacts to the same queue-length signal the analyses later measure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "synth/calibration.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::synth {
+
+struct GeneratorOptions {
+  std::uint64_t seed = 42;
+  /// Overrides the calibration's window length (days) when set.
+  std::optional<double> duration_days;
+  /// Overrides the calibration's user count when set.
+  std::optional<int> num_users;
+  /// Caps the number of generated jobs (0 = no cap) — for quick tests.
+  std::size_t max_jobs = 0;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(SystemCalibration cal,
+                             GeneratorOptions options = {});
+
+  /// Generates the full trace (sorted by submit time, ids assigned).
+  [[nodiscard]] trace::Trace generate();
+
+  [[nodiscard]] const SystemCalibration& calibration() const noexcept {
+    return cal_;
+  }
+
+ private:
+  SystemCalibration cal_;
+  GeneratorOptions options_;
+};
+
+/// One-call helper: synthesise a named system's workload.
+[[nodiscard]] trace::Trace generate_system(std::string_view name,
+                                           GeneratorOptions options = {});
+
+}  // namespace lumos::synth

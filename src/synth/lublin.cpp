@@ -1,0 +1,113 @@
+#include "synth/lublin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/time_util.hpp"
+
+namespace lumos::synth {
+
+namespace {
+
+/// Gamma(shape, scale) via Marsaglia–Tsang (shape >= 1) with the boost for
+/// shape < 1.
+double gamma_sample(util::Rng& rng, double shape, double scale) {
+  if (shape < 1.0) {
+    const double u = rng.uniform();
+    return gamma_sample(rng, shape + 1.0, scale) *
+           std::pow(std::max(u, 1e-12), 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(std::max(u, 1e-300)) <
+        0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+}  // namespace
+
+trace::Trace generate_lublin(const LublinOptions& options) {
+  LUMOS_REQUIRE(options.spec.primary_capacity() > 0,
+                "Lublin model needs a positive capacity");
+  LUMOS_REQUIRE(options.duration_days > 0.0, "duration must be positive");
+
+  util::Rng rng(options.seed ^ 0x4c75626cULL);  // "Lubl"
+  trace::Trace trace(options.spec);
+  const double horizon = options.duration_days * 86400.0;
+  const double capacity =
+      static_cast<double>(options.spec.primary_capacity());
+  const double uhi = std::log2(capacity);
+
+  double now = 0.0;
+  std::uint64_t id = 0;
+  while (true) {
+    // Inter-arrival: gamma gap scaled by the inverse of the daily cycle.
+    const double hour_frac =
+        std::fmod(now, 86400.0) / 86400.0;  // 0..1 through the day
+    // Smooth day cycle peaking mid-day.
+    const double cycle =
+        options.cycle_min +
+        (options.cycle_max - options.cycle_min) *
+            0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * hour_frac));
+    const double gap =
+        gamma_sample(rng, options.arrive_a, options.arrive_b) * 60.0 /
+        std::max(cycle, 1e-3) / options.arrive_a;
+    now += std::max(gap, 0.1);
+    if (now >= horizon) break;
+
+    trace::Job job;
+    job.id = id++;
+    job.submit_time = now;
+    job.user = static_cast<std::uint32_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(options.num_users)));
+
+    // --- size ------------------------------------------------------------
+    double log2_size = 0.0;
+    if (!rng.bernoulli(options.prob_serial)) {
+      const double umed = std::min(options.umed, uhi - 0.5);
+      log2_size = rng.bernoulli(options.uprob)
+                      ? rng.uniform(options.ulow, umed)
+                      : rng.uniform(umed, uhi);
+    }
+    const double size =
+        std::clamp(std::round(std::exp2(log2_size)), 1.0, capacity);
+    job.cores = static_cast<std::uint32_t>(size);
+    job.nodes = job.cores;
+
+    // --- runtime: hyper-gamma with size-dependent mixture ------------------
+    const double p = std::clamp(
+        options.pa * std::log2(size + 1.0) + options.pb, 0.01, 0.99);
+    // The published gamma parameters describe ln(runtime): sample the
+    // hyper-gamma in log space and exponentiate.
+    const double log_runtime =
+        rng.bernoulli(p) ? gamma_sample(rng, options.a1, options.b1)
+                         : gamma_sample(rng, options.a2, options.b2);
+    job.run_time = std::clamp(std::exp(log_runtime), 1.0, 5.0 * 86400.0);
+
+    // Classic traces have no failure labels; pad a walltime request so the
+    // backfilling simulator has planning input.
+    job.status = trace::JobStatus::Passed;
+    job.requested_time =
+        std::max(1800.0, std::ceil(job.run_time * 2.0 / 1800.0) * 1800.0);
+    job.kind = options.spec.primary_kind;
+    trace.add(job);
+  }
+  trace.sort_by_submit();
+  return trace;
+}
+
+}  // namespace lumos::synth

@@ -1,0 +1,65 @@
+// The Lublin–Feitelson (JPDC'03) rigid-job workload model — the classic
+// statistical model the paper cites as [25] — implemented as an alternative
+// generator.
+//
+// Serving two purposes:
+//  * a community-standard baseline workload for the scheduling simulator;
+//  * an ablation foil: Lublin's model predates DL clusters, so comparing
+//    its output against the paper-calibrated generators shows exactly
+//    which modern shapes (1-GPU dominance, sub-minute runtimes, burst
+//    arrivals, long-job core-hour domination) the classic model misses —
+//    the paper's core argument that pre-2017 characterizations are stale.
+//
+// Components follow the published model's structure (with the published
+// default parameters):
+//  * job size: probability p of serial; parallel sizes two-stage uniform
+//    over powers of two (log2 sizes U[ul, um] w.p. uprob else U[um, uh]);
+//  * runtime: hyper-gamma, with the mixture weight depending linearly on
+//    the job size (bigger jobs draw from the longer gamma more often);
+//  * inter-arrival: gamma gaps modulated by the published daily cycle.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace lumos::synth {
+
+struct LublinOptions {
+  /// Target system (capacity bounds the sampled sizes).
+  trace::SystemSpec spec;
+  double duration_days = 7.0;
+  std::uint64_t seed = 1;
+  int num_users = 100;
+
+  // --- size model (published defaults) -----------------------------------
+  double prob_serial = 0.244;
+  double uprob = 0.7;   ///< weight of the low power-of-two range
+  double ulow = 0.8;    ///< log2 of the smallest parallel size
+  double umed = 4.5;
+  /// uhi is derived from the system size: log2(capacity).
+
+  // --- runtime model: runtime = exp(hyper-gamma(a1,b1 ; a2,b2)) ----------
+  double a1 = 4.2;
+  double b1 = 0.94;
+  double a2 = 312.0;
+  double b2 = 0.03;
+  /// p(first gamma) = pa * log2(size) + pb (clamped to [0.01, 0.99]).
+  double pa = -0.0054;
+  double pb = 0.78;
+
+  // --- arrival model ------------------------------------------------------
+  double arrive_a = 10.23;   ///< gamma shape for inter-arrival (peak hours)
+  double arrive_b = 0.4871;  ///< gamma rate parameter (per published aarr)
+  /// Hourly arrival weights (published cyclic day profile approximation).
+  double cycle_min = 0.2;
+  double cycle_max = 1.8;
+};
+
+/// Generates a Lublin-style workload. Jobs all report status Passed (the
+/// model has no failure component — itself one of the gaps the paper's
+/// analysis highlights) and carry padded walltime requests so backfilling
+/// simulations work.
+[[nodiscard]] trace::Trace generate_lublin(const LublinOptions& options);
+
+}  // namespace lumos::synth

@@ -1,0 +1,110 @@
+#include "synth/user_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lumos::synth {
+
+UserPopulation::UserPopulation(const SystemCalibration& cal, util::Rng& rng)
+    : cal_(cal) {
+  LUMOS_REQUIRE(cal.num_users > 0, "calibration needs at least one user");
+  LUMOS_REQUIRE(!cal.sizes.empty(), "calibration needs a size distribution");
+
+  users_.resize(static_cast<std::size_t>(cal.num_users));
+  std::vector<double> activity(users_.size());
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    UserProfile& profile = users_[u];
+    profile.id = static_cast<std::uint32_t>(u);
+
+    const int n_templates = static_cast<int>(rng.uniform_int(
+        cal.templates_min, std::max(cal.templates_min, cal.templates_max)));
+    profile.templates.reserve(static_cast<std::size_t>(n_templates));
+    double sum_log_run = 0.0;
+    for (int t = 0; t < n_templates; ++t) {
+      JobTemplate tmpl = make_template(rng);
+      // Zipf popularity by creation rank.
+      tmpl.popularity = 1.0 / std::pow(static_cast<double>(t + 1), cal.zipf_s);
+      sum_log_run += std::log(tmpl.run_median_s);
+      profile.templates.push_back(tmpl);
+    }
+    profile.mean_log_run = sum_log_run / static_cast<double>(n_templates);
+
+    profile.kill_mid_shift = rng.normal(0.0, cal.user_kill_mid_sigma);
+    profile.walltime_factor =
+        cal.walltime_factors[rng.uniform_index(cal.walltime_factors.size())];
+    if (cal.spec.virtual_clusters > 1) {
+      profile.virtual_cluster = static_cast<std::int32_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(
+              cal.spec.virtual_clusters)));
+    }
+    // Heavy-user skew: user activity ~ Zipf over a random permutation rank
+    // (randomise so user ids are not sorted by activity).
+    activity[u] =
+        1.0 / std::pow(static_cast<double>(u + 1), cal.user_activity_s);
+    profile.activity_weight = activity[u];
+  }
+  rng.shuffle(users_);
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    users_[u].id = static_cast<std::uint32_t>(u);
+    activity[u] = users_[u].activity_weight;
+  }
+  activity_ = util::AliasTable(activity);
+}
+
+JobTemplate UserPopulation::make_template(util::Rng& rng) const {
+  JobTemplate tmpl;
+  std::vector<double> weights;
+  weights.reserve(cal_.sizes.size());
+  for (const auto& s : cal_.sizes) weights.push_back(s.weight);
+  const auto& choice = cal_.sizes[rng.categorical(weights)];
+  tmpl.cores = choice.cores;
+  tmpl.nodes = choice.nodes;
+  // Template runtime median: population lognormal, scaled by the DL
+  // size-runtime coupling (cores^corr).
+  const double base = rng.lognormal(cal_.log_run_mu, cal_.log_run_sigma);
+  const double coupled =
+      base * std::pow(static_cast<double>(tmpl.cores), cal_.size_runtime_corr);
+  tmpl.run_median_s = std::clamp(coupled, cal_.run_min_s, cal_.run_max_s);
+  return tmpl;
+}
+
+std::uint32_t UserPopulation::sample_user(util::Rng& rng) const {
+  return static_cast<std::uint32_t>(activity_.sample(rng));
+}
+
+JobTemplate UserPopulation::sample_template(const UserProfile& user,
+                                            double load,
+                                            util::Rng& rng) const {
+  if (rng.bernoulli(cal_.p_explore)) return make_template(rng);
+  load = std::clamp(load, 0.0, 1.0);
+  // Users only change behaviour under *genuine* congestion (the paper's
+  // long-queue regime); thresholding keeps the unconditional geometry
+  // distributions at their calibrated values while the top queue-length
+  // tercile still shows the Fig 9/10 shifts.
+  const double pressure = std::max(0.0, load - 0.5) * 2.0;
+  std::vector<double> weights;
+  weights.reserve(user.templates.size());
+  for (const auto& t : user.templates) {
+    double w = t.popularity;
+    // Queue-aware shrinking (Fig 9): under pressure, bigger templates lose
+    // weight exponentially in log2(cores).
+    if (cal_.queue_size_beta > 0.0 && pressure > 0.0) {
+      w *= std::exp(-cal_.queue_size_beta * pressure *
+                    std::log2(static_cast<double>(t.cores) + 1.0));
+    }
+    // DL-only runtime shrinking (Fig 10): templates longer than the user's
+    // typical length lose weight (one-sided, so low-pressure periods keep
+    // the calibrated runtime distribution).
+    if (cal_.queue_runtime_gamma > 0.0 && pressure > 0.0) {
+      const double excess = std::log(t.run_median_s) - user.mean_log_run;
+      w *= std::exp(-cal_.queue_runtime_gamma * pressure *
+                    std::max(0.0, excess));
+    }
+    weights.push_back(w);
+  }
+  return user.templates[rng.categorical(weights)];
+}
+
+}  // namespace lumos::synth

@@ -1,0 +1,68 @@
+// User population with repeated resource-configuration templates.
+//
+// The paper's §V shows per-user behaviour is highly structured: a handful
+// of "[cores, run time]" templates covers ~90% of each user's submissions
+// (Fig 8), and under queue pressure users shift to smaller (all systems,
+// Fig 9) and shorter (DL systems, Fig 10) configurations. UserPopulation
+// encodes exactly that: per-user template sets with Zipf popularity,
+// load-dependent re-weighting, and per-user failure/walltime personality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/calibration.hpp"
+#include "util/rng.hpp"
+
+namespace lumos::synth {
+
+/// One application template: a fixed resource request plus a runtime
+/// median. Jobs from the template jitter runtime by a few percent, so they
+/// land in the same resource-configuration group as defined in §V-A.
+struct JobTemplate {
+  std::uint32_t cores = 1;
+  std::uint32_t nodes = 1;
+  double run_median_s = 3600.0;  ///< includes the size-runtime coupling
+  double popularity = 1.0;       ///< Zipf weight
+};
+
+struct UserProfile {
+  std::uint32_t id = 0;
+  std::vector<JobTemplate> templates;
+  double activity_weight = 1.0;   ///< share of overall submissions
+  double kill_mid_shift = 0.0;    ///< personal shift on the kill sigmoid
+  double walltime_factor = 2.0;   ///< padding multiplier on estimates
+  std::int32_t virtual_cluster = -1;
+  double mean_log_run = 0.0;      ///< mean ln(run_median) over templates
+};
+
+class UserPopulation {
+ public:
+  /// Builds `cal.num_users` users with deterministic template sets.
+  UserPopulation(const SystemCalibration& cal, util::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return users_.size(); }
+  [[nodiscard]] const UserProfile& user(std::uint32_t id) const noexcept {
+    return users_[id];
+  }
+
+  /// Samples a submitting user (activity is Zipf-skewed: the paper's
+  /// "heavy users" dominate submissions, §V-C).
+  [[nodiscard]] std::uint32_t sample_user(util::Rng& rng) const;
+
+  /// Picks a template for `user` under queue pressure `load` in [0,1].
+  /// With probability p_explore a one-off ad-hoc template is returned
+  /// instead (the ~10% of jobs outside the top groups in Fig 8).
+  [[nodiscard]] JobTemplate sample_template(const UserProfile& user,
+                                            double load,
+                                            util::Rng& rng) const;
+
+ private:
+  const SystemCalibration& cal_;
+  std::vector<UserProfile> users_;
+  util::AliasTable activity_;
+
+  [[nodiscard]] JobTemplate make_template(util::Rng& rng) const;
+};
+
+}  // namespace lumos::synth

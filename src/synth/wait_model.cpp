@@ -1,0 +1,38 @@
+#include "synth/wait_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumos::synth {
+
+double WaitModel::multiplier(std::uint32_t cores, double run_s,
+                             double load) const noexcept {
+  double m = 1.0;
+  switch (cal_.spec.size_category(cores)) {
+    case trace::SizeCategory::Minimal:
+    case trace::SizeCategory::Small:
+      m *= cal_.wait_mult_small;
+      break;
+    case trace::SizeCategory::Middle:
+      m *= cal_.wait_mult_middle;
+      break;
+    case trace::SizeCategory::Large:
+      m *= cal_.wait_mult_large;
+      break;
+  }
+  m *= 1.0 + cal_.wait_runtime_kappa * std::log1p(run_s / 3600.0);
+  m *= 1.0 + cal_.wait_load_lambda * std::clamp(load, 0.0, 1.0);
+  return m;
+}
+
+double WaitModel::sample(std::uint32_t cores, double run_s, double load,
+                         util::Rng& rng) const {
+  if (rng.bernoulli(cal_.wait_zero_prob)) {
+    return rng.exponential(1.0 / std::max(cal_.wait_zero_mean_s, 1e-3));
+  }
+  const double base =
+      rng.lognormal(std::log(cal_.wait_log_med_s), cal_.wait_log_sigma);
+  return std::min(base * multiplier(cores, run_s, load), cal_.wait_max_s);
+}
+
+}  // namespace lumos::synth

@@ -1,0 +1,37 @@
+// Recorded-wait synthesis.
+//
+// Figures 4, 5, 9 and 10 read waiting times straight out of the traces
+// (they reflect each production system's own scheduler, not ours), so the
+// generator synthesises waits from a calibrated mixture:
+//   wait = [Exp(near-zero) w.p. p0 | LogNormal(median, sigma)]
+//          x size-category multiplier (middle-size jobs wait longest)
+//          x (1 + kappa ln(1 + run/1h))   (backfilling favours short jobs)
+//          x (1 + lambda * load)          (queue-pressure coupling)
+// The scheduling *experiments* (Table II) never use these values — the
+// simulator computes its own waits.
+#pragma once
+
+#include "synth/calibration.hpp"
+#include "trace/system_spec.hpp"
+#include "util/rng.hpp"
+
+namespace lumos::synth {
+
+class WaitModel {
+ public:
+  explicit WaitModel(const SystemCalibration& cal) : cal_(cal) {}
+
+  /// Samples a wait for a job of `cores` cores and runtime `run_s` under
+  /// queue pressure `load` in [0,1].
+  [[nodiscard]] double sample(std::uint32_t cores, double run_s, double load,
+                              util::Rng& rng) const;
+
+  /// The deterministic multiplier part (exposed for tests).
+  [[nodiscard]] double multiplier(std::uint32_t cores, double run_s,
+                                  double load) const noexcept;
+
+ private:
+  const SystemCalibration& cal_;
+};
+
+}  // namespace lumos::synth

@@ -1,0 +1,37 @@
+// CSV trace dialects.
+//
+// Three dialects cover the study's source formats:
+//  * lumos canonical CSV — what lumos itself writes; lossless round-trip.
+//  * Philly/Helios-style DL CSV — per-job GPU counts, VC ids, textual status.
+//  * ALCF-style HPC CSV — queued/start/end timestamps, nodes/cores, exit code.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace lumos::trace {
+
+/// Canonical columns:
+/// id,user,submit,wait,run,requested_time,nodes,cores,kind,status,vc
+[[nodiscard]] Trace read_lumos_csv(std::istream& in, SystemSpec spec);
+void write_lumos_csv(std::ostream& out, const Trace& trace);
+[[nodiscard]] Trace read_lumos_csv_file(const std::string& path,
+                                        SystemSpec spec);
+void write_lumos_csv_file(const std::string& path, const Trace& trace);
+
+/// Philly/Helios-style columns (header required; extra columns ignored):
+/// job_id,user,vc,submit_time,queue_delay,run_time,gpus,status
+/// status strings: Pass/Passed/Completed -> Passed; Failed -> Failed;
+/// Killed/Cancelled -> Killed (case-insensitive).
+[[nodiscard]] Trace read_dl_csv(std::istream& in, SystemSpec spec);
+
+/// ALCF-style columns (header required; extra columns ignored):
+/// JOB_ID,USER,QUEUED_TIMESTAMP,START_TIMESTAMP,END_TIMESTAMP,
+/// NODES_USED,CORES_USED,WALLTIME_SECONDS,EXIT_STATUS
+/// Timestamps are Unix seconds; EXIT_STATUS 0 -> Passed, negative ->
+/// Killed, positive -> Failed.
+[[nodiscard]] Trace read_alcf_csv(std::istream& in, SystemSpec spec);
+
+}  // namespace lumos::trace

@@ -1,0 +1,84 @@
+// The per-job record every lumos analysis consumes.
+//
+// This is the common-attribute schema the paper aligns all five traces to
+// (§II-B): geometry (submit/run/size), scheduling outcome (wait), exit
+// status, and the submitting user. Fields that only some traces carry
+// (walltime request, virtual cluster) are optional-with-sentinel.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lumos::trace {
+
+/// Final job status per the paper's three-way classification (§IV-A):
+/// Passed (normal completion), Failed (technical fault — SIGABRT/SIGSEGV
+/// class), Killed (terminated externally — SIGTERM/SIGKILL class,
+/// cancellations, walltime kills).
+enum class JobStatus : std::uint8_t { Passed = 0, Failed = 1, Killed = 2 };
+
+inline constexpr int kNumStatuses = 3;
+
+[[nodiscard]] constexpr std::string_view to_string(JobStatus s) noexcept {
+  switch (s) {
+    case JobStatus::Passed: return "Passed";
+    case JobStatus::Failed: return "Failed";
+    case JobStatus::Killed: return "Killed";
+  }
+  return "?";
+}
+
+/// What a "core" means for a job (Fig 1c plots GPUs for DL systems and CPUs
+/// for HPC systems; Blue Waters carries both kinds).
+enum class ResourceKind : std::uint8_t { Cpu = 0, Gpu = 1 };
+
+[[nodiscard]] constexpr std::string_view to_string(ResourceKind k) noexcept {
+  return k == ResourceKind::Cpu ? "CPU" : "GPU";
+}
+
+/// Sentinel for "this trace does not provide the field".
+inline constexpr double kNoValue = -1.0;
+inline constexpr std::int32_t kNoVirtualCluster = -1;
+
+struct Job {
+  std::uint64_t id = 0;           ///< unique within a trace
+  std::uint32_t user = 0;         ///< anonymised submitting user id
+  double submit_time = 0.0;       ///< seconds since trace epoch
+  double wait_time = 0.0;         ///< queue wait recorded in the trace (s)
+  double run_time = 0.0;          ///< actual execution time (s)
+  double requested_time = kNoValue;  ///< user walltime estimate (s), if any
+  std::uint32_t nodes = 1;        ///< allocated/requested nodes
+  std::uint32_t cores = 1;        ///< allocated cores (CPUs or GPUs)
+  ResourceKind kind = ResourceKind::Cpu;
+  JobStatus status = JobStatus::Passed;
+  std::int32_t virtual_cluster = kNoVirtualCluster;  ///< Philly-style VC id
+
+  /// Scheduler-visible start.
+  [[nodiscard]] double start_time() const noexcept {
+    return submit_time + wait_time;
+  }
+  /// End of execution.
+  [[nodiscard]] double end_time() const noexcept {
+    return start_time() + run_time;
+  }
+  /// Wait + run — the paper's turnaround (Fig 4b).
+  [[nodiscard]] double turnaround() const noexcept {
+    return wait_time + run_time;
+  }
+  /// Core-hours consumed (cores are CPUs or GPUs per `kind`).
+  [[nodiscard]] double core_hours() const noexcept {
+    return static_cast<double>(cores) * run_time / 3600.0;
+  }
+  /// Bounded slowdown with the Feitelson interactive threshold.
+  [[nodiscard]] double bounded_slowdown(double bound = 10.0) const noexcept {
+    const double denom = run_time > bound ? run_time : bound;
+    const double bsld = (wait_time + run_time) / denom;
+    return bsld > 1.0 ? bsld : 1.0;
+  }
+  /// True when the trace recorded a walltime request.
+  [[nodiscard]] bool has_requested_time() const noexcept {
+    return requested_time > 0.0;
+  }
+};
+
+}  // namespace lumos::trace

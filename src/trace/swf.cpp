@@ -1,0 +1,123 @@
+#include "trace/swf.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace lumos::trace {
+
+namespace {
+
+JobStatus status_from_swf(long long code) noexcept {
+  switch (code) {
+    case 1: return JobStatus::Passed;
+    case 5: return JobStatus::Killed;   // cancelled
+    default: return JobStatus::Failed;  // 0 failed, 3/4 partial
+  }
+}
+
+long long status_to_swf(JobStatus s) noexcept {
+  switch (s) {
+    case JobStatus::Passed: return 1;
+    case JobStatus::Failed: return 0;
+    case JobStatus::Killed: return 5;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Trace read_swf(std::istream& in, SystemSpec spec) {
+  Trace trace(std::move(spec));
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t dropped = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == ';') continue;
+    const auto fields = util::split_whitespace(trimmed);
+    if (fields.size() < 18) {
+      throw ParseError(util::format("SWF line %zu: expected 18 fields, got %zu",
+                                    lineno, fields.size()));
+    }
+    auto need_num = [&](std::size_t i) -> double {
+      const auto v = util::parse_double(fields[i]);
+      if (!v) {
+        throw ParseError(util::format(
+            "SWF line %zu field %zu: not a number", lineno, i + 1));
+      }
+      return *v;
+    };
+    Job j;
+    j.id = static_cast<std::uint64_t>(need_num(0));
+    j.submit_time = need_num(1);
+    const double wait = need_num(2);
+    j.wait_time = wait < 0.0 ? 0.0 : wait;
+    j.run_time = need_num(3);
+    if (j.run_time < 0.0) {
+      ++dropped;
+      continue;  // SWF "unknown runtime"
+    }
+    const double alloc = need_num(4);
+    const double req_procs = need_num(7);
+    const double procs = alloc > 0.0 ? alloc : req_procs;
+    j.cores = procs > 0.0 ? static_cast<std::uint32_t>(procs) : 1;
+    j.nodes = j.cores;  // SWF has no node notion; proc-granular
+    j.requested_time = need_num(8);
+    if (j.requested_time <= 0.0) j.requested_time = kNoValue;
+    j.status = status_from_swf(static_cast<long long>(need_num(10)));
+    const double user = need_num(11);
+    j.user = user >= 0.0 ? static_cast<std::uint32_t>(user) : 0;
+    j.kind = trace.spec().primary_kind;
+    trace.add(j);
+  }
+  if (dropped > 0) {
+    LUMOS_INFO << "read_swf: dropped " << dropped
+               << " jobs with unknown runtime";
+  }
+  trace.sort_by_submit();
+  return trace;
+}
+
+Trace read_swf_file(const std::string& path, SystemSpec spec) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open SWF file: " + path);
+  return read_swf(in, std::move(spec));
+}
+
+void write_swf(std::ostream& out, const Trace& trace) {
+  const auto& spec = trace.spec();
+  out << "; System: " << spec.name << "\n";
+  out << "; MaxProcs: " << spec.primary_capacity() << "\n";
+  out << "; UnixStartTime: " << spec.epoch_unix << "\n";
+  out << "; TimeZoneOffsetHours: " << spec.utc_offset_hours << "\n";
+  for (const Job& j : trace.jobs()) {
+    out << j.id + 1 << ' '                        // 1 job number (1-based)
+        << j.submit_time << ' '                   // 2 submit
+        << j.wait_time << ' '                     // 3 wait
+        << j.run_time << ' '                      // 4 run
+        << j.cores << ' '                         // 5 allocated procs
+        << -1 << ' ' << -1 << ' '                 // 6 cpu time, 7 memory
+        << j.cores << ' '                         // 8 requested procs
+        << (j.has_requested_time() ? j.requested_time : -1.0) << ' '  // 9
+        << -1 << ' '                              // 10 requested memory
+        << status_to_swf(j.status) << ' '         // 11 status
+        << j.user << ' '                          // 12 user
+        << -1 << ' ' << -1 << ' ' << -1 << ' '    // 13 group 14 exe 15 queue
+        << (j.virtual_cluster >= 0 ? j.virtual_cluster : -1) << ' '  // 16
+        << -1 << ' ' << -1 << '\n';               // 17 prec job, 18 think
+  }
+}
+
+void write_swf_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open SWF file for writing: " + path);
+  write_swf(out, trace);
+}
+
+}  // namespace lumos::trace

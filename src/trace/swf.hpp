@@ -1,0 +1,31 @@
+// Standard Workload Format (SWF) reader/writer.
+//
+// SWF is the lingua franca of scheduling research (Feitelson's Parallel
+// Workloads Archive) and the input format of SchedGym, the simulator the
+// paper evaluates with. Fields are the standard 18 whitespace-separated
+// columns; `;` lines are header comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace lumos::trace {
+
+/// Parses SWF from a stream. Jobs with negative run time (SWF's "unknown")
+/// are dropped; negative wait times are clamped to zero. SWF status codes
+/// map: 1 -> Passed, 0/3/4 -> Failed, 5 -> Killed (cancelled).
+/// Throws ParseError on malformed records.
+[[nodiscard]] Trace read_swf(std::istream& in, SystemSpec spec);
+
+/// Convenience: read from a file path.
+[[nodiscard]] Trace read_swf_file(const std::string& path, SystemSpec spec);
+
+/// Writes a trace as SWF (with a minimal comment header carrying the
+/// system name and capacity). Round-trips with read_swf.
+void write_swf(std::ostream& out, const Trace& trace);
+
+void write_swf_file(const std::string& path, const Trace& trace);
+
+}  // namespace lumos::trace

@@ -1,0 +1,180 @@
+#include "trace/system_spec.hpp"
+
+#include "util/string_util.hpp"
+
+namespace lumos::trace {
+
+SizeCategory SystemSpec::size_category(std::uint32_t job_cores,
+                                       bool with_minimal) const noexcept {
+  if (with_minimal && job_cores <= 1) return SizeCategory::Minimal;
+  if (klass == SystemClass::ClassicDl) {
+    // DL rule (§III-A, following Helios conventions): 1 GPU = small,
+    // 2..8 = middle, >8 = large.
+    if (job_cores <= 1) return SizeCategory::Small;
+    if (job_cores <= 8) return SizeCategory::Middle;
+    return SizeCategory::Large;
+  }
+  // HPC/hybrid rule: fraction of total primary cores.
+  const double frac = static_cast<double>(job_cores) /
+                      static_cast<double>(primary_capacity());
+  if (frac < 0.10) return SizeCategory::Small;
+  if (frac <= 0.30) return SizeCategory::Middle;
+  return SizeCategory::Large;
+}
+
+LengthCategory SystemSpec::length_category(double run_time_s,
+                                           bool with_minimal) noexcept {
+  if (with_minimal && run_time_s < 60.0) return LengthCategory::Minimal;
+  if (run_time_s < 3600.0) return LengthCategory::Short;
+  if (run_time_s <= 86400.0) return LengthCategory::Middle;
+  return LengthCategory::Long;
+}
+
+SystemSpec mira_spec() {
+  SystemSpec s;
+  s.name = "Mira";
+  s.affiliation = "ALCF";
+  s.klass = SystemClass::ClassicHpc;
+  s.nodes = 49152;
+  s.cores = 786432;  // 16 CPUs per node
+  s.gpus = 0;
+  s.primary_kind = ResourceKind::Cpu;
+  s.utc_offset_hours = -6.0;  // Central Time
+  s.epoch_unix = 1564617600;  // 2019-08-01 (aligned 4-month window)
+  s.trace_window = "2019-08~2019-12";
+  s.virtual_clusters = 0;
+  s.has_walltime_estimates = true;
+  return s;
+}
+
+SystemSpec theta_spec() {
+  SystemSpec s;
+  s.name = "Theta";
+  s.affiliation = "ALCF";
+  s.klass = SystemClass::ClassicHpc;
+  s.nodes = 4392;
+  s.cores = 281088;  // 64 CPUs per node
+  s.gpus = 0;
+  s.primary_kind = ResourceKind::Cpu;
+  s.utc_offset_hours = -6.0;  // Central Time
+  s.epoch_unix = 1669852800;  // 2022-12-01
+  s.trace_window = "2022-12~2023-05";
+  s.virtual_clusters = 0;
+  s.has_walltime_estimates = true;
+  return s;
+}
+
+SystemSpec blue_waters_spec() {
+  SystemSpec s;
+  s.name = "BlueWaters";
+  s.affiliation = "NCSA";
+  s.klass = SystemClass::Hybrid;
+  s.nodes = 26864;    // 22,636 CPU + 4,228 GPU nodes
+  s.cores = 396000;
+  s.gpus = 4228;
+  s.primary_kind = ResourceKind::Cpu;
+  s.utc_offset_hours = -6.0;  // Central Time (Illinois)
+  s.epoch_unix = 1564617600;  // 2019-08-01
+  s.trace_window = "2019-08~2019-12";
+  s.virtual_clusters = 0;
+  s.has_walltime_estimates = true;
+  return s;
+}
+
+SystemSpec philly_spec() {
+  SystemSpec s;
+  s.name = "Philly";
+  s.affiliation = "Microsoft";
+  s.klass = SystemClass::ClassicDl;
+  s.nodes = 552;
+  s.cores = 0;  // CPU scale not reported in the trace
+  s.gpus = 2490;
+  s.primary_kind = ResourceKind::Gpu;
+  s.utc_offset_hours = -8.0;  // Pacific Time
+  s.epoch_unix = 1501545600;  // 2017-08-01
+  s.trace_window = "2017-08~2017-12";
+  s.virtual_clusters = 14;
+  s.has_walltime_estimates = false;  // no Wall Time in the DL traces
+  return s;
+}
+
+SystemSpec helios_spec() {
+  SystemSpec s;
+  s.name = "Helios";
+  s.affiliation = "SenseTime";
+  s.klass = SystemClass::ClassicDl;
+  s.nodes = 802;
+  s.cores = 0;
+  s.gpus = 6416;
+  s.primary_kind = ResourceKind::Gpu;
+  s.utc_offset_hours = 8.0;  // China Standard Time
+  s.epoch_unix = 1585699200;  // 2020-04-01
+  s.trace_window = "2020-04~2020-09";
+  s.virtual_clusters = 0;
+  s.has_walltime_estimates = false;
+  return s;
+}
+
+std::vector<SystemSpec> all_system_specs() {
+  return {blue_waters_spec(), mira_spec(), theta_spec(), philly_spec(),
+          helios_spec()};
+}
+
+std::optional<SystemSpec> find_system_spec(std::string_view name) {
+  const std::string key = util::to_lower(name);
+  for (auto& spec : all_system_specs()) {
+    if (util::to_lower(spec.name) == key) return spec;
+  }
+  // Common aliases.
+  if (key == "blue waters" || key == "blue_waters" || key == "bw") {
+    return blue_waters_spec();
+  }
+  return std::nullopt;
+}
+
+std::vector<CandidateTrace> table1_candidates() {
+  auto make = [](std::string name, std::string aff, std::string years,
+                 std::string jobs, std::string nodes, std::string cores,
+                 std::string gpus, bool large, bool user, bool status,
+                 bool consistent, bool selected, std::string reason) {
+    CandidateTrace c;
+    c.name = std::move(name);
+    c.affiliation = std::move(aff);
+    c.years = std::move(years);
+    c.job_count = std::move(jobs);
+    c.nodes = std::move(nodes);
+    c.cores = std::move(cores);
+    c.gpus = std::move(gpus);
+    c.large_scale = large;
+    c.user_info = user;
+    c.job_status = status;
+    c.info_consistent = consistent;
+    c.selected = selected;
+    c.exclusion_reason = std::move(reason);
+    return c;
+  };
+  return {
+      make("Mira", "ALCF", "2013~2019", "750,000", "49,152", "786,432", "NA",
+           true, true, true, true, true, ""),
+      make("Theta", "ALCF", "2017~2023", "522,858", "4,392", "281,088", "NA",
+           true, true, true, true, true, ""),
+      make("Blue Waters", "NCSA", "2013~2019", "10.5M", "26,864", "396,000",
+           "4,228", true, true, true, true, true, ""),
+      make("ThetaGPU", "ALCF", "2020~2023", "135,975", "24", "NA", "192",
+           false, true, true, true, false, "cluster size (24 nodes)"),
+      make("Supercloud", "MIT", "2021-01~2021-10", "395,914", "704", "32,000",
+           "448", true, true, true, false, false,
+           "inconsistent info (jobs exceed node count)"),
+      make("Philly", "Microsoft", "2017-08~2017-12", "117,325", "552", "NA",
+           "2,490", true, true, true, true, true, ""),
+      make("Helios", "SenseTime", "2020-04~2020-09", "3.3M", "802", "NA",
+           "6,416", true, true, true, true, true, ""),
+      make("Elasticflow", "Microsoft", "2021-03~2021-05", "69,351", "NA",
+           "NA", "NA", false, false, false, true, false,
+           "job count; missing user/status info"),
+      make("Alibaba Cluster Trace", "Alibaba", "2023", "8,152", "1,523",
+           "107,018", "6,212", false, true, true, true, false, "job count"),
+  };
+}
+
+}  // namespace lumos::trace

@@ -1,0 +1,120 @@
+// Static descriptions of the computing systems in the study.
+//
+// Table I of the paper, as code: capacity, resource kind, timezone, trace
+// window, and the per-system job-size category thresholds from §III-A.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/job.hpp"
+
+namespace lumos::trace {
+
+/// Which of the paper's three workload classes a system belongs to.
+enum class SystemClass : std::uint8_t { ClassicHpc, ClassicDl, Hybrid };
+
+[[nodiscard]] constexpr std::string_view to_string(SystemClass c) noexcept {
+  switch (c) {
+    case SystemClass::ClassicHpc: return "HPC";
+    case SystemClass::ClassicDl: return "DL";
+    case SystemClass::Hybrid: return "Hybrid";
+  }
+  return "?";
+}
+
+/// Job size category per the paper's per-class thresholds (§III-A):
+/// HPC/hybrid: small <10% of cores, middle 10-30%, large >30%;
+/// DL: small = 1 GPU, middle 2-8 GPUs, large >8 GPUs.
+enum class SizeCategory : std::uint8_t { Minimal = 0, Small, Middle, Large };
+/// Length category (§III-A): short <1h, middle 1h-1d, long >1d; "minimal"
+/// (<60s) only appears in the queue-behaviour analysis (Fig 10).
+enum class LengthCategory : std::uint8_t { Minimal = 0, Short, Middle, Long };
+
+[[nodiscard]] constexpr std::string_view to_string(SizeCategory c) noexcept {
+  switch (c) {
+    case SizeCategory::Minimal: return "Minimal";
+    case SizeCategory::Small: return "Small";
+    case SizeCategory::Middle: return "Middle";
+    case SizeCategory::Large: return "Large";
+  }
+  return "?";
+}
+[[nodiscard]] constexpr std::string_view to_string(LengthCategory c) noexcept {
+  switch (c) {
+    case LengthCategory::Minimal: return "Minimal";
+    case LengthCategory::Short: return "Short";
+    case LengthCategory::Middle: return "Middle";
+    case LengthCategory::Long: return "Long";
+  }
+  return "?";
+}
+
+struct SystemSpec {
+  std::string name;
+  std::string affiliation;
+  SystemClass klass = SystemClass::ClassicHpc;
+  std::uint32_t nodes = 0;           ///< total compute nodes
+  std::uint32_t cores = 0;           ///< total CPU cores (0 if N/A)
+  std::uint32_t gpus = 0;            ///< total GPUs (0 if none)
+  ResourceKind primary_kind = ResourceKind::Cpu;  ///< what Fig 1c counts
+  double utc_offset_hours = 0.0;     ///< for local hour-of-day analyses
+  std::int64_t epoch_unix = 0;       ///< Unix time of trace t=0
+  std::string trace_window;          ///< human-readable window (Table I)
+  int virtual_clusters = 0;          ///< Philly-style VC partitions (0=none)
+  bool has_walltime_estimates = false;  ///< needed for backfilling sims
+
+  /// Capacity in the primary resource (cores for HPC, GPUs for DL,
+  /// cores+... for the hybrid system we count CPU cores).
+  [[nodiscard]] std::uint32_t primary_capacity() const noexcept {
+    return primary_kind == ResourceKind::Gpu ? gpus : cores;
+  }
+
+  /// Classifies a job's size per the paper's per-class rule. `with_minimal`
+  /// adds the 1-core "Minimal" bucket used by Fig 9.
+  [[nodiscard]] SizeCategory size_category(std::uint32_t job_cores,
+                                           bool with_minimal = false) const
+      noexcept;
+
+  /// Classifies runtime; `with_minimal` adds the <60 s bucket (Fig 10).
+  [[nodiscard]] static LengthCategory length_category(
+      double run_time_s, bool with_minimal = false) noexcept;
+};
+
+/// The five selected systems, calibrated from Table I.
+[[nodiscard]] SystemSpec mira_spec();
+[[nodiscard]] SystemSpec theta_spec();
+[[nodiscard]] SystemSpec blue_waters_spec();
+[[nodiscard]] SystemSpec philly_spec();
+[[nodiscard]] SystemSpec helios_spec();
+
+/// All five, in the paper's presentation order.
+[[nodiscard]] std::vector<SystemSpec> all_system_specs();
+
+/// Lookup by case-insensitive name; nullopt when unknown.
+[[nodiscard]] std::optional<SystemSpec> find_system_spec(
+    std::string_view name);
+
+/// Candidate traces from Table I that were *excluded*, with the reason —
+/// used by the Table I bench to reproduce the selection table.
+struct CandidateTrace {
+  std::string name;
+  std::string affiliation;
+  std::string years;
+  std::string job_count;
+  std::string nodes;
+  std::string cores;
+  std::string gpus;
+  bool large_scale = true;
+  bool user_info = true;
+  bool job_status = true;
+  bool info_consistent = true;
+  bool selected = true;
+  std::string exclusion_reason;  ///< empty when selected
+};
+
+[[nodiscard]] std::vector<CandidateTrace> table1_candidates();
+
+}  // namespace lumos::trace

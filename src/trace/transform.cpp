@@ -1,0 +1,84 @@
+#include "trace/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lumos::trace {
+
+Trace merge(const Trace& a, const Trace& b, bool share_users) {
+  LUMOS_REQUIRE(a.spec().name == b.spec().name,
+                "merge requires traces of the same system");
+  Trace out(a.spec());
+  out.reserve(a.size() + b.size());
+  std::uint32_t user_offset = 0;
+  if (!share_users) {
+    for (const Job& j : a.jobs()) {
+      user_offset = std::max(user_offset, j.user + 1);
+    }
+  }
+  for (const Job& j : a.jobs()) out.add(j);
+  for (Job j : b.jobs()) {
+    j.user += user_offset;
+    out.add(j);
+  }
+  out.sort_by_submit();
+  return out;
+}
+
+Trace anonymize_users(const Trace& trace, std::uint64_t salt) {
+  // Salted hash decides the encounter ordering -> dense pseudonyms.
+  std::unordered_map<std::uint32_t, std::uint32_t> mapping;
+  mapping.reserve(trace.user_count());
+  Trace out(trace.spec());
+  out.reserve(trace.size());
+  for (Job j : trace.jobs()) {
+    const auto it = mapping.find(j.user);
+    if (it != mapping.end()) {
+      j.user = it->second;
+    } else {
+      // Mix the original id with the salt so pseudonym assignment is not
+      // a function of submission order alone.
+      std::uint64_t h = salt ^ (static_cast<std::uint64_t>(j.user) + 1);
+      (void)util::splitmix64(h);
+      const auto pseudonym = static_cast<std::uint32_t>(mapping.size());
+      mapping.emplace(j.user, pseudonym);
+      j.user = pseudonym;
+    }
+    out.add(j);
+  }
+  return out;
+}
+
+Trace scale_sizes(const Trace& trace, double factor) {
+  LUMOS_REQUIRE(factor > 0.0, "scale factor must be positive");
+  Trace out(trace.spec());
+  out.reserve(trace.size());
+  const double capacity =
+      std::max<double>(1.0, trace.spec().primary_capacity());
+  for (Job j : trace.jobs()) {
+    const double scaled =
+        std::clamp(std::round(static_cast<double>(j.cores) * factor), 1.0,
+                   capacity);
+    j.cores = static_cast<std::uint32_t>(scaled);
+    out.add(j);
+  }
+  return out;
+}
+
+Trace dilate_arrivals(const Trace& trace, double factor) {
+  LUMOS_REQUIRE(factor > 0.0, "dilation factor must be positive");
+  Trace out(trace.spec());
+  out.reserve(trace.size());
+  for (Job j : trace.jobs()) {
+    j.submit_time *= factor;
+    out.add(j);
+  }
+  out.sort_by_submit();
+  return out;
+}
+
+}  // namespace lumos::trace

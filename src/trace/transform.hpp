@@ -1,0 +1,34 @@
+// Trace transformation utilities: merging, anonymisation, scaling — the
+// operations a site performs before sharing a trace (cf. the Parallel
+// Workloads Archive's cleaned/anonymised releases).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace lumos::trace {
+
+/// Merges two traces of the *same system* into one submit-sorted trace
+/// (ids renumbered; the second trace's users are offset to stay disjoint
+/// unless `share_users` is true).
+[[nodiscard]] Trace merge(const Trace& a, const Trace& b,
+                          bool share_users = false);
+
+/// Deterministically remaps user ids to dense pseudonyms 0..U-1 in order
+/// of first appearance keyed by a salted hash, destroying any correlation
+/// between id value and identity. Job geometry is untouched.
+[[nodiscard]] Trace anonymize_users(const Trace& trace,
+                                    std::uint64_t salt = 0x5eed);
+
+/// Scales every job's requested cores by `factor` (clamped to [1,
+/// capacity]) — the standard trick for replaying a trace against a larger
+/// or smaller machine. Runtimes are untouched (rigid jobs).
+[[nodiscard]] Trace scale_sizes(const Trace& trace, double factor);
+
+/// Time-dilates the arrival process by `factor` (>1 spreads submissions
+/// out, <1 compresses them), keeping runtimes and waits — used to sweep
+/// offered load in simulator studies.
+[[nodiscard]] Trace dilate_arrivals(const Trace& trace, double factor);
+
+}  // namespace lumos::trace

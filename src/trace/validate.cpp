@@ -1,0 +1,72 @@
+#include "trace/validate.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace lumos::trace {
+
+std::string ValidationReport::to_string() const {
+  if (issues.empty()) return "trace OK: no issues\n";
+  std::ostringstream os;
+  for (const auto& i : issues) {
+    os << (i.severity == IssueSeverity::Fatal ? "[FATAL] " : "[warn]  ")
+       << i.check << ": " << i.message;
+    if (i.job_count > 0) os << " (" << i.job_count << " jobs)";
+    os << '\n';
+  }
+  return os.str();
+}
+
+ValidationReport validate(const Trace& trace) {
+  ValidationReport report;
+  const auto& spec = trace.spec();
+  const double capacity = static_cast<double>(spec.primary_capacity());
+
+  std::size_t over_capacity = 0;
+  std::size_t negative_geometry = 0;
+  std::size_t zero_cores = 0;
+  std::size_t walltime_underrun = 0;
+  for (const Job& j : trace.jobs()) {
+    if (capacity > 0.0 && static_cast<double>(j.cores) > capacity) {
+      ++over_capacity;
+    }
+    if (j.run_time < 0.0 || j.wait_time < 0.0 || j.submit_time < 0.0) {
+      ++negative_geometry;
+    }
+    if (j.cores == 0) ++zero_cores;
+    if (j.has_requested_time() && j.run_time > j.requested_time * 1.05) {
+      ++walltime_underrun;
+    }
+  }
+
+  if (over_capacity > 0) {
+    report.issues.push_back(
+        {IssueSeverity::Fatal, "capacity",
+         util::format("jobs larger than the %s capacity of %u were scheduled "
+                      "(Supercloud-style inconsistency)",
+                      spec.name.c_str(), spec.primary_capacity()),
+         over_capacity});
+  }
+  if (negative_geometry > 0) {
+    report.issues.push_back({IssueSeverity::Fatal, "negative-geometry",
+                             "negative submit/wait/run times",
+                             negative_geometry});
+  }
+  if (zero_cores > 0) {
+    report.issues.push_back({IssueSeverity::Warning, "zero-cores",
+                             "jobs with zero allocated cores", zero_cores});
+  }
+  if (!trace.is_sorted_by_submit()) {
+    report.issues.push_back({IssueSeverity::Warning, "unsorted",
+                             "jobs are not sorted by submit time", 0});
+  }
+  if (walltime_underrun > 0) {
+    report.issues.push_back(
+        {IssueSeverity::Warning, "walltime-underrun",
+         "jobs ran >5% past their requested walltime", walltime_underrun});
+  }
+  return report;
+}
+
+}  // namespace lumos::trace

@@ -1,0 +1,99 @@
+#include "util/csv.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace lumos::util {
+
+CsvReader::CsvReader(std::istream& in, char delim, bool has_header)
+    : in_(in), delim_(delim) {
+  if (has_header) {
+    CsvRow row;
+    if (next(row)) {
+      header_ = row;
+      for (std::size_t i = 0; i < header_.size(); ++i) {
+        columns_.emplace(header_[i], i);
+      }
+    }
+  }
+}
+
+std::optional<std::size_t> CsvReader::column(std::string_view name) const {
+  const auto it = columns_.find(std::string(name));
+  if (it == columns_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CsvReader::next(CsvRow& row) {
+  row.clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  int c;
+  while ((c = in_.get()) != std::istream::traits_type::eof()) {
+    saw_any = true;
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in_.peek() == '"') {
+          field.push_back('"');
+          in_.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == delim_) {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      ++line_;
+      row.push_back(std::move(field));
+      return true;
+    } else if (ch != '\r') {
+      field.push_back(ch);
+    }
+  }
+  if (!saw_any) return false;
+  ++line_;
+  row.push_back(std::move(field));
+  return true;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, char delim)
+    : out_(out), delim_(delim) {}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << delim_;
+    out_ << csv_escape(fields[i], delim_);
+  }
+  out_ << '\n';
+}
+
+std::string csv_escape(std::string_view field, char delim) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace lumos::util

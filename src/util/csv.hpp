@@ -1,0 +1,65 @@
+// Minimal RFC-4180-ish CSV reading and writing.
+//
+// Handles quoted fields with embedded delimiters/quotes/newlines, header
+// rows, and column lookup by name — enough for the Philly/Helios/ALCF trace
+// dialects without pulling in a dependency.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lumos::util {
+
+/// One parsed CSV record.
+using CsvRow = std::vector<std::string>;
+
+/// Streaming CSV reader over any std::istream.
+class CsvReader {
+ public:
+  /// `has_header`: consume the first record as the header row.
+  explicit CsvReader(std::istream& in, char delim = ',',
+                     bool has_header = true);
+
+  /// Header fields (empty when constructed with has_header=false).
+  [[nodiscard]] const CsvRow& header() const noexcept { return header_; }
+
+  /// Index of a named column, or nullopt when absent.
+  [[nodiscard]] std::optional<std::size_t> column(
+      std::string_view name) const;
+
+  /// Reads the next record into `row`; returns false at end of input.
+  bool next(CsvRow& row);
+
+  /// 1-based line number of the last record read (for error messages).
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::istream& in_;
+  char delim_;
+  CsvRow header_;
+  std::unordered_map<std::string, std::size_t> columns_;
+  std::size_t line_ = 0;
+};
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char delim = ',');
+
+  /// Writes one record, quoting fields as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  char delim_;
+};
+
+/// Quotes a single field if it contains the delimiter, quotes or newlines.
+[[nodiscard]] std::string csv_escape(std::string_view field, char delim);
+
+}  // namespace lumos::util

@@ -1,0 +1,49 @@
+// Error types shared across the lumos libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lumos {
+
+/// Base class for all lumos-originated errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed input file (SWF/CSV trace, calibration file, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violation; indicates a bug in lumos itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const std::string& what) {
+  throw InvalidArgument(what);
+}
+}  // namespace detail
+
+/// Checks a precondition and throws InvalidArgument when violated.
+/// Used at public API boundaries where the cost is irrelevant.
+#define LUMOS_REQUIRE(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::lumos::detail::throw_invalid(std::string("precondition failed: ") + \
+                                     (msg));                            \
+    }                                                                   \
+  } while (false)
+
+}  // namespace lumos

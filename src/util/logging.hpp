@@ -1,0 +1,47 @@
+// Lightweight leveled logging to stderr.
+//
+// Library code logs sparingly (parser warnings, calibration notes); bench
+// and example binaries may raise the level for progress reporting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lumos::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line ("[lumos][WARN] message") to stderr, thread-safely.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace lumos::util
+
+#define LUMOS_LOG(level)                                  \
+  if (::lumos::util::log_level() <= (level))              \
+  ::lumos::util::detail::LogStream(level)
+
+#define LUMOS_DEBUG LUMOS_LOG(::lumos::util::LogLevel::Debug)
+#define LUMOS_INFO LUMOS_LOG(::lumos::util::LogLevel::Info)
+#define LUMOS_WARN LUMOS_LOG(::lumos::util::LogLevel::Warn)
+#define LUMOS_ERROR LUMOS_LOG(::lumos::util::LogLevel::Error)

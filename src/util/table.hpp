@@ -1,0 +1,41 @@
+// Fixed-width text table rendering for the bench harnesses and reports.
+//
+// Every figure/table binary prints its reproduction as one of these tables
+// so the output diff against the paper's numbers is easy to eyeball.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lumos::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with column alignment and a header underline.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: render straight into a stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3%"-style helper.
+[[nodiscard]] std::string percent(double fraction, int decimals = 1);
+/// Fixed-decimal double.
+[[nodiscard]] std::string fixed(double value, int decimals = 2);
+/// Thousands-separated integer.
+[[nodiscard]] std::string with_commas(long long value);
+
+}  // namespace lumos::util

@@ -1,0 +1,43 @@
+#include "util/time_util.hpp"
+
+#include <cmath>
+
+#include "util/string_util.hpp"
+
+namespace lumos::util {
+
+namespace {
+double local_seconds(double t, std::int64_t epoch_unix,
+                     double utc_offset_hours) noexcept {
+  return t + static_cast<double>(epoch_unix) + utc_offset_hours * kHour;
+}
+}  // namespace
+
+int hour_of_day(double t, std::int64_t epoch_unix,
+                double utc_offset_hours) noexcept {
+  const double s = local_seconds(t, epoch_unix, utc_offset_hours);
+  double day_sec = std::fmod(s, kDay);
+  if (day_sec < 0) day_sec += kDay;
+  return static_cast<int>(day_sec / kHour) % 24;
+}
+
+int day_of_week(double t, std::int64_t epoch_unix,
+                double utc_offset_hours) noexcept {
+  const double s = local_seconds(t, epoch_unix, utc_offset_hours);
+  // Unix epoch (1970-01-01) was a Thursday = index 3 with Monday = 0.
+  double days = std::floor(s / kDay);
+  long long d = static_cast<long long>(days) + 3;
+  long long w = d % 7;
+  if (w < 0) w += 7;
+  return static_cast<int>(w);
+}
+
+std::string format_duration(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a < kMinute) return format("%.0fs", seconds);
+  if (a < kHour) return format("%.1fm", seconds / kMinute);
+  if (a < kDay) return format("%.1fh", seconds / kHour);
+  return format("%.1fd", seconds / kDay);
+}
+
+}  // namespace lumos::util

@@ -1,0 +1,33 @@
+// Time helpers: seconds-based durations, human formatting, local hour-of-day.
+//
+// All lumos timestamps are doubles in seconds relative to a trace epoch;
+// the trace carries the epoch as a Unix timestamp plus a UTC offset so the
+// diurnal analyses (Fig 1b) can recover local hour-of-day, matching the
+// paper's "we always use their local time" rule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lumos::util {
+
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 86400.0;
+inline constexpr double kWeek = 7.0 * kDay;
+
+/// Local hour-of-day (0..23) for `t` seconds after an epoch that itself is
+/// `epoch_unix` seconds after the Unix epoch, in a zone `utc_offset_hours`
+/// ahead of UTC (negative = behind).
+[[nodiscard]] int hour_of_day(double t, std::int64_t epoch_unix,
+                              double utc_offset_hours) noexcept;
+
+/// Local day-of-week, 0 = Monday .. 6 = Sunday (Unix epoch was a Thursday).
+[[nodiscard]] int day_of_week(double t, std::int64_t epoch_unix,
+                              double utc_offset_hours) noexcept;
+
+/// "90s" / "12.0m" / "1.5h" / "2.3d" — compact duration for reports.
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace lumos::util

@@ -1,0 +1,294 @@
+// Tests for the per-figure analyses on hand-crafted traces with exactly
+// computable answers.
+#include <gtest/gtest.h>
+
+#include "analysis/arrival.hpp"
+#include "analysis/categories.hpp"
+#include "analysis/domination.hpp"
+#include "analysis/failure.hpp"
+#include "analysis/geometry.hpp"
+#include "analysis/report.hpp"
+#include "analysis/user_behavior.hpp"
+#include "analysis/utilization.hpp"
+#include "analysis/waiting.hpp"
+
+namespace lumos::analysis {
+namespace {
+
+trace::SystemSpec spec100() {
+  trace::SystemSpec spec;
+  spec.name = "S";
+  spec.cores = 100;
+  spec.nodes = 100;
+  spec.primary_kind = trace::ResourceKind::Cpu;
+  return spec;
+}
+
+trace::Job job(double submit, double wait, double run, std::uint32_t cores,
+               trace::JobStatus status = trace::JobStatus::Passed,
+               std::uint32_t user = 0) {
+  trace::Job j;
+  j.submit_time = submit;
+  j.wait_time = wait;
+  j.run_time = run;
+  j.cores = cores;
+  j.status = status;
+  j.user = user;
+  return j;
+}
+
+trace::Trace make(std::vector<trace::Job> jobs) {
+  trace::Trace t(spec100(), std::move(jobs));
+  t.sort_by_submit();
+  return t;
+}
+
+// ------------------------------------------------------------ categories --
+
+TEST(Categories, SizeTallyFractions) {
+  // capacity 100: small <10, middle 10..30, large >30.
+  auto t = make({job(0, 0, 3600, 5), job(1, 0, 3600, 20),
+                 job(2, 0, 3600, 50), job(3, 0, 3600, 50)});
+  const auto tally = tally_by_size(t);
+  EXPECT_EQ(tally.total_jobs(), 4u);
+  EXPECT_DOUBLE_EQ(tally.job_fraction(trace::SizeCategory::Small), 0.25);
+  EXPECT_DOUBLE_EQ(tally.job_fraction(trace::SizeCategory::Large), 0.5);
+  // core-hours: 5, 20, 50, 50 -> large share = 100/125.
+  EXPECT_DOUBLE_EQ(tally.core_hour_fraction(trace::SizeCategory::Large),
+                   0.8);
+}
+
+TEST(Categories, LengthTallyWithMinimal) {
+  auto t = make({job(0, 0, 30, 1), job(1, 0, 600, 1), job(2, 0, 7200, 1),
+                 job(3, 0, 2 * 86400.0, 1)});
+  const auto with_min = tally_by_length(t, true);
+  EXPECT_EQ(with_min.jobs[static_cast<std::size_t>(
+                trace::LengthCategory::Minimal)],
+            1u);
+  const auto without = tally_by_length(t, false);
+  EXPECT_EQ(
+      without.jobs[static_cast<std::size_t>(trace::LengthCategory::Short)],
+      2u);
+}
+
+// -------------------------------------------------------------- geometry --
+
+TEST(Geometry, SummariesAndFractions) {
+  auto t = make({job(0, 0, 100, 1), job(1, 0, 200, 20),
+                 job(2, 0, 400, 2000)});
+  const auto g = analyze_geometry(t);
+  EXPECT_DOUBLE_EQ(g.runtime_summary.median, 200.0);
+  EXPECT_NEAR(g.frac_single_core, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(g.frac_over_10, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(g.frac_over_1000, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(g.cores_cdf(20.0), 2.0 / 3.0);
+}
+
+// -------------------------------------------------------------- arrivals --
+
+TEST(Arrivals, GapStatistics) {
+  auto t = make({job(0, 0, 1, 1), job(5, 0, 1, 1), job(10, 0, 1, 1),
+                 job(200, 0, 1, 1)});
+  const auto a = analyze_arrivals(t);
+  EXPECT_NEAR(a.frac_within_10s, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.interarrival_summary.max, 190.0);
+  EXPECT_EQ(a.hourly.size(), 24u);
+}
+
+// ------------------------------------------------------------ domination --
+
+TEST(Domination, FindsDominantGroups) {
+  // One giant long job dominates core hours.
+  auto t = make({job(0, 0, 2 * 86400.0, 50), job(1, 0, 60, 1),
+                 job(2, 0, 60, 1)});
+  const auto d = analyze_domination(t);
+  EXPECT_EQ(d.dominant_size, trace::SizeCategory::Large);
+  EXPECT_EQ(d.dominant_length, trace::LengthCategory::Long);
+  EXPECT_GT(d.dominant_length_share, 0.99);
+}
+
+// ----------------------------------------------------------- utilization --
+
+TEST(Utilization, ExactBusyFraction) {
+  // One job: 50 cores for 1800 s starting at t=0 -> first hour 25% busy.
+  auto t = make({job(0, 0, 1800, 50)});
+  const auto u = analyze_utilization(t, 3600.0);
+  ASSERT_EQ(u.series.size(), 1u);
+  EXPECT_NEAR(u.series[0], 0.25, 1e-12);
+  EXPECT_NEAR(u.average, 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(u.clamped_fraction, 0.0);
+}
+
+TEST(Utilization, SpansBucketsAndClamps) {
+  // 200 cores on a 100-core system: clamped to 1.0. A trailing submission
+  // extends the measurement horizon to cover both hours (the series only
+  // spans the submission window).
+  auto t = make({job(0, 0, 7200, 100), job(0, 0, 7200, 100),
+                 job(7200, 0, 1, 1)});
+  const auto u = analyze_utilization(t, 3600.0);
+  ASSERT_EQ(u.series.size(), 2u);
+  EXPECT_DOUBLE_EQ(u.series[0], 1.0);
+  EXPECT_DOUBLE_EQ(u.series[1], 1.0);
+  EXPECT_NEAR(u.clamped_fraction, 0.5, 1e-6);
+}
+
+TEST(Utilization, WaitShiftsStart) {
+  auto t = make({job(0, 3600, 3600, 100), job(7200, 0, 1, 1)});
+  const auto u = analyze_utilization(t, 3600.0);
+  ASSERT_EQ(u.series.size(), 2u);
+  EXPECT_DOUBLE_EQ(u.series[0], 0.0);
+  EXPECT_NEAR(u.series[1], 1.0, 1e-9);
+}
+
+TEST(Utilization, HorizonStopsAtLastSubmission) {
+  // One job whose execution extends far past the submission window: only
+  // the window is measured (the paper's Fig 3 covers collection periods).
+  auto t = make({job(0, 0, 10.0 * 3600.0, 100)});
+  const auto u = analyze_utilization(t, 3600.0);
+  EXPECT_EQ(u.series.size(), 1u);
+  EXPECT_DOUBLE_EQ(u.series[0], 1.0);
+}
+
+// --------------------------------------------------------------- waiting --
+
+TEST(Waiting, GroupsAndExtremes) {
+  auto t = make({
+      job(0, 5, 60, 5),            // small, short, tiny wait
+      job(1, 1000, 7200, 20),      // middle size, middle length
+      job(2, 100, 2 * 86400.0, 50) // large, long
+  });
+  const auto w = analyze_waiting(t);
+  EXPECT_NEAR(w.frac_wait_under_10s, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(w.longest_wait_size, trace::SizeCategory::Middle);
+  EXPECT_EQ(w.longest_wait_length, trace::LengthCategory::Middle);
+  EXPECT_DOUBLE_EQ(
+      w.mean_wait_by_size[static_cast<std::size_t>(
+          trace::SizeCategory::Large)],
+      100.0);
+}
+
+// --------------------------------------------------------------- failure --
+
+TEST(Failure, OverallTalliesAndCoreHours) {
+  auto t = make({job(0, 0, 3600, 10, trace::JobStatus::Passed),
+                 job(1, 0, 3600, 10, trace::JobStatus::Failed),
+                 job(2, 0, 7200, 10, trace::JobStatus::Killed),
+                 job(3, 0, 3600, 10, trace::JobStatus::Passed)});
+  const auto f = analyze_failures(t);
+  EXPECT_DOUBLE_EQ(f.overall.job_fraction(trace::JobStatus::Passed), 0.5);
+  EXPECT_DOUBLE_EQ(f.overall.job_fraction(trace::JobStatus::Killed), 0.25);
+  // Core hours: killed 20 of 50 total.
+  EXPECT_DOUBLE_EQ(f.overall.core_hour_fraction(trace::JobStatus::Killed),
+                   0.4);
+}
+
+TEST(Failure, LengthTrendNegativeWhenLongJobsDie) {
+  std::vector<trace::Job> jobs;
+  for (int i = 0; i < 20; ++i) {
+    jobs.push_back(job(i, 0, 60, 1, trace::JobStatus::Passed));       // short
+    jobs.push_back(job(i + 100, 0, 2 * 86400.0, 1,
+                       trace::JobStatus::Killed));                     // long
+  }
+  const auto f = analyze_failures(make(std::move(jobs)));
+  EXPECT_LT(f.pass_rate_length_trend, 0.0);
+}
+
+// ----------------------------------------------------------- user groups --
+
+TEST(ConfigGroups, ExactGroupingRule) {
+  // Same cores, runtimes within 10% of the running mean -> one group;
+  // different cores -> separate group.
+  std::vector<trace::Job> jobs{
+      job(0, 0, 100, 4), job(1, 0, 105, 4), job(2, 0, 95, 4),  // group A
+      job(3, 0, 500, 4),                                        // group B
+      job(4, 0, 100, 8),                                        // group C
+  };
+  const auto sizes = config_group_sizes(jobs);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[1], 1u);
+}
+
+TEST(Repetition, CumulativeSharesMonotone) {
+  std::vector<trace::Job> jobs;
+  for (int i = 0; i < 60; ++i) {
+    jobs.push_back(job(i, 0, i % 3 == 0 ? 100 : 200, 4,
+                       trace::JobStatus::Passed, 1));
+  }
+  const auto r = analyze_repetition(make(std::move(jobs)), 10);
+  EXPECT_EQ(r.representative_users, 1u);
+  for (int k = 1; k < 10; ++k) {
+    EXPECT_GE(r.cumulative_share[k], r.cumulative_share[k - 1]);
+  }
+  EXPECT_NEAR(r.cumulative_share[9], 1.0, 1e-12);
+  EXPECT_NEAR(r.cumulative_share[0], 2.0 / 3.0, 1e-12);
+}
+
+// ----------------------------------------------------------- queue study --
+
+TEST(QueueLength, HandComputed) {
+  // Job 0 waits 100 s; job 1 submitted at t=50 sees 1 queued; job 2 at
+  // t=200 sees 0 (job 0 started at 100; job 1 started at 60... wait 10).
+  auto t = make({job(0, 100, 10, 1), job(50, 10, 10, 1), job(200, 0, 1, 1)});
+  const auto q = queue_length_at_submit(t);
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q[0], 0u);
+  EXPECT_EQ(q[1], 1u);
+  EXPECT_EQ(q[2], 0u);
+}
+
+TEST(QueueBehavior, BucketsCoverAllJobs) {
+  std::vector<trace::Job> jobs;
+  for (int i = 0; i < 200; ++i) {
+    jobs.push_back(job(i * 10.0, (i % 5) * 200.0, 60, 1 + (i % 4) * 10));
+  }
+  const auto r = analyze_queue_behavior(make(std::move(jobs)));
+  std::size_t total = 0;
+  for (auto n : r.jobs_per_bucket) total += n;
+  EXPECT_EQ(total, 200u);
+  for (std::size_t b = 0; b < kNumQueueBuckets; ++b) {
+    if (r.jobs_per_bucket[b] == 0) continue;
+    double mix = 0.0;
+    for (std::size_t c = 0; c < kNumSizeCats; ++c) mix += r.size_mix[b][c];
+    EXPECT_NEAR(mix, 1.0, 1e-9);
+  }
+}
+
+// ------------------------------------------------------------ user status --
+
+TEST(UserStatus, TopUsersOrdered) {
+  std::vector<trace::Job> jobs;
+  for (int i = 0; i < 30; ++i) jobs.push_back(job(i, 0, 100, 1,
+      trace::JobStatus::Passed, 1));
+  for (int i = 0; i < 10; ++i) jobs.push_back(job(100 + i, 0, 900, 1,
+      trace::JobStatus::Killed, 2));
+  const auto r = analyze_user_status(make(std::move(jobs)), 2);
+  ASSERT_EQ(r.top_users.size(), 2u);
+  EXPECT_EQ(r.top_users[0].user, 1u);
+  EXPECT_EQ(r.top_users[0].jobs, 30u);
+  EXPECT_DOUBLE_EQ(
+      r.top_users[1]
+          .runtime[static_cast<std::size_t>(trace::JobStatus::Killed)]
+          .median,
+      900.0);
+}
+
+// ---------------------------------------------------------------- report --
+
+TEST(Report, RendersNonEmptyTables) {
+  auto t = make({job(0, 5, 60, 5), job(10, 50, 7200, 20),
+                 job(20, 10, 90000, 50, trace::JobStatus::Killed)});
+  EXPECT_FALSE(render_geometry({analyze_geometry(t)}).empty());
+  EXPECT_FALSE(render_arrivals({analyze_arrivals(t)}).empty());
+  EXPECT_FALSE(render_domination({analyze_domination(t)}).empty());
+  EXPECT_FALSE(render_utilization({analyze_utilization(t)}).empty());
+  EXPECT_FALSE(render_waiting({analyze_waiting(t)}).empty());
+  EXPECT_FALSE(render_status_distribution({analyze_failures(t)}).empty());
+  EXPECT_FALSE(render_repetition({analyze_repetition(t, 1)}).empty());
+  EXPECT_FALSE(
+      render_queue_behavior_size({analyze_queue_behavior(t)}).empty());
+  EXPECT_FALSE(render_user_status({analyze_user_status(t)}).empty());
+}
+
+}  // namespace
+}  // namespace lumos::analysis

@@ -1,0 +1,117 @@
+// Tests for the core façade: study construction, takeaway checks, and the
+// Table II backfill study.
+#include <gtest/gtest.h>
+
+#include "core/backfill_study.hpp"
+#include "core/study.hpp"
+#include "core/takeaways.hpp"
+#include "util/error.hpp"
+
+namespace lumos::core {
+namespace {
+
+StudyOptions small_options(std::vector<std::string> systems = {}) {
+  StudyOptions options;
+  options.seed = 5;
+  options.duration_days = 2.0;
+  options.systems = std::move(systems);
+  return options;
+}
+
+TEST(Study, BuildsAllFiveByDefault) {
+  const CrossSystemStudy study(small_options());
+  EXPECT_EQ(study.traces().size(), 5u);
+  EXPECT_EQ(study.trace("mira").spec().name, "Mira");
+  EXPECT_EQ(study.trace("BlueWaters").spec().name, "BlueWaters");
+}
+
+TEST(Study, SubsetSelection) {
+  const CrossSystemStudy study(small_options({"Theta", "Philly"}));
+  EXPECT_EQ(study.traces().size(), 2u);
+  EXPECT_THROW(study.trace("Mira"), InvalidArgument);
+}
+
+TEST(Study, UnknownSystemThrows) {
+  EXPECT_THROW(CrossSystemStudy(small_options({"Summit"})), InvalidArgument);
+}
+
+TEST(Study, FromProvidedTraces) {
+  CrossSystemStudy synth_study(small_options({"Theta"}));
+  std::vector<trace::Trace> traces{synth_study.trace("Theta")};
+  const CrossSystemStudy study(std::move(traces));
+  EXPECT_EQ(study.traces().size(), 1u);
+  EXPECT_THROW(CrossSystemStudy(std::vector<trace::Trace>{}),
+               InvalidArgument);
+}
+
+TEST(Study, AnalysesCoverEverySystem) {
+  const CrossSystemStudy study(small_options({"Theta", "Helios"}));
+  EXPECT_EQ(study.geometries().size(), 2u);
+  EXPECT_EQ(study.arrivals().size(), 2u);
+  EXPECT_EQ(study.dominations().size(), 2u);
+  EXPECT_EQ(study.utilizations().size(), 2u);
+  EXPECT_EQ(study.waitings().size(), 2u);
+  EXPECT_EQ(study.failures().size(), 2u);
+  EXPECT_EQ(study.repetitions().size(), 2u);
+  EXPECT_EQ(study.queue_behaviors().size(), 2u);
+  EXPECT_EQ(study.user_statuses().size(), 2u);
+}
+
+TEST(Study, FullReportContainsEveryFigure) {
+  const CrossSystemStudy study(small_options({"Theta"}));
+  const auto report = study.full_report();
+  for (const char* needle :
+       {"Fig 1", "Fig 2", "Fig 3", "Fig 4", "Fig 5", "Fig 6", "Fig 7",
+        "Fig 8", "Fig 9", "Fig 10", "Fig 11"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Takeaways, ProducesEightChecks) {
+  const CrossSystemStudy study(small_options());
+  const auto checks = check_takeaways(study);
+  ASSERT_EQ(checks.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(checks[i].number, static_cast<int>(i) + 1);
+    EXPECT_FALSE(checks[i].claim.empty());
+    EXPECT_FALSE(checks[i].evidence.empty());
+  }
+  EXPECT_FALSE(render_takeaways(checks).empty());
+}
+
+TEST(Takeaways, MissingSystemsReported) {
+  const CrossSystemStudy study(small_options({"Theta"}));
+  const auto checks = check_takeaways(study);
+  // With only Theta, cross-system claims cannot hold.
+  EXPECT_FALSE(checks[0].holds);
+  EXPECT_EQ(checks[0].evidence, "missing systems");
+}
+
+TEST(BackfillStudy, ComparesBothConfigs) {
+  const CrossSystemStudy study(small_options({"Theta"}));
+  const auto cmp = compare_backfill(study.trace("Theta"));
+  EXPECT_EQ(cmp.system, "Theta");
+  EXPECT_GT(cmp.relaxed.jobs, 0u);
+  EXPECT_EQ(cmp.relaxed.jobs, cmp.adaptive.jobs);
+  EXPECT_GT(cmp.relaxed.utilization, 0.0);
+}
+
+TEST(BackfillStudy, SkipsTracesWithoutWalltime) {
+  const CrossSystemStudy study(small_options({"Theta", "Philly"}));
+  const auto rows = run_backfill_study(study.traces());
+  ASSERT_EQ(rows.size(), 1u);  // Philly skipped (no walltime requests)
+  EXPECT_EQ(rows[0].system, "Theta");
+}
+
+TEST(BackfillStudy, RenderShowsPaperColumns) {
+  const CrossSystemStudy study(small_options({"Theta"}));
+  const auto rows = run_backfill_study(study.traces());
+  const auto text = render_backfill_study(rows);
+  for (const char* needle : {"wait", "bsld", "util", "violation",
+                             "Relaxed", "Adaptive", "Improved"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace lumos::core

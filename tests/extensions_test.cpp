@@ -1,0 +1,187 @@
+// Tests for the extension components: logistic regression, the status
+// predictor, the estimate-driven backfilling study, and the elapsed-mode
+// ablation of the prediction harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/estimate_study.hpp"
+#include "ml/logistic.hpp"
+#include "predict/harness.hpp"
+#include "predict/status_predictor.hpp"
+#include "synth/generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lumos {
+namespace {
+
+// ---------------------------------------------------- LogisticRegression --
+
+TEST(Logistic, SeparatesLinearlySeparableData) {
+  util::Rng rng(3);
+  const std::size_t n = 600;
+  ml::Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-2.0, 2.0);
+    const double b = rng.uniform(-2.0, 2.0);
+    x(i, 0) = a;
+    x(i, 1) = b;
+    y[i] = (a + b > 0.0) ? 1.0 : 0.0;
+  }
+  ml::LogisticRegression model;
+  model.fit(x, y);
+  EXPECT_GT(model.accuracy(x, y), 0.95);
+}
+
+TEST(Logistic, ProbabilitiesAreCalibratedDirectionally) {
+  util::Rng rng(5);
+  const std::size_t n = 500;
+  ml::Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-3.0, 3.0);
+    y[i] = rng.bernoulli(1.0 / (1.0 + std::exp(-2.0 * x(i, 0)))) ? 1.0 : 0.0;
+  }
+  ml::LogisticRegression model;
+  model.fit(x, y);
+  EXPECT_LT(model.predict_proba(std::vector<double>{-2.0}), 0.2);
+  EXPECT_GT(model.predict_proba(std::vector<double>{2.0}), 0.8);
+}
+
+TEST(Logistic, RejectsBadShapes) {
+  ml::LogisticRegression model;
+  ml::Matrix x(2, 1);
+  EXPECT_THROW(model.fit(x, std::vector<double>{1.0}), InvalidArgument);
+  EXPECT_THROW(model.predict_proba(std::vector<double>{0.0}),
+               InvalidArgument);
+}
+
+// -------------------------------------------------------- StatusPredictor --
+
+trace::Trace philly_sample(double days = 4.0, std::size_t max_jobs = 4000) {
+  synth::GeneratorOptions options;
+  options.duration_days = days;
+  options.max_jobs = max_jobs;
+  return synth::generate_system("Philly", options);
+}
+
+TEST(StatusStudy, ElapsedImprovesDoomedClassification) {
+  // A longer sample: the survival signal needs enough jobs past the last
+  // elapsed threshold to dominate classifier noise.
+  const auto trace = philly_sample(8.0, 9000);
+  const auto result = predict::run_status_study(trace);
+  ASSERT_FALSE(result.rows.empty());
+  for (const auto& row : result.rows) {
+    EXPECT_GT(row.test_jobs, 50u);
+    // The elapsed variant is at least competitive with the baseline (it
+    // strictly adds information; small samples allow slight noise).
+    EXPECT_GE(row.accuracy, row.base_accuracy - 0.03);
+  }
+  // At the largest elapsed threshold the survival signal is strong: the
+  // elapsed classifier clearly beats the baseline (cf. Fig 11's separable
+  // distributions).
+  const auto& last = result.rows.back();
+  EXPECT_GT(last.accuracy, last.base_accuracy + 0.05);
+}
+
+TEST(StatusStudy, RejectsTinyTrace) {
+  trace::Trace tiny(trace::philly_spec());
+  EXPECT_THROW(predict::run_status_study(tiny), InvalidArgument);
+}
+
+TEST(StatusPredictor, LongRunningJobsLookMoreDoomed) {
+  const auto trace = philly_sample();
+  const predict::StatusPredictor predictor(trace);
+  const auto feats = predict::extract_features(trace);
+  // Average doom probability should rise with elapsed time (long-running
+  // jobs are overwhelmingly Killed in every system, Fig 7b).
+  double p_short = 0.0, p_long = 0.0;
+  int n = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(feats.size(), 500);
+       ++i) {
+    p_short += predictor.doom_probability(feats[i], 30.0);
+    p_long += predictor.doom_probability(feats[i], 2.0 * 86400.0);
+    ++n;
+  }
+  EXPECT_GT(p_long / n, p_short / n);
+}
+
+// ---------------------------------------------------------- EstimateStudy --
+
+TEST(EstimateStudy, CoversAllSourcesOnHpc) {
+  synth::GeneratorOptions options;
+  options.duration_days = 4.0;
+  const auto trace = synth::generate_system("Theta", options);
+  const auto result = core::run_estimate_study(trace);
+  // user-request + oracle + last2 + gbrt.
+  ASSERT_EQ(result.rows.size(), 4u);
+  EXPECT_EQ(result.rows[0].source, core::EstimateSource::UserRequest);
+
+  for (const auto& row : result.rows) {
+    EXPECT_GT(row.metrics.jobs, 0u) << to_string(row.source);
+    EXPECT_GT(row.metrics.utilization, 0.0);
+  }
+  // The oracle never underestimates and is perfectly accurate.
+  const auto& oracle = result.rows[1];
+  EXPECT_EQ(oracle.source, core::EstimateSource::Oracle);
+  EXPECT_NEAR(oracle.estimate_accuracy, 1.0, 1e-9);
+  EXPECT_EQ(oracle.killed_by_underestimate, 0u);
+  // User requests are padded, so they rarely underestimate but are loose.
+  const auto& user = result.rows[0];
+  EXPECT_LT(user.estimate_accuracy, oracle.estimate_accuracy);
+}
+
+TEST(EstimateStudy, DlTraceSkipsUserRequests) {
+  const auto trace = philly_sample();
+  const auto result = core::run_estimate_study(trace);
+  ASSERT_EQ(result.rows.size(), 3u);  // no user-request source
+  EXPECT_EQ(result.rows[0].source, core::EstimateSource::Oracle);
+  EXPECT_FALSE(render_estimate_study(result).empty());
+}
+
+TEST(EstimateStudy, UnderestimatesKillJobs) {
+  const auto trace = philly_sample();
+  const auto result = core::run_estimate_study(trace);
+  // Last2/GBRT predictions will undershoot some heavy-tailed runtimes.
+  bool any_killed = false;
+  for (const auto& row : result.rows) {
+    if (row.source != core::EstimateSource::Oracle &&
+        row.killed_by_underestimate > 0) {
+      any_killed = true;
+      EXPECT_GT(row.wasted_core_hours, 0.0);
+    }
+  }
+  EXPECT_TRUE(any_killed);
+}
+
+// ------------------------------------------------------- ElapsedMode ablation
+
+TEST(ElapsedModeAblation, EveryModeReducesUnderestimation) {
+  const auto trace = philly_sample();
+  for (auto mode : {predict::ElapsedMode::FeatureAndClamp,
+                    predict::ElapsedMode::FeatureOnly,
+                    predict::ElapsedMode::ClampOnly}) {
+    predict::StudyConfig config;
+    config.max_jobs = 2500;
+    config.models = {predict::ModelKind::LinearReg};
+    config.elapsed_fractions = {0.25};
+    config.elapsed_mode = mode;
+    const auto result = predict::run_prediction_study(trace, config);
+    const auto& base = result.row(predict::ModelKind::LinearReg, false, 0.25);
+    const auto& with = result.row(predict::ModelKind::LinearReg, true, 0.25);
+    EXPECT_LE(with.underestimate_rate, base.underestimate_rate)
+        << to_string(mode);
+  }
+}
+
+TEST(ElapsedModeAblation, Names) {
+  EXPECT_EQ(to_string(predict::ElapsedMode::FeatureAndClamp),
+            "feature+clamp");
+  EXPECT_EQ(to_string(predict::ElapsedMode::FeatureOnly), "feature-only");
+  EXPECT_EQ(to_string(predict::ElapsedMode::ClampOnly), "clamp-only");
+}
+
+}  // namespace
+}  // namespace lumos

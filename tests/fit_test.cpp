@@ -1,0 +1,140 @@
+// Tests for calibration fitting (synth/fit.hpp): parameter recovery on
+// generated traces and full generate -> fit -> regenerate round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "synth/fit.hpp"
+#include "synth/generator.hpp"
+#include "util/error.hpp"
+
+namespace lumos::synth {
+namespace {
+
+trace::Trace sample(const char* system, double days,
+                    std::uint64_t seed = 42) {
+  GeneratorOptions options;
+  options.seed = seed;
+  options.duration_days = days;
+  return generate_system(system, options);
+}
+
+TEST(Fit, RejectsTinyTraces) {
+  trace::Trace t(trace::theta_spec());
+  EXPECT_THROW(fit_calibration(t), InvalidArgument);
+}
+
+TEST(Fit, RecoversRuntimeDistribution) {
+  const auto t = sample("Mira", 10.0);
+  const auto fit = fit_calibration(t);
+  const auto original = mira_calibration();
+  // The fitted lognormal should land near the generating one (fitting uses
+  // Passed jobs; kills/fails distort the tails slightly).
+  EXPECT_NEAR(fit.calibration.log_run_mu, original.log_run_mu, 0.5);
+  EXPECT_NEAR(fit.calibration.log_run_sigma, original.log_run_sigma, 0.5);
+}
+
+TEST(Fit, RecoversArrivalRegime) {
+  const auto t = sample("Helios", 2.0);
+  const auto fit = fit_calibration(t);
+  // Helios is burst-dominated with tiny gaps.
+  EXPECT_GT(fit.calibration.burst_prob, 0.5);
+  EXPECT_LT(fit.calibration.burst_mean_s, 10.0);
+  // And strongly diurnal: the fitted hourly profile must vary.
+  double lo = 1e9, hi = 0.0;
+  for (double h : fit.calibration.hourly) {
+    lo = std::min(lo, h);
+    hi = std::max(hi, h);
+  }
+  EXPECT_GT(hi / lo, 2.0);
+}
+
+TEST(Fit, RecoversStatusModelDirection) {
+  const auto t = sample("Mira", 10.0);
+  const auto fit = fit_calibration(t);
+  // The kill sigmoid must slope upward in runtime: max > base, and the
+  // midpoint must sit above the median runtime (kills concentrate on long
+  // jobs).
+  EXPECT_GT(fit.calibration.kill_max, fit.calibration.kill_base + 0.1);
+  EXPECT_GT(fit.calibration.kill_log_mid,
+            std::log(stats::median(t.run_times())));
+  EXPECT_GT(fit.calibration.fail_base, 0.02);
+  EXPECT_LT(fit.calibration.fail_base, 0.25);
+}
+
+TEST(Fit, SizesMatchEmpiricalSupport) {
+  const auto t = sample("Philly", 2.0);
+  const auto fit = fit_calibration(t);
+  ASSERT_FALSE(fit.calibration.sizes.empty());
+  // The most frequent size on Philly is 1 GPU.
+  EXPECT_EQ(fit.calibration.sizes.front().cores, 1u);
+  // All fitted sizes exist in the trace.
+  for (const auto& choice : fit.calibration.sizes) {
+    bool found = false;
+    for (const auto& j : t.jobs()) {
+      if (j.cores == choice.cores) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << choice.cores;
+  }
+}
+
+TEST(Fit, WalltimeAvailabilityFollowsData) {
+  EXPECT_TRUE(fit_calibration(sample("Theta", 6.0)).calibration
+                  .emit_walltime);
+  EXPECT_FALSE(fit_calibration(sample("Philly", 2.0)).calibration
+                   .emit_walltime);
+}
+
+TEST(Fit, RoundTripPreservesKeyMarginals) {
+  // generate -> fit -> regenerate: the regenerated trace's headline
+  // statistics must stay within a factor ~2 of the source's.
+  const auto original = sample("Philly", 6.0);
+  const auto fit = fit_calibration(original);
+
+  GeneratorOptions regen_options;
+  regen_options.seed = 7;
+  regen_options.duration_days = 6.0;
+  WorkloadGenerator generator(fit.calibration, regen_options);
+  const auto regen = generator.generate();
+  ASSERT_GT(regen.size(), 100u);
+
+  const double run_a = stats::median(original.run_times());
+  const double run_b = stats::median(regen.run_times());
+  EXPECT_GT(run_b, run_a / 2.5);
+  EXPECT_LT(run_b, run_a * 2.5);
+
+  const double gap_a = stats::median(original.interarrival_times());
+  const double gap_b = stats::median(regen.interarrival_times());
+  EXPECT_GT(gap_b, gap_a / 3.0);
+  EXPECT_LT(gap_b, gap_a * 3.0);
+
+  std::size_t passed_a = 0, passed_b = 0, single_b = 0;
+  for (const auto& j : original.jobs()) {
+    passed_a += j.status == trace::JobStatus::Passed;
+  }
+  for (const auto& j : regen.jobs()) {
+    passed_b += j.status == trace::JobStatus::Passed;
+    single_b += j.cores == 1;
+  }
+  const double pa = static_cast<double>(passed_a) / original.size();
+  const double pb = static_cast<double>(passed_b) / regen.size();
+  EXPECT_NEAR(pa, pb, 0.15);
+  // Philly's single-GPU dominance survives the round trip.
+  EXPECT_GT(static_cast<double>(single_b) / regen.size(), 0.6);
+}
+
+TEST(Fit, DiagnosticsMatchTrace) {
+  const auto t = sample("Theta", 6.0);
+  const auto fit = fit_calibration(t);
+  EXPECT_NEAR(fit.diagnostics.runtime_median_s,
+              stats::median(t.run_times()), 1e-9);
+  EXPECT_EQ(fit.diagnostics.distinct_sizes, fit.calibration.sizes.size());
+  EXPECT_GT(fit.diagnostics.passed_fraction, 0.4);
+}
+
+}  // namespace
+}  // namespace lumos::synth

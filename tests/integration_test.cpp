@@ -1,0 +1,308 @@
+// End-to-end integration tests: the cross-system shapes the paper reports,
+// verified on multi-day synthetic workloads of all five systems.
+//
+// These are the repository's acceptance tests — each assertion corresponds
+// to a claim in DESIGN.md §3's "expected shapes to hold".
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/backfill_study.hpp"
+#include "core/study.hpp"
+#include "core/takeaways.hpp"
+#include "trace/csv_formats.hpp"
+#include "trace/swf.hpp"
+#include "trace/validate.hpp"
+
+#include <sstream>
+
+namespace lumos {
+namespace {
+
+/// Shared study over a window long enough for stable statistics but short
+/// enough for CI (built once for the whole suite).
+const core::CrossSystemStudy& study() {
+  static const core::CrossSystemStudy* s = [] {
+    core::StudyOptions options;
+    options.seed = 42;
+    options.duration_days = 10.0;
+    return new core::CrossSystemStudy(options);
+  }();
+  return *s;
+}
+
+template <typename T>
+const T& sys(const std::vector<T>& results, std::string_view name) {
+  for (const auto& r : results) {
+    if (r.system == name) return r;
+  }
+  throw std::runtime_error("missing system in results");
+}
+
+TEST(Integration, AllTracesValidate) {
+  for (const auto& t : study().traces()) {
+    const auto report = trace::validate(t);
+    EXPECT_TRUE(report.consistent())
+        << t.spec().name << "\n" << report.to_string();
+    EXPECT_GT(t.size(), 100u) << t.spec().name;
+  }
+}
+
+// ------------------------------------------------------------- Fig 1 ----
+
+TEST(Integration, Fig1RuntimeOrdering) {
+  const auto geo = study().geometries();
+  const auto& bw = sys(geo, "BlueWaters");
+  const auto& mira = sys(geo, "Mira");
+  const auto& philly = sys(geo, "Philly");
+  const auto& helios = sys(geo, "Helios");
+  EXPECT_GT(bw.runtime_summary.median, 2000.0);
+  EXPECT_GT(mira.runtime_summary.median, 2000.0);
+  EXPECT_LT(philly.runtime_summary.median, 2000.0);
+  EXPECT_LT(helios.runtime_summary.median, 300.0);
+}
+
+TEST(Integration, Fig1ArrivalOrdering) {
+  const auto arr = study().arrivals();
+  // DL/hybrid gaps are ~10x shorter than HPC gaps.
+  EXPECT_LT(sys(arr, "Philly").interarrival_summary.median, 15.0);
+  EXPECT_LT(sys(arr, "Helios").interarrival_summary.median, 15.0);
+  EXPECT_LT(sys(arr, "BlueWaters").interarrival_summary.median, 30.0);
+  EXPECT_GT(sys(arr, "Mira").interarrival_summary.median, 40.0);
+  EXPECT_GT(sys(arr, "Theta").interarrival_summary.median, 40.0);
+}
+
+TEST(Integration, Fig1HourlyPatterns) {
+  const auto arr = study().arrivals();
+  // Helios strongly diurnal; Philly comparatively flat and inverted.
+  EXPECT_GT(sys(arr, "Helios").peak_ratio,
+            2.0 * sys(arr, "Philly").peak_ratio);
+  EXPECT_GT(sys(arr, "BlueWaters").business_hours_share, 0.45);
+  EXPECT_LT(sys(arr, "Philly").business_hours_share, 0.45);
+}
+
+TEST(Integration, Fig1SizeShapes) {
+  const auto geo = study().geometries();
+  EXPECT_GT(sys(geo, "Philly").frac_single_core, 0.6);
+  EXPECT_GT(sys(geo, "Helios").frac_single_core, 0.6);
+  EXPECT_GT(sys(geo, "Mira").frac_over_1000, 0.45);
+  EXPECT_GT(sys(geo, "BlueWaters").frac_over_10, 0.85);
+}
+
+// ------------------------------------------------------------- Fig 2 ----
+
+TEST(Integration, Fig2CoreHourDomination) {
+  const auto dom = study().dominations();
+  EXPECT_GT(sys(dom, "BlueWaters")
+                .by_size.core_hour_fraction(trace::SizeCategory::Small),
+            0.7);
+  EXPECT_LT(sys(dom, "Helios")
+                .by_size.core_hour_fraction(trace::SizeCategory::Small),
+            0.25);
+  // HPC dominated by middle-length, DL by long jobs.
+  EXPECT_EQ(sys(dom, "Mira").dominant_length, trace::LengthCategory::Middle);
+  EXPECT_EQ(sys(dom, "Theta").dominant_length, trace::LengthCategory::Middle);
+  EXPECT_EQ(sys(dom, "Philly").dominant_length, trace::LengthCategory::Long);
+  EXPECT_EQ(sys(dom, "Helios").dominant_length, trace::LengthCategory::Long);
+}
+
+// ------------------------------------------------------------- Fig 3 ----
+
+TEST(Integration, Fig3UtilizationOrdering) {
+  const auto utils = study().utilizations();
+  const double philly = sys(utils, "Philly").average;
+  const double helios = sys(utils, "Helios").average;
+  const double mira = sys(utils, "Mira").average;
+  const double theta = sys(utils, "Theta").average;
+  EXPECT_LT(philly, helios);
+  EXPECT_LT(helios, std::min(mira, theta));
+  EXPECT_GT(mira, 0.6);
+  // Philly reports per-VC utilization (fragmentation evidence).
+  EXPECT_EQ(sys(utils, "Philly").per_vc_average.size(), 14u);
+}
+
+// ------------------------------------------------------------- Fig 4 ----
+
+TEST(Integration, Fig4WaitRegimes) {
+  const auto waits = study().waitings();
+  EXPECT_GT(sys(waits, "Helios").frac_wait_under_10s, 0.6);
+  EXPECT_GT(sys(waits, "Philly").frac_wait_over_10min, 0.4);
+  EXPECT_GT(sys(waits, "BlueWaters").wait_summary.median,
+            sys(waits, "Mira").wait_summary.median);
+}
+
+// ------------------------------------------------------------- Fig 5 ----
+
+TEST(Integration, Fig5MiddleSizeWaitsLongest) {
+  const auto waits = study().waitings();
+  for (const char* name : {"BlueWaters", "Mira", "Philly", "Helios"}) {
+    EXPECT_EQ(sys(waits, name).longest_wait_size,
+              trace::SizeCategory::Middle)
+        << name;
+  }
+  // The Theta exception: its largest jobs wait longest.
+  EXPECT_EQ(sys(waits, "Theta").longest_wait_size,
+            trace::SizeCategory::Large);
+}
+
+TEST(Integration, Fig5LongJobsWaitLongest) {
+  for (const auto& w : study().waitings()) {
+    const auto s = static_cast<std::size_t>(trace::LengthCategory::Short);
+    const auto l = static_cast<std::size_t>(trace::LengthCategory::Long);
+    if (w.jobs_by_length[l] < 20) continue;  // too few for a stable mean
+    EXPECT_GT(w.mean_wait_by_length[l], w.mean_wait_by_length[s])
+        << w.system;
+  }
+}
+
+// ------------------------------------------------------------- Fig 6 ----
+
+TEST(Integration, Fig6StatusMix) {
+  for (const auto& f : study().failures()) {
+    const double passed = f.overall.job_fraction(trace::JobStatus::Passed);
+    EXPECT_LT(passed, 0.80) << f.system;
+    EXPECT_GT(passed, 0.45) << f.system;
+    // Killed jobs cost more than their count; Failed jobs cost less.
+    EXPECT_GT(f.overall.core_hour_fraction(trace::JobStatus::Killed),
+              f.overall.job_fraction(trace::JobStatus::Killed))
+        << f.system;
+    EXPECT_LT(f.overall.core_hour_fraction(trace::JobStatus::Failed),
+              f.overall.job_fraction(trace::JobStatus::Failed))
+        << f.system;
+  }
+}
+
+// ------------------------------------------------------------- Fig 7 ----
+
+TEST(Integration, Fig7SizeTrendOnlyInDl) {
+  const auto fails = study().failures();
+  EXPECT_LT(sys(fails, "Philly").pass_rate_size_trend, -0.01);
+  EXPECT_LT(sys(fails, "Helios").pass_rate_size_trend, -0.01);
+  EXPECT_GT(sys(fails, "Mira").pass_rate_size_trend, -0.05);
+  EXPECT_GT(sys(fails, "BlueWaters").pass_rate_size_trend, -0.05);
+}
+
+TEST(Integration, Fig7LengthTrendEverywhere) {
+  for (const auto& f : study().failures()) {
+    EXPECT_LT(f.pass_rate_length_trend, 0.0) << f.system;
+  }
+  // Mira extreme: nearly all long jobs killed.
+  const auto& mira = sys(study().failures(), "Mira");
+  const auto& long_tally =
+      mira.by_length[static_cast<std::size_t>(trace::LengthCategory::Long)];
+  if (long_tally.total_jobs() >= 20) {
+    EXPECT_GT(long_tally.job_fraction(trace::JobStatus::Killed), 0.8);
+  }
+}
+
+// ------------------------------------------------------------- Fig 8 ----
+
+TEST(Integration, Fig8RepetitionCoverage) {
+  for (const auto& r : study().repetitions()) {
+    if (r.representative_users == 0) continue;
+    EXPECT_GT(r.cumulative_share[9], 0.75) << r.system;
+  }
+  const auto reps = study().repetitions();
+  // HPC top-3 coverage clearly exceeds DL top-3 coverage.
+  EXPECT_GT(sys(reps, "Mira").cumulative_share[2],
+            sys(reps, "Philly").cumulative_share[2] + 0.1);
+}
+
+// ---------------------------------------------------------- Figs 9/10 ---
+
+// The lowest-queue bucket can hold a negligible sliver of jobs on heavily
+// backlogged systems (Philly's queue almost never drains); compare the
+// congested bucket against the busiest *well-populated* calmer bucket.
+std::size_t reference_bucket(const analysis::QueueBehaviorResult& q) {
+  const std::size_t total =
+      q.jobs_per_bucket[0] + q.jobs_per_bucket[1] + q.jobs_per_bucket[2];
+  return q.jobs_per_bucket[0] * 20 >= total ? 0u : 1u;
+}
+
+TEST(Integration, Fig9SmallerRequestsUnderLoad) {
+  int shrinking = 0;
+  for (const auto& q : study().queue_behaviors()) {
+    const auto ref = reference_bucket(q);
+    const double big_calm = q.size_mix[ref][2] + q.size_mix[ref][3];
+    const double big_long = q.size_mix[2][2] + q.size_mix[2][3];
+    if (big_long < big_calm) ++shrinking;
+  }
+  EXPECT_GE(shrinking, 4);  // "a clear trend across most of the systems"
+}
+
+TEST(Integration, Fig10ShorterJobsUnderLoadOnlyInDl) {
+  const auto qs = study().queue_behaviors();
+  for (const char* name : {"Philly", "Helios"}) {
+    const auto& q = sys(qs, name);
+    EXPECT_LT(q.median_run[2], q.median_run[reference_bucket(q)]) << name;
+  }
+}
+
+// ------------------------------------------------------------- Fig 11 ---
+
+TEST(Integration, Fig11KilledLongerThanPassedPerUser) {
+  for (const auto& r : study().user_statuses()) {
+    for (const auto& u : r.top_users) {
+      const auto& passed =
+          u.runtime[static_cast<std::size_t>(trace::JobStatus::Passed)];
+      const auto& killed =
+          u.runtime[static_cast<std::size_t>(trace::JobStatus::Killed)];
+      if (passed.count < 30 || killed.count < 30) continue;
+      EXPECT_GT(killed.median, passed.median)
+          << r.system << " user " << u.user;
+    }
+  }
+}
+
+// ----------------------------------------------------------- takeaways ---
+
+TEST(Integration, AllEightTakeawaysReproduce) {
+  const auto checks = core::check_takeaways(study());
+  for (const auto& c : checks) {
+    EXPECT_TRUE(c.holds) << "Takeaway " << c.number << ": " << c.claim
+                         << "\nevidence: " << c.evidence;
+  }
+}
+
+// ------------------------------------------------------------ Table II ---
+
+TEST(Integration, TableTwoAdaptiveCutsViolations) {
+  core::StudyOptions options;
+  options.seed = 42;
+  options.duration_days = 15.0;
+  options.systems = {"Mira", "Theta"};
+  const core::CrossSystemStudy sim_study(options);
+  const auto rows = core::run_backfill_study(sim_study.traces());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    // Adaptive reduces total violation delay...
+    EXPECT_LT(row.adaptive.total_violation, row.relaxed.total_violation)
+        << row.system;
+    // ...without wrecking the other metrics (within 15%).
+    EXPECT_LT(std::fabs(row.wait_improvement), 0.15) << row.system;
+    EXPECT_LT(std::fabs(row.util_improvement), 0.15) << row.system;
+  }
+}
+
+// ----------------------------------------------- persistence round-trip ---
+
+TEST(Integration, SwfAndCsvRoundTripPreserveAnalyses) {
+  const auto& original = study().trace("Theta");
+  std::ostringstream swf;
+  trace::write_swf(swf, original);
+  std::istringstream swf_in(swf.str());
+  const auto reloaded = trace::read_swf(swf_in, original.spec());
+  ASSERT_EQ(reloaded.size(), original.size());
+  EXPECT_NEAR(stats::median(reloaded.run_times()),
+              stats::median(original.run_times()), 1.0);
+
+  std::ostringstream csv;
+  trace::write_lumos_csv(csv, original);
+  std::istringstream csv_in(csv.str());
+  const auto csv_back = trace::read_lumos_csv(csv_in, original.spec());
+  ASSERT_EQ(csv_back.size(), original.size());
+  EXPECT_EQ(csv_back[0].status, original[0].status);
+}
+
+}  // namespace
+}  // namespace lumos

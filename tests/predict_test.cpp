@@ -1,0 +1,171 @@
+// Tests for the runtime-prediction pipeline: features, Last2 and the
+// use-case-1 harness.
+#include <gtest/gtest.h>
+
+#include "predict/features.hpp"
+#include "predict/harness.hpp"
+#include "predict/last2.hpp"
+#include "synth/generator.hpp"
+#include "util/error.hpp"
+
+namespace lumos::predict {
+namespace {
+
+trace::Trace tiny_trace() {
+  trace::SystemSpec spec;
+  spec.name = "T";
+  spec.cores = 100;
+  spec.primary_kind = trace::ResourceKind::Cpu;
+  trace::Trace t(spec);
+  auto add = [&](double submit, double wait, double run, std::uint32_t user,
+                 trace::JobStatus status = trace::JobStatus::Passed) {
+    trace::Job j;
+    j.submit_time = submit;
+    j.wait_time = wait;
+    j.run_time = run;
+    j.cores = 4;
+    j.user = user;
+    j.status = status;
+    t.add(j);
+  };
+  // User 1: two completed jobs, then a third that sees both in history.
+  add(0, 0, 100, 1);
+  add(10, 0, 50, 1);
+  add(1000, 0, 80, 1);
+  // User 2 first job: no history.
+  add(1500, 0, 10, 2, trace::JobStatus::Killed);
+  t.sort_by_submit();
+  return t;
+}
+
+TEST(Features, NamesMatchWidth) {
+  const auto t = tiny_trace();
+  const auto feats = extract_features(t);
+  ASSERT_EQ(feats.size(), 4u);
+  EXPECT_EQ(feats[0].values.size(), base_feature_names().size());
+}
+
+TEST(Features, HistoryOnlyIncludesCompletedJobs) {
+  const auto feats = extract_features(tiny_trace());
+  // Job 0: no history.
+  EXPECT_DOUBLE_EQ(feats[0].last_run, 0.0);
+  // Job 1 (submit 10): job 0 ends at t=100, not yet complete.
+  EXPECT_DOUBLE_EQ(feats[1].last_run, 0.0);
+  // Job 2 (submit 1000): both prior user-1 jobs completed. "Most recent"
+  // is by completion time: job 0 finished at t=100, after job 1 (t=60).
+  EXPECT_DOUBLE_EQ(feats[2].last_run, 100.0);
+  EXPECT_DOUBLE_EQ(feats[2].last_run2, 50.0);
+  ASSERT_EQ(feats[2].recent_runs.size(), 2u);
+  // User 2 never saw anything.
+  EXPECT_TRUE(feats[3].recent_runs.empty());
+}
+
+TEST(Features, StatusPropagates) {
+  const auto feats = extract_features(tiny_trace());
+  EXPECT_EQ(feats[3].status, trace::JobStatus::Killed);
+}
+
+TEST(BuildDataset, BaselineOneRowPerJob) {
+  const auto feats = extract_features(tiny_trace());
+  const auto data = build_dataset(feats, {});
+  EXPECT_EQ(data.size(), 4u);
+  EXPECT_EQ(data.dims(), base_feature_names().size());
+  EXPECT_NEAR(data.y[0], std::log1p(100.0), 1e-12);
+}
+
+TEST(BuildDataset, ElapsedGridAugments) {
+  const auto feats = extract_features(tiny_trace());
+  // Grid {0, 60}: every job emits a row at 0; only runtimes > 60 emit the
+  // second row (jobs 0 and 2).
+  const std::vector<double> grid{0.0, 60.0};
+  std::vector<bool> censored;
+  const auto data = build_dataset(feats, grid, &censored);
+  EXPECT_EQ(data.size(), 6u);
+  EXPECT_EQ(data.dims(), base_feature_names().size() + 1);
+  ASSERT_EQ(censored.size(), 6u);
+  // The killed job contributes exactly one (censored) row.
+  int censored_rows = 0;
+  for (bool c : censored) censored_rows += c;
+  EXPECT_EQ(censored_rows, 1);
+}
+
+TEST(TargetTransform, RoundTrips) {
+  for (double run : {0.0, 1.0, 90.0, 86400.0}) {
+    EXPECT_NEAR(runtime_of_target(target_of_runtime(run)), run,
+                1e-9 * (run + 1.0));
+  }
+}
+
+TEST(Last2, BaselineAveragesLastTwo) {
+  Last2 model;
+  JobFeatures f;
+  f.recent_runs = {100.0, 50.0, 10.0};
+  EXPECT_DOUBLE_EQ(model.predict(f), 75.0);
+  f.recent_runs = {100.0};
+  EXPECT_DOUBLE_EQ(model.predict(f), 100.0);
+  f.recent_runs.clear();
+  EXPECT_DOUBLE_EQ(model.predict(f), Last2Options{}.cold_start_s);
+}
+
+TEST(Last2, ElapsedSkipsRuntimesBelowBound) {
+  Last2 model;
+  JobFeatures f;
+  f.recent_runs = {20.0, 300.0, 500.0};  // most recent first
+  // With elapsed 60, the 20 s run is ruled out; average of 300 and 500.
+  EXPECT_DOUBLE_EQ(model.predict_with_elapsed(f, 60.0), 400.0);
+  // With elapsed 400, only 500 survives.
+  EXPECT_DOUBLE_EQ(model.predict_with_elapsed(f, 400.0), 500.0);
+  // With elapsed 600, nothing survives: fallback multiple of elapsed.
+  EXPECT_DOUBLE_EQ(model.predict_with_elapsed(f, 600.0), 1200.0);
+}
+
+TEST(Last2, PredictionNeverBelowElapsed) {
+  Last2 model;
+  JobFeatures f;
+  f.recent_runs = {100.0};
+  EXPECT_GE(model.predict_with_elapsed(f, 250.0), 250.0);
+}
+
+TEST(Harness, RejectsTinyTraces) {
+  EXPECT_THROW(run_prediction_study(tiny_trace()), InvalidArgument);
+}
+
+TEST(Harness, ElapsedReducesUnderestimation) {
+  synth::GeneratorOptions options;
+  options.duration_days = 4.0;
+  const auto trace = synth::generate_system("Philly", options);
+
+  StudyConfig config;
+  config.max_jobs = 3000;
+  config.models = {ModelKind::Last2, ModelKind::LinearReg,
+                   ModelKind::Xgboost};
+  const auto result = run_prediction_study(trace, config);
+  EXPECT_GT(result.avg_runtime_s, 0.0);
+
+  for (auto model : config.models) {
+    for (double frac : config.elapsed_fractions) {
+      const auto& base = result.row(model, false, frac);
+      const auto& with = result.row(model, true, frac);
+      EXPECT_EQ(base.test_jobs, with.test_jobs);
+      // The paper's headline: elapsed time lowers the underestimate rate.
+      EXPECT_LT(with.underestimate_rate, base.underestimate_rate)
+          << to_string(model) << " @" << frac;
+    }
+  }
+}
+
+TEST(Harness, RowLookupThrowsOnMissing) {
+  StudyResult result;
+  EXPECT_THROW(result.row(ModelKind::Mlp, true, 0.5), InvalidArgument);
+}
+
+TEST(Harness, ModelNames) {
+  EXPECT_EQ(to_string(ModelKind::Last2), "Last2");
+  EXPECT_EQ(to_string(ModelKind::Tobit), "Tobit");
+  EXPECT_EQ(to_string(ModelKind::Xgboost), "XGBoost");
+  EXPECT_EQ(to_string(ModelKind::LinearReg), "LR");
+  EXPECT_EQ(to_string(ModelKind::Mlp), "MLP");
+}
+
+}  // namespace
+}  // namespace lumos::predict

@@ -1,0 +1,221 @@
+// Unit tests for the stats substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/kde.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lumos::stats {
+namespace {
+
+// --------------------------------------------------------- descriptive ---
+
+TEST(Descriptive, MeanAndVariance) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Descriptive, QuantileRejectsBadQ) {
+  EXPECT_THROW(quantile(std::vector<double>{1.0}, 1.5), InvalidArgument);
+}
+
+TEST(Descriptive, SummaryFields) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  EXPECT_FALSE(to_string(s).empty());
+}
+
+TEST(Descriptive, GeometricMean) {
+  EXPECT_NEAR(geometric_mean(std::vector<double>{1.0, 4.0, 16.0}), 4.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{1.0, -2.0}), 0.0);
+}
+
+// ---------------------------------------------------------------- ecdf ---
+
+TEST(Ecdf, EvaluatesStepFunction) {
+  const Ecdf f(std::vector<double>{1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(f(10.0), 1.0);
+}
+
+TEST(Ecdf, QuantileInverse) {
+  const Ecdf f(std::vector<double>{10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(f.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.5), 20.0);
+}
+
+TEST(Ecdf, CurveEndpoints) {
+  const Ecdf f(std::vector<double>{5.0, 1.0, 3.0});
+  const auto curve = f.curve(5);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 5.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Ecdf, EmptyIsZero) {
+  const Ecdf f;
+  EXPECT_DOUBLE_EQ(f(1.0), 0.0);
+  EXPECT_TRUE(f.curve(3).empty());
+}
+
+// ----------------------------------------------------------- histogram ---
+
+TEST(Histogram, LinearBinning) {
+  auto h = Histogram::linear(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+  EXPECT_NEAR(h.fraction(0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  auto h = Histogram::linear(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+}
+
+TEST(Histogram, LogBinningSpansDecades) {
+  auto h = Histogram::logarithmic(1.0, 10000.0, 4);
+  h.add(5.0);      // decade [1,10)
+  h.add(50.0);     // [10,100)
+  h.add(500.0);    // [100,1000)
+  h.add(5000.0);   // [1000,10000)
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(h.count(i), 1.0);
+  EXPECT_NEAR(h.bin_lo(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_hi(1), 100.0, 1e-9);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram::linear(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram::logarithmic(0.0, 10.0, 4), InvalidArgument);
+}
+
+TEST(Histogram, HourlyCounts) {
+  // Jobs at local hours 0, 0, 5 with zero offset.
+  const std::vector<double> submits{10.0, 60.0, 5.0 * 3600.0 + 1.0};
+  const auto counts = hourly_counts(submits, 0, 0.0);
+  EXPECT_DOUBLE_EQ(counts[0], 2.0);
+  EXPECT_DOUBLE_EQ(counts[5], 1.0);
+}
+
+// ----------------------------------------------------------------- kde ---
+
+TEST(Kde, DensityIntegratesToOne) {
+  util::Rng rng(3);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.normal(0.0, 1.0);
+  const double h = scott_bandwidth(xs);
+  double integral = 0.0;
+  const double dx = 0.05;
+  for (double x = -6.0; x <= 6.0; x += dx) {
+    integral += kde_density(xs, x, h) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Kde, ViolinModeNearTrueMode) {
+  util::Rng rng(5);
+  std::vector<double> xs(4000);
+  for (auto& x : xs) x = rng.normal(10.0, 1.0);
+  const auto v = violin(xs, 128);
+  EXPECT_EQ(v.count, xs.size());
+  EXPECT_NEAR(v.mode, 10.0, 0.5);
+}
+
+TEST(Kde, ViolinLogDropsNonPositive) {
+  const std::vector<double> xs{-1.0, 0.0, 100.0, 100.0, 100.0};
+  const auto v = violin_log(xs, 32);
+  EXPECT_EQ(v.count, 3u);
+  EXPECT_NEAR(v.mode, 100.0, 20.0);
+}
+
+TEST(Kde, EmptySampleSafe) {
+  const auto v = violin({}, 16);
+  EXPECT_EQ(v.count, 0u);
+  EXPECT_TRUE(v.grid.empty());
+  EXPECT_DOUBLE_EQ(kde_density({}, 0.0, 1.0), 0.0);
+}
+
+// ---------------------------------------------------------- correlation --
+
+TEST(Correlation, PerfectPositive) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{9, 6, 3};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.2 * i));  // monotone but nonlinear
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Correlation, RanksAverageTies) {
+  const auto r = ranks(std::vector<double>{10.0, 20.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Correlation, DegenerateInputs) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+  EXPECT_THROW(pearson(std::vector<double>{1.0}, y), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lumos::stats

@@ -1,0 +1,286 @@
+// Tests for the calibrated workload generators: determinism, physical
+// consistency, and the paper statistics each calibration targets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+#include "synth/arrival.hpp"
+#include "synth/calibration.hpp"
+#include "synth/failure_model.hpp"
+#include "synth/generator.hpp"
+#include "synth/user_model.hpp"
+#include "synth/wait_model.hpp"
+#include "trace/validate.hpp"
+#include "util/error.hpp"
+#include "util/time_util.hpp"
+
+namespace lumos::synth {
+namespace {
+
+trace::Trace quick(const char* system, double days = 5.0,
+                   std::uint64_t seed = 42) {
+  GeneratorOptions options;
+  options.seed = seed;
+  options.duration_days = days;
+  return generate_system(system, options);
+}
+
+TEST(Calibration, AllFiveExistAndAreSane) {
+  const auto cals = all_calibrations();
+  ASSERT_EQ(cals.size(), 5u);
+  for (const auto& c : cals) {
+    EXPECT_FALSE(c.sizes.empty()) << c.spec.name;
+    double weight = 0.0;
+    for (const auto& s : c.sizes) {
+      EXPECT_GT(s.cores, 0u);
+      EXPECT_LE(s.cores, c.spec.primary_capacity()) << c.spec.name;
+      weight += s.weight;
+    }
+    EXPECT_GT(weight, 0.0);
+    EXPECT_GT(c.num_users, 0);
+    EXPECT_GT(c.duration_days, 0.0);
+    // Hourly profile is mean-normalised.
+    double sum = 0.0;
+    for (double h : c.hourly) sum += h;
+    EXPECT_NEAR(sum / 24.0, 1.0, 1e-9) << c.spec.name;
+  }
+}
+
+TEST(Calibration, LookupByName) {
+  EXPECT_EQ(calibration_for("mira").spec.name, "Mira");
+  EXPECT_EQ(calibration_for("BW").spec.name, "BlueWaters");
+  EXPECT_THROW(calibration_for("summit"), InvalidArgument);
+}
+
+TEST(Calibration, DlSystemsLackWalltime) {
+  EXPECT_FALSE(philly_calibration().emit_walltime);
+  EXPECT_FALSE(helios_calibration().emit_walltime);
+  EXPECT_TRUE(mira_calibration().emit_walltime);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const auto a = quick("Mira", 2.0, 7);
+  const auto b = quick("Mira", 2.0, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_DOUBLE_EQ(a[i].run_time, b[i].run_time);
+    EXPECT_EQ(a[i].cores, b[i].cores);
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_EQ(a[i].status, b[i].status);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto a = quick("Mira", 2.0, 1);
+  const auto b = quick("Mira", 2.0, 2);
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(Generator, OutputIsSortedAndValid) {
+  for (const char* sys : {"BlueWaters", "Mira", "Theta", "Philly"}) {
+    const auto t = quick(sys, 3.0);
+    EXPECT_TRUE(t.is_sorted_by_submit()) << sys;
+    const auto report = trace::validate(t);
+    EXPECT_TRUE(report.consistent()) << sys << "\n" << report.to_string();
+  }
+}
+
+TEST(Generator, MaxJobsCap) {
+  GeneratorOptions options;
+  options.duration_days = 30.0;
+  options.max_jobs = 100;
+  const auto t = generate_system("Helios", options);
+  EXPECT_EQ(t.size(), 100u);
+}
+
+TEST(Generator, HpcJobsCarryWalltimeAtLeastRuntime) {
+  const auto t = quick("Theta", 4.0);
+  for (const auto& j : t.jobs()) {
+    ASSERT_TRUE(j.has_requested_time());
+    EXPECT_GE(j.requested_time * 1.0001, j.run_time);
+  }
+}
+
+TEST(Generator, DlJobsHaveNoWalltimeButHaveVcOnPhilly) {
+  const auto t = quick("Philly", 2.0);
+  bool any_vc = false;
+  for (const auto& j : t.jobs()) {
+    EXPECT_FALSE(j.has_requested_time());
+    EXPECT_EQ(j.kind, trace::ResourceKind::Gpu);
+    any_vc |= j.virtual_cluster >= 0;
+  }
+  EXPECT_TRUE(any_vc);
+}
+
+TEST(Generator, RuntimeMediansMatchPaperOrdering) {
+  const auto bw = stats::median(quick("BlueWaters", 4.0).run_times());
+  const auto mira = stats::median(quick("Mira", 6.0).run_times());
+  const auto philly = stats::median(quick("Philly", 3.0).run_times());
+  const auto helios = stats::median(quick("Helios", 2.0).run_times());
+  // Paper: BW/Mira ~1.5h >> Philly ~12 min >> Helios ~90 s.
+  EXPECT_GT(bw, 2000.0);
+  EXPECT_GT(mira, 2000.0);
+  EXPECT_LT(philly, bw / 3.0);
+  EXPECT_LT(helios, philly / 2.0);
+  EXPECT_LT(helios, 400.0);
+}
+
+TEST(Generator, InterarrivalOrdering) {
+  const auto mira = stats::median(quick("Mira", 6.0).interarrival_times());
+  const auto philly = stats::median(quick("Philly", 3.0).interarrival_times());
+  // Paper: HPC gaps ~10x DL gaps.
+  EXPECT_GT(mira, 4.0 * philly);
+  EXPECT_LT(philly, 15.0);
+}
+
+TEST(Generator, DlMostlySingleGpu) {
+  const auto t = quick("Helios", 2.0);
+  std::size_t single = 0;
+  for (const auto& j : t.jobs()) single += j.cores == 1;
+  const double frac = static_cast<double>(single) / t.size();
+  EXPECT_GT(frac, 0.55);
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST(Generator, MiraMostlyOverThousandCores) {
+  const auto t = quick("Mira", 8.0);
+  std::size_t big = 0;
+  for (const auto& j : t.jobs()) big += j.cores > 1000;
+  EXPECT_GT(static_cast<double>(big) / t.size(), 0.45);
+}
+
+TEST(Generator, StatusMixInPaperBands) {
+  for (const char* sys : {"BlueWaters", "Mira", "Philly"}) {
+    const auto t = quick(sys, 5.0);
+    std::size_t passed = 0;
+    for (const auto& j : t.jobs()) {
+      passed += j.status == trace::JobStatus::Passed;
+    }
+    const double frac = static_cast<double>(passed) / t.size();
+    EXPECT_GT(frac, 0.5) << sys;
+    EXPECT_LT(frac, 0.85) << sys;
+  }
+}
+
+TEST(Generator, FailedJobsAreShort) {
+  const auto t = quick("BlueWaters", 5.0);
+  std::vector<double> failed, passed;
+  for (const auto& j : t.jobs()) {
+    if (j.status == trace::JobStatus::Failed) failed.push_back(j.run_time);
+    if (j.status == trace::JobStatus::Passed) passed.push_back(j.run_time);
+  }
+  ASSERT_GT(failed.size(), 10u);
+  EXPECT_LT(stats::median(failed), stats::median(passed));
+}
+
+TEST(Generator, KilledJobsAreLong) {
+  const auto t = quick("Mira", 8.0);
+  std::vector<double> killed, passed;
+  for (const auto& j : t.jobs()) {
+    if (j.status == trace::JobStatus::Killed) killed.push_back(j.run_time);
+    if (j.status == trace::JobStatus::Passed) passed.push_back(j.run_time);
+  }
+  ASSERT_GT(killed.size(), 10u);
+  EXPECT_GT(stats::median(killed), stats::median(passed));
+}
+
+// ------------------------------------------------------------ submodels --
+
+TEST(ArrivalProcess, StrictlyIncreasing) {
+  const auto cal = philly_calibration();
+  util::Rng rng(3);
+  ArrivalProcess arrivals(cal, rng);
+  double prev = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = arrivals.next();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ArrivalProcess, DiurnalSystemsPeakInBusinessHours) {
+  const auto cal = helios_calibration();
+  util::Rng rng(5);
+  ArrivalProcess arrivals(cal, rng);
+  std::array<int, 24> hourly{};
+  for (int i = 0; i < 60000; ++i) {
+    const double t = arrivals.next();
+    hourly[static_cast<std::size_t>(util::hour_of_day(
+        t, cal.spec.epoch_unix, cal.spec.utc_offset_hours))]++;
+  }
+  int day = 0, night = 0;
+  for (int h = 9; h <= 16; ++h) day += hourly[h];
+  for (int h = 0; h <= 5; ++h) night += hourly[h];
+  EXPECT_GT(day, 2 * night);
+}
+
+TEST(UserPopulation, TemplatesWithinBounds) {
+  const auto cal = mira_calibration();
+  util::Rng rng(9);
+  UserPopulation pop(cal, rng);
+  ASSERT_EQ(pop.size(), static_cast<std::size_t>(cal.num_users));
+  for (std::size_t u = 0; u < pop.size(); ++u) {
+    const auto& profile = pop.user(static_cast<std::uint32_t>(u));
+    EXPECT_GE(static_cast<int>(profile.templates.size()), cal.templates_min);
+    EXPECT_LE(static_cast<int>(profile.templates.size()), cal.templates_max);
+    for (const auto& t : profile.templates) {
+      EXPECT_GE(t.run_median_s, cal.run_min_s);
+      EXPECT_LE(t.run_median_s, cal.run_max_s);
+    }
+  }
+}
+
+TEST(UserPopulation, LoadShrinksTemplateSizes) {
+  const auto cal = philly_calibration();
+  util::Rng rng(11);
+  UserPopulation pop(cal, rng);
+  const auto& user = pop.user(0);
+  double idle_mean = 0.0, busy_mean = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    idle_mean += pop.sample_template(user, 0.0, rng).cores;
+    busy_mean += pop.sample_template(user, 1.0, rng).cores;
+  }
+  EXPECT_LT(busy_mean, idle_mean);
+}
+
+TEST(FailureModel, KillProbabilityMonotoneInRuntime) {
+  const auto cal = mira_calibration();
+  FailureModel model(cal);
+  const double short_p = model.kill_probability(600.0, 1024, 0.0);
+  const double median_p = model.kill_probability(7000.0, 1024, 0.0);
+  const double long_p = model.kill_probability(3.0 * 86400.0, 1024, 0.0);
+  EXPECT_LT(short_p, median_p);
+  EXPECT_LT(median_p, long_p);
+  EXPECT_GT(long_p, 0.9);  // Mira: ~99% of long jobs killed
+}
+
+TEST(FailureModel, DlSizeSlopeRaisesFailure) {
+  const auto cal = philly_calibration();
+  FailureModel model(cal);
+  EXPECT_GT(model.fail_probability(64), model.fail_probability(1));
+  EXPECT_GT(model.kill_probability(600.0, 64, 0.0),
+            model.kill_probability(600.0, 1, 0.0));
+}
+
+TEST(WaitModel, MultiplierReflectsCalibration) {
+  const auto cal = mira_calibration();
+  WaitModel model(cal);
+  // Middle-size jobs carry the largest size multiplier on Mira.
+  const auto mid_cores =
+      static_cast<std::uint32_t>(cal.spec.primary_capacity() * 0.2);
+  const auto small_cores = static_cast<std::uint32_t>(16);
+  EXPECT_GT(model.multiplier(mid_cores, 100.0, 0.0),
+            model.multiplier(small_cores, 100.0, 0.0));
+  // Longer jobs wait longer.
+  EXPECT_GT(model.multiplier(16, 86400.0, 0.0),
+            model.multiplier(16, 60.0, 0.0));
+  // Load raises waits.
+  EXPECT_GT(model.multiplier(16, 100.0, 1.0),
+            model.multiplier(16, 100.0, 0.0));
+}
+
+}  // namespace
+}  // namespace lumos::synth

@@ -1,0 +1,339 @@
+// Unit tests for the trace model, parsers and validation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/csv_formats.hpp"
+#include "trace/swf.hpp"
+#include "trace/system_spec.hpp"
+#include "trace/trace.hpp"
+#include "trace/validate.hpp"
+#include "util/error.hpp"
+
+namespace lumos::trace {
+namespace {
+
+Job make_job(double submit, double wait, double run, std::uint32_t cores,
+             JobStatus status = JobStatus::Passed, std::uint32_t user = 0) {
+  Job j;
+  j.submit_time = submit;
+  j.wait_time = wait;
+  j.run_time = run;
+  j.cores = cores;
+  j.nodes = cores;
+  j.status = status;
+  j.user = user;
+  return j;
+}
+
+// ----------------------------------------------------------------- Job ---
+
+TEST(Job, DerivedQuantities) {
+  const Job j = make_job(100.0, 50.0, 200.0, 4);
+  EXPECT_DOUBLE_EQ(j.start_time(), 150.0);
+  EXPECT_DOUBLE_EQ(j.end_time(), 350.0);
+  EXPECT_DOUBLE_EQ(j.turnaround(), 250.0);
+  EXPECT_DOUBLE_EQ(j.core_hours(), 4.0 * 200.0 / 3600.0);
+}
+
+TEST(Job, BoundedSlowdownUsesBound) {
+  Job j = make_job(0.0, 90.0, 5.0, 1);  // short job: bound kicks in
+  EXPECT_DOUBLE_EQ(j.bounded_slowdown(10.0), 95.0 / 10.0);
+  j.run_time = 100.0;
+  EXPECT_DOUBLE_EQ(j.bounded_slowdown(10.0), 190.0 / 100.0);
+  j.wait_time = 0.0;
+  EXPECT_DOUBLE_EQ(j.bounded_slowdown(10.0), 1.0);  // floored at 1
+}
+
+TEST(Job, RequestedTimeSentinel) {
+  Job j = make_job(0, 0, 10, 1);
+  EXPECT_FALSE(j.has_requested_time());
+  j.requested_time = 3600.0;
+  EXPECT_TRUE(j.has_requested_time());
+}
+
+TEST(JobStatus, Names) {
+  EXPECT_EQ(to_string(JobStatus::Passed), "Passed");
+  EXPECT_EQ(to_string(JobStatus::Failed), "Failed");
+  EXPECT_EQ(to_string(JobStatus::Killed), "Killed");
+}
+
+// ---------------------------------------------------------- SystemSpec ---
+
+TEST(SystemSpec, FiveSystemsHaveTableOneCapacities) {
+  EXPECT_EQ(mira_spec().nodes, 49152u);
+  EXPECT_EQ(mira_spec().cores, 786432u);
+  EXPECT_EQ(theta_spec().cores, 281088u);
+  EXPECT_EQ(blue_waters_spec().gpus, 4228u);
+  EXPECT_EQ(philly_spec().gpus, 2490u);
+  EXPECT_EQ(philly_spec().virtual_clusters, 14);
+  EXPECT_EQ(helios_spec().gpus, 6416u);
+  EXPECT_EQ(all_system_specs().size(), 5u);
+}
+
+TEST(SystemSpec, PrimaryCapacityFollowsKind) {
+  EXPECT_EQ(mira_spec().primary_capacity(), 786432u);
+  EXPECT_EQ(philly_spec().primary_capacity(), 2490u);
+}
+
+TEST(SystemSpec, HpcSizeCategoriesUseFractions) {
+  const auto spec = mira_spec();  // capacity 786432
+  EXPECT_EQ(spec.size_category(1000), SizeCategory::Small);
+  EXPECT_EQ(spec.size_category(100000), SizeCategory::Middle);  // ~12.7%
+  EXPECT_EQ(spec.size_category(300000), SizeCategory::Large);   // ~38%
+}
+
+TEST(SystemSpec, DlSizeCategoriesUseGpuCounts) {
+  const auto spec = philly_spec();
+  EXPECT_EQ(spec.size_category(1), SizeCategory::Small);
+  EXPECT_EQ(spec.size_category(8), SizeCategory::Middle);
+  EXPECT_EQ(spec.size_category(9), SizeCategory::Large);
+}
+
+TEST(SystemSpec, MinimalCategoryOptIn) {
+  const auto spec = philly_spec();
+  EXPECT_EQ(spec.size_category(1, true), SizeCategory::Minimal);
+  EXPECT_EQ(spec.size_category(1, false), SizeCategory::Small);
+}
+
+TEST(SystemSpec, LengthCategories) {
+  EXPECT_EQ(SystemSpec::length_category(30.0), LengthCategory::Short);
+  EXPECT_EQ(SystemSpec::length_category(30.0, true), LengthCategory::Minimal);
+  EXPECT_EQ(SystemSpec::length_category(7200.0), LengthCategory::Middle);
+  EXPECT_EQ(SystemSpec::length_category(2.0 * 86400.0), LengthCategory::Long);
+}
+
+TEST(SystemSpec, FindByNameAndAlias) {
+  EXPECT_TRUE(find_system_spec("mira").has_value());
+  EXPECT_TRUE(find_system_spec("Blue Waters").has_value());
+  EXPECT_TRUE(find_system_spec("bw").has_value());
+  EXPECT_FALSE(find_system_spec("frontier").has_value());
+}
+
+TEST(SystemSpec, TableOneCandidatesMatchPaper) {
+  const auto candidates = table1_candidates();
+  EXPECT_EQ(candidates.size(), 9u);
+  int selected = 0;
+  for (const auto& c : candidates) selected += c.selected;
+  EXPECT_EQ(selected, 5);
+  // The Supercloud exclusion was for inconsistency, not scale.
+  for (const auto& c : candidates) {
+    if (c.name == "Supercloud") {
+      EXPECT_TRUE(c.large_scale);
+      EXPECT_FALSE(c.info_consistent);
+      EXPECT_FALSE(c.selected);
+    }
+  }
+}
+
+// --------------------------------------------------------------- Trace ---
+
+TEST(Trace, SortAssignsIds) {
+  Trace t(mira_spec());
+  t.add(make_job(30, 0, 1, 1));
+  t.add(make_job(10, 0, 1, 1));
+  t.add(make_job(20, 0, 1, 1));
+  EXPECT_FALSE(t.is_sorted_by_submit());
+  t.sort_by_submit();
+  EXPECT_TRUE(t.is_sorted_by_submit());
+  EXPECT_DOUBLE_EQ(t[0].submit_time, 10.0);
+  EXPECT_EQ(t[2].id, 2u);
+}
+
+TEST(Trace, WindowFiltersAndRebases) {
+  Trace t(mira_spec());
+  for (int i = 0; i < 10; ++i) t.add(make_job(i * 100.0, 0, 10, 1));
+  t.sort_by_submit();
+  const auto w = t.window(200.0, 500.0);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0].submit_time, 0.0);
+  EXPECT_EQ(w.spec().epoch_unix, t.spec().epoch_unix + 200);
+}
+
+TEST(Trace, InterarrivalTimes) {
+  Trace t(mira_spec());
+  t.add(make_job(0, 0, 1, 1));
+  t.add(make_job(5, 0, 1, 1));
+  t.add(make_job(20, 0, 1, 1));
+  t.sort_by_submit();
+  const auto gaps = t.interarrival_times();
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 5.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 15.0);
+}
+
+TEST(Trace, UserCountAndCoreHours) {
+  Trace t(mira_spec());
+  t.add(make_job(0, 0, 3600, 2, JobStatus::Passed, 7));
+  t.add(make_job(1, 0, 3600, 3, JobStatus::Passed, 7));
+  t.add(make_job(2, 0, 3600, 1, JobStatus::Passed, 8));
+  EXPECT_EQ(t.user_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.total_core_hours(), 6.0);
+}
+
+TEST(Trace, EndTime) {
+  Trace t(mira_spec());
+  t.add(make_job(0, 10, 100, 1));
+  t.add(make_job(50, 0, 10, 1));
+  EXPECT_DOUBLE_EQ(t.end_time(), 110.0);
+  EXPECT_DOUBLE_EQ(t.last_submit(), 50.0);
+}
+
+// ----------------------------------------------------------------- SWF ---
+
+TEST(Swf, RoundTrip) {
+  Trace t(theta_spec());
+  Job j = make_job(100, 20, 300, 64, JobStatus::Killed, 5);
+  j.requested_time = 600;
+  t.add(j);
+  t.add(make_job(200, 0, 50, 128, JobStatus::Failed, 6));
+  t.sort_by_submit();
+
+  std::ostringstream out;
+  write_swf(out, t);
+  std::istringstream in(out.str());
+  const auto back = read_swf(in, theta_spec());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[0].submit_time, 100.0);
+  EXPECT_DOUBLE_EQ(back[0].wait_time, 20.0);
+  EXPECT_DOUBLE_EQ(back[0].run_time, 300.0);
+  EXPECT_EQ(back[0].cores, 64u);
+  EXPECT_EQ(back[0].status, JobStatus::Killed);
+  EXPECT_DOUBLE_EQ(back[0].requested_time, 600.0);
+  EXPECT_EQ(back[1].status, JobStatus::Failed);
+  EXPECT_EQ(back[1].user, 6u);
+}
+
+TEST(Swf, SkipsCommentsAndUnknownRuntime) {
+  const std::string swf =
+      "; a comment\n"
+      "1 0 0 -1 4 -1 -1 4 600 -1 1 3 -1 -1 -1 -1 -1 -1\n"
+      "2 10 5 100 4 -1 -1 4 600 -1 1 3 -1 -1 -1 -1 -1 -1\n";
+  std::istringstream in(swf);
+  const auto t = read_swf(in, theta_spec());
+  ASSERT_EQ(t.size(), 1u);  // first dropped (unknown runtime)
+  EXPECT_DOUBLE_EQ(t[0].run_time, 100.0);
+}
+
+TEST(Swf, RejectsMalformed) {
+  std::istringstream bad("1 2 3\n");
+  EXPECT_THROW(read_swf(bad, theta_spec()), ParseError);
+  std::istringstream nan_field(
+      "x 0 0 100 4 -1 -1 4 600 -1 1 3 -1 -1 -1 -1 -1 -1\n");
+  EXPECT_THROW(read_swf(nan_field, theta_spec()), ParseError);
+}
+
+// ----------------------------------------------------------- CSV forms ---
+
+TEST(LumosCsv, RoundTrip) {
+  Trace t(philly_spec());
+  Job j = make_job(5, 2, 60, 8, JobStatus::Passed, 3);
+  j.kind = ResourceKind::Gpu;
+  j.virtual_cluster = 4;
+  t.add(j);
+  t.sort_by_submit();
+  std::ostringstream out;
+  write_lumos_csv(out, t);
+  std::istringstream in(out.str());
+  const auto back = read_lumos_csv(in, philly_spec());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].kind, ResourceKind::Gpu);
+  EXPECT_EQ(back[0].virtual_cluster, 4);
+  EXPECT_EQ(back[0].status, JobStatus::Passed);
+}
+
+TEST(DlCsv, ParsesPhillyDialect) {
+  const std::string csv =
+      "job_id,user,vc,submit_time,queue_delay,run_time,gpus,status\n"
+      "1,10,3,0,5,600,1,Pass\n"
+      "2,11,2,30,-2,100,16,Killed\n";
+  std::istringstream in(csv);
+  const auto t = read_dl_csv(in, philly_spec());
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].cores, 1u);
+  EXPECT_EQ(t[0].virtual_cluster, 3);
+  EXPECT_EQ(t[0].kind, ResourceKind::Gpu);
+  EXPECT_DOUBLE_EQ(t[1].wait_time, 0.0);  // negative clamped
+  EXPECT_EQ(t[1].status, JobStatus::Killed);
+  EXPECT_EQ(t[1].nodes, 2u);  // 16 GPUs over 8-GPU nodes
+}
+
+TEST(DlCsv, MissingColumnThrows) {
+  std::istringstream in("job_id,user\n1,2\n");
+  EXPECT_THROW(read_dl_csv(in, philly_spec()), ParseError);
+}
+
+TEST(AlcfCsv, ParsesTimestamps) {
+  auto spec = theta_spec();
+  spec.epoch_unix = 1000;
+  const std::string csv =
+      "JOB_ID,USER,QUEUED_TIMESTAMP,START_TIMESTAMP,END_TIMESTAMP,"
+      "NODES_USED,CORES_USED,WALLTIME_SECONDS,EXIT_STATUS\n"
+      "7,3,1100,1160,1460,2,128,600,0\n"
+      "8,3,1200,1200,1300,1,64,600,-9\n";
+  std::istringstream in(csv);
+  const auto t = read_alcf_csv(in, spec);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t[0].submit_time, 100.0);
+  EXPECT_DOUBLE_EQ(t[0].wait_time, 60.0);
+  EXPECT_DOUBLE_EQ(t[0].run_time, 300.0);
+  EXPECT_EQ(t[0].status, JobStatus::Passed);
+  EXPECT_EQ(t[1].status, JobStatus::Killed);
+}
+
+TEST(AlcfCsv, RejectsNonMonotonicTimestamps) {
+  const std::string csv =
+      "JOB_ID,USER,QUEUED_TIMESTAMP,START_TIMESTAMP,END_TIMESTAMP,"
+      "NODES_USED,CORES_USED,WALLTIME_SECONDS,EXIT_STATUS\n"
+      "7,3,1100,1000,1460,2,128,600,0\n";
+  std::istringstream in(csv);
+  EXPECT_THROW(read_alcf_csv(in, theta_spec()), ParseError);
+}
+
+// ------------------------------------------------------------ validate ---
+
+TEST(Validate, CleanTracePasses) {
+  Trace t(theta_spec());
+  t.add(make_job(0, 0, 100, 64));
+  t.sort_by_submit();
+  const auto report = validate(t);
+  EXPECT_TRUE(report.consistent());
+  EXPECT_TRUE(report.issues.empty());
+}
+
+TEST(Validate, DetectsSupercloudStyleInconsistency) {
+  Trace t(theta_spec());  // capacity 281088 cores
+  t.add(make_job(0, 0, 100, 500000));
+  t.sort_by_submit();
+  const auto report = validate(t);
+  EXPECT_FALSE(report.consistent());
+  ASSERT_FALSE(report.issues.empty());
+  EXPECT_EQ(report.issues[0].check, "capacity");
+  EXPECT_NE(report.to_string().find("FATAL"), std::string::npos);
+}
+
+TEST(Validate, WarnsOnZeroCoresAndUnsorted) {
+  Trace t(theta_spec());
+  auto j = make_job(10, 0, 100, 0);
+  t.add(j);
+  t.add(make_job(5, 0, 100, 64));
+  const auto report = validate(t);
+  EXPECT_TRUE(report.consistent());  // warnings only
+  EXPECT_EQ(report.issues.size(), 2u);
+}
+
+TEST(Validate, WarnsOnWalltimeUnderrun) {
+  Trace t(theta_spec());
+  auto j = make_job(0, 0, 1000, 64);
+  j.requested_time = 100.0;  // ran 10x its request
+  t.add(j);
+  const auto report = validate(t);
+  bool found = false;
+  for (const auto& i : report.issues) {
+    found |= i.check == "walltime-underrun";
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace lumos::trace
