@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fault_aware.dir/ext_fault_aware.cpp.o"
+  "CMakeFiles/ext_fault_aware.dir/ext_fault_aware.cpp.o.d"
+  "ext_fault_aware"
+  "ext_fault_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fault_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fragmentation.dir/ext_fragmentation.cpp.o"
+  "CMakeFiles/ext_fragmentation.dir/ext_fragmentation.cpp.o.d"
+  "ext_fragmentation"
+  "ext_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

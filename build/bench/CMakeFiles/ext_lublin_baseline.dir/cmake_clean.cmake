@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lublin_baseline.dir/ext_lublin_baseline.cpp.o"
+  "CMakeFiles/ext_lublin_baseline.dir/ext_lublin_baseline.cpp.o.d"
+  "ext_lublin_baseline"
+  "ext_lublin_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lublin_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_prediction_backfill.dir/ext_prediction_backfill.cpp.o"
+  "CMakeFiles/ext_prediction_backfill.dir/ext_prediction_backfill.cpp.o.d"
+  "ext_prediction_backfill"
+  "ext_prediction_backfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_prediction_backfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_status_prediction.dir/ext_status_prediction.cpp.o"
+  "CMakeFiles/ext_status_prediction.dir/ext_status_prediction.cpp.o.d"
+  "ext_status_prediction"
+  "ext_status_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_status_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_queue_runtime.dir/fig10_queue_runtime.cpp.o"
+  "CMakeFiles/fig10_queue_runtime.dir/fig10_queue_runtime.cpp.o.d"
+  "fig10_queue_runtime"
+  "fig10_queue_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_queue_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_user_status.dir/fig11_user_status.cpp.o"
+  "CMakeFiles/fig11_user_status.dir/fig11_user_status.cpp.o.d"
+  "fig11_user_status"
+  "fig11_user_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_user_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

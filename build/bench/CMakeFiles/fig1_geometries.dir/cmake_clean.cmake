@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_geometries.dir/fig1_geometries.cpp.o"
+  "CMakeFiles/fig1_geometries.dir/fig1_geometries.cpp.o.d"
+  "fig1_geometries"
+  "fig1_geometries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_geometries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_corehours.dir/fig2_corehours.cpp.o"
+  "CMakeFiles/fig2_corehours.dir/fig2_corehours.cpp.o.d"
+  "fig2_corehours"
+  "fig2_corehours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_corehours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_utilization.dir/fig3_utilization.cpp.o"
+  "CMakeFiles/fig3_utilization.dir/fig3_utilization.cpp.o.d"
+  "fig3_utilization"
+  "fig3_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_waiting.dir/fig4_waiting.cpp.o"
+  "CMakeFiles/fig4_waiting.dir/fig4_waiting.cpp.o.d"
+  "fig4_waiting"
+  "fig4_waiting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_waiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_wait_geometry.dir/fig5_wait_geometry.cpp.o"
+  "CMakeFiles/fig5_wait_geometry.dir/fig5_wait_geometry.cpp.o.d"
+  "fig5_wait_geometry"
+  "fig5_wait_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_wait_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

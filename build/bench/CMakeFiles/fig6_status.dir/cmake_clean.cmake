@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_status.dir/fig6_status.cpp.o"
+  "CMakeFiles/fig6_status.dir/fig6_status.cpp.o.d"
+  "fig6_status"
+  "fig6_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_failure_geometry.dir/fig7_failure_geometry.cpp.o"
+  "CMakeFiles/fig7_failure_geometry.dir/fig7_failure_geometry.cpp.o.d"
+  "fig7_failure_geometry"
+  "fig7_failure_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_failure_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

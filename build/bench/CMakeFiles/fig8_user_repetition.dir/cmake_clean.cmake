@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_user_repetition.dir/fig8_user_repetition.cpp.o"
+  "CMakeFiles/fig8_user_repetition.dir/fig8_user_repetition.cpp.o.d"
+  "fig8_user_repetition"
+  "fig8_user_repetition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_user_repetition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

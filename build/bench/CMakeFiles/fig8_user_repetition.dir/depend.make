@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_user_repetition.
+# This may be replaced when dependencies are built.

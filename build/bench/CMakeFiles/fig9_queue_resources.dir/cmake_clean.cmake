@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_queue_resources.dir/fig9_queue_resources.cpp.o"
+  "CMakeFiles/fig9_queue_resources.dir/fig9_queue_resources.cpp.o.d"
+  "fig9_queue_resources"
+  "fig9_queue_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_queue_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

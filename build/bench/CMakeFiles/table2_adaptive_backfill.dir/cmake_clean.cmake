@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_adaptive_backfill.dir/table2_adaptive_backfill.cpp.o"
+  "CMakeFiles/table2_adaptive_backfill.dir/table2_adaptive_backfill.cpp.o.d"
+  "table2_adaptive_backfill"
+  "table2_adaptive_backfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_adaptive_backfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

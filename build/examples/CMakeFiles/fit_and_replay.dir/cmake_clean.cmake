@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_and_replay.dir/fit_and_replay.cpp.o"
+  "CMakeFiles/fit_and_replay.dir/fit_and_replay.cpp.o.d"
+  "fit_and_replay"
+  "fit_and_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_and_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_traces.dir/generate_traces.cpp.o"
+  "CMakeFiles/generate_traces.dir/generate_traces.cpp.o.d"
+  "generate_traces"
+  "generate_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_runtime.dir/predict_runtime.cpp.o"
+  "CMakeFiles/predict_runtime.dir/predict_runtime.cpp.o.d"
+  "predict_runtime"
+  "predict_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/scheduler_comparison.cpp" "examples/CMakeFiles/scheduler_comparison.dir/scheduler_comparison.cpp.o" "gcc" "examples/CMakeFiles/scheduler_comparison.dir/scheduler_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lumos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lumos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/lumos_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lumos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/lumos_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lumos_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lumos_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lumos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/arrival.cpp" "src/analysis/CMakeFiles/lumos_analysis.dir/arrival.cpp.o" "gcc" "src/analysis/CMakeFiles/lumos_analysis.dir/arrival.cpp.o.d"
+  "/root/repo/src/analysis/categories.cpp" "src/analysis/CMakeFiles/lumos_analysis.dir/categories.cpp.o" "gcc" "src/analysis/CMakeFiles/lumos_analysis.dir/categories.cpp.o.d"
+  "/root/repo/src/analysis/domination.cpp" "src/analysis/CMakeFiles/lumos_analysis.dir/domination.cpp.o" "gcc" "src/analysis/CMakeFiles/lumos_analysis.dir/domination.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/lumos_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/lumos_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/failure.cpp" "src/analysis/CMakeFiles/lumos_analysis.dir/failure.cpp.o" "gcc" "src/analysis/CMakeFiles/lumos_analysis.dir/failure.cpp.o.d"
+  "/root/repo/src/analysis/geometry.cpp" "src/analysis/CMakeFiles/lumos_analysis.dir/geometry.cpp.o" "gcc" "src/analysis/CMakeFiles/lumos_analysis.dir/geometry.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/lumos_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/lumos_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/user_behavior.cpp" "src/analysis/CMakeFiles/lumos_analysis.dir/user_behavior.cpp.o" "gcc" "src/analysis/CMakeFiles/lumos_analysis.dir/user_behavior.cpp.o.d"
+  "/root/repo/src/analysis/utilization.cpp" "src/analysis/CMakeFiles/lumos_analysis.dir/utilization.cpp.o" "gcc" "src/analysis/CMakeFiles/lumos_analysis.dir/utilization.cpp.o.d"
+  "/root/repo/src/analysis/waiting.cpp" "src/analysis/CMakeFiles/lumos_analysis.dir/waiting.cpp.o" "gcc" "src/analysis/CMakeFiles/lumos_analysis.dir/waiting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lumos_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lumos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_analysis.dir/arrival.cpp.o"
+  "CMakeFiles/lumos_analysis.dir/arrival.cpp.o.d"
+  "CMakeFiles/lumos_analysis.dir/categories.cpp.o"
+  "CMakeFiles/lumos_analysis.dir/categories.cpp.o.d"
+  "CMakeFiles/lumos_analysis.dir/domination.cpp.o"
+  "CMakeFiles/lumos_analysis.dir/domination.cpp.o.d"
+  "CMakeFiles/lumos_analysis.dir/export.cpp.o"
+  "CMakeFiles/lumos_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/lumos_analysis.dir/failure.cpp.o"
+  "CMakeFiles/lumos_analysis.dir/failure.cpp.o.d"
+  "CMakeFiles/lumos_analysis.dir/geometry.cpp.o"
+  "CMakeFiles/lumos_analysis.dir/geometry.cpp.o.d"
+  "CMakeFiles/lumos_analysis.dir/report.cpp.o"
+  "CMakeFiles/lumos_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/lumos_analysis.dir/user_behavior.cpp.o"
+  "CMakeFiles/lumos_analysis.dir/user_behavior.cpp.o.d"
+  "CMakeFiles/lumos_analysis.dir/utilization.cpp.o"
+  "CMakeFiles/lumos_analysis.dir/utilization.cpp.o.d"
+  "CMakeFiles/lumos_analysis.dir/waiting.cpp.o"
+  "CMakeFiles/lumos_analysis.dir/waiting.cpp.o.d"
+  "liblumos_analysis.a"
+  "liblumos_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backfill_study.cpp" "src/core/CMakeFiles/lumos_core.dir/backfill_study.cpp.o" "gcc" "src/core/CMakeFiles/lumos_core.dir/backfill_study.cpp.o.d"
+  "/root/repo/src/core/estimate_study.cpp" "src/core/CMakeFiles/lumos_core.dir/estimate_study.cpp.o" "gcc" "src/core/CMakeFiles/lumos_core.dir/estimate_study.cpp.o.d"
+  "/root/repo/src/core/fault_aware_study.cpp" "src/core/CMakeFiles/lumos_core.dir/fault_aware_study.cpp.o" "gcc" "src/core/CMakeFiles/lumos_core.dir/fault_aware_study.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/lumos_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/lumos_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/takeaways.cpp" "src/core/CMakeFiles/lumos_core.dir/takeaways.cpp.o" "gcc" "src/core/CMakeFiles/lumos_core.dir/takeaways.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/lumos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/lumos_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lumos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/lumos_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lumos_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lumos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lumos_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

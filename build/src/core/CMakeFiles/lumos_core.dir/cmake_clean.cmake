@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_core.dir/backfill_study.cpp.o"
+  "CMakeFiles/lumos_core.dir/backfill_study.cpp.o.d"
+  "CMakeFiles/lumos_core.dir/estimate_study.cpp.o"
+  "CMakeFiles/lumos_core.dir/estimate_study.cpp.o.d"
+  "CMakeFiles/lumos_core.dir/fault_aware_study.cpp.o"
+  "CMakeFiles/lumos_core.dir/fault_aware_study.cpp.o.d"
+  "CMakeFiles/lumos_core.dir/study.cpp.o"
+  "CMakeFiles/lumos_core.dir/study.cpp.o.d"
+  "CMakeFiles/lumos_core.dir/takeaways.cpp.o"
+  "CMakeFiles/lumos_core.dir/takeaways.cpp.o.d"
+  "liblumos_core.a"
+  "liblumos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/lumos_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/gbrt.cpp" "src/ml/CMakeFiles/lumos_ml.dir/gbrt.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/gbrt.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/lumos_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/ml/CMakeFiles/lumos_ml.dir/logistic.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/logistic.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/lumos_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/lumos_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/lumos_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/tobit.cpp" "src/ml/CMakeFiles/lumos_ml.dir/tobit.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/tobit.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/lumos_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lumos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_ml.dir/dataset.cpp.o"
+  "CMakeFiles/lumos_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/gbrt.cpp.o"
+  "CMakeFiles/lumos_ml.dir/gbrt.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/linear.cpp.o"
+  "CMakeFiles/lumos_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/logistic.cpp.o"
+  "CMakeFiles/lumos_ml.dir/logistic.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/matrix.cpp.o"
+  "CMakeFiles/lumos_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/metrics.cpp.o"
+  "CMakeFiles/lumos_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/mlp.cpp.o"
+  "CMakeFiles/lumos_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/tobit.cpp.o"
+  "CMakeFiles/lumos_ml.dir/tobit.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/tree.cpp.o"
+  "CMakeFiles/lumos_ml.dir/tree.cpp.o.d"
+  "liblumos_ml.a"
+  "liblumos_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

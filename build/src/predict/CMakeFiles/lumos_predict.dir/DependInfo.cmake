@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/features.cpp" "src/predict/CMakeFiles/lumos_predict.dir/features.cpp.o" "gcc" "src/predict/CMakeFiles/lumos_predict.dir/features.cpp.o.d"
+  "/root/repo/src/predict/harness.cpp" "src/predict/CMakeFiles/lumos_predict.dir/harness.cpp.o" "gcc" "src/predict/CMakeFiles/lumos_predict.dir/harness.cpp.o.d"
+  "/root/repo/src/predict/last2.cpp" "src/predict/CMakeFiles/lumos_predict.dir/last2.cpp.o" "gcc" "src/predict/CMakeFiles/lumos_predict.dir/last2.cpp.o.d"
+  "/root/repo/src/predict/status_predictor.cpp" "src/predict/CMakeFiles/lumos_predict.dir/status_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/lumos_predict.dir/status_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/lumos_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lumos_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lumos_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

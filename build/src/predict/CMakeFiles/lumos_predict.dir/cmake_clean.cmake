@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_predict.dir/features.cpp.o"
+  "CMakeFiles/lumos_predict.dir/features.cpp.o.d"
+  "CMakeFiles/lumos_predict.dir/harness.cpp.o"
+  "CMakeFiles/lumos_predict.dir/harness.cpp.o.d"
+  "CMakeFiles/lumos_predict.dir/last2.cpp.o"
+  "CMakeFiles/lumos_predict.dir/last2.cpp.o.d"
+  "CMakeFiles/lumos_predict.dir/status_predictor.cpp.o"
+  "CMakeFiles/lumos_predict.dir/status_predictor.cpp.o.d"
+  "liblumos_predict.a"
+  "liblumos_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/backfill.cpp" "src/sim/CMakeFiles/lumos_sim.dir/backfill.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/backfill.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/lumos_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/lumos_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/node_cluster.cpp" "src/sim/CMakeFiles/lumos_sim.dir/node_cluster.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/node_cluster.cpp.o.d"
+  "/root/repo/src/sim/policy.cpp" "src/sim/CMakeFiles/lumos_sim.dir/policy.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/policy.cpp.o.d"
+  "/root/repo/src/sim/profile.cpp" "src/sim/CMakeFiles/lumos_sim.dir/profile.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/profile.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/lumos_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lumos_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lumos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_sim.dir/backfill.cpp.o"
+  "CMakeFiles/lumos_sim.dir/backfill.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/cluster.cpp.o"
+  "CMakeFiles/lumos_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/metrics.cpp.o"
+  "CMakeFiles/lumos_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/node_cluster.cpp.o"
+  "CMakeFiles/lumos_sim.dir/node_cluster.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/policy.cpp.o"
+  "CMakeFiles/lumos_sim.dir/policy.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/profile.cpp.o"
+  "CMakeFiles/lumos_sim.dir/profile.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lumos_sim.dir/simulator.cpp.o.d"
+  "liblumos_sim.a"
+  "liblumos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

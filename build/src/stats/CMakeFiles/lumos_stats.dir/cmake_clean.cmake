@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/lumos_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/lumos_stats.dir/correlation.cpp.o"
+  "CMakeFiles/lumos_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/lumos_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/lumos_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/lumos_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/lumos_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/lumos_stats.dir/histogram.cpp.o"
+  "CMakeFiles/lumos_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/lumos_stats.dir/kde.cpp.o"
+  "CMakeFiles/lumos_stats.dir/kde.cpp.o.d"
+  "liblumos_stats.a"
+  "liblumos_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/arrival.cpp" "src/synth/CMakeFiles/lumos_synth.dir/arrival.cpp.o" "gcc" "src/synth/CMakeFiles/lumos_synth.dir/arrival.cpp.o.d"
+  "/root/repo/src/synth/calibration.cpp" "src/synth/CMakeFiles/lumos_synth.dir/calibration.cpp.o" "gcc" "src/synth/CMakeFiles/lumos_synth.dir/calibration.cpp.o.d"
+  "/root/repo/src/synth/failure_model.cpp" "src/synth/CMakeFiles/lumos_synth.dir/failure_model.cpp.o" "gcc" "src/synth/CMakeFiles/lumos_synth.dir/failure_model.cpp.o.d"
+  "/root/repo/src/synth/fit.cpp" "src/synth/CMakeFiles/lumos_synth.dir/fit.cpp.o" "gcc" "src/synth/CMakeFiles/lumos_synth.dir/fit.cpp.o.d"
+  "/root/repo/src/synth/generator.cpp" "src/synth/CMakeFiles/lumos_synth.dir/generator.cpp.o" "gcc" "src/synth/CMakeFiles/lumos_synth.dir/generator.cpp.o.d"
+  "/root/repo/src/synth/lublin.cpp" "src/synth/CMakeFiles/lumos_synth.dir/lublin.cpp.o" "gcc" "src/synth/CMakeFiles/lumos_synth.dir/lublin.cpp.o.d"
+  "/root/repo/src/synth/user_model.cpp" "src/synth/CMakeFiles/lumos_synth.dir/user_model.cpp.o" "gcc" "src/synth/CMakeFiles/lumos_synth.dir/user_model.cpp.o.d"
+  "/root/repo/src/synth/wait_model.cpp" "src/synth/CMakeFiles/lumos_synth.dir/wait_model.cpp.o" "gcc" "src/synth/CMakeFiles/lumos_synth.dir/wait_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lumos_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lumos_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lumos_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_synth.dir/arrival.cpp.o"
+  "CMakeFiles/lumos_synth.dir/arrival.cpp.o.d"
+  "CMakeFiles/lumos_synth.dir/calibration.cpp.o"
+  "CMakeFiles/lumos_synth.dir/calibration.cpp.o.d"
+  "CMakeFiles/lumos_synth.dir/failure_model.cpp.o"
+  "CMakeFiles/lumos_synth.dir/failure_model.cpp.o.d"
+  "CMakeFiles/lumos_synth.dir/fit.cpp.o"
+  "CMakeFiles/lumos_synth.dir/fit.cpp.o.d"
+  "CMakeFiles/lumos_synth.dir/generator.cpp.o"
+  "CMakeFiles/lumos_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/lumos_synth.dir/lublin.cpp.o"
+  "CMakeFiles/lumos_synth.dir/lublin.cpp.o.d"
+  "CMakeFiles/lumos_synth.dir/user_model.cpp.o"
+  "CMakeFiles/lumos_synth.dir/user_model.cpp.o.d"
+  "CMakeFiles/lumos_synth.dir/wait_model.cpp.o"
+  "CMakeFiles/lumos_synth.dir/wait_model.cpp.o.d"
+  "liblumos_synth.a"
+  "liblumos_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

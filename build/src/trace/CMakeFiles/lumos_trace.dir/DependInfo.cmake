@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv_formats.cpp" "src/trace/CMakeFiles/lumos_trace.dir/csv_formats.cpp.o" "gcc" "src/trace/CMakeFiles/lumos_trace.dir/csv_formats.cpp.o.d"
+  "/root/repo/src/trace/swf.cpp" "src/trace/CMakeFiles/lumos_trace.dir/swf.cpp.o" "gcc" "src/trace/CMakeFiles/lumos_trace.dir/swf.cpp.o.d"
+  "/root/repo/src/trace/system_spec.cpp" "src/trace/CMakeFiles/lumos_trace.dir/system_spec.cpp.o" "gcc" "src/trace/CMakeFiles/lumos_trace.dir/system_spec.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/lumos_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/lumos_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/transform.cpp" "src/trace/CMakeFiles/lumos_trace.dir/transform.cpp.o" "gcc" "src/trace/CMakeFiles/lumos_trace.dir/transform.cpp.o.d"
+  "/root/repo/src/trace/validate.cpp" "src/trace/CMakeFiles/lumos_trace.dir/validate.cpp.o" "gcc" "src/trace/CMakeFiles/lumos_trace.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lumos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lumos_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_trace.dir/csv_formats.cpp.o"
+  "CMakeFiles/lumos_trace.dir/csv_formats.cpp.o.d"
+  "CMakeFiles/lumos_trace.dir/swf.cpp.o"
+  "CMakeFiles/lumos_trace.dir/swf.cpp.o.d"
+  "CMakeFiles/lumos_trace.dir/system_spec.cpp.o"
+  "CMakeFiles/lumos_trace.dir/system_spec.cpp.o.d"
+  "CMakeFiles/lumos_trace.dir/trace.cpp.o"
+  "CMakeFiles/lumos_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/lumos_trace.dir/transform.cpp.o"
+  "CMakeFiles/lumos_trace.dir/transform.cpp.o.d"
+  "CMakeFiles/lumos_trace.dir/validate.cpp.o"
+  "CMakeFiles/lumos_trace.dir/validate.cpp.o.d"
+  "liblumos_trace.a"
+  "liblumos_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_util.dir/csv.cpp.o"
+  "CMakeFiles/lumos_util.dir/csv.cpp.o.d"
+  "CMakeFiles/lumos_util.dir/logging.cpp.o"
+  "CMakeFiles/lumos_util.dir/logging.cpp.o.d"
+  "CMakeFiles/lumos_util.dir/rng.cpp.o"
+  "CMakeFiles/lumos_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lumos_util.dir/string_util.cpp.o"
+  "CMakeFiles/lumos_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/lumos_util.dir/table.cpp.o"
+  "CMakeFiles/lumos_util.dir/table.cpp.o.d"
+  "CMakeFiles/lumos_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lumos_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/lumos_util.dir/time_util.cpp.o"
+  "CMakeFiles/lumos_util.dir/time_util.cpp.o.d"
+  "liblumos_util.a"
+  "liblumos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

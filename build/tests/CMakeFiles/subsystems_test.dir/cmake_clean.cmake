@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsystems_test.dir/subsystems_test.cpp.o"
+  "CMakeFiles/subsystems_test.dir/subsystems_test.cpp.o.d"
+  "subsystems_test"
+  "subsystems_test.pdb"
+  "subsystems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsystems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

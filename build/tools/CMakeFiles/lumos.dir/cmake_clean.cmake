@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos.dir/lumos_cli.cpp.o"
+  "CMakeFiles/lumos.dir/lumos_cli.cpp.o.d"
+  "lumos"
+  "lumos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
