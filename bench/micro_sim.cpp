@@ -26,17 +26,37 @@ void BM_GenerateWorkload(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateWorkload)->Arg(2)->Arg(7)->Unit(benchmark::kMillisecond);
 
+// Reports the event loop's SimCounters alongside throughput: events/sec is
+// the headline number, sorts and profile (re)builds explain where passes
+// spent their time.
+void report_sim_counters(benchmark::State& state,
+                         const lumos::sim::SimResult& result,
+                         std::size_t jobs) {
+  const auto& c = result.counters;
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["events_per_s"] =
+      benchmark::Counter(static_cast<double>(c.events) *
+                             static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["sorts"] = static_cast<double>(c.sort_invocations);
+  state.counters["profile_rebuilds"] =
+      static_cast<double>(c.profile_rebuilds);
+  state.counters["profile_cache_hits"] =
+      static_cast<double>(c.profile_cache_hits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs) *
+                          state.iterations());
+}
+
 void BM_SimulateEasy(benchmark::State& state) {
   const auto trace = make_trace("Theta", static_cast<double>(state.range(0)));
   lumos::sim::SimConfig config;
   config.backfill.kind = lumos::sim::BackfillKind::Easy;
+  lumos::sim::SimResult result;
   for (auto _ : state) {
-    const auto result = lumos::sim::simulate(trace, config);
+    result = lumos::sim::simulate(trace, config);
     benchmark::DoNotOptimize(result.outcomes.data());
   }
-  state.counters["jobs"] = static_cast<double>(trace.size());
-  state.SetItemsProcessed(static_cast<std::int64_t>(trace.size()) *
-                          state.iterations());
+  report_sim_counters(state, result, trace.size());
 }
 BENCHMARK(BM_SimulateEasy)->Arg(7)->Arg(30)->Unit(benchmark::kMillisecond);
 
@@ -44,15 +64,46 @@ void BM_SimulateAdaptive(benchmark::State& state) {
   const auto trace = make_trace("Theta", static_cast<double>(state.range(0)));
   lumos::sim::SimConfig config;
   config.backfill.kind = lumos::sim::BackfillKind::AdaptiveRelaxed;
+  lumos::sim::SimResult result;
   for (auto _ : state) {
-    const auto result = lumos::sim::simulate(trace, config);
+    result = lumos::sim::simulate(trace, config);
     benchmark::DoNotOptimize(result.outcomes.data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(trace.size()) *
-                          state.iterations());
+  report_sim_counters(state, result, trace.size());
 }
 BENCHMARK(BM_SimulateAdaptive)->Arg(7)->Arg(30)
     ->Unit(benchmark::kMillisecond);
+
+void BM_SimulateConservative(benchmark::State& state) {
+  // Conservative backfilling re-plans the whole queue every pass — the
+  // heaviest consumer of the availability-profile cache.
+  const auto trace = make_trace("Theta", static_cast<double>(state.range(0)));
+  lumos::sim::SimConfig config;
+  config.backfill.kind = lumos::sim::BackfillKind::Conservative;
+  lumos::sim::SimResult result;
+  for (auto _ : state) {
+    result = lumos::sim::simulate(trace, config);
+    benchmark::DoNotOptimize(result.outcomes.data());
+  }
+  report_sim_counters(state, result, trace.size());
+}
+BENCHMARK(BM_SimulateConservative)->Arg(30)->Arg(120)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulateSjfSorted(benchmark::State& state) {
+  // Non-FCFS policy: exercises the dirty-flag incremental queue sort.
+  const auto trace = make_trace("Philly", static_cast<double>(state.range(0)));
+  lumos::sim::SimConfig config;
+  config.policy = lumos::sim::PolicyKind::Sjf;
+  config.backfill.kind = lumos::sim::BackfillKind::Easy;
+  lumos::sim::SimResult result;
+  for (auto _ : state) {
+    result = lumos::sim::simulate(trace, config);
+    benchmark::DoNotOptimize(result.outcomes.data());
+  }
+  report_sim_counters(state, result, trace.size());
+}
+BENCHMARK(BM_SimulateSjfSorted)->Arg(14)->Unit(benchmark::kMillisecond);
 
 void BM_QueueLengthSweep(benchmark::State& state) {
   const auto trace = make_trace("Philly", 7.0);

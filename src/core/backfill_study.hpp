@@ -17,6 +17,9 @@ struct BackfillStudyConfig {
   double relax_factor = 0.10;  ///< the paper's 10% base factor
   sim::AdaptiveShape adaptive_shape = sim::AdaptiveShape::Linear;
   double bsld_bound = 10.0;
+  /// Worker threads for the per-trace simulations (0 = hardware
+  /// concurrency). Results are identical for every thread count.
+  std::size_t threads = 0;
 };
 
 struct BackfillComparison {

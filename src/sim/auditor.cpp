@@ -1,0 +1,79 @@
+#include "sim/auditor.hpp"
+
+#include "util/error.hpp"
+
+namespace lumos::sim {
+
+SimAuditor::SimAuditor(SimCounters& counters, std::size_t jobs, bool fatal)
+    : counters_(&counters), seen_(jobs, 0), fatal_(fatal) {}
+
+void SimAuditor::fail(const char* what) {
+  ++counters_->audit_failures;
+  if (fatal_) throw InternalError(std::string("SimAuditor: ") + what);
+}
+
+void SimAuditor::check(
+    const Cluster& cluster,
+    const std::vector<std::vector<std::uint32_t>>& queues,
+    const std::vector<std::vector<RunningJob>>& running_by_part,
+    std::size_t total_queued) {
+  ++counters_->audits;
+  std::fill(seen_.begin(), seen_.end(), 0);
+
+  // 1. Core accounting, per partition.
+  if (running_by_part.size() != cluster.partitions()) {
+    fail("running-set partition count does not match the cluster");
+    return;
+  }
+  for (std::size_t p = 0; p < running_by_part.size(); ++p) {
+    std::uint64_t running_cores = 0;
+    for (const RunningJob& r : running_by_part[p]) {
+      running_cores += r.cores;
+      if (r.index >= seen_.size() || seen_[r.index] != 0) {
+        fail("job appears in two running sets");
+        return;
+      }
+      seen_[r.index] = 2;
+    }
+    const std::uint64_t allocated = cluster.capacity(p) - cluster.free(p);
+    if (running_cores != allocated) {
+      fail("allocated cores do not match the sum of running-job cores");
+      return;
+    }
+  }
+
+  // 2 + 3. Queue accounting and queued/running disjointness.
+  std::size_t queued = 0;
+  for (const auto& queue : queues) {
+    queued += queue.size();
+    for (std::uint32_t idx : queue) {
+      if (idx >= seen_.size()) {
+        fail("queued job index out of range");
+        return;
+      }
+      if (seen_[idx] == 2) {
+        fail("job is both queued and running");
+        return;
+      }
+      if (seen_[idx] == 1) {
+        fail("job is queued twice");
+        return;
+      }
+      seen_[idx] = 1;
+    }
+  }
+  if (queued != total_queued) {
+    fail("total_queued does not match the sum of queue sizes");
+    return;
+  }
+}
+
+void SimAuditor::check_profile(const ResourceProfile& cached,
+                               const ResourceProfile& rebuilt) {
+  ++counters_->audits;
+  if (!(cached == rebuilt)) {
+    fail("incremental profile diverged from a from-scratch rebuild");
+  }
+}
+
+}  // namespace lumos::sim

@@ -1,0 +1,55 @@
+// Event-loop invariant auditor.
+//
+// In audit mode the simulator calls `check` after every event (completion,
+// arrival, scheduling round) to assert the core-accounting invariants the
+// indexed event loop must preserve:
+//
+//  1. Core accounting: for every partition, the cores the Cluster reports
+//     allocated equal the sum of cores of the jobs recorded as running
+//     there.
+//  2. Queue accounting: the loop's `total_queued` tally equals the sum of
+//     the per-partition queue sizes, with no job queued twice.
+//  3. Disjointness: no job index appears both in a waiting queue and in a
+//     running set (or in two running sets).
+//
+// `check_profile` additionally asserts that an incrementally maintained
+// availability profile is identical to a from-scratch rebuild — the proof
+// obligation for the profile cache.
+//
+// Violations increment `SimCounters::audit_failures`; in fatal mode
+// (default) the first violation throws InternalError.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/profile.hpp"
+#include "sim/simulator.hpp"
+
+namespace lumos::sim {
+
+class SimAuditor {
+ public:
+  /// `jobs` bounds the job-index space; `fatal` selects throw-on-failure.
+  SimAuditor(SimCounters& counters, std::size_t jobs, bool fatal = true);
+
+  /// Asserts invariants 1–3 over the current event-loop state.
+  void check(const Cluster& cluster,
+             const std::vector<std::vector<std::uint32_t>>& queues,
+             const std::vector<std::vector<RunningJob>>& running_by_part,
+             std::size_t total_queued);
+
+  /// Asserts that the cached profile matches a from-scratch rebuild.
+  void check_profile(const ResourceProfile& cached,
+                     const ResourceProfile& rebuilt);
+
+ private:
+  void fail(const char* what);
+
+  SimCounters* counters_;
+  std::vector<std::uint8_t> seen_;  ///< scratch: 0 free, 1 queued, 2 running
+  bool fatal_;
+};
+
+}  // namespace lumos::sim

@@ -14,6 +14,7 @@ SimMetrics compute_metrics(const trace::Trace& trace, const SimResult& result,
   SimMetrics m;
   m.makespan = result.makespan;
   m.backfilled_jobs = result.backfilled_jobs;
+  m.counters = result.counters;
 
   double wait_sum = 0.0;
   double bsld_sum = 0.0;

@@ -19,6 +19,8 @@ struct SimMetrics {
   double total_violation = 0.0;     ///< summed delay (s)
   double makespan = 0.0;
   std::size_t backfilled_jobs = 0;
+  SimCounters counters;             ///< event-loop instrumentation,
+                                    ///< copied from the SimResult
 
   [[nodiscard]] std::string to_string() const;
 };

@@ -37,6 +37,13 @@ class ResourceProfile {
   /// Number of internal steps (for tests).
   [[nodiscard]] std::size_t steps() const noexcept { return times_.size(); }
 
+  /// Exact structural equality (same step boundaries and free counts).
+  /// Reserves commute — `max(0, x - c)` composes order-independently and
+  /// `split_at` inserts the same boundary set in any order — so a profile
+  /// built incrementally equals one rebuilt from scratch from the same
+  /// reservations; the SimAuditor relies on this being exact.
+  [[nodiscard]] bool operator==(const ResourceProfile&) const = default;
+
  private:
   // times_[i] is the start of step i; free_[i] holds until times_[i+1]
   // (the final step extends to infinity). times_ is strictly increasing.

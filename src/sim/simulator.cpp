@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
+#include <optional>
 #include <queue>
+#include <vector>
 
+#include "sim/auditor.hpp"
 #include "sim/profile.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -15,15 +17,22 @@ namespace {
 
 constexpr double kEps = 1e-6;
 
-/// A job currently executing.
-struct RunningJob {
-  double end = 0.0;          ///< actual completion time
-  double planned_end = 0.0;  ///< scheduler-visible completion time
-  std::uint64_t cores = 0;
-  std::size_t partition = 0;
-  std::uint32_t index = 0;
-  bool operator>(const RunningJob& o) const noexcept { return end > o.end; }
+/// Where a job currently lives in the event loop. Acts as the per-job
+/// queue handle: O(1) membership checks replace the old linear scans.
+enum class JobLocation : std::uint8_t {
+  NotArrived,
+  Queued,
+  Running,
+  Finished,
+  Dropped,  ///< oversized for its partition, removed from the queue
 };
+
+/// Policies whose score depends on the current waiting time. Their queue
+/// order can change as time advances even without arrivals, so the
+/// incremental sort must also refresh when `now` moves.
+bool policy_is_time_dependent(PolicyKind p) noexcept {
+  return p == PolicyKind::Wfp3 || p == PolicyKind::Unicep;
+}
 
 }  // namespace
 
@@ -40,6 +49,7 @@ SimResult Simulator::run() {
   if (jobs.empty()) return result;
 
   Cluster cluster = Cluster::from_spec(trace_.spec());
+  SimCounters& counters = result.counters;
 
   // Build pending-job descriptors; detect whether planning falls back to
   // oracle runtimes (DL traces without walltime requests).
@@ -61,13 +71,37 @@ SimResult Simulator::run() {
     pending[i] = p;
   }
 
-  // Per-partition waiting queues (indices into `pending`).
-  std::vector<std::deque<std::uint32_t>> queues(cluster.partitions());
+  const std::size_t nparts = cluster.partitions();
+  // Per-partition waiting queues (indices into `pending`), policy-ordered.
+  std::vector<std::vector<std::uint32_t>> queues(nparts);
   std::priority_queue<RunningJob, std::vector<RunningJob>,
                       std::greater<RunningJob>>
       running;
-  // Per-partition running jobs for profile building.
-  std::vector<std::vector<RunningJob>> running_by_part(cluster.partitions());
+  // Per-partition running jobs for profile building; unordered, erased by
+  // swap-with-back via `run_slot`.
+  std::vector<std::vector<RunningJob>> running_by_part(nparts);
+
+  // Per-job event-loop handles.
+  std::vector<JobLocation> location(jobs.size(), JobLocation::NotArrived);
+  std::vector<std::uint32_t> run_slot(jobs.size(), 0);
+
+  // Incremental policy order: a queue is re-sorted only when its
+  // membership grew (arrival) or, for wait-sensitive policies, when time
+  // advanced since the last sort. Removals preserve relative order, and a
+  // stable sort of an already-ordered queue is the identity, so skipping
+  // the redundant sorts is outcome-identical to sorting every pass.
+  std::vector<std::uint8_t> sort_dirty(nparts, 1);
+  std::vector<double> sorted_at(nparts, -1.0);
+  const bool time_dependent = policy_is_time_dependent(config_.policy);
+
+  // Incrementally maintained planned-availability profiles, one per
+  // partition: rebuilt when stale (time advanced or a job completed),
+  // extended in place when a job starts at the cached timestamp.
+  struct ProfileCache {
+    std::optional<ResourceProfile> profile;
+    double time = -1.0;
+  };
+  std::vector<ProfileCache> profiles(nparts);
 
   std::size_t next_arrival = 0;
   double now = 0.0;
@@ -75,7 +109,48 @@ SimResult Simulator::run() {
   bool ema_init = false;
   std::size_t total_queued = 0;
 
+  std::optional<SimAuditor> auditor;
+  if (config_.audit) {
+    auditor.emplace(counters, jobs.size(), config_.audit_fatal);
+  }
+  auto audit = [&] {
+    if (auditor) {
+      auditor->check(cluster, queues, running_by_part, total_queued);
+    }
+  };
+
+  // Planned-availability profile for one partition from its running jobs.
+  // Planned ends already in the past (jobs overrunning their estimate) are
+  // treated as ending shortly after `now`.
+  auto rebuild_profile = [&](std::size_t part) {
+    ResourceProfile profile(now, cluster.capacity(part));
+    for (const RunningJob& r : running_by_part[part]) {
+      const double planned_end =
+          r.planned_end > now + kEps ? r.planned_end : now + 60.0;
+      profile.reserve(now, planned_end, r.cores);
+    }
+    return profile;
+  };
+
+  // Returns (a copy of) the partition's availability profile, serving from
+  // the incremental cache when it is still anchored at `now`.
+  auto base_profile = [&](std::size_t part) -> ResourceProfile {
+    ProfileCache& cache = profiles[part];
+    if (!cache.profile || cache.time != now) {
+      cache.profile = rebuild_profile(part);
+      cache.time = now;
+      ++counters.profile_rebuilds;
+    } else {
+      ++counters.profile_cache_hits;
+      if (auditor) auditor->check_profile(*cache.profile, rebuild_profile(part));
+    }
+    return *cache.profile;
+  };
+
   auto start_job = [&](std::uint32_t idx, bool as_backfill) {
+    if (location[idx] != JobLocation::Queued) {
+      throw InternalError("start_job on a job that is not queued");
+    }
     const PendingJob& p = pending[idx];
     const bool ok = cluster.allocate(p.cores, p.partition);
     if (!ok) throw InternalError("start_job without free cores");
@@ -90,7 +165,16 @@ SimResult Simulator::run() {
     r.partition = p.partition;
     r.index = idx;
     running.push(r);
+    location[idx] = JobLocation::Running;
+    run_slot[idx] = static_cast<std::uint32_t>(running_by_part[p.partition].size());
     running_by_part[p.partition].push_back(r);
+    // Keep the cached profile current: a job starting at the cache's
+    // anchor time reserves exactly what a rebuild would reserve for it
+    // (its planned end is strictly in the future, so no overrun clamp).
+    ProfileCache& cache = profiles[p.partition];
+    if (cache.profile && cache.time == now) {
+      cache.profile->reserve(now, r.planned_end, r.cores);
+    }
     const double wait = now - p.submit;
     ema_wait = ema_init
                    ? (1.0 - config_.wait_ema_alpha) * ema_wait +
@@ -99,46 +183,57 @@ SimResult Simulator::run() {
     ema_init = true;
   };
 
-  // Planned-availability profile for one partition from its running jobs.
-  // Planned ends already in the past (jobs overrunning their estimate) are
-  // treated as ending shortly after `now`.
-  auto build_profile = [&](std::size_t part) {
-    ResourceProfile profile(now, cluster.capacity(part));
-    for (const RunningJob& r : running_by_part[part]) {
-      const double planned_end =
-          r.planned_end > now + kEps ? r.planned_end : now + 60.0;
-      profile.reserve(now, planned_end, r.cores);
+  // Batch-compacts every job no longer Queued out of `queue` in one
+  // order-preserving pass — the indexed replacement for the old per-job
+  // unchecked find+erase. Throws InternalError when the queue does not
+  // contain exactly the jobs the caller just started.
+  auto remove_started = [&](std::vector<std::uint32_t>& queue,
+                            std::size_t expected) {
+    std::size_t w = 0;
+    std::size_t removed = 0;
+    for (std::size_t r = 0; r < queue.size(); ++r) {
+      if (location[queue[r]] == JobLocation::Queued) {
+        queue[w++] = queue[r];
+      } else {
+        ++removed;
+      }
     }
-    return profile;
-  };
-
-  auto erase_from_queue = [&](std::deque<std::uint32_t>& queue,
-                              std::uint32_t idx) {
-    queue.erase(std::find(queue.begin(), queue.end(), idx));
-    --total_queued;
+    if (removed != expected) {
+      throw InternalError("erase_from_queue: started job missing from its "
+                          "partition queue");
+    }
+    queue.resize(w);
+    total_queued -= removed;
   };
 
   // One scheduling pass over partition `part`; returns jobs started.
   auto schedule_partition = [&](std::size_t part) -> std::size_t {
     auto& queue = queues[part];
     if (queue.empty()) return 0;
+    ++counters.scheduling_passes;
 
     // Drop jobs that can never fit this partition (Supercloud-style
     // inputs); they would wedge the head of the queue forever.
-    for (auto it = queue.begin(); it != queue.end();) {
-      if (pending[*it].cores > cluster.capacity(part)) {
-        ++result.skipped_oversized;
-        it = queue.erase(it);
-        --total_queued;
-      } else {
-        ++it;
+    {
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < queue.size(); ++r) {
+        if (pending[queue[r]].cores > cluster.capacity(part)) {
+          location[queue[r]] = JobLocation::Dropped;
+          ++result.skipped_oversized;
+          --total_queued;
+        } else {
+          queue[w++] = queue[r];
+        }
       }
+      queue.resize(w);
     }
     if (queue.empty()) return 0;
 
     // Order the queue by the policy (lower score first, FCFS tiebreak).
     // Arrivals are pushed in submit order, so FCFS needs no sort.
-    if (config_.policy != PolicyKind::Fcfs) {
+    if (config_.policy != PolicyKind::Fcfs &&
+        (sort_dirty[part] != 0 || (time_dependent && sorted_at[part] != now))) {
+      ++counters.sort_invocations;
       std::stable_sort(
           queue.begin(), queue.end(),
           [&](std::uint32_t a, std::uint32_t b) {
@@ -151,6 +246,8 @@ SimResult Simulator::run() {
             if (sa != sb) return sa < sb;
             return pending[a].submit < pending[b].submit;
           });
+      sort_dirty[part] = 0;
+      sorted_at[part] = now;
     }
 
     std::size_t started = 0;
@@ -158,7 +255,7 @@ SimResult Simulator::run() {
     if (config_.backfill.kind == BackfillKind::Conservative) {
       // Reservation for every queued job; start those whose earliest start
       // is now.
-      ResourceProfile profile = build_profile(part);
+      ResourceProfile profile = base_profile(part);
       std::vector<std::uint32_t> to_start;
       const std::size_t scan =
           std::min(queue.size(), config_.backfill.scan_limit);
@@ -172,22 +269,35 @@ SimResult Simulator::run() {
         }
         if (est <= now + kEps) to_start.push_back(queue[qi]);
       }
-      for (std::uint32_t idx : to_start) {
-        start_job(idx, /*as_backfill=*/idx != queue.front());
-        erase_from_queue(queue, idx);
-        ++started;
+      if (!to_start.empty()) {
+        // A job is a backfill when it is not the head of the queue as this
+        // pass begins; the head must be captured before any start mutates
+        // the queue front.
+        const std::uint32_t pass_head = queue.front();
+        for (std::uint32_t idx : to_start) {
+          start_job(idx, /*as_backfill=*/idx != pass_head);
+          ++started;
+        }
+        remove_started(queue, to_start.size());
       }
       return started;
     }
 
-    // Head service with optional EASY/relaxed backfilling.
-    while (!queue.empty()) {
-      const std::uint32_t head = queue.front();
-      if (!cluster.fits(pending[head].cores, part)) break;
-      start_job(head, /*as_backfill=*/false);
-      queue.pop_front();
-      --total_queued;
+    // Head service with optional EASY/relaxed backfilling. Pops are
+    // deferred: started heads are skipped over and compacted off in one
+    // batch below.
+    std::size_t head_pos = 0;
+    while (head_pos < queue.size()) {
+      const std::uint32_t h = queue[head_pos];
+      if (!cluster.fits(pending[h].cores, part)) break;
+      start_job(h, /*as_backfill=*/false);
+      ++head_pos;
       ++started;
+    }
+    if (head_pos > 0) {
+      queue.erase(queue.begin(),
+                  queue.begin() + static_cast<std::ptrdiff_t>(head_pos));
+      total_queued -= head_pos;
     }
     if (queue.empty() || config_.backfill.kind == BackfillKind::None) {
       return started;
@@ -196,7 +306,7 @@ SimResult Simulator::run() {
     // Head is blocked: compute its EASY reservation (shadow time).
     const std::uint32_t head = queue.front();
     const PendingJob& hp = pending[head];
-    ResourceProfile profile = build_profile(part);
+    ResourceProfile profile = base_profile(part);
     double shadow = profile.earliest_start(now, hp.planned, hp.cores);
     auto& head_outcome = result.outcomes[head];
     if (head_outcome.first_reservation < 0.0) {
@@ -251,10 +361,12 @@ SimResult Simulator::run() {
         extra = extra_at(shadow);
       }
     }
-    for (std::uint32_t idx : to_start) {
-      start_job(idx, /*as_backfill=*/true);
-      erase_from_queue(queue, idx);
-      ++started;
+    if (!to_start.empty()) {
+      for (std::uint32_t idx : to_start) {
+        start_job(idx, /*as_backfill=*/true);
+        ++started;
+      }
+      remove_started(queue, to_start.size());
     }
     return started;
   };
@@ -262,7 +374,7 @@ SimResult Simulator::run() {
   auto schedule_all = [&]() {
     for (;;) {
       std::size_t started = 0;
-      for (std::size_t part = 0; part < cluster.partitions(); ++part) {
+      for (std::size_t part = 0; part < nparts; ++part) {
         started += schedule_partition(part);
       }
       if (started == 0) break;
@@ -272,6 +384,7 @@ SimResult Simulator::run() {
       result.queue_series.push_back(
           {now, static_cast<std::uint32_t>(total_queued)});
     }
+    audit();
   };
 
   // Main event loop.
@@ -291,26 +404,40 @@ SimResult Simulator::run() {
       const RunningJob r = running.top();
       running.pop();
       cluster.release(r.cores, r.partition);
+      // Swap-erase the running slot; patch the moved job's handle.
       auto& vec = running_by_part[r.partition];
-      const auto it =
-          std::find_if(vec.begin(), vec.end(), [&](const RunningJob& x) {
-            return x.index == r.index;
-          });
-      if (it != vec.end()) vec.erase(it);
+      const std::uint32_t slot = run_slot[r.index];
+      if (slot >= vec.size() || vec[slot].index != r.index) {
+        throw InternalError("running-slot handle out of sync");
+      }
+      vec[slot] = vec.back();
+      run_slot[vec[slot].index] = slot;
+      vec.pop_back();
+      location[r.index] = JobLocation::Finished;
+      // A release frees planned capacity the cached profile still holds
+      // reserved; it must be rebuilt on next use.
+      profiles[r.partition].profile.reset();
       result.makespan = std::max(result.makespan, r.end);
+      ++counters.completions;
+      audit();
     }
     // Enqueue all arrivals at or before `now`.
     while (next_arrival < pending.size() &&
            pending[next_arrival].submit <= now + kEps) {
       const PendingJob& p = pending[next_arrival];
       queues[p.partition].push_back(p.index);
+      location[p.index] = JobLocation::Queued;
+      sort_dirty[p.partition] = 1;
       ++total_queued;
       ++next_arrival;
+      ++counters.arrivals;
+      audit();
     }
     result.max_queue_length = std::max(result.max_queue_length, total_queued);
     schedule_all();
   }
 
+  counters.events = counters.completions + counters.arrivals;
   return result;
 }
 

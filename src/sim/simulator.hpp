@@ -37,6 +37,40 @@ struct SimConfig {
   /// EMA smoothing for the expected-wait reference used by relaxed
   /// backfilling allowances.
   double wait_ema_alpha = 0.01;
+  /// Run the SimAuditor after every event: core accounting, queue
+  /// accounting, queued/running disjointness, and incremental-profile
+  /// equivalence (see DESIGN.md "Event-loop invariants"). Costs O(state)
+  /// per event — for tests and debugging, not production sweeps.
+  bool audit = false;
+  /// When auditing, throw InternalError on the first violated invariant
+  /// (otherwise violations are only counted in `counters.audit_failures`).
+  bool audit_fatal = true;
+};
+
+/// Event-loop instrumentation, surfaced through SimResult. All counters
+/// are maintained unconditionally (they are O(1) increments); audit
+/// counters stay zero unless `SimConfig::audit` is set.
+struct SimCounters {
+  std::uint64_t events = 0;            ///< completions + arrivals
+  std::uint64_t completions = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t scheduling_passes = 0; ///< per-partition pass invocations
+  std::uint64_t sort_invocations = 0;  ///< policy re-sorts actually run
+  std::uint64_t profile_rebuilds = 0;  ///< from-scratch profile builds
+  std::uint64_t profile_cache_hits = 0;///< passes served by the cache
+  std::uint64_t audits = 0;            ///< auditor checks performed
+  std::uint64_t audit_failures = 0;    ///< violated invariants observed
+};
+
+/// A job currently executing — event-loop state, exposed so the
+/// SimAuditor can cross-check running-set accounting against the Cluster.
+struct RunningJob {
+  double end = 0.0;          ///< actual completion time
+  double planned_end = 0.0;  ///< scheduler-visible completion time
+  std::uint64_t cores = 0;
+  std::size_t partition = 0;
+  std::uint32_t index = 0;
+  bool operator>(const RunningJob& o) const noexcept { return end > o.end; }
 };
 
 /// Outcome for one job, index-aligned with the input trace.
@@ -66,6 +100,7 @@ struct SimResult {
   std::size_t skipped_oversized = 0;    ///< jobs larger than any partition
   double makespan = 0.0;                ///< last completion time
   bool used_oracle_runtimes = false;    ///< trace lacked walltime requests
+  SimCounters counters;                 ///< event-loop instrumentation
 };
 
 class Simulator {

@@ -45,25 +45,28 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunks = std::min(n, size() * 4);
   const std::size_t chunk = (n + chunks - 1) / chunks;
 
-  std::mutex err_mutex;
-  std::exception_ptr first_error;
+  // One error slot per chunk: after all chunks finish, the exception from
+  // the lowest-index (= lowest-i) chunk is rethrown, so which exception
+  // surfaces does not depend on worker scheduling.
+  std::vector<std::exception_ptr> errors(chunks);
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    futures.push_back(submit([lo, hi, &f, &err_mutex, &first_error] {
+    futures.push_back(submit([lo, hi, &f, slot = &errors[c]] {
       try {
         for (std::size_t i = lo; i < hi; ++i) f(i);
       } catch (...) {
-        std::lock_guard lock(err_mutex);
-        if (!first_error) first_error = std::current_exception();
+        *slot = std::current_exception();
       }
     }));
   }
   for (auto& fut : futures) fut.get();
-  if (first_error) std::rethrow_exception(first_error);
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 }  // namespace lumos::util

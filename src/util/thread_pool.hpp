@@ -42,8 +42,10 @@ class ThreadPool {
     return fut;
   }
 
-  /// Runs f(i) for i in [begin, end) across the pool; blocks until done and
-  /// rethrows the first exception encountered.
+  /// Runs f(i) for i in [begin, end) across the pool; blocks until every
+  /// chunk finishes, then rethrows the exception (if any) from the chunk
+  /// covering the lowest indices — deterministic regardless of worker
+  /// scheduling, and the pool stays reusable afterwards.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& f);
 

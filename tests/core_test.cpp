@@ -103,6 +103,30 @@ TEST(BackfillStudy, SkipsTracesWithoutWalltime) {
   EXPECT_EQ(rows[0].system, "Theta");
 }
 
+TEST(BackfillStudy, IdenticalAcrossThreadCounts) {
+  // The study fans per-trace simulations out over a ThreadPool; Table II
+  // must not depend on the worker count.
+  const CrossSystemStudy study(small_options({"Theta", "BlueWaters"}));
+  BackfillStudyConfig serial_config;
+  serial_config.threads = 1;
+  BackfillStudyConfig wide_config;
+  wide_config.threads = 4;
+  const auto serial = run_backfill_study(study.traces(), serial_config);
+  const auto wide = run_backfill_study(study.traces(), wide_config);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].system, wide[i].system);
+    EXPECT_EQ(serial[i].relaxed.avg_wait, wide[i].relaxed.avg_wait);
+    EXPECT_EQ(serial[i].adaptive.avg_wait, wide[i].adaptive.avg_wait);
+    EXPECT_EQ(serial[i].relaxed.avg_bounded_slowdown,
+              wide[i].relaxed.avg_bounded_slowdown);
+    EXPECT_EQ(serial[i].adaptive.avg_bounded_slowdown,
+              wide[i].adaptive.avg_bounded_slowdown);
+    EXPECT_EQ(serial[i].relaxed.utilization, wide[i].relaxed.utilization);
+    EXPECT_EQ(serial[i].adaptive.utilization, wide[i].adaptive.utilization);
+  }
+}
+
 TEST(BackfillStudy, RenderShowsPaperColumns) {
   const CrossSystemStudy study(small_options({"Theta"}));
   const auto rows = run_backfill_study(study.traces());

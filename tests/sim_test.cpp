@@ -5,13 +5,16 @@
 
 #include <cmath>
 
+#include "sim/auditor.hpp"
 #include "sim/backfill.hpp"
 #include "sim/cluster.hpp"
 #include "sim/metrics.hpp"
 #include "sim/policy.hpp"
 #include "sim/profile.hpp"
 #include "sim/simulator.hpp"
+#include "synth/generator.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lumos::sim {
 namespace {
@@ -298,6 +301,36 @@ TEST(Simulator, ConservativeStartsReservedJobs) {
   EXPECT_DOUBLE_EQ(r.outcomes[1].start_time, 100.0);
 }
 
+TEST(Simulator, ConservativeLabelsBackfillsAgainstPassHead) {
+  // Regression: two jobs start in the same conservative pass. The head of
+  // the pass (job0) is not a backfill; job1, which starts alongside it, is.
+  // The old loop compared each job against queue.front() *after* earlier
+  // erasures, so job1 saw itself at the front and was mislabeled.
+  auto t = make_trace(10, {job(0, 100, 4), job(0, 100, 4)});
+  SimConfig config;
+  config.backfill.kind = BackfillKind::Conservative;
+  const auto r = simulate(t, config);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.outcomes[1].start_time, 0.0);
+  EXPECT_FALSE(r.outcomes[0].backfilled);
+  EXPECT_TRUE(r.outcomes[1].backfilled);
+  EXPECT_EQ(r.backfilled_jobs, 1u);
+}
+
+TEST(Simulator, ConservativeLabelsWhenHeadBlocked) {
+  // When the head stays blocked, every job that starts around it is a
+  // backfill — unchanged from the old labeling.
+  auto t = make_trace(10, {job(0, 100, 8), job(1, 300, 4), job(2, 10, 1),
+                           job(2, 10, 1)});
+  SimConfig config;
+  config.backfill.kind = BackfillKind::Conservative;
+  const auto r = simulate(t, config);
+  EXPECT_DOUBLE_EQ(r.outcomes[1].start_time, 100.0);  // blocked head
+  EXPECT_TRUE(r.outcomes[2].backfilled);
+  EXPECT_TRUE(r.outcomes[3].backfilled);
+  EXPECT_EQ(r.backfilled_jobs, 2u);
+}
+
 TEST(Simulator, OversizedJobSkipped) {
   auto t = make_trace(10, {job(0, 10, 20), job(1, 10, 5)});
   const auto r = simulate(t, SimConfig{});
@@ -350,6 +383,181 @@ TEST(Simulator, EmptyTrace) {
   const auto r = simulate(t, SimConfig{});
   EXPECT_TRUE(r.outcomes.empty());
   EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+}
+
+// -------------------------------------------------- Auditor & counters --
+
+TEST(Auditor, PassesOnEverySeedConfig) {
+  // The invariant auditor (core accounting, queue accounting, disjointness,
+  // incremental-profile equivalence) must hold after every event for every
+  // policy × backfill combination on a realistic workload.
+  synth::GeneratorOptions options;
+  options.duration_days = 2.0;
+  const auto trace = synth::generate_system("Theta", options);
+  for (auto p : {PolicyKind::Fcfs, PolicyKind::Sjf, PolicyKind::Wfp3,
+                 PolicyKind::Unicep, PolicyKind::Saf}) {
+    for (auto b : {BackfillKind::None, BackfillKind::Easy,
+                   BackfillKind::Conservative, BackfillKind::Relaxed,
+                   BackfillKind::AdaptiveRelaxed}) {
+      SimConfig config;
+      config.policy = p;
+      config.backfill.kind = b;
+      config.audit = true;
+      SimResult r;
+      ASSERT_NO_THROW(r = simulate(trace, config))
+          << to_string(p) << "/" << to_string(b);
+      EXPECT_GT(r.counters.audits, 0u);
+      EXPECT_EQ(r.counters.audit_failures, 0u);
+    }
+  }
+}
+
+TEST(Auditor, AuditedRunMatchesUnauditedRun) {
+  synth::GeneratorOptions options;
+  options.duration_days = 2.0;
+  const auto trace = synth::generate_system("BlueWaters", options);
+  SimConfig config;
+  config.backfill.kind = BackfillKind::AdaptiveRelaxed;
+  const auto plain = simulate(trace, config);
+  config.audit = true;
+  const auto audited = simulate(trace, config);
+  ASSERT_EQ(plain.outcomes.size(), audited.outcomes.size());
+  for (std::size_t i = 0; i < plain.outcomes.size(); ++i) {
+    EXPECT_EQ(plain.outcomes[i].start_time, audited.outcomes[i].start_time);
+    EXPECT_EQ(plain.outcomes[i].first_reservation,
+              audited.outcomes[i].first_reservation);
+    EXPECT_EQ(plain.outcomes[i].backfilled, audited.outcomes[i].backfilled);
+  }
+}
+
+TEST(Auditor, DetectsQueuedAndRunningOverlap) {
+  SimCounters counters;
+  SimAuditor auditor(counters, /*jobs=*/4);
+  Cluster cluster(10);
+  ASSERT_TRUE(cluster.allocate(4));
+  RunningJob r;
+  r.cores = 4;
+  r.index = 0;
+  std::vector<std::vector<RunningJob>> running{{r}};
+  std::vector<std::vector<std::uint32_t>> queues{{0u}};  // same job queued
+  EXPECT_THROW(auditor.check(cluster, queues, running, 1), InternalError);
+  EXPECT_EQ(counters.audit_failures, 1u);
+}
+
+TEST(Auditor, DetectsCoreAccountingDrift) {
+  SimCounters counters;
+  SimAuditor auditor(counters, /*jobs=*/4, /*fatal=*/false);
+  Cluster cluster(10);
+  ASSERT_TRUE(cluster.allocate(6));  // cluster says 6 allocated...
+  RunningJob r;
+  r.cores = 4;  // ...but the running set only accounts for 4
+  r.index = 1;
+  std::vector<std::vector<RunningJob>> running{{r}};
+  std::vector<std::vector<std::uint32_t>> queues{{}};
+  auditor.check(cluster, queues, running, 0);  // non-fatal: counts only
+  EXPECT_EQ(counters.audit_failures, 1u);
+}
+
+TEST(Auditor, DetectsQueueTallyMismatch) {
+  SimCounters counters;
+  SimAuditor auditor(counters, /*jobs=*/4);
+  Cluster cluster(10);
+  std::vector<std::vector<RunningJob>> running{{}};
+  std::vector<std::vector<std::uint32_t>> queues{{2u, 3u}};
+  EXPECT_THROW(auditor.check(cluster, queues, running, 5), InternalError);
+  EXPECT_NO_THROW(auditor.check(cluster, queues, running, 2));
+  EXPECT_EQ(counters.audit_failures, 1u);
+}
+
+TEST(Counters, TrackEventsAndSorts) {
+  auto t = make_trace(10, {job(0, 100, 10), job(1, 10, 10), job(2, 10, 4),
+                           job(3, 10, 4)});
+  SimConfig config;  // FCFS never sorts
+  const auto r = simulate(t, config);
+  EXPECT_EQ(r.counters.arrivals, 4u);
+  EXPECT_EQ(r.counters.completions, 4u);
+  EXPECT_EQ(r.counters.events, 8u);
+  EXPECT_EQ(r.counters.sort_invocations, 0u);
+  EXPECT_GT(r.counters.scheduling_passes, 0u);
+
+  config.policy = PolicyKind::Sjf;
+  const auto sorted = simulate(t, config);
+  EXPECT_GT(sorted.counters.sort_invocations, 0u);
+  // Sorts only happen when membership changed, so passes bound them.
+  EXPECT_LE(sorted.counters.sort_invocations,
+            sorted.counters.scheduling_passes);
+}
+
+TEST(Counters, ProfileCacheServesRepeatPasses) {
+  synth::GeneratorOptions options;
+  options.duration_days = 2.0;
+  const auto trace = synth::generate_system("Theta", options);
+  SimConfig config;
+  config.backfill.kind = BackfillKind::Conservative;
+  const auto r = simulate(trace, config);
+  EXPECT_GT(r.counters.profile_rebuilds, 0u);
+  EXPECT_GT(r.counters.profile_cache_hits, 0u);
+  EXPECT_EQ(r.counters.audits, 0u);  // audit off by default
+}
+
+// ------------------------------------------------------------ Determinism --
+
+TEST(Determinism, RepeatedRunsBitIdentical) {
+  synth::GeneratorOptions options;
+  options.duration_days = 2.0;
+  const auto trace = synth::generate_system("Theta", options);
+  for (auto b : {BackfillKind::Easy, BackfillKind::Conservative,
+                 BackfillKind::AdaptiveRelaxed}) {
+    SimConfig config;
+    config.policy = PolicyKind::Sjf;
+    config.backfill.kind = b;
+    const auto a = simulate(trace, config);
+    const auto c = simulate(trace, config);
+    ASSERT_EQ(a.outcomes.size(), c.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+      ASSERT_EQ(a.outcomes[i].start_time, c.outcomes[i].start_time);
+      ASSERT_EQ(a.outcomes[i].first_reservation,
+                c.outcomes[i].first_reservation);
+      ASSERT_EQ(a.outcomes[i].backfilled, c.outcomes[i].backfilled);
+    }
+    EXPECT_EQ(a.backfilled_jobs, c.backfilled_jobs);
+    EXPECT_EQ(a.makespan, c.makespan);
+  }
+}
+
+TEST(Determinism, IdenticalAcrossThreadPoolSizes) {
+  // The bench drivers fan simulations out over a ThreadPool; the outcomes
+  // must not depend on the pool size or scheduling.
+  synth::GeneratorOptions options;
+  options.duration_days = 2.0;
+  const auto trace = synth::generate_system("Theta", options);
+  const std::vector<BackfillKind> kinds{
+      BackfillKind::None, BackfillKind::Easy, BackfillKind::Conservative,
+      BackfillKind::Relaxed, BackfillKind::AdaptiveRelaxed};
+  auto run_with_pool = [&](std::size_t threads) {
+    std::vector<SimResult> results(kinds.size());
+    util::ThreadPool pool(threads);
+    pool.parallel_for(0, kinds.size(), [&](std::size_t i) {
+      SimConfig config;
+      config.backfill.kind = kinds[i];
+      results[i] = simulate(trace, config);
+    });
+    return results;
+  };
+  const auto serial = run_with_pool(1);
+  const auto wide = run_with_pool(4);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    ASSERT_EQ(serial[k].outcomes.size(), wide[k].outcomes.size());
+    for (std::size_t i = 0; i < serial[k].outcomes.size(); ++i) {
+      ASSERT_EQ(serial[k].outcomes[i].start_time,
+                wide[k].outcomes[i].start_time);
+      ASSERT_EQ(serial[k].outcomes[i].first_reservation,
+                wide[k].outcomes[i].first_reservation);
+      ASSERT_EQ(serial[k].outcomes[i].backfilled,
+                wide[k].outcomes[i].backfilled);
+    }
+  }
 }
 
 // -------------------------------------------------------------- Metrics --

@@ -315,5 +315,42 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   pool.parallel_for(5, 5, [](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, PropagatesLowestIndexExceptionDeterministically) {
+  // Several chunks throw; the surfaced exception must always be the one
+  // from the lowest-index chunk, independent of worker scheduling.
+  ThreadPool pool(2);
+  for (int round = 0; round < 25; ++round) {
+    std::string caught;
+    try {
+      // Range 0..8 with a 2-thread pool gives 8 single-index chunks, so
+      // indices 3 and 6 throw from different chunks.
+      pool.parallel_for(0, 8, [](std::size_t i) {
+        if (i == 3 || i == 6) {
+          throw std::runtime_error("boom@" + std::to_string(i));
+        }
+      });
+      FAIL() << "parallel_for swallowed the exception";
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    EXPECT_EQ(caught, "boom@3");
+  }
+}
+
+TEST(ThreadPool, ReusableAfterBodyThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 8, [](std::size_t) {
+        throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // Every chunk ran to completion (exceptions are collected, not leaked
+  // into workers), and the pool still services new work.
+  std::vector<std::atomic<int>> hits(40);
+  pool.parallel_for(0, 40, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
 }  // namespace
 }  // namespace lumos::util

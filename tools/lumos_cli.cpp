@@ -50,6 +50,7 @@ int usage() {
       "  validate     run the paper's consistency screening on a trace\n"
       "  characterize full cross-system report (or one real trace)\n"
       "  simulate     schedule a trace with a chosen policy + backfill\n"
+      "               (--audit checks event-loop invariants every event)\n"
       "  fit          fit a calibration to a trace (and optionally regen)\n"
       "  predict      runtime-prediction study (use case 1)\n"
       "  takeaways    evaluate the paper's 8 takeaways on a fresh study\n"
@@ -134,11 +135,25 @@ int cmd_simulate(const Cli& cli) {
   config.backfill.kind =
       lumos::sim::backfill_from_string(cli.get("backfill").value_or("easy"));
   config.backfill.relax_factor = cli.number("factor", 0.10);
+  config.audit = cli.get("audit").has_value();
   const auto result = lumos::sim::simulate(trace, config);
   const auto metrics = lumos::sim::compute_metrics(trace, result);
   std::cout << trace.spec().name << " x " << to_string(config.policy)
             << " + " << to_string(config.backfill.kind) << ":\n  "
             << metrics.to_string() << "\n";
+  if (config.audit) {
+    const auto& c = result.counters;
+    std::cout << lumos::util::format(
+        "  audit: %llu checks, %llu failures (events=%llu passes=%llu "
+        "sorts=%llu profile_rebuilds=%llu cache_hits=%llu)\n",
+        static_cast<unsigned long long>(c.audits),
+        static_cast<unsigned long long>(c.audit_failures),
+        static_cast<unsigned long long>(c.events),
+        static_cast<unsigned long long>(c.scheduling_passes),
+        static_cast<unsigned long long>(c.sort_invocations),
+        static_cast<unsigned long long>(c.profile_rebuilds),
+        static_cast<unsigned long long>(c.profile_cache_hits));
+  }
   if (result.used_oracle_runtimes) {
     std::cout << "  (trace lacks walltime requests; planning used oracle "
                  "runtimes)\n";
