@@ -4,11 +4,19 @@
 #include <cstdio>
 #include <mutex>
 
+#include "util/annotations.hpp"
+
 namespace lumos::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// The sink (stderr today) is a process-wide shared resource: interleaved
+// writes from concurrent sweeps would shear lines, so every emission goes
+// through g_log_mutex. g_sink is lazily bound so the guarded pointer —
+// not a bare global FILE* — is the only way to reach the stream.
 std::mutex g_log_mutex;
+std::FILE* g_sink LUMOS_GUARDED_BY(g_log_mutex) = nullptr;
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -27,8 +35,10 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load() || level == LogLevel::Off) return;
-  std::lock_guard lock(g_log_mutex);
-  std::fprintf(stderr, "[lumos][%s] %s\n", level_name(level), message.c_str());
+  ScopedLock lock(g_log_mutex);
+  if (g_sink == nullptr) g_sink = stderr;
+  std::fprintf(g_sink, "[lumos][%s] %s\n", level_name(level), message.c_str());
+  std::fflush(g_sink);
 }
 
 }  // namespace lumos::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 
 namespace lumos::util {
 
@@ -15,21 +16,33 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    ScopedLock lock(mutex_);
+    if (stop_ && workers_.empty()) return;  // already shut down
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
+  // Workers only exit once the queue is empty, so every task submitted
+  // before shutdown() has run — the drain guarantee documented in the
+  // header. Holding the lock here is for the analysis only: the workers
+  // are gone, so there is no contention left.
+  ScopedLock lock(mutex_);
+  assert(queue_.empty() && "ThreadPool shutdown dropped queued tasks");
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      ScopedLock lock(mutex_);
+      cv_.wait(lock.native(), [this]() LUMOS_REQUIRES(mutex_) {
+        return stop_ || !queue_.empty();
+      });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -43,6 +56,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t chunks = std::min(n, size() * 4);
+  if (chunks == 0) {
+    throw InternalError("ThreadPool::parallel_for called after shutdown");
+  }
   const std::size_t chunk = (n + chunks - 1) / chunks;
 
   // One error slot per chunk: after all chunks finish, the exception from

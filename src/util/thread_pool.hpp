@@ -3,6 +3,11 @@
 // Used for embarrassingly parallel sweeps (per-system analyses, prediction
 // model grids). Work is chunked to amortise queue overhead; exceptions from
 // worker tasks are rethrown on the calling thread.
+//
+// Shutdown contract: `shutdown()` (also run by the destructor) drains every
+// task already queued — nothing is silently dropped — and any later
+// `submit`/`parallel_for` fails deterministically with InternalError
+// instead of queueing work no worker will ever run.
 #pragma once
 
 #include <condition_variable>
@@ -15,12 +20,17 @@
 #include <thread>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/error.hpp"
+
 namespace lumos::util {
 
 class ThreadPool {
  public:
   /// `threads == 0` selects hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
+
+  /// Equivalent to `shutdown()`: drains the queue, then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -28,14 +38,23 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Stops accepting work, runs every already-queued task to completion,
+  /// and joins the workers. Idempotent; afterwards `submit` throws.
+  void shutdown() LUMOS_EXCLUDES(mutex_);
+
   /// Enqueues a task; the returned future rethrows task exceptions.
+  /// Throws InternalError if the pool has been shut down.
   template <typename F>
-  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>>
+      LUMOS_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      ScopedLock lock(mutex_);
+      if (stop_) {
+        throw InternalError("ThreadPool::submit called after shutdown");
+      }
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -47,16 +66,17 @@ class ThreadPool {
   /// covering the lowest indices — deterministic regardless of worker
   /// scheduling, and the pool stays reusable afterwards.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& f);
+                    const std::function<void(std::size_t)>& f)
+      LUMOS_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() LUMOS_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ LUMOS_GUARDED_BY(mutex_);
+  bool stop_ LUMOS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace lumos::util

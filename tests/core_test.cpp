@@ -28,7 +28,7 @@ TEST(Study, BuildsAllFiveByDefault) {
 TEST(Study, SubsetSelection) {
   const CrossSystemStudy study(small_options({"Theta", "Philly"}));
   EXPECT_EQ(study.traces().size(), 2u);
-  EXPECT_THROW(study.trace("Mira"), InvalidArgument);
+  EXPECT_THROW((void)study.trace("Mira"), InvalidArgument);
 }
 
 TEST(Study, UnknownSystemThrows) {

@@ -203,7 +203,9 @@ TEST(GeneratorPatterns, VirtualClustersStableForUser) {
   std::unordered_map<std::uint32_t, std::int32_t> vc_of_user;
   for (const auto& j : t.jobs()) {
     const auto [it, inserted] = vc_of_user.emplace(j.user, j.virtual_cluster);
-    if (!inserted) EXPECT_EQ(it->second, j.virtual_cluster);
+    if (!inserted) {
+      EXPECT_EQ(it->second, j.virtual_cluster);
+    }
   }
 }
 

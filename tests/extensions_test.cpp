@@ -54,7 +54,7 @@ TEST(Logistic, RejectsBadShapes) {
   ml::LogisticRegression model;
   ml::Matrix x(2, 1);
   EXPECT_THROW(model.fit(x, std::vector<double>{1.0}), InvalidArgument);
-  EXPECT_THROW(model.predict_proba(std::vector<double>{0.0}),
+  EXPECT_THROW((void)model.predict_proba(std::vector<double>{0.0}),
                InvalidArgument);
 }
 

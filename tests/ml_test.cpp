@@ -142,7 +142,7 @@ TEST(LinearRegression, RobustToNoise) {
 
 TEST(LinearRegression, PredictBeforeFitThrows) {
   LinearRegression model;
-  EXPECT_THROW(model.predict(std::vector<double>{1.0}), InvalidArgument);
+  EXPECT_THROW((void)model.predict(std::vector<double>{1.0}), InvalidArgument);
 }
 
 TEST(Tobit, UncensoredMatchesLinearRegression) {
@@ -272,8 +272,8 @@ TEST(MlMetrics, R2PerfectAndMean) {
 }
 
 TEST(MlMetrics, EmptyThrows) {
-  EXPECT_THROW(mse({}, {}), InvalidArgument);
-  EXPECT_THROW(prediction_accuracy(std::vector<double>{1.0}, {}),
+  EXPECT_THROW((void)mse({}, {}), InvalidArgument);
+  EXPECT_THROW((void)prediction_accuracy(std::vector<double>{1.0}, {}),
                InvalidArgument);
 }
 

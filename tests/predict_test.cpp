@@ -156,7 +156,7 @@ TEST(Harness, ElapsedReducesUnderestimation) {
 
 TEST(Harness, RowLookupThrowsOnMissing) {
   StudyResult result;
-  EXPECT_THROW(result.row(ModelKind::Mlp, true, 0.5), InvalidArgument);
+  EXPECT_THROW((void)result.row(ModelKind::Mlp, true, 0.5), InvalidArgument);
 }
 
 TEST(Harness, ModelNames) {

@@ -161,7 +161,7 @@ TEST(Policy, ParseRoundTrip) {
                  PolicyKind::Unicep, PolicyKind::Saf}) {
     EXPECT_EQ(policy_from_string(std::string(to_string(p))), p);
   }
-  EXPECT_THROW(policy_from_string("bogus"), InvalidArgument);
+  EXPECT_THROW((void)policy_from_string("bogus"), InvalidArgument);
 }
 
 // ------------------------------------------------------------- Backfill --
@@ -172,7 +172,7 @@ TEST(Backfill, ParseRoundTrip) {
                  BackfillKind::AdaptiveRelaxed}) {
     EXPECT_EQ(backfill_from_string(to_string(b)), b);
   }
-  EXPECT_THROW(backfill_from_string("wat"), InvalidArgument);
+  EXPECT_THROW((void)backfill_from_string("wat"), InvalidArgument);
 }
 
 TEST(Backfill, EffectiveFactorShapes) {
@@ -580,7 +580,7 @@ TEST(Metrics, ComputesExactValues) {
 TEST(Metrics, MismatchedResultThrows) {
   auto t = make_trace(10, {job(0, 1, 1)});
   SimResult r;
-  EXPECT_THROW(compute_metrics(t, r), InvalidArgument);
+  EXPECT_THROW((void)compute_metrics(t, r), InvalidArgument);
 }
 
 }  // namespace

@@ -190,7 +190,7 @@ TEST(PackingSim, RequiresSortedTrace) {
   b.submit_time = 0;
   t.add(a);
   t.add(b);
-  EXPECT_THROW(sim::simulate_packing(t, sim::PackingConfig{}),
+  EXPECT_THROW((void)sim::simulate_packing(t, sim::PackingConfig{}),
                InvalidArgument);
 }
 

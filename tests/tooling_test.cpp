@@ -1,5 +1,5 @@
-// Tests for the tooling layer: bootstrap CIs, trace transformations, and
-// the CSV figure exporter.
+// Tests for the tooling layer: bootstrap CIs, trace transformations, the
+// CSV figure exporter, and the lumos-lint domain-invariant checker.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -7,6 +7,7 @@
 
 #include "analysis/export.hpp"
 #include "core/study.hpp"
+#include "lint/lint.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/descriptive.hpp"
 #include "trace/transform.hpp"
@@ -49,8 +50,8 @@ TEST(Bootstrap, DeterministicForSeed) {
 }
 
 TEST(Bootstrap, RejectsBadInput) {
-  EXPECT_THROW(stats::bootstrap_median_ci({}, 100), InvalidArgument);
-  EXPECT_THROW(stats::bootstrap_median_ci(std::vector<double>{1.0}, 2),
+  EXPECT_THROW((void)stats::bootstrap_median_ci({}, 100), InvalidArgument);
+  EXPECT_THROW((void)stats::bootstrap_median_ci(std::vector<double>{1.0}, 2),
                InvalidArgument);
 }
 
@@ -170,6 +171,133 @@ TEST(Export, HourlyHas24RowsPerSystem) {
   while (std::getline(in, line)) ++rows;
   EXPECT_EQ(rows, 24);
   std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------------- lumos-lint --
+
+TEST(LumosLint, FlagsBannedRngWithExactLocation) {
+  const auto diags = lint::lint_source("synth/sampler.cpp",
+                                       "#include \"synth/sampler.hpp\"\n"
+                                       "int draw() {\n"
+                                       "  std::random_device entropy;\n"
+                                       "  return rand() % 7;\n"
+                                       "}\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].file, "synth/sampler.cpp");
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_EQ(diags[0].rule, "banned-rng");
+  EXPECT_EQ(diags[1].line, 4);
+  EXPECT_EQ(diags[1].rule, "banned-rng");
+  // Exact, greppable diagnostic format.
+  EXPECT_EQ(lint::format(diags[0]).rfind("synth/sampler.cpp:3: [banned-rng]",
+                                         0),
+            0u);
+}
+
+TEST(LumosLint, FlagsRawThreadsAsyncAndDetach) {
+  const auto diags = lint::lint_source(
+      "analysis/sweep.cpp",
+      "void run() {\n"
+      "  std::thread worker([] {});\n"
+      "  worker.detach();\n"
+      "  auto f = std::async([] { return 1; });\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[1].line, 3);
+  EXPECT_EQ(diags[2].line, 4);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "raw-thread");
+}
+
+TEST(LumosLint, FlagsFloatOnlyInTimeAccountingLayers) {
+  const std::string body = "double f(double t) { float dt = 0.5f; return t + dt; }\n";
+  const auto in_sim = lint::lint_source("sim/clock.cpp", body);
+  ASSERT_EQ(in_sim.size(), 1u);
+  EXPECT_EQ(in_sim[0].rule, "float-time");
+  EXPECT_EQ(in_sim[0].line, 1);
+  // ml/ does reduced-precision math legitimately; the rule is scoped to
+  // sim/, trace/, and core/.
+  EXPECT_TRUE(lint::lint_source("ml/matrix.cpp", body).empty());
+  EXPECT_FALSE(lint::lint_source("trace/swf.cpp", body).empty());
+  EXPECT_FALSE(lint::lint_source("core/study.cpp", body).empty());
+}
+
+TEST(LumosLint, FlagsStdoutInLibraryCodeOnly) {
+  const std::string body = "void p() { std::cout << 1; }\n";
+  const auto diags = lint::lint_source("analysis/report.cpp", body);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "stdout-io");
+  // The sanctioned sink and the non-library trees may print.
+  EXPECT_TRUE(lint::lint_source("util/logging.cpp", body).empty());
+  EXPECT_TRUE(lint::lint_source("tools/lumos_cli.cpp", body).empty());
+  EXPECT_TRUE(lint::lint_source("bench/table1_traces.cpp", body).empty());
+}
+
+TEST(LumosLint, SanctionedImplementationsAreExempt) {
+  EXPECT_TRUE(lint::lint_source("util/rng.cpp",
+                                "unsigned seed() { std::random_device rd; "
+                                "return rd(); }\n")
+                  .empty());
+  EXPECT_TRUE(lint::lint_source("util/thread_pool.cpp",
+                                "void spawn() { std::thread t([] {}); "
+                                "t.join(); }\n")
+                  .empty());
+}
+
+TEST(LumosLint, PragmaOnceRequiredAfterLeadingComments) {
+  // A guard-style header is flagged at the guard line...
+  const auto guarded = lint::lint_source("sim/clock.hpp",
+                                         "// Legacy header.\n"
+                                         "#ifndef LUMOS_SIM_CLOCK_HPP\n"
+                                         "#define LUMOS_SIM_CLOCK_HPP\n"
+                                         "#endif\n");
+  ASSERT_EQ(guarded.size(), 1u);
+  EXPECT_EQ(guarded[0].rule, "pragma-once");
+  EXPECT_EQ(guarded[0].line, 2);
+  // ...while comments before #pragma once are fine, and .cpp files are
+  // not checked for it.
+  EXPECT_TRUE(lint::lint_source("sim/clock.hpp",
+                                "// Doc comment.\n\n#pragma once\n")
+                  .empty());
+  EXPECT_TRUE(lint::lint_source("sim/clock.cpp", "int x = 1;\n").empty());
+}
+
+TEST(LumosLint, IncludeHygieneParentPathsAndDuplicates) {
+  const auto diags = lint::lint_source("stats/ecdf.cpp",
+                                       "#include \"../util/csv.hpp\"\n"
+                                       "#include <vector>\n"
+                                       "#include <vector>\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "include-hygiene");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_NE(diags[0].message.find("parent-relative"), std::string::npos);
+  EXPECT_EQ(diags[1].line, 3);
+  EXPECT_NE(diags[1].message.find("duplicate"), std::string::npos);
+}
+
+TEST(LumosLint, IgnoresCommentsAndStringLiterals) {
+  // Every banned token appears — but only in comments or literals, so the
+  // stripped scan must stay clean.
+  EXPECT_TRUE(lint::lint_source(
+                  "sim/notes.cpp",
+                  "// std::cout << rand(); std::thread t; float bad;\n"
+                  "/* std::random_device in a block comment */\n"
+                  "const char* kDoc = \"call rand() and std::cout\";\n"
+                  "const char* kRaw = R\"(std::thread w; w.detach();)\";\n")
+                  .empty());
+}
+
+TEST(LumosLint, CleanFixtureReportsNothing) {
+  const auto diags = lint::lint_source("sim/clean.hpp",
+                                       "// A well-behaved header.\n"
+                                       "#pragma once\n"
+                                       "#include \"util/rng.hpp\"\n"
+                                       "#include <vector>\n"
+                                       "namespace lumos::sim {\n"
+                                       "double advance(double now, "
+                                       "util::Rng& rng);\n"
+                                       "}  // namespace lumos::sim\n");
+  EXPECT_TRUE(diags.empty());
 }
 
 }  // namespace

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# One-command static-analysis + test gate.
+#
+# Runs, in sequence:
+#   release   configure + build + full ctest (includes the lumos_lint case)
+#   sanitize  ASan+UBSan build + `ctest -L sanitize` invariant suite
+#   tsan      ThreadSanitizer build + `ctest -L tsan` concurrency suite
+#   lint      lumos_lint over src/ from the release build
+#             (clang-tidy additionally gates compiles when configured with
+#              -DLUMOS_LINT=ON and a clang-tidy binary is on PATH)
+#
+# Continues past failures and prints a single PASS/FAIL summary; exit
+# status is non-zero if any stage failed. Run from the repo root:
+#   ./tools/check.sh [--quick]
+# --quick skips the sanitizer presets (release + lint only).
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "usage: tools/check.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+declare -a STAGES RESULTS
+overall=0
+
+run_stage() {
+  local name="$1"; shift
+  local log
+  log="$(mktemp -t lumos-check-"$name".XXXXXX.log)"
+  echo "==> $name"
+  if "$@" >"$log" 2>&1; then
+    STAGES+=("$name"); RESULTS+=("PASS")
+  else
+    STAGES+=("$name"); RESULTS+=("FAIL ($log)")
+    overall=1
+    tail -n 20 "$log" | sed 's/^/    /'
+  fi
+}
+
+preset_stage() {
+  local preset="$1" label="$2"
+  run_stage "$preset:configure" cmake --preset "$preset"
+  run_stage "$preset:build" cmake --build --preset "$preset" -j "$JOBS"
+  if [ -n "$label" ]; then
+    run_stage "$preset:test" ctest --preset "$preset" -j "$JOBS" \
+      --output-on-failure
+  else
+    run_stage "$preset:test" ctest --test-dir build -j "$JOBS" \
+      --output-on-failure
+  fi
+}
+
+preset_stage release ""
+if [ "$QUICK" -eq 0 ]; then
+  preset_stage sanitize sanitize
+  preset_stage tsan tsan
+fi
+run_stage "lint:lumos_lint" ./build/tools/lumos_lint src
+
+echo
+echo "================ check.sh summary ================"
+for i in "${!STAGES[@]}"; do
+  printf '  %-22s %s\n' "${STAGES[$i]}" "${RESULTS[$i]}"
+done
+if [ "$overall" -eq 0 ]; then
+  echo "ALL STAGES PASSED"
+else
+  echo "SOME STAGES FAILED"
+fi
+exit "$overall"

@@ -1,0 +1,377 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace lumos::lint {
+
+namespace {
+
+// ------------------------------------------------------------- stripping --
+
+enum class ScanState { Code, LineComment, BlockComment, String, Char, Raw };
+
+bool is_raw_string_start(std::string_view s, std::size_t i) {
+  // `R"` possibly prefixed by u8/u/U/L, and not part of an identifier.
+  if (s[i] != 'R' || i + 1 >= s.size() || s[i + 1] != '"') return false;
+  std::size_t start = i;
+  while (start > 0 &&
+         (s[start - 1] == 'u' || s[start - 1] == 'U' || s[start - 1] == 'L' ||
+          s[start - 1] == '8')) {
+    --start;
+  }
+  if (start > 0 && (std::isalnum(static_cast<unsigned char>(s[start - 1])) ||
+                    s[start - 1] == '_')) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string strip_for_scan(std::string_view content) {
+  std::string out(content);
+  ScanState state = ScanState::Code;
+  std::string raw_close;  // ")delim\"" for the active raw string
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case ScanState::Code:
+        if (c == '/' && next == '/') {
+          state = ScanState::LineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = ScanState::BlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (is_raw_string_start(content, i)) {
+          // Collect the delimiter between `R"` and `(`.
+          std::size_t d = i + 2;
+          while (d < content.size() && content[d] != '(') ++d;
+          raw_close = ")";
+          raw_close.append(content.substr(i + 2, d - (i + 2)));
+          raw_close.push_back('"');
+          state = ScanState::Raw;
+          i = d;  // keep R"...( visible; contents get blanked
+        } else if (c == '"') {
+          state = ScanState::String;
+        } else if (c == '\'') {
+          state = ScanState::Char;
+        }
+        break;
+      case ScanState::LineComment:
+        if (c == '\n') {
+          state = ScanState::Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case ScanState::BlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = ScanState::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case ScanState::String:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = ScanState::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case ScanState::Char:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = ScanState::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case ScanState::Raw:
+        if (content.compare(i, raw_close.size(), raw_close) == 0) {
+          i += raw_close.size() - 1;
+          state = ScanState::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------- helpers --
+
+std::vector<std::string_view> split_lines(std::string_view s) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t nl = s.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string first_component(std::string_view path) {
+  const std::size_t slash = path.find('/');
+  return std::string(slash == std::string_view::npos ? path
+                                                     : path.substr(0, slash));
+}
+
+bool ends_with_any(std::string_view path,
+                   std::initializer_list<std::string_view> suffixes) {
+  return std::any_of(suffixes.begin(), suffixes.end(),
+                     [&](std::string_view suffix) {
+                       return path.size() >= suffix.size() &&
+                              path.substr(path.size() - suffix.size()) ==
+                                  suffix;
+                     });
+}
+
+// True when `path` IS `file` or ends with "/<file>" — so the exemption for
+// "util/rng.cpp" covers "src/util/rng.cpp" but not "synth/my_rng.cpp".
+bool path_is_any(std::string_view path,
+                 std::initializer_list<std::string_view> files) {
+  return std::any_of(files.begin(), files.end(), [&](std::string_view file) {
+    if (path == file) return true;
+    if (path.size() <= file.size()) return false;
+    return path[path.size() - file.size() - 1] == '/' &&
+           path.substr(path.size() - file.size()) == file;
+  });
+}
+
+bool blank(std::string_view line) {
+  return line.find_first_not_of(" \t\r") == std::string_view::npos;
+}
+
+// ------------------------------------------------------------ token rules --
+
+struct TokenRule {
+  const char* name;
+  std::regex pattern;
+  const char* message;
+};
+
+const std::vector<TokenRule>& rng_rules() {
+  static const std::vector<TokenRule> rules = [] {
+    std::vector<TokenRule> r;
+    r.push_back({"banned-rng",
+                 std::regex(R"(\b(std\s*::\s*)?s?rand\s*\()"),
+                 "rand()/srand() is unseeded global state; draw from a "
+                 "seeded util::Rng instead"});
+    r.push_back({"banned-rng", std::regex(R"(std\s*::\s*random_device\b)"),
+                 "std::random_device is non-deterministic; seed a util::Rng "
+                 "explicitly so runs reproduce bit-for-bit"});
+    return r;
+  }();
+  return rules;
+}
+
+const std::vector<TokenRule>& thread_rules() {
+  static const std::vector<TokenRule> rules = [] {
+    std::vector<TokenRule> r;
+    r.push_back({"raw-thread", std::regex(R"(std\s*::\s*j?thread\b)"),
+                 "raw std::thread escapes the pool's shutdown and exception "
+                 "discipline; use util::ThreadPool"});
+    r.push_back({"raw-thread", std::regex(R"(std\s*::\s*async\b)"),
+                 "std::async has unspecified threading; use "
+                 "util::ThreadPool::submit"});
+    r.push_back({"raw-thread", std::regex(R"(\.\s*detach\s*\(\s*\))"),
+                 "detached threads cannot be joined at shutdown; use "
+                 "util::ThreadPool"});
+    return r;
+  }();
+  return rules;
+}
+
+const std::vector<TokenRule>& stdout_rules() {
+  static const std::vector<TokenRule> rules = [] {
+    std::vector<TokenRule> r;
+    r.push_back({"stdout-io",
+                 std::regex(R"(std\s*::\s*(cout|cerr|clog)\b)"),
+                 "library code must log via util::logging (LUMOS_INFO & co), "
+                 "not write to process-wide streams"});
+    return r;
+  }();
+  return rules;
+}
+
+const std::vector<TokenRule>& float_rules() {
+  static const std::vector<TokenRule> rules = [] {
+    std::vector<TokenRule> r;
+    r.push_back({"float-time", std::regex(R"(\bfloat\b)"),
+                 "simulator time and accounting are double-only; float "
+                 "drops whole seconds past ~97 days of simulated time"});
+    return r;
+  }();
+  return rules;
+}
+
+void apply_token_rules(const std::vector<TokenRule>& rules,
+                       const std::vector<std::string_view>& stripped_lines,
+                       std::string_view rel_path,
+                       std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < stripped_lines.size(); ++i) {
+    const auto& line = stripped_lines[i];
+    for (const auto& rule : rules) {
+      if (std::regex_search(line.begin(), line.end(), rule.pattern)) {
+        out.push_back({std::string(rel_path), static_cast<int>(i + 1),
+                       rule.name, rule.message});
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------- structural rules --
+
+void check_pragma_once(const std::vector<std::string_view>& stripped_lines,
+                       std::string_view rel_path,
+                       std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < stripped_lines.size(); ++i) {
+    if (blank(stripped_lines[i])) continue;
+    const auto line = stripped_lines[i];
+    const auto start = line.find_first_not_of(" \t");
+    if (line.substr(start).rfind("#pragma once", 0) != 0) {
+      out.push_back({std::string(rel_path), static_cast<int>(i + 1),
+                     "pragma-once",
+                     "headers must open with #pragma once (before any other "
+                     "code, including include guards)"});
+    }
+    return;  // only the first non-comment line matters
+  }
+  out.push_back({std::string(rel_path), 1, "pragma-once",
+                 "header has no #pragma once"});
+}
+
+void check_includes(const std::vector<std::string_view>& raw_lines,
+                    std::string_view rel_path, std::vector<Diagnostic>& out) {
+  static const std::regex include_re(
+      R"(^\s*#\s*include\s*([<"])([^>"]*)[>"])");
+  std::unordered_set<std::string> seen;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    std::cmatch m;
+    if (!std::regex_search(raw_lines[i].begin(), raw_lines[i].end(), m,
+                           include_re)) {
+      continue;
+    }
+    const std::string target = m[2].str();
+    const int line = static_cast<int>(i + 1);
+    if (target.find("..") != std::string::npos) {
+      out.push_back({std::string(rel_path), line, "include-hygiene",
+                     "parent-relative include \"" + target +
+                         "\"; include project headers root-relative "
+                         "(e.g. \"util/rng.hpp\")"});
+    }
+    if (target.find('\\') != std::string::npos) {
+      out.push_back({std::string(rel_path), line, "include-hygiene",
+                     "backslash in include path \"" + target + "\""});
+    }
+    if (!seen.insert(target).second) {
+      out.push_back({std::string(rel_path), line, "include-hygiene",
+                     "duplicate include of \"" + target + "\""});
+    }
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- public API --
+
+std::string format(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.file << ':' << d.line << ": [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+std::vector<Diagnostic> lint_source(std::string_view rel_path,
+                                    std::string_view content) {
+  std::vector<Diagnostic> out;
+  const std::string stripped = strip_for_scan(content);
+  const auto stripped_lines = split_lines(stripped);
+  const auto raw_lines = split_lines(content);
+  const std::string top = first_component(rel_path);
+  const bool is_header = ends_with_any(rel_path, {".hpp", ".h"});
+  // Paths under tools/, bench/, examples/, and tests/ are binaries and
+  // harnesses: they may print and (in tests) spawn threads deliberately.
+  const bool library_code =
+      top != "tools" && top != "bench" && top != "examples" && top != "tests";
+
+  if (library_code &&
+      !path_is_any(rel_path, {"util/rng.hpp", "util/rng.cpp"})) {
+    apply_token_rules(rng_rules(), stripped_lines, rel_path, out);
+  }
+  if (library_code && !path_is_any(rel_path, {"util/thread_pool.hpp",
+                                              "util/thread_pool.cpp"})) {
+    apply_token_rules(thread_rules(), stripped_lines, rel_path, out);
+  }
+  if (library_code &&
+      !path_is_any(rel_path, {"util/logging.hpp", "util/logging.cpp"})) {
+    apply_token_rules(stdout_rules(), stripped_lines, rel_path, out);
+  }
+  if (top == "sim" || top == "trace" || top == "core") {
+    apply_token_rules(float_rules(), stripped_lines, rel_path, out);
+  }
+  if (is_header) check_pragma_once(stripped_lines, rel_path, out);
+  check_includes(raw_lines, rel_path, out);
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+std::vector<Diagnostic> lint_tree(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(root)) {
+    throw InvalidArgument("lumos_lint: not a directory: " + root.string());
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Diagnostic> out;
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) throw InvalidArgument("lumos_lint: unreadable: " + file.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string rel = file.lexically_relative(root).generic_string();
+    auto diags = lint_source(rel, buffer.str());
+    out.insert(out.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+  return out;
+}
+
+}  // namespace lumos::lint

@@ -1,0 +1,62 @@
+// lumos-lint: an offline checker for lumos domain invariants.
+//
+// Reproducibility and determinism are load-bearing for the paper's
+// methodology, so a handful of project rules are enforced mechanically
+// rather than by review:
+//
+//   banned-rng      rand()/srand()/std::random_device anywhere outside
+//                   util/rng — all stochastic code must draw from the
+//                   seeded util::Rng streams.
+//   raw-thread      std::thread/std::jthread/std::async/.detach() outside
+//                   util/thread_pool — concurrency goes through the pool
+//                   so shutdown and exception semantics stay uniform.
+//   stdout-io       std::cout/std::cerr/std::clog in library code (src/)
+//                   outside util/logging — libraries log via LUMOS_*.
+//   float-time      `float` in sim/, trace/, or core/ — simulator time and
+//                   core-hour accounting are double-only; float silently
+//                   loses whole seconds past ~97 days of simulated time.
+//   pragma-once     every header starts (after comments) with #pragma once.
+//   include-hygiene no parent-relative ("../") or backslashed include
+//                   paths, and no duplicate includes within a file.
+//
+// The scanner strips comments and string/char literal contents first, so
+// mentions in documentation or messages do not trip the token rules.
+// `lint_source` is the pure, unit-testable core; `lint_tree` walks a
+// directory; the `lumos_lint` binary wraps the latter as a ctest case.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lumos::lint {
+
+struct Diagnostic {
+  std::string file;     // path as passed to lint_source / tree-relative
+  int line = 0;         // 1-based
+  std::string rule;     // stable rule id, e.g. "banned-rng"
+  std::string message;  // human-readable explanation
+};
+
+/// "file:line: [rule] message" — the one true diagnostic format.
+[[nodiscard]] std::string format(const Diagnostic& d);
+
+/// Returns `content` with comments and string/char-literal contents
+/// blanked (newlines preserved), so token rules see only real code.
+/// Handles //, /* */, "..." with escapes, '...', and R"delim(...)delim".
+[[nodiscard]] std::string strip_for_scan(std::string_view content);
+
+/// Lints one file's contents. `rel_path` uses forward slashes and is
+/// interpreted relative to the source root (e.g. "sim/simulator.cpp",
+/// "util/rng.hpp"); it selects which rules apply. Diagnostics come back
+/// sorted by line.
+[[nodiscard]] std::vector<Diagnostic> lint_source(std::string_view rel_path,
+                                                  std::string_view content);
+
+/// Lints every .hpp/.cpp under `root` (deterministic path order).
+/// Diagnostic paths are relative to `root`.
+[[nodiscard]] std::vector<Diagnostic> lint_tree(
+    const std::filesystem::path& root);
+
+}  // namespace lumos::lint

@@ -1,0 +1,52 @@
+// lumos_lint CLI: walks source trees and reports domain-invariant
+// violations (see lint.hpp for the rule catalogue). Exit status 0 means a
+// clean tree, 1 means violations were printed, 2 means usage/IO error.
+// Registered as a ctest case so `ctest` fails on any violation.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: lumos_lint <source-dir>...\n"
+                   "Checks lumos domain invariants: banned-rng, raw-thread,\n"
+                   "stdout-io, float-time, pragma-once, include-hygiene.\n";
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "lumos_lint: no source directory given (try: lumos_lint "
+                 "src)\n";
+    return 2;
+  }
+
+  std::size_t total = 0;
+  try {
+    for (const auto& root : roots) {
+      const auto diags = lumos::lint::lint_tree(root);
+      for (const auto& d : diags) {
+        std::cout << root << '/' << lumos::lint::format(d) << '\n';
+      }
+      total += diags.size();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "lumos_lint: " << e.what() << '\n';
+    return 2;
+  }
+
+  if (total == 0) {
+    std::cout << "lumos_lint: clean (" << roots.size() << " tree"
+              << (roots.size() == 1 ? "" : "s") << " checked)\n";
+    return 0;
+  }
+  std::cout << "lumos_lint: " << total << " violation"
+            << (total == 1 ? "" : "s") << '\n';
+  return 1;
+}
