@@ -1,0 +1,217 @@
+// Unified bench runner: executes every harness in docs/FIGURES.md
+// in-process and writes one BENCH_results.json (schema documented in
+// DESIGN.md §Observability). Domain metrics are deterministic for a fixed
+// seed; wall times and obs histograms are not and are excluded from
+// --verify's same-seed comparison.
+//
+// Exit codes: 0 success, 1 validation/verification failure, 2 usage error.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "harnesses.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+#ifndef LUMOS_GIT_REV
+#define LUMOS_GIT_REV "unknown"
+#endif
+
+namespace lumos::bench {
+namespace {
+
+struct RunnerOptions {
+  bool smoke = false;    ///< capped jobs, 2-day traces
+  bool verify = false;   ///< run twice, require identical domain metrics
+  bool list = false;     ///< print harness names and exit
+  bool echo = false;     ///< forward harness table output to stdout
+  std::string out = "BENCH_results.json";
+  std::vector<std::string> only;  ///< empty = all harnesses
+  std::optional<double> days;
+  std::uint64_t seed = 42;
+};
+
+std::string runner_usage() {
+  return "usage: bench_runner [--smoke] [--verify] [--echo] [--list]\n"
+         "                    [--only name,name,...] [--days D] [--seed S]\n"
+         "                    [--out FILE]   (FILE '-' writes to stdout)\n";
+}
+
+RunnerOptions parse_runner_args(int argc, char** argv) {
+  RunnerOptions opt;
+  auto value_of = [&](int& i, const std::string& flag) -> std::string {
+    LUMOS_REQUIRE(i + 1 < argc, "missing value for " + flag);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--verify") {
+      opt.verify = true;
+    } else if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--echo") {
+      opt.echo = true;
+    } else if (arg == "--out") {
+      opt.out = value_of(i, arg);
+    } else if (arg == "--only") {
+      const std::string list = value_of(i, arg);  // split views into this
+      for (auto name : util::split(list, ',')) {
+        opt.only.emplace_back(name);
+      }
+    } else if (arg == "--days") {
+      opt.days = parse_positive_double(value_of(i, arg), "--days");
+    } else if (arg == "--seed") {
+      opt.seed = parse_u64(value_of(i, arg), "--seed");
+    } else {
+      throw InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  return opt;
+}
+
+bool selected(const RunnerOptions& opt, std::string_view name) {
+  if (opt.only.empty()) return true;
+  for (const auto& n : opt.only) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+Args harness_args(const RunnerOptions& opt) {
+  Args args;
+  args.study.seed = opt.seed;
+  args.study.duration_days = opt.days;
+  args.smoke = opt.smoke;
+  if (opt.smoke && !args.study.duration_days) {
+    // Override the per-harness defaults (up to 120 days) in smoke mode.
+    args.study.duration_days = 2.0;
+  }
+  return args;
+}
+
+/// Runs one harness with a fresh global registry; fills wall time and the
+/// observability snapshot exactly like the standalone harness_main does.
+obs::Report run_one(const HarnessInfo& info, const Args& args,
+                    std::ostream& sink) {
+  auto& registry = obs::Registry::global();
+  registry.reset();
+  obs::ScopedTimer timer(registry.histogram("bench.harness_seconds"));
+  obs::Report report = info.run(args, sink);
+  report.wall_seconds = timer.elapsed_seconds();
+  timer.cancel();
+  report.observability = registry.snapshot();
+  return report;
+}
+
+/// Every required metric prefix must match at least one emitted key —
+/// the contract documented per harness in docs/FIGURES.md.
+std::vector<std::string> missing_metrics(const HarnessInfo& info,
+                                         const obs::Report& report) {
+  std::vector<std::string> missing;
+  for (std::string_view prefix : info.required_metrics) {
+    bool found = false;
+    for (const auto& [key, value] : report.metrics) {
+      if (std::string_view(key).substr(0, prefix.size()) == prefix) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) missing.emplace_back(prefix);
+  }
+  return missing;
+}
+
+int run(int argc, char** argv) {
+  const RunnerOptions opt = parse_runner_args(argc, argv);
+  if (opt.list) {
+    for (const auto& info : all_harnesses()) {
+      std::cout << info.name << '\t' << info.figure << '\n';
+    }
+    return 0;
+  }
+
+  const Args args = harness_args(opt);
+  obs::Json results = obs::Json::object();
+  results["schema_version"] = 1;
+  results["git_rev"] = LUMOS_GIT_REV;
+  results["seed"] = opt.seed;
+  results["smoke"] = opt.smoke;
+  if (args.study.duration_days) {
+    results["days"] = *args.study.duration_days;
+  }
+  obs::Json harnesses = obs::Json::object();
+
+  const auto& all = all_harnesses();
+  int failures = 0;
+  std::size_t index = 0;
+  for (const auto& info : all) {
+    ++index;
+    if (!selected(opt, info.name)) continue;
+    std::cout << "[" << index << "/" << all.size() << "] " << info.name
+              << " ..." << std::flush;
+    std::ostringstream sink;
+    obs::Report report = run_one(info, args, sink);
+    if (opt.echo) std::cout << '\n' << sink.str();
+
+    std::string status = "ok";
+    for (const auto& prefix : missing_metrics(info, report)) {
+      status = "FAIL";
+      ++failures;
+      std::cout << "\n  missing required metric prefix: " << prefix;
+    }
+    if (opt.verify) {
+      // Same seed, fresh registry: domain metrics must be bit-identical.
+      const obs::Report again = run_one(info, args, sink);
+      if (again.metrics != report.metrics) {
+        status = "FAIL";
+        ++failures;
+        std::cout << "\n  non-deterministic domain metrics";
+      }
+    }
+    std::cout << " " << util::fixed(report.wall_seconds, 2) << " s ("
+              << status << ")\n";
+    harnesses[std::string(info.name)] = report.to_json();
+  }
+  results["harnesses"] = std::move(harnesses);
+  obs::write_json(results, opt.out);
+  if (opt.out != "-") {
+    std::cout << "wrote " << opt.out << '\n';
+  }
+
+  // Self-check: the written file must parse back and carry the documented
+  // top-level keys (what the bench_smoke ctest relies on).
+  if (opt.out != "-") {
+    std::ifstream in(opt.out);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const obs::Json parsed = obs::Json::parse(buf.str());
+    if (!parsed.find("schema_version") || !parsed.find("harnesses")) {
+      std::cout << "self-check FAILED: written JSON lacks documented keys\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lumos::bench
+
+int main(int argc, char** argv) {
+  try {
+    return lumos::bench::run(argc, argv);
+  } catch (const lumos::Error& e) {
+    std::cerr << "bench_runner: " << e.what() << '\n'
+              << lumos::bench::runner_usage();
+    return 2;
+  }
+}

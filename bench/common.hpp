@@ -1,17 +1,32 @@
-// Shared plumbing for the figure/table bench harnesses: argument parsing
-// and study construction. Every harness accepts:
-//   --days D   override every system's synthesis window (default: each
-//              system's calibrated window — 120 d, 14 d for Helios)
-//   --seed S   RNG seed (default 42)
-//   --systems a,b,c   restrict to a subset
+// Shared plumbing for the figure/table bench harnesses: checked argument
+// parsing, study construction, and the standalone-main adapter. Every
+// harness accepts:
+//   --days D          override every system's synthesis window (default:
+//                     each system's calibrated window — 120 d, 14 d Helios)
+//   --seed S          RNG seed (default 42)
+//   --systems a,b,c   restrict to a subset (unknown names are an error)
+//   --ablation        run the harness's extra ablation sweep, if any
+//   --smoke           tiny-run mode: harnesses cap their job counts
+//   --json PATH       also write the harness obs::Report as JSON ("-" =
+//                     stdout)
+//
+// Each harness implements `obs::Report run_<name>(const Args&,
+// std::ostream&)` and closes with LUMOS_BENCH_MAIN(run_<name>). The same
+// source compiles twice: standalone (the macro emits main) and into the
+// lumos_bench_harnesses library for bench_runner (compiled with
+// -DLUMOS_BENCH_LIBRARY, where the macro emits nothing).
 #pragma once
 
-#include <cstdlib>
+#include <charconv>
 #include <iostream>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/lumos.hpp"
+#include "obs/report.hpp"
+#include "synth/calibration.hpp"
+#include "util/error.hpp"
 #include "util/string_util.hpp"
 
 namespace lumos::bench {
@@ -19,29 +34,85 @@ namespace lumos::bench {
 struct Args {
   core::StudyOptions study;
   bool ablation = false;
+  /// Tiny-run mode: harnesses cap max_jobs so the whole suite finishes in
+  /// seconds (the bench_runner --smoke ctest path).
+  bool smoke = false;
+  /// When non-empty, the standalone main writes the Report here as JSON.
+  std::string json_out;
+
   double days_or(double fallback) const {
     return study.duration_days.value_or(fallback);
   }
+  /// Smoke-aware cap: `full` normally, at most `capped` under --smoke.
+  std::size_t jobs_cap(std::size_t full, std::size_t capped) const {
+    return smoke ? std::min(full, capped) : full;
+  }
 };
 
+inline double parse_positive_double(const std::string& text,
+                                    const char* flag) {
+  double value = 0.0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end || !(value > 0.0)) {
+    throw InvalidArgument(std::string(flag) + " expects a positive number, "
+                          "got \"" + text + "\"");
+  }
+  return value;
+}
+
+inline std::uint64_t parse_u64(const std::string& text, const char* flag) {
+  std::uint64_t value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw InvalidArgument(std::string(flag) + " expects a non-negative "
+                          "integer, got \"" + text + "\"");
+  }
+  return value;
+}
+
+/// Canonical spec name for a --systems token; throws InvalidArgument (with
+/// the calibration's message) for names no generator knows.
+inline std::string canonical_system(std::string_view name) {
+  return synth::calibration_for(name).spec.name;
+}
+
+inline const char* usage() {
+  return "[--days D] [--seed S] [--systems a,b,c] [--ablation] [--smoke] "
+         "[--json PATH]";
+}
+
+/// Parses the shared harness flags; throws InvalidArgument on malformed
+/// values, unknown systems, or unknown flags.
 inline Args parse_args(int argc, char** argv) {
   Args args;
+  const auto value_of = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) {
+      throw InvalidArgument(flag + " requires a value");
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--days" && i + 1 < argc) {
-      args.study.duration_days = std::atof(argv[++i]);
-    } else if (arg == "--seed" && i + 1 < argc) {
-      args.study.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (arg == "--systems" && i + 1 < argc) {
-      for (auto part : util::split(argv[++i], ',')) {
-        args.study.systems.emplace_back(part);
+    if (arg == "--days") {
+      args.study.duration_days = parse_positive_double(value_of(i, arg),
+                                                       "--days");
+    } else if (arg == "--seed") {
+      args.study.seed = parse_u64(value_of(i, arg), "--seed");
+    } else if (arg == "--systems") {
+      const std::string list = value_of(i, arg);  // split views into this
+      for (auto part : util::split(list, ',')) {
+        args.study.systems.push_back(canonical_system(part));
       }
     } else if (arg == "--ablation") {
       args.ablation = true;
+    } else if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--json") {
+      args.json_out = value_of(i, arg);
     } else {
-      std::cerr << "usage: " << argv[0]
-                << " [--days D] [--seed S] [--systems a,b,c] [--ablation]\n";
-      std::exit(2);
+      throw InvalidArgument("unknown argument \"" + arg + "\"");
     }
   }
   return args;
@@ -52,11 +123,43 @@ inline core::CrossSystemStudy make_study(const Args& args) {
 }
 
 /// Prints the standard harness banner.
-inline void banner(const std::string& what, const std::string& expectation) {
-  std::cout << "==================================================\n"
-            << what << '\n'
-            << "Paper expectation: " << expectation << '\n'
-            << "==================================================\n";
+inline void banner(std::ostream& out, const std::string& what,
+                   const std::string& expectation) {
+  out << "==================================================\n"
+      << what << '\n'
+      << "Paper expectation: " << expectation << '\n'
+      << "==================================================\n";
+}
+
+/// The standalone-binary driver: parse flags, run the harness against
+/// stdout, attach the registry snapshot, optionally export JSON.
+inline int harness_main(int argc, char** argv,
+                        obs::Report (*run)(const Args&, std::ostream&)) {
+  try {
+    const Args args = parse_args(argc, argv);
+    obs::ScopedTimer timer("bench.harness_seconds");
+    obs::Report report = run(args, std::cout);
+    report.wall_seconds = timer.elapsed_seconds();
+    timer.cancel();
+    report.observability = obs::Registry::global().snapshot();
+    if (!args.json_out.empty()) {
+      obs::write_json(report.to_json(), args.json_out);
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\nusage: " << argv[0] << ' '
+              << usage() << '\n';
+    return 2;
+  }
 }
 
 }  // namespace lumos::bench
+
+#ifdef LUMOS_BENCH_LIBRARY
+#define LUMOS_BENCH_MAIN(run_fn)
+#else
+#define LUMOS_BENCH_MAIN(run_fn)                     \
+  int main(int argc, char** argv) {                  \
+    return lumos::bench::harness_main(argc, argv, run_fn); \
+  }
+#endif

@@ -1,17 +1,31 @@
 // Fig 2: core-hour domination of job size / length groups.
-#include <iostream>
+#include <ostream>
 
 #include "analysis/report.hpp"
 #include "common.hpp"
+#include "harnesses.hpp"
 
-int main(int argc, char** argv) {
-  const auto args = lumos::bench::parse_args(argc, argv);
-  lumos::bench::banner(
-      "Fig 2: core-hour domination by job group",
-      "BW small jobs >85% of core hours; Mira/Theta/Philly/Helios small "
-      "<35%/<16%/<19%/<5%; HPC dominated by middle-length jobs, DL by long "
-      "jobs");
-  const auto study = lumos::bench::make_study(args);
-  std::cout << lumos::analysis::render_domination(study.dominations());
-  return 0;
+namespace lumos::bench {
+
+obs::Report run_fig2_corehours(const Args& args, std::ostream& out) {
+  banner(out, "Fig 2: core-hour domination by job group",
+         "BW small jobs >85% of core hours; Mira/Theta/Philly/Helios small "
+         "<35%/<16%/<19%/<5%; HPC dominated by middle-length jobs, DL by "
+         "long jobs");
+  const auto study = make_study(args);
+  const auto doms = study.dominations();
+  out << analysis::render_domination(doms);
+
+  obs::Report report;
+  report.harness = "fig2_corehours";
+  report.figure = "Figure 2";
+  for (const auto& d : doms) {
+    report.set("dominant_size_share." + d.system, d.dominant_size_share);
+    report.set("dominant_length_share." + d.system, d.dominant_length_share);
+  }
+  return report;
 }
+
+}  // namespace lumos::bench
+
+LUMOS_BENCH_MAIN(lumos::bench::run_fig2_corehours)

@@ -1,23 +1,25 @@
 // Fig 3: system utilization, reconstructed from recorded job placement.
-#include <iostream>
+#include <algorithm>
+#include <ostream>
 
 #include "analysis/report.hpp"
 #include "common.hpp"
+#include "harnesses.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
-  const auto args = lumos::bench::parse_args(argc, argv);
-  lumos::bench::banner(
-      "Fig 3: system utilization",
-      "Philly lowest (~43% average, virtual-cluster fragmentation), Helios "
-      "below 80% most of the time, HPC systems ~70-90%");
-  const auto study = lumos::bench::make_study(args);
+namespace lumos::bench {
+
+obs::Report run_fig3_utilization(const Args& args, std::ostream& out) {
+  banner(out, "Fig 3: system utilization",
+         "Philly lowest (~43% average, virtual-cluster fragmentation), "
+         "Helios below 80% most of the time, HPC systems ~70-90%");
+  const auto study = make_study(args);
   const auto utils = study.utilizations();
-  std::cout << lumos::analysis::render_utilization(utils) << '\n';
+  out << analysis::render_utilization(utils) << '\n';
 
   // Utilization timeline, decimated to ~daily points.
-  std::cout << "Daily utilization series:\n";
-  lumos::util::TextTable t([&] {
+  out << "Daily utilization series:\n";
+  util::TextTable t([&] {
     std::vector<std::string> header{"Day"};
     for (const auto& u : utils) header.push_back(u.system);
     return header;
@@ -41,12 +43,24 @@ int main(int argc, char** argv) {
         sum += u.series[h];
         ++n;
       }
-      row.push_back(lumos::util::percent(sum / static_cast<double>(n), 0));
+      row.push_back(util::percent(sum / static_cast<double>(n), 0));
       any = true;
     }
     if (any) t.add_row(row);
     if (d >= 30) break;  // cap the printout
   }
-  std::cout << t.render();
-  return 0;
+  out << t.render();
+
+  obs::Report report;
+  report.harness = "fig3_utilization";
+  report.figure = "Figure 3";
+  for (const auto& u : utils) {
+    report.set("avg_utilization." + u.system, u.average);
+    report.set("frac_hours_above_80." + u.system, u.frac_above_80);
+  }
+  return report;
 }
+
+}  // namespace lumos::bench
+
+LUMOS_BENCH_MAIN(lumos::bench::run_fig3_utilization)

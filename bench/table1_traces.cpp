@@ -1,43 +1,58 @@
 // Table I: overview of candidate job traces and the selection outcome,
 // plus the realized statistics of the five synthesised stand-ins.
-#include <iostream>
+#include <ostream>
 
 #include "common.hpp"
+#include "harnesses.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
-  const auto args = lumos::bench::parse_args(argc, argv);
-  lumos::bench::banner(
-      "Table I: public job traces, selection flags, and synthetic stand-ins",
-      "five selected systems (Mira, Theta, Blue Waters, Philly, Helios); "
-      "others excluded for size/count/consistency");
+namespace lumos::bench {
 
-  lumos::util::TextTable t({"Dataset", "Affiliation", "Years", "Jobs",
-                            "Nodes", "Cores", "GPUs", "Large", "User",
-                            "Status", "Consistent", "Selected"});
-  for (const auto& c : lumos::trace::table1_candidates()) {
+obs::Report run_table1_traces(const Args& args, std::ostream& out) {
+  banner(out,
+         "Table I: public job traces, selection flags, and synthetic "
+         "stand-ins",
+         "five selected systems (Mira, Theta, Blue Waters, Philly, Helios); "
+         "others excluded for size/count/consistency");
+
+  util::TextTable t({"Dataset", "Affiliation", "Years", "Jobs", "Nodes",
+                     "Cores", "GPUs", "Large", "User", "Status", "Consistent",
+                     "Selected"});
+  for (const auto& c : trace::table1_candidates()) {
     t.add_row({c.name, c.affiliation, c.years, c.job_count, c.nodes, c.cores,
                c.gpus, c.large_scale ? "yes" : "NO", c.user_info ? "yes" : "NO",
                c.job_status ? "yes" : "NO", c.info_consistent ? "yes" : "NO",
                c.selected ? "yes" : ("NO: " + c.exclusion_reason)});
   }
-  std::cout << t.render() << '\n';
+  out << t.render() << '\n';
 
-  std::cout << "Synthetic stand-ins actually generated:\n";
-  const auto study = lumos::bench::make_study(args);
-  lumos::util::TextTable s({"System", "Window", "Jobs", "Users", "Capacity",
-                            "Kind", "VCs", "Validation"});
+  out << "Synthetic stand-ins actually generated:\n";
+  const auto study = make_study(args);
+  obs::Report report;
+  report.harness = "table1_traces";
+  report.figure = "Table 1";
+  double validation_failures = 0.0;
+  util::TextTable s({"System", "Window", "Jobs", "Users", "Capacity", "Kind",
+                     "VCs", "Validation"});
   for (const auto& trace : study.traces()) {
     const auto& spec = trace.spec();
-    const auto report = lumos::trace::validate(trace);
+    const auto vreport = trace::validate(trace);
+    if (!vreport.consistent()) validation_failures += 1.0;
+    report.set("jobs." + spec.name, static_cast<double>(trace.size()));
+    report.set("users." + spec.name, static_cast<double>(trace.user_count()));
     s.add_row({spec.name, spec.trace_window,
-               lumos::util::with_commas(static_cast<long long>(trace.size())),
+               util::with_commas(static_cast<long long>(trace.size())),
                std::to_string(trace.user_count()),
-               lumos::util::with_commas(spec.primary_capacity()),
+               util::with_commas(spec.primary_capacity()),
                std::string(to_string(spec.primary_kind)),
                std::to_string(spec.virtual_clusters),
-               report.consistent() ? "OK" : "FAIL"});
+               vreport.consistent() ? "OK" : "FAIL"});
   }
-  std::cout << s.render();
-  return 0;
+  report.set("validation_failures", validation_failures);
+  out << s.render();
+  return report;
 }
+
+}  // namespace lumos::bench
+
+LUMOS_BENCH_MAIN(lumos::bench::run_table1_traces)

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/registry.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -72,6 +73,14 @@ std::vector<BackfillComparison> run_backfill_study(
   pool.parallel_for(0, eligible.size(), [&](std::size_t i) {
     rows[i] = compare_backfill(*eligible[i], config);
   });
+  // Publish pool usage: tasks_run is deterministic (chunk count), the
+  // queue high-water mark is scheduling-dependent, hence a gauge.
+  const util::ThreadPool::Stats stats = pool.stats();
+  auto& registry = obs::Registry::global();
+  registry.counter("threadpool.tasks_run").add(stats.tasks_run);
+  registry.gauge("threadpool.threads").set(static_cast<double>(stats.threads));
+  registry.gauge("threadpool.max_queue_depth")
+      .set_max(static_cast<double>(stats.max_queue_depth));
   return rows;
 }
 

@@ -1,0 +1,46 @@
+// obs::Report — the structured result of one bench harness run.
+//
+// A Report separates what is *deterministic* from what is not, and the
+// bench runner's `--verify` mode depends on that split:
+//   metrics       — domain numbers (medians, shares, improvements) that a
+//                   same-seed rerun must reproduce bit-for-bit. These are
+//                   the values docs/FIGURES.md documents per harness.
+//   wall_seconds  — harness wall-clock time; never compared.
+//   observability — the registry snapshot taken after the harness ran
+//                   (counters are deterministic, gauge/histogram timings
+//                   are not; the runner only compares counters).
+//
+// `to_json()` emits the per-harness entry of the BENCH_results.json
+// schema described in DESIGN.md ("Observability").
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace lumos::obs {
+
+struct Report {
+  /// Harness name, e.g. "fig4_waiting"; keys the runner's JSON object.
+  std::string harness;
+  /// Paper artefact this reproduces, e.g. "Figure 4" or "Table 2".
+  std::string figure;
+  /// Wall-clock seconds for the run (excluded from determinism checks).
+  double wall_seconds = 0.0;
+  /// Deterministic domain metrics; same seed => same values.
+  std::map<std::string, double> metrics;
+  /// Registry snapshot scoped to this harness (runner resets in between).
+  Snapshot observability;
+
+  /// Records a metric, overwriting any previous value under `key`.
+  void set(std::string_view key, double value);
+
+  /// The per-harness JSON entry: {figure, wall_seconds, metrics,
+  /// counters, gauges, histograms}.
+  [[nodiscard]] Json to_json() const;
+};
+
+}  // namespace lumos::obs

@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "sim/auditor.hpp"
 #include "sim/profile.hpp"
 #include "util/error.hpp"
@@ -157,7 +158,10 @@ SimResult Simulator::run() {
     auto& outcome = result.outcomes[idx];
     outcome.start_time = now;
     outcome.backfilled = as_backfill;
-    if (as_backfill) ++result.backfilled_jobs;
+    if (as_backfill) {
+      ++result.backfilled_jobs;
+      ++counters.backfill_successes;
+    }
     RunningJob r;
     r.end = now + p.run;
     r.planned_end = now + p.planned;
@@ -260,6 +264,7 @@ SimResult Simulator::run() {
       const std::size_t scan =
           std::min(queue.size(), config_.backfill.scan_limit);
       for (std::size_t qi = 0; qi < scan; ++qi) {
+        if (qi > 0) ++counters.backfill_attempts;
         const PendingJob& p = pending[queue[qi]];
         const double est = profile.earliest_start(now, p.planned, p.cores);
         profile.reserve(est, est + p.planned, p.cores);
@@ -334,6 +339,7 @@ SimResult Simulator::run() {
     std::vector<std::uint32_t> to_start;
     std::uint64_t committed = 0;  // cores promised to accepted backfills
     for (std::size_t qi = 1; qi < scan; ++qi) {
+      ++counters.backfill_attempts;
       const std::uint32_t cand = queue[qi];
       const PendingJob& cp = pending[cand];
       if (cp.cores + committed > cluster.free(part)) continue;
@@ -416,6 +422,7 @@ SimResult Simulator::run() {
       location[r.index] = JobLocation::Finished;
       // A release frees planned capacity the cached profile still holds
       // reserved; it must be rebuilt on next use.
+      if (profiles[r.partition].profile) ++counters.profile_invalidations;
       profiles[r.partition].profile.reset();
       result.makespan = std::max(result.makespan, r.end);
       ++counters.completions;
@@ -442,8 +449,21 @@ SimResult Simulator::run() {
 }
 
 SimResult simulate(const trace::Trace& trace, const SimConfig& config) {
+  auto& registry = obs::Registry::global();
+  obs::ScopedTimer timer(registry.histogram(
+      "sim.loop_seconds." + std::string(to_string(config.policy))));
   Simulator sim(trace, config);
-  return sim.run();
+  SimResult result = sim.run();
+  // Publish the event-loop counters; deterministic for deterministic input.
+  const SimCounters& c = result.counters;
+  registry.counter("sim.events").add(c.events);
+  registry.counter("sim.scheduling_passes").add(c.scheduling_passes);
+  registry.counter("sim.backfill_attempts").add(c.backfill_attempts);
+  registry.counter("sim.backfill_successes").add(c.backfill_successes);
+  registry.counter("sim.profile_cache_hits").add(c.profile_cache_hits);
+  registry.counter("sim.profile_rebuilds").add(c.profile_rebuilds);
+  registry.counter("sim.profile_invalidations").add(c.profile_invalidations);
+  return result;
 }
 
 }  // namespace lumos::sim

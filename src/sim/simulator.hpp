@@ -58,6 +58,9 @@ struct SimCounters {
   std::uint64_t sort_invocations = 0;  ///< policy re-sorts actually run
   std::uint64_t profile_rebuilds = 0;  ///< from-scratch profile builds
   std::uint64_t profile_cache_hits = 0;///< passes served by the cache
+  std::uint64_t profile_invalidations = 0; ///< cached profiles dropped
+  std::uint64_t backfill_attempts = 0; ///< non-head candidates examined
+  std::uint64_t backfill_successes = 0;///< candidates started out of order
   std::uint64_t audits = 0;            ///< auditor checks performed
   std::uint64_t audit_failures = 0;    ///< violated invariants observed
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/registry.hpp"
 #include "synth/arrival.hpp"
 #include "synth/failure_model.hpp"
 #include "synth/user_model.hpp"
@@ -23,6 +24,8 @@ WorkloadGenerator::WorkloadGenerator(SystemCalibration cal,
 }
 
 trace::Trace WorkloadGenerator::generate() {
+  obs::ScopedTimer timer(obs::Registry::global().histogram(
+      "synth.generate_seconds." + cal_.spec.name));
   util::Rng rng(options_.seed ^
                 std::hash<std::string>{}(cal_.spec.name));
   UserPopulation population(cal_, rng);
@@ -106,6 +109,7 @@ trace::Trace WorkloadGenerator::generate() {
   }
 
   trace.sort_by_submit();
+  obs::Registry::global().counter("synth.jobs_emitted").add(trace.size());
   LUMOS_INFO << "generated " << trace.size() << " jobs for "
              << cal_.spec.name;
   return trace;

@@ -10,8 +10,11 @@
 // instead of queueing work no worker will ever run.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -38,6 +41,16 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Usage counters, for observability. The pool maintains them itself
+  /// (it sits below lumos_obs in the layering); callers publish them into
+  /// a registry when they want them exported.
+  struct Stats {
+    std::size_t threads = 0;          ///< worker count
+    std::uint64_t tasks_run = 0;      ///< tasks executed to completion
+    std::size_t max_queue_depth = 0;  ///< queue high-water mark
+  };
+  [[nodiscard]] Stats stats() const LUMOS_EXCLUDES(mutex_);
+
   /// Stops accepting work, runs every already-queued task to completion,
   /// and joins the workers. Idempotent; afterwards `submit` throws.
   void shutdown() LUMOS_EXCLUDES(mutex_);
@@ -56,6 +69,7 @@ class ThreadPool {
         throw InternalError("ThreadPool::submit called after shutdown");
       }
       queue_.emplace_back([task] { (*task)(); });
+      max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
     }
     cv_.notify_one();
     return fut;
@@ -73,10 +87,12 @@ class ThreadPool {
   void worker_loop() LUMOS_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_ LUMOS_GUARDED_BY(mutex_);
   bool stop_ LUMOS_GUARDED_BY(mutex_) = false;
+  std::size_t max_queue_depth_ LUMOS_GUARDED_BY(mutex_) = 0;
+  std::atomic<std::uint64_t> tasks_run_{0};
 };
 
 }  // namespace lumos::util

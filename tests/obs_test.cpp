@@ -1,0 +1,265 @@
+// Tests for lumos::obs: instrument semantics, registry identity and
+// reset, concurrent increments (run under the tsan preset), and the JSON
+// model — golden strings, round-trips, parse errors, snapshot export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lumos::obs {
+namespace {
+
+// ---------------------------------------------------------- instruments --
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.add(0);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndHighWaterMark) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  EXPECT_EQ(g.value(), 3.5);
+  g.set(1.0);  // plain set may lower
+  EXPECT_EQ(g.value(), 1.0);
+  g.set_max(4.0);
+  g.set_max(2.0);  // below the mark: no effect
+  EXPECT_EQ(g.value(), 4.0);
+}
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  h.observe(0.5);
+  h.observe(2.0);
+  h.observe(0.125);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.625);
+  EXPECT_DOUBLE_EQ(h.min(), 0.125);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+}
+
+TEST(Histogram, LogScaleBucketing) {
+  // Bucket i spans [kBase*2^i, kBase*2^(i+1)).
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(0), Histogram::kBase);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(10), Histogram::kBase * 1024.0);
+  // Exact lower bounds land in their own bucket; the scale is monotone.
+  for (std::size_t i = 1; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_bound(i)), i);
+    EXPECT_LT(Histogram::bucket_bound(i - 1), Histogram::bucket_bound(i));
+  }
+  // Underflow folds into bucket 0, overflow into the last bucket.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1e-12), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1e18), Histogram::kBuckets - 1);
+
+  Histogram h;
+  h.observe(1e-3);  // 2^10 us => bucket 10 boundary
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(1e-3)), 1u);
+}
+
+// ------------------------------------------------------------- registry --
+
+TEST(Registry, NamedLookupIsStableIdentity) {
+  Registry reg;
+  Counter& a = reg.counter("events");
+  Counter& b = reg.counter("events");
+  EXPECT_EQ(&a, &b);
+  Counter& other = reg.counter("other");
+  EXPECT_NE(&a, &other);
+  // Kinds are separate namespaces: a gauge "events" is a new instrument.
+  Gauge& g = reg.gauge("events");
+  g.set(1.0);
+  EXPECT_EQ(a.value(), 0u);
+}
+
+TEST(Registry, SnapshotIsNameSortedAndSkipsNothing) {
+  Registry reg;
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  reg.gauge("depth").set(7.0);
+  reg.histogram("t").observe(0.25);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a");
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].name, "b");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 7.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 0.25);
+  // Only non-empty buckets are sampled.
+  ASSERT_EQ(snap.histograms[0].buckets.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].buckets[0].second, 1u);
+}
+
+TEST(Registry, ResetZeroesButKeepsHandles) {
+  Registry reg;
+  Counter& c = reg.counter("events");
+  c.add(5);
+  reg.histogram("t").observe(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // same handle, zeroed
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);  // name survives reset
+  EXPECT_EQ(snap.counters[0].value, 0u);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+}
+
+TEST(ScopedTimer, ObservesOnDestructionUnlessCancelled) {
+  Histogram h;
+  {
+    ScopedTimer t(h);
+    EXPECT_GE(t.elapsed_seconds(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  {
+    ScopedTimer t(h);
+    t.cancel();
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// Concurrent increments from the pool: totals must be exact (the tsan
+// preset additionally proves the registry lookups race-free).
+TEST(Registry, ConcurrentIncrementsAreExact) {
+  Registry reg;
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kPerTask = 1000;
+  {
+    util::ThreadPool pool(4);
+    pool.parallel_for(0, kTasks, [&](std::size_t) {
+      // Lookup inside the task: exercises find-or-create under contention.
+      Counter& c = reg.counter("shared");
+      for (std::size_t i = 0; i < kPerTask; ++i) c.add();
+      reg.histogram("obs").observe(0.001);
+      reg.gauge("mark").set_max(1.0);
+    });
+  }
+  EXPECT_EQ(reg.counter("shared").value(), kTasks * kPerTask);
+  EXPECT_EQ(reg.histogram("obs").count(), kTasks);
+  EXPECT_EQ(reg.gauge("mark").value(), 1.0);
+}
+
+// ----------------------------------------------------------------- json --
+
+TEST(Json, GoldenCompactAndPretty) {
+  Json doc = Json::object();
+  doc["b"] = 2;
+  doc["a"] = Json::array();
+  doc["a"].push_back(1.5);
+  doc["a"].push_back("x");
+  doc["a"].push_back(true);
+  doc["n"] = Json();
+  // Keys sort; doubles use shortest round-trip with a ".0"-style marker.
+  EXPECT_EQ(doc.dump(-1), R"({"a":[1.5,"x",true],"b":2,"n":null})");
+  EXPECT_EQ(Json(3.0).dump(-1), "3.0");
+  EXPECT_EQ(Json(0.1).dump(-1), "0.1");
+  EXPECT_EQ(Json::object().dump(-1), "{}");
+  Json pretty = Json::object();
+  pretty["k"] = 1;
+  EXPECT_EQ(pretty.dump(2), "{\n  \"k\": 1\n}");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\n\t\x01").dump(-1),
+            R"("a\"b\\c\n\t\u0001")");
+}
+
+TEST(Json, RoundTripsItsOwnOutput) {
+  Json doc = Json::object();
+  doc["metrics"] = Json::object();
+  doc["metrics"]["wait"] = 12.25;
+  doc["metrics"]["count"] = std::int64_t{1} << 53;
+  doc["list"] = Json::array();
+  doc["list"].push_back(Json::object());
+  doc["list"].push_back(-0.0078125);
+  doc["ok"] = false;
+  for (int indent : {-1, 0, 2, 4}) {
+    EXPECT_EQ(Json::parse(doc.dump(indent)), doc) << "indent=" << indent;
+  }
+}
+
+TEST(Json, ParsesEscapesAndNumbers) {
+  const Json v = Json::parse(R"({"s":"a\u0041\n","x":-1.25e2,"i":-7})");
+  EXPECT_EQ(v.find("s")->as_string(), "aA\n");
+  EXPECT_DOUBLE_EQ(v.find("x")->as_double(), -125.0);
+  EXPECT_EQ(v.find("i")->as_int(), -7);       // no decimal point => Int
+  EXPECT_EQ(v.find("x")->kind(), Json::Kind::Double);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), InvalidArgument);
+  EXPECT_THROW(Json::parse("{"), InvalidArgument);
+  EXPECT_THROW(Json::parse("[1,]"), InvalidArgument);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), InvalidArgument);
+  EXPECT_THROW(Json::parse("'single'"), InvalidArgument);
+  EXPECT_THROW(Json::parse("nul"), InvalidArgument);
+  EXPECT_THROW(Json::parse("\"\\ud800\""), InvalidArgument);  // lone surrogate
+}
+
+TEST(Json, CheckedAccessorsThrowOnKindMismatch) {
+  const Json v = 1;
+  EXPECT_THROW((void)v.as_string(), InvalidArgument);
+  EXPECT_THROW((void)v.items(), InvalidArgument);
+  EXPECT_EQ(v.as_double(), 1.0);  // Int widens to double
+  EXPECT_EQ(Json().find("k"), nullptr);
+}
+
+// ------------------------------------------------------ snapshot export --
+
+TEST(SnapshotJson, FollowsDocumentedSchema) {
+  Registry reg;
+  reg.counter("sim.events").add(10);
+  reg.gauge("threads").set(4.0);
+  reg.histogram("t").observe(0.5);
+  reg.histogram("t").observe(1.5);
+  const Json j = to_json(reg.snapshot());
+  EXPECT_EQ(j.find("counters")->find("sim.events")->as_int(), 10);
+  EXPECT_EQ(j.find("gauges")->find("threads")->as_double(), 4.0);
+  const Json* hist = j.find("histograms")->find("t");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->as_int(), 2);
+  EXPECT_DOUBLE_EQ(hist->find("sum")->as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(hist->find("mean")->as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(hist->find("min")->as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(hist->find("max")->as_double(), 1.5);
+  // buckets: [{le, n}] over non-empty buckets only.
+  const auto& buckets = hist->find("buckets")->items();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].find("n")->as_int(), 1);
+}
+
+TEST(ReportJson, DomainMetricsSeparateFromObservability) {
+  Report report;
+  report.harness = "fig4_waiting";
+  report.figure = "Figure 4";
+  report.wall_seconds = 0.25;
+  report.set("median_wait_s.Mira", 100.0);
+  const Json j = report.to_json();
+  EXPECT_EQ(j.find("figure")->as_string(), "Figure 4");
+  EXPECT_DOUBLE_EQ(j.find("wall_seconds")->as_double(), 0.25);
+  EXPECT_DOUBLE_EQ(
+      j.find("metrics")->find("median_wait_s.Mira")->as_double(), 100.0);
+  // Empty snapshot => no counters/gauges/histograms sections.
+  EXPECT_EQ(j.find("counters"), nullptr);
+  // Same inputs, same document: what bench_runner --verify leans on.
+  EXPECT_EQ(j.dump(), report.to_json().dump());
+}
+
+}  // namespace
+}  // namespace lumos::obs

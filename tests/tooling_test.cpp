@@ -230,7 +230,59 @@ TEST(LumosLint, FlagsStdoutInLibraryCodeOnly) {
   // The sanctioned sink and the non-library trees may print.
   EXPECT_TRUE(lint::lint_source("util/logging.cpp", body).empty());
   EXPECT_TRUE(lint::lint_source("tools/lumos_cli.cpp", body).empty());
-  EXPECT_TRUE(lint::lint_source("bench/table1_traces.cpp", body).empty());
+  // Bench harnesses render into a caller-supplied stream (common.hpp's
+  // harness_main owns the binding to stdout); direct use is a violation.
+  const auto bench = lint::lint_source("bench/table1_traces.cpp", body);
+  ASSERT_EQ(bench.size(), 1u);
+  EXPECT_EQ(bench[0].rule, "stdout-io");
+}
+
+TEST(LumosLint, StdoutAllowlistNamesFilesNotDirectories) {
+  const std::string body = "void p() { std::cerr << 1; }\n";
+  // The sanctioned stream owners: obs/json.cpp ("-" output path) and the
+  // two bench entry points.
+  EXPECT_TRUE(lint::lint_source("obs/json.cpp", body).empty());
+  EXPECT_TRUE(lint::lint_source("bench/bench_runner.cpp", body).empty());
+  EXPECT_TRUE(lint::lint_source("bench/common.hpp",
+                                "#pragma once\n"
+                                "inline void p() { std::cout << 1; }\n")
+                  .empty());
+  // Siblings in the same directories stay checked.
+  const auto obs = lint::lint_source("obs/registry.cpp", body);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0].rule, "stdout-io");
+}
+
+TEST(LumosLint, BenchIsSubjectToRngAndThreadRules) {
+  const auto rng = lint::lint_source("bench/micro_sim.cpp",
+                                     "int jitter() { return rand(); }\n");
+  ASSERT_EQ(rng.size(), 1u);
+  EXPECT_EQ(rng[0].rule, "banned-rng");
+  const auto thread = lint::lint_source(
+      "bench/bench_runner.cpp", "void go() { std::thread t([] {}); }\n");
+  ASSERT_EQ(thread.size(), 1u);
+  EXPECT_EQ(thread[0].rule, "raw-thread");
+}
+
+TEST(LumosLint, LintTreePrefixSelectsRuleDomain) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "lumos_lint_prefix_test";
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir / "common.hpp");
+    out << "#pragma once\ninline void p() { std::cout << 1; }\n";
+  }
+  {
+    std::ofstream out(dir / "extra.cpp");
+    out << "void q() { std::cout << 2; }\n";
+  }
+  // With the bench/ prefix the allowlist recognises common.hpp and the
+  // sibling stays a violation, reported under the prefixed path.
+  const auto diags = lint::lint_tree(dir, "bench/");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "bench/extra.cpp");
+  EXPECT_EQ(diags[0].rule, "stdout-io");
+  fs::remove_all(dir);
 }
 
 TEST(LumosLint, SanctionedImplementationsAreExempt) {

@@ -2,12 +2,15 @@
 # One-command static-analysis + test gate.
 #
 # Runs, in sequence:
-#   release   configure + build + full ctest (includes the lumos_lint case)
+#   release   configure + build + full ctest (includes the lumos_lint and
+#             bench_smoke cases)
 #   sanitize  ASan+UBSan build + `ctest -L sanitize` invariant suite
 #   tsan      ThreadSanitizer build + `ctest -L tsan` concurrency suite
-#   lint      lumos_lint over src/ from the release build
+#   lint      lumos_lint over src/ and bench/ from the release build
 #             (clang-tidy additionally gates compiles when configured with
 #              -DLUMOS_LINT=ON and a clang-tidy binary is on PATH)
+#   bench     bench_runner --smoke --verify: every harness on capped
+#             workloads, JSON self-check + same-seed determinism
 #
 # Continues past failures and prints a single PASS/FAIL summary; exit
 # status is non-zero if any stage failed. Run from the repo root:
@@ -61,7 +64,9 @@ if [ "$QUICK" -eq 0 ]; then
   preset_stage sanitize sanitize
   preset_stage tsan tsan
 fi
-run_stage "lint:lumos_lint" ./build/tools/lumos_lint src
+run_stage "lint:lumos_lint" ./build/tools/lumos_lint src bench
+run_stage "bench:smoke" ./build/bench/bench_runner --smoke --verify \
+  --out build/BENCH_check.json
 
 echo
 echo "================ check.sh summary ================"

@@ -11,7 +11,10 @@
 //                   util/thread_pool — concurrency goes through the pool
 //                   so shutdown and exception semantics stay uniform.
 //   stdout-io       std::cout/std::cerr/std::clog in library code (src/)
-//                   outside util/logging — libraries log via LUMOS_*.
+//                   or bench harnesses outside the explicit allowlist
+//                   (util/logging, obs/json.cpp's "-" output path, and the
+//                   two bench entry-point files) — everything else logs
+//                   via LUMOS_* or renders into a caller-supplied stream.
 //   float-time      `float` in sim/, trace/, or core/ — simulator time and
 //                   core-hour accounting are double-only; float silently
 //                   loses whole seconds past ~97 days of simulated time.
@@ -55,8 +58,11 @@ struct Diagnostic {
                                                   std::string_view content);
 
 /// Lints every .hpp/.cpp under `root` (deterministic path order).
-/// Diagnostic paths are relative to `root`.
+/// Diagnostic paths are relative to `root`, with `prefix` prepended before
+/// rule selection — so a tree rooted at bench/ lints its files as
+/// "bench/<file>" when called with prefix "bench/". Pass "" for a root
+/// whose children are already top-level rule domains (src/).
 [[nodiscard]] std::vector<Diagnostic> lint_tree(
-    const std::filesystem::path& root);
+    const std::filesystem::path& root, std::string_view prefix = "");
 
 }  // namespace lumos::lint

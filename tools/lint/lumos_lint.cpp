@@ -3,6 +3,7 @@
 // clean tree, 1 means violations were printed, 2 means usage/IO error.
 // Registered as a ctest case so `ctest` fails on any violation.
 #include <exception>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -30,9 +31,21 @@ int main(int argc, char** argv) {
   std::size_t total = 0;
   try {
     for (const auto& root : roots) {
-      const auto diags = lumos::lint::lint_tree(root);
+      // A root named other than "src" (e.g. bench/) lints its files under
+      // that name, so the per-directory rule domains in lint_source apply.
+      const auto path = std::filesystem::path(root).lexically_normal();
+      std::string name = path.filename().string();
+      if (name.empty()) name = path.parent_path().filename().string();
+      const std::string prefix = name == "src" ? "" : name + "/";
+      const auto diags = lumos::lint::lint_tree(path, prefix);
+      const std::string base =
+          prefix.empty() ? path.string() : path.parent_path().string();
       for (const auto& d : diags) {
-        std::cout << root << '/' << lumos::lint::format(d) << '\n';
+        if (base.empty()) {
+          std::cout << lumos::lint::format(d) << '\n';
+        } else {
+          std::cout << base << '/' << lumos::lint::format(d) << '\n';
+        }
       }
       total += diags.size();
     }
