@@ -130,6 +130,8 @@ const std::vector<HarnessInfo>& all_harnesses() {
        {"waste_recall.", "precision."}},
       {"ext_lublin_baseline", "Extension", run_ext_lublin_baseline,
        {"median_runtime_s.", "peak_hour_ratio."}},
+      {"ext_node_failures", "Extension", run_ext_node_failures,
+       {"goodput_share.", "wasted_core_hours."}},
       {"micro_sim", "Micro", run_micro_sim, {"events.", "backfilled."}},
       {"micro_ml", "Micro", run_micro_ml,
        {"dataset_rows", "dataset_features"}},

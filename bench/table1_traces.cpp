@@ -1,9 +1,11 @@
 // Table I: overview of candidate job traces and the selection outcome,
 // plus the realized statistics of the five synthesised stand-ins.
+#include <cstddef>
 #include <ostream>
 
 #include "common.hpp"
 #include "harnesses.hpp"
+#include "trace/validate.hpp"
 #include "util/table.hpp"
 
 namespace lumos::bench {
@@ -32,12 +34,18 @@ obs::Report run_table1_traces(const Args& args, std::ostream& out) {
   report.harness = "table1_traces";
   report.figure = "Table 1";
   double validation_failures = 0.0;
+  std::size_t quarantined = 0;
   util::TextTable s({"System", "Window", "Jobs", "Users", "Capacity", "Kind",
                      "VCs", "Validation"});
   for (const auto& trace : study.traces()) {
     const auto& spec = trace.spec();
     const auto vreport = trace::validate(trace);
     if (!vreport.consistent()) validation_failures += 1.0;
+    // Repair path: quarantine offending jobs instead of aborting the run.
+    // Synthetic stand-ins are expected to come through untouched.
+    trace::Trace repaired = trace;
+    const auto sreport = trace::sanitize(repaired, vreport);
+    quarantined += sreport.dropped();
     report.set("jobs." + spec.name, static_cast<double>(trace.size()));
     report.set("users." + spec.name, static_cast<double>(trace.user_count()));
     s.add_row({spec.name, spec.trace_window,
@@ -46,10 +54,15 @@ obs::Report run_table1_traces(const Args& args, std::ostream& out) {
                util::with_commas(spec.primary_capacity()),
                std::string(to_string(spec.primary_kind)),
                std::to_string(spec.virtual_clusters),
-               vreport.consistent() ? "OK" : "FAIL"});
+               vreport.consistent() ? "OK"
+                                    : "FAIL (" + sreport.to_string() + ")"});
   }
   report.set("validation_failures", validation_failures);
   out << s.render();
+  if (quarantined > 0) {
+    out << "sanitize: quarantined " << quarantined
+        << " jobs across all systems\n";
+  }
   return report;
 }
 

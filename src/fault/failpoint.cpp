@@ -1,0 +1,65 @@
+#include "fault/failpoint.hpp"
+
+namespace lumos::fault {
+
+FailpointRegistry& FailpointRegistry::global() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+void FailpointRegistry::arm(const std::string& name, Arm arm) {
+  util::ScopedLock lock(mutex_);
+  State& state = sites_[name];
+  state.armed = true;
+  state.arm = arm;
+}
+
+void FailpointRegistry::disarm(const std::string& name) {
+  util::ScopedLock lock(mutex_);
+  const auto it = sites_.find(name);
+  if (it != sites_.end()) it->second.armed = false;
+}
+
+void FailpointRegistry::reset() {
+  util::ScopedLock lock(mutex_);
+  sites_.clear();
+}
+
+std::uint64_t FailpointRegistry::evaluations(std::string_view name) const {
+  util::ScopedLock lock(mutex_);
+  const auto it = sites_.find(name);
+  return it == sites_.end() ? 0 : it->second.evaluations;
+}
+
+std::uint64_t FailpointRegistry::fired(std::string_view name) const {
+  util::ScopedLock lock(mutex_);
+  const auto it = sites_.find(name);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+bool FailpointRegistry::should_fire(std::string_view name) {
+  util::ScopedLock lock(mutex_);
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(name), State{}).first;
+  }
+  State& state = it->second;
+  ++state.evaluations;
+  if (!state.armed) return false;
+  if (state.arm.skip > 0) {
+    --state.arm.skip;
+    return false;
+  }
+  if (state.arm.fire == 0) {  // unlimited until disarmed
+    ++state.fired;
+    return true;
+  }
+  --state.arm.fire;
+  if (state.arm.fire == 0) state.armed = false;
+  ++state.fired;
+  return true;
+}
+
+void throw_injected(const char* name) { throw InjectedFault(name); }
+
+}  // namespace lumos::fault

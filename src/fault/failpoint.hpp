@@ -1,0 +1,105 @@
+// Failpoints: deterministic fault injection for library error paths.
+//
+// A failpoint is a named site in library code (`LUMOS_FAILPOINT("name")`)
+// where a test can inject a failure. Sites compile to nothing unless the
+// build defines LUMOS_FAILPOINTS (the `failpoints` CMake preset; the
+// sanitize/tsan presets also enable it so injected error paths run under
+// ASan/UBSan and TSan). When compiled in, every evaluation consults the
+// process-wide FailpointRegistry; an *armed* site throws InjectedFault — a
+// typed lumos::Error — which must propagate to the caller like any other
+// library error: no crashes, hangs, or silently truncated results. The
+// registry keeps per-site evaluation and fire counts so tests can assert a
+// site was actually reached.
+//
+// This header sits below every other lumos library (util::ThreadPool
+// threads a failpoint through task execution), so it depends only on the
+// header-only util/error.hpp and util/annotations.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/annotations.hpp"
+#include "util/error.hpp"
+
+namespace lumos::fault {
+
+/// The error an armed failpoint throws. Deriving from lumos::Error means
+/// every documented error-propagation path (parser ParseError handling
+/// excepted — an injected fault is *not* a malformed row and must never be
+/// swallowed by a lenient-parse budget) carries it to the caller typed.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : Error("injected fault at failpoint: " + site) {}
+};
+
+/// Process-wide registry of failpoint sites. Thread-safe: sites are hit
+/// from ThreadPool workers under TSan.
+class FailpointRegistry {
+ public:
+  /// The registry consulted by LUMOS_FAILPOINT.
+  [[nodiscard]] static FailpointRegistry& global();
+
+  /// Arming parameters: let `skip` evaluations pass, then fire on the next
+  /// `fire` evaluations (0 = every evaluation until disarmed).
+  struct Arm {
+    std::uint64_t skip = 0;
+    std::uint64_t fire = 1;
+  };
+
+  /// Arms `name`; re-arming replaces the previous arming but keeps counts.
+  void arm(const std::string& name, Arm arm) LUMOS_EXCLUDES(mutex_);
+  /// Arms `name` to fire on its next evaluation.
+  void arm(const std::string& name) { arm(name, Arm{}); }
+  /// Disarms `name` (counts survive until reset()).
+  void disarm(const std::string& name) LUMOS_EXCLUDES(mutex_);
+  /// Disarms every site and zeroes all counts — call between tests.
+  void reset() LUMOS_EXCLUDES(mutex_);
+
+  /// Evaluations observed at `name` (only counted in LUMOS_FAILPOINTS
+  /// builds, where sites actually consult the registry).
+  [[nodiscard]] std::uint64_t evaluations(std::string_view name) const
+      LUMOS_EXCLUDES(mutex_);
+  /// Times `name` actually fired.
+  [[nodiscard]] std::uint64_t fired(std::string_view name) const
+      LUMOS_EXCLUDES(mutex_);
+
+  /// One evaluation of site `name`: bumps counts and reports whether the
+  /// site should fail now. Called by LUMOS_FAILPOINT; tests normally use
+  /// arm()/fired() instead.
+  [[nodiscard]] bool should_fire(std::string_view name)
+      LUMOS_EXCLUDES(mutex_);
+
+ private:
+  struct State {
+    bool armed = false;
+    Arm arm;
+    std::uint64_t evaluations = 0;
+    std::uint64_t fired = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, State, std::less<>> sites_ LUMOS_GUARDED_BY(mutex_);
+};
+
+/// Out-of-line throw keeps the macro expansion tiny.
+[[noreturn]] void throw_injected(const char* name);
+
+}  // namespace lumos::fault
+
+#ifdef LUMOS_FAILPOINTS
+/// Evaluates the named failpoint: throws fault::InjectedFault when armed.
+#define LUMOS_FAILPOINT(name)                                        \
+  do {                                                               \
+    if (::lumos::fault::FailpointRegistry::global().should_fire(     \
+            (name))) {                                               \
+      ::lumos::fault::throw_injected((name));                        \
+    }                                                                \
+  } while (false)
+#else
+#define LUMOS_FAILPOINT(name) ((void)0)
+#endif

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "fault/failpoint.hpp"
 #include "util/error.hpp"
 
 namespace lumos::obs {
@@ -449,6 +450,7 @@ Json to_json(const Snapshot& snapshot) {
 }
 
 void write_json(const Json& json, const std::string& path) {
+  LUMOS_FAILPOINT("obs.write_json");
   const std::string text = json.dump(2) + "\n";
   if (path == "-") {
     std::cout << text;

@@ -35,8 +35,13 @@ void SimAuditor::check(
       }
       seen_[r.index] = 2;
     }
-    const std::uint64_t allocated = cluster.capacity(p) - cluster.free(p);
-    if (running_cores != allocated) {
+    // Degraded capacity: cores on failed nodes are neither free nor
+    // allocated, and the three pools partition the capacity exactly.
+    if (cluster.free(p) + cluster.offline(p) > cluster.capacity(p)) {
+      fail("free + offline cores exceed partition capacity");
+      return;
+    }
+    if (running_cores != cluster.allocated(p)) {
       fail("allocated cores do not match the sum of running-job cores");
       return;
     }

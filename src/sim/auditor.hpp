@@ -6,11 +6,16 @@
 //
 //  1. Core accounting: for every partition, the cores the Cluster reports
 //     allocated equal the sum of cores of the jobs recorded as running
-//     there.
+//     there. Under fault injection, `allocated` excludes offline cores —
+//     cores on failed nodes are neither free nor allocated, and
+//     free + offline never exceeds capacity.
 //  2. Queue accounting: the loop's `total_queued` tally equals the sum of
 //     the per-partition queue sizes, with no job queued twice.
 //  3. Disjointness: no job index appears both in a waiting queue and in a
-//     running set (or in two running sets).
+//     running set (or in two running sets). Together with the running-slot
+//     handle check in the event loop (and the interruption-epoch staleness
+//     check on the completion heap) this enforces that an interrupted job
+//     leaves the running set exactly once.
 //
 // `check_profile` additionally asserts that an incrementally maintained
 // availability profile is identical to a from-scratch rebuild — the proof

@@ -11,7 +11,9 @@ Cluster::Cluster(std::uint64_t capacity)
     : Cluster(std::vector<std::uint64_t>{capacity}) {}
 
 Cluster::Cluster(std::vector<std::uint64_t> capacities)
-    : capacity_(std::move(capacities)), free_(capacity_) {
+    : capacity_(std::move(capacities)),
+      free_(capacity_),
+      offline_(capacity_.size(), 0) {
   LUMOS_REQUIRE(!capacity_.empty(), "cluster needs at least one partition");
   for (auto c : capacity_) {
     LUMOS_REQUIRE(c > 0, "cluster partitions must have positive capacity");
@@ -47,9 +49,28 @@ bool Cluster::allocate(std::uint64_t cores, std::size_t p) noexcept {
 
 void Cluster::release(std::uint64_t cores, std::size_t p) noexcept {
   if (p >= free_.size()) return;
-  assert(free_[p] + cores <= capacity_[p] && "release exceeds capacity");
+  assert(free_[p] + cores + offline_[p] <= capacity_[p] &&
+         "release exceeds capacity");
   free_[p] += cores;
-  if (free_[p] > capacity_[p]) free_[p] = capacity_[p];
+  if (free_[p] + offline_[p] > capacity_[p]) {
+    free_[p] = capacity_[p] - offline_[p];
+  }
+}
+
+void Cluster::fail(std::uint64_t cores, std::size_t p) {
+  LUMOS_REQUIRE(p < free_.size(), "fail: partition out of range");
+  LUMOS_REQUIRE(cores <= free_[p],
+                "fail: failed cores must be freed (interrupted) first");
+  free_[p] -= cores;
+  offline_[p] += cores;
+}
+
+void Cluster::recover(std::uint64_t cores, std::size_t p) {
+  LUMOS_REQUIRE(p < free_.size(), "recover: partition out of range");
+  LUMOS_REQUIRE(cores <= offline_[p],
+                "recover: more cores than are offline");
+  offline_[p] -= cores;
+  free_[p] += cores;
 }
 
 std::size_t Cluster::partition_for(std::int32_t vc) const noexcept {

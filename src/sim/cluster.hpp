@@ -39,6 +39,14 @@ class Cluster {
     return free_[p];
   }
   [[nodiscard]] std::uint64_t total_free() const noexcept;
+  /// Cores on failed nodes: neither free nor allocated.
+  [[nodiscard]] std::uint64_t offline(std::size_t p = 0) const noexcept {
+    return offline_[p];
+  }
+  /// Cores currently held by running jobs.
+  [[nodiscard]] std::uint64_t allocated(std::size_t p = 0) const noexcept {
+    return capacity_[p] - free_[p] - offline_[p];
+  }
 
   /// True when partition p currently has `cores` free.
   [[nodiscard]] bool fits(std::uint64_t cores, std::size_t p = 0) const
@@ -54,12 +62,21 @@ class Cluster {
   /// caller bug; debug builds assert).
   void release(std::uint64_t cores, std::size_t p = 0) noexcept;
 
+  /// Takes `cores` of partition p offline (node failure). The cores must
+  /// currently be free: the simulator interrupts affected running jobs
+  /// first, so the failed node's capacity is reclaimable by construction.
+  void fail(std::uint64_t cores, std::size_t p = 0);
+
+  /// Brings `cores` of partition p back online (node recovery).
+  void recover(std::uint64_t cores, std::size_t p = 0);
+
   /// Maps a job's virtual-cluster id to a partition index (clamped).
   [[nodiscard]] std::size_t partition_for(std::int32_t vc) const noexcept;
 
  private:
   std::vector<std::uint64_t> capacity_;
   std::vector<std::uint64_t> free_;
+  std::vector<std::uint64_t> offline_;  ///< degraded capacity per partition
   std::uint64_t total_capacity_ = 0;
 };
 

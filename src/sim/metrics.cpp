@@ -14,6 +14,10 @@ SimMetrics compute_metrics(const trace::Trace& trace, const SimResult& result,
   SimMetrics m;
   m.makespan = result.makespan;
   m.backfilled_jobs = result.backfilled_jobs;
+  m.goodput_core_hours = result.goodput_core_hours;
+  m.wasted_core_hours = result.wasted_core_hours;
+  m.interrupted_jobs = result.interrupted_jobs;
+  m.abandoned_jobs = result.abandoned_jobs;
   m.counters = result.counters;
 
   double wait_sum = 0.0;

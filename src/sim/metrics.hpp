@@ -19,6 +19,11 @@ struct SimMetrics {
   double total_violation = 0.0;     ///< summed delay (s)
   double makespan = 0.0;
   std::size_t backfilled_jobs = 0;
+  // Fault accounting, copied from the SimResult (all zero fault-free).
+  double goodput_core_hours = 0.0;
+  double wasted_core_hours = 0.0;
+  std::size_t interrupted_jobs = 0;
+  std::size_t abandoned_jobs = 0;
   SimCounters counters;             ///< event-loop instrumentation,
                                     ///< copied from the SimResult
 

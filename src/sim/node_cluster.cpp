@@ -20,11 +20,32 @@ std::string_view to_string(PackingPolicy p) noexcept {
 NodeCluster::NodeCluster(std::uint32_t nodes, std::uint32_t gpus_per_node,
                          PackingPolicy policy)
     : free_(nodes, gpus_per_node),
+      offline_(nodes, 0),
       gpus_per_node_(gpus_per_node),
       free_total_(static_cast<std::uint64_t>(nodes) * gpus_per_node),
       policy_(policy) {
   LUMOS_REQUIRE(nodes > 0 && gpus_per_node > 0,
                 "NodeCluster needs positive dimensions");
+}
+
+void NodeCluster::set_node_offline(std::uint32_t node) {
+  LUMOS_REQUIRE(node < free_.size(), "offline: node out of range");
+  LUMOS_REQUIRE(offline_[node] == 0, "offline: node is already offline");
+  LUMOS_REQUIRE(free_[node] == gpus_per_node_,
+                "offline: node must be idle (drain or interrupt first)");
+  offline_[node] = 1;
+  ++offline_count_;
+  free_[node] = 0;  // unplaceable until restored
+  free_total_ -= gpus_per_node_;
+}
+
+void NodeCluster::restore_node(std::uint32_t node) {
+  LUMOS_REQUIRE(node < free_.size(), "restore: node out of range");
+  LUMOS_REQUIRE(offline_[node] != 0, "restore: node is not offline");
+  offline_[node] = 0;
+  --offline_count_;
+  free_[node] = gpus_per_node_;
+  free_total_ += gpus_per_node_;
 }
 
 std::int64_t NodeCluster::pick_node(std::uint32_t gpus) const noexcept {

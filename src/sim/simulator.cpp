@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <queue>
 #include <vector>
@@ -25,7 +26,9 @@ enum class JobLocation : std::uint8_t {
   Queued,
   Running,
   Finished,
-  Dropped,  ///< oversized for its partition, removed from the queue
+  Dropped,    ///< oversized for its partition, removed from the queue
+  Retrying,   ///< interrupted; waiting out its resubmission backoff
+  Abandoned,  ///< interrupted and out of retry budget: left as Failed
 };
 
 /// Policies whose score depends on the current waiting time. Their queue
@@ -110,6 +113,39 @@ SimResult Simulator::run() {
   bool ema_init = false;
   std::size_t total_queued = 0;
 
+  // ------------------------------------------------------ fault injection --
+  // All fault state is allocated only when the config enables faults; the
+  // disabled path must stay bit-identical to the fault-free simulator.
+  const bool faults_on = config_.fault.enabled();
+  std::optional<fault::FaultProcess> faults;
+  // Per-job execution state across interruptions.
+  std::vector<double> remaining_run;   ///< runtime still owed
+  std::vector<double> run_start;       ///< start of the current attempt
+  std::vector<std::uint32_t> attempts; ///< interruptions suffered so far
+  std::vector<std::uint32_t> epoch;    ///< current interruption generation
+  // Pending resubmissions, ordered by (re-arrival time, job index).
+  struct Retry {
+    double time;
+    std::uint32_t index;
+    bool operator>(const Retry& o) const noexcept {
+      if (time != o.time) return time > o.time;
+      return index > o.index;
+    }
+  };
+  std::priority_queue<Retry, std::vector<Retry>, std::greater<Retry>> retries;
+  if (faults_on) {
+    std::vector<std::uint64_t> caps(nparts);
+    for (std::size_t p = 0; p < nparts; ++p) caps[p] = cluster.capacity(p);
+    faults.emplace(config_.fault, caps);
+    remaining_run.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      remaining_run[i] = pending[i].run;
+    }
+    run_start.assign(jobs.size(), 0.0);
+    attempts.assign(jobs.size(), 0);
+    epoch.assign(jobs.size(), 0);
+  }
+
   std::optional<SimAuditor> auditor;
   if (config_.audit) {
     auditor.emplace(counters, jobs.size(), config_.audit_fatal);
@@ -129,6 +165,13 @@ SimResult Simulator::run() {
       const double planned_end =
           r.planned_end > now + kEps ? r.planned_end : now + 60.0;
       profile.reserve(now, planned_end, r.cores);
+    }
+    // Offline (failed-node) cores are unavailable for planning until they
+    // recover; the MTTR is the scheduler's repair-time estimate, keeping
+    // reservations finite while a node is down.
+    if (faults_on && cluster.offline(part) > 0) {
+      profile.reserve(now, now + config_.fault.node_mttr_s,
+                      cluster.offline(part));
     }
     return profile;
   };
@@ -156,18 +199,26 @@ SimResult Simulator::run() {
     const bool ok = cluster.allocate(p.cores, p.partition);
     if (!ok) throw InternalError("start_job without free cores");
     auto& outcome = result.outcomes[idx];
-    outcome.start_time = now;
-    outcome.backfilled = as_backfill;
-    if (as_backfill) {
-      ++result.backfilled_jobs;
-      ++counters.backfill_successes;
+    // A restart after an interruption keeps the job's original outcome:
+    // start_time/backfilled describe the first attempt only, so the
+    // paper's wait/bsld metrics keep their fault-free meaning.
+    const bool first_start = !outcome.started();
+    if (first_start) {
+      outcome.start_time = now;
+      outcome.backfilled = as_backfill;
+      if (as_backfill) ++result.backfilled_jobs;
     }
+    if (as_backfill) ++counters.backfill_successes;
     RunningJob r;
-    r.end = now + p.run;
+    r.end = now + (faults_on ? remaining_run[idx] : p.run);
     r.planned_end = now + p.planned;
     r.cores = p.cores;
     r.partition = p.partition;
     r.index = idx;
+    if (faults_on) {
+      r.epoch = epoch[idx];
+      run_start[idx] = now;
+    }
     running.push(r);
     location[idx] = JobLocation::Running;
     run_slot[idx] = static_cast<std::uint32_t>(running_by_part[p.partition].size());
@@ -393,22 +444,128 @@ SimResult Simulator::run() {
     audit();
   };
 
-  // Main event loop.
-  while (next_arrival < pending.size() || !running.empty()) {
-    double next_time;
-    if (next_arrival < pending.size() && !running.empty()) {
-      next_time = std::min(pending[next_arrival].submit, running.top().end);
-    } else if (next_arrival < pending.size()) {
-      next_time = pending[next_arrival].submit;
-    } else {
-      next_time = running.top().end;
+  // Tears one running job down after a node failure: frees its cores,
+  // bumps its epoch (invalidating the completion-heap entry, so the job
+  // leaves the running set exactly once), rolls its progress back to the
+  // last checkpoint, and routes it through the retry policy.
+  auto interrupt = [&](std::uint32_t idx) {
+    auto& vec = running_by_part[pending[idx].partition];
+    const std::uint32_t slot = run_slot[idx];
+    if (location[idx] != JobLocation::Running || slot >= vec.size() ||
+        vec[slot].index != idx) {
+      throw InternalError("interrupt: running-slot handle out of sync");
     }
+    const RunningJob r = vec[slot];
+    vec[slot] = vec.back();
+    run_slot[vec[slot].index] = slot;
+    vec.pop_back();
+    cluster.release(r.cores, r.partition);
+    ++epoch[idx];
+
+    const PendingJob& p = pending[idx];
+    auto& outcome = result.outcomes[idx];
+    const double elapsed = std::max(0.0, now - run_start[idx]);
+    const double interval = config_.fault.checkpoint_interval_s;
+    const double preserved =
+        interval > 0.0 ? std::floor(elapsed / interval) * interval : 0.0;
+    remaining_run[idx] = std::max(0.0, remaining_run[idx] - preserved);
+    const double lost_ch =
+        (elapsed - preserved) * static_cast<double>(p.cores) / 3600.0;
+    result.wasted_core_hours += lost_ch;
+    counters.work_lost_core_hours += lost_ch;
+    ++counters.jobs_interrupted;
+    if (outcome.interruptions == 0) ++result.interrupted_jobs;
+    ++outcome.interruptions;
+    ++attempts[idx];
+
+    if (config_.fault.retry == fault::RetryPolicy::Abandon ||
+        attempts[idx] > config_.fault.max_retries) {
+      location[idx] = JobLocation::Abandoned;
+      outcome.abandoned = true;
+      ++result.abandoned_jobs;
+      ++counters.jobs_abandoned;
+      // Checkpointed progress the job banked is sunk work now too.
+      const double sunk_ch = (p.run - remaining_run[idx]) *
+                             static_cast<double>(p.cores) / 3600.0;
+      result.wasted_core_hours += sunk_ch;
+      counters.work_lost_core_hours += sunk_ch;
+      return;
+    }
+    ++counters.retries;
+    if (config_.fault.retry == fault::RetryPolicy::RequeueFront) {
+      auto& queue = queues[p.partition];
+      queue.insert(queue.begin(), idx);
+      location[idx] = JobLocation::Queued;
+      sort_dirty[p.partition] = 1;
+      ++total_queued;
+    } else {  // Resubmit with exponential backoff
+      const double backoff =
+          config_.fault.retry_backoff_s *
+          std::pow(2.0, static_cast<double>(attempts[idx] - 1));
+      retries.push(Retry{now + backoff, idx});
+      location[idx] = JobLocation::Retrying;
+    }
+  };
+
+  // One node state transition. On failure: interrupt running jobs in the
+  // partition (youngest-first, a deterministic order) until the failed
+  // cores are free, then take them offline. On recovery: return them.
+  auto handle_node_event = [&](const fault::NodeEvent& ev) {
+    const auto part = static_cast<std::size_t>(ev.partition);
+    if (ev.failure) {
+      if (cluster.free(part) < ev.cores) {
+        std::vector<std::uint32_t> victims;
+        victims.reserve(running_by_part[part].size());
+        for (const RunningJob& r : running_by_part[part]) {
+          victims.push_back(r.index);
+        }
+        std::sort(victims.begin(), victims.end(),
+                  std::greater<std::uint32_t>());
+        for (std::uint32_t idx : victims) {
+          if (cluster.free(part) >= ev.cores) break;
+          interrupt(idx);
+        }
+      }
+      // Up-node cores are free ∪ allocated, so interrupting enough jobs
+      // always reclaims the failed node's share.
+      if (cluster.free(part) < ev.cores) {
+        throw InternalError("node failure exceeds reclaimable capacity");
+      }
+      cluster.fail(ev.cores, part);
+      ++counters.node_failures;
+    } else {
+      cluster.recover(ev.cores, part);
+      ++counters.node_recoveries;
+    }
+    // Offline capacity changed; the cached planning profile is stale.
+    if (profiles[part].profile) ++counters.profile_invalidations;
+    profiles[part].profile.reset();
+    audit();
+  };
+
+  // Main event loop. With faults on, the queue can be non-empty while
+  // nothing runs (all cores offline, retries pending), so the loop also
+  // keys on retries and queued work; the fault stream itself is infinite
+  // and never keeps the loop alive.
+  while (next_arrival < pending.size() || !running.empty() ||
+         !retries.empty() || (faults_on && total_queued > 0)) {
+    double next_time = std::numeric_limits<double>::infinity();
+    if (next_arrival < pending.size()) {
+      next_time = std::min(next_time, pending[next_arrival].submit);
+    }
+    if (!running.empty()) next_time = std::min(next_time, running.top().end);
+    if (!retries.empty()) next_time = std::min(next_time, retries.top().time);
+    if (faults_on) next_time = std::min(next_time, faults->peek()->time);
     now = std::max(now, next_time);
 
     // Process all completions at or before `now`.
     while (!running.empty() && running.top().end <= now + kEps) {
       const RunningJob r = running.top();
       running.pop();
+      // An entry whose epoch is stale describes an execution attempt a
+      // node failure already tore down; the teardown in interrupt() was
+      // this job's single departure from the running set.
+      if (faults_on && epoch[r.index] != r.epoch) continue;
       cluster.release(r.cores, r.partition);
       // Swap-erase the running slot; patch the moved job's handle.
       auto& vec = running_by_part[r.partition];
@@ -426,6 +583,30 @@ SimResult Simulator::run() {
       profiles[r.partition].profile.reset();
       result.makespan = std::max(result.makespan, r.end);
       ++counters.completions;
+      if (faults_on) {
+        result.goodput_core_hours += pending[r.index].run *
+                                     static_cast<double>(r.cores) / 3600.0;
+      }
+      audit();
+    }
+    // Node failures/recoveries at or before `now` (after completions: a
+    // job ending exactly when its node dies is considered done).
+    if (faults_on) {
+      while (faults->peek()->time <= now + kEps) {
+        handle_node_event(faults->pop());
+      }
+    }
+    // Interrupted jobs whose resubmission backoff has elapsed re-enter
+    // their queue like fresh arrivals (but keep their original submit
+    // time for policy scores and metrics).
+    while (!retries.empty() && retries.top().time <= now + kEps) {
+      const Retry rt = retries.top();
+      retries.pop();
+      const PendingJob& p = pending[rt.index];
+      queues[p.partition].push_back(rt.index);
+      location[rt.index] = JobLocation::Queued;
+      sort_dirty[p.partition] = 1;
+      ++total_queued;
       audit();
     }
     // Enqueue all arrivals at or before `now`.
@@ -463,6 +644,16 @@ SimResult simulate(const trace::Trace& trace, const SimConfig& config) {
   registry.counter("sim.profile_cache_hits").add(c.profile_cache_hits);
   registry.counter("sim.profile_rebuilds").add(c.profile_rebuilds);
   registry.counter("sim.profile_invalidations").add(c.profile_invalidations);
+  if (config.fault.enabled()) {
+    // Published only for fault-injected runs so fault-free snapshots stay
+    // identical to the pre-fault observability surface.
+    registry.counter("sim.node_failures").add(c.node_failures);
+    registry.counter("sim.node_recoveries").add(c.node_recoveries);
+    registry.counter("sim.jobs_interrupted").add(c.jobs_interrupted);
+    registry.counter("sim.retries").add(c.retries);
+    registry.counter("sim.jobs_abandoned").add(c.jobs_abandoned);
+    registry.gauge("sim.work_lost_core_hours").set(c.work_lost_core_hours);
+  }
   return result;
 }
 

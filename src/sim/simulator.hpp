@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "sim/backfill.hpp"
 #include "sim/cluster.hpp"
 #include "sim/policy.hpp"
@@ -45,6 +46,10 @@ struct SimConfig {
   /// When auditing, throw InternalError on the first violated invariant
   /// (otherwise violations are only counted in `counters.audit_failures`).
   bool audit_fatal = true;
+  /// Node failure/recovery injection (see src/fault/fault.hpp). The
+  /// default is disabled, and a disabled config leaves every result field
+  /// and counter bit-identical to the fault-free simulator.
+  fault::FaultConfig fault;
 };
 
 /// Event-loop instrumentation, surfaced through SimResult. All counters
@@ -63,6 +68,13 @@ struct SimCounters {
   std::uint64_t backfill_successes = 0;///< candidates started out of order
   std::uint64_t audits = 0;            ///< auditor checks performed
   std::uint64_t audit_failures = 0;    ///< violated invariants observed
+  // Fault injection (all zero when SimConfig::fault is disabled).
+  std::uint64_t node_failures = 0;     ///< node-down events processed
+  std::uint64_t node_recoveries = 0;   ///< node-up events processed
+  std::uint64_t jobs_interrupted = 0;  ///< interruptions (job may repeat)
+  std::uint64_t retries = 0;           ///< resubmissions + requeues
+  std::uint64_t jobs_abandoned = 0;    ///< jobs that exhausted retries
+  double work_lost_core_hours = 0.0;   ///< progress discarded by faults
 };
 
 /// A job currently executing — event-loop state, exposed so the
@@ -73,6 +85,9 @@ struct RunningJob {
   std::uint64_t cores = 0;
   std::size_t partition = 0;
   std::uint32_t index = 0;
+  /// Interruption generation at start; a heap entry whose epoch is stale
+  /// belongs to an execution attempt a node failure already tore down.
+  std::uint32_t epoch = 0;
   bool operator>(const RunningJob& o) const noexcept { return end > o.end; }
 };
 
@@ -81,6 +96,8 @@ struct JobOutcome {
   double start_time = -1.0;          ///< -1 = never started (oversized)
   double first_reservation = -1.0;   ///< -1 = never needed a reservation
   bool backfilled = false;           ///< started ahead of the queue head
+  std::uint32_t interruptions = 0;   ///< node-failure interruptions
+  bool abandoned = false;            ///< gave up after exhausting retries
   [[nodiscard]] bool started() const noexcept { return start_time >= 0.0; }
   /// Positive when a relaxed backfill pushed this job past its promise.
   [[nodiscard]] double reservation_delay() const noexcept {
@@ -103,6 +120,13 @@ struct SimResult {
   std::size_t skipped_oversized = 0;    ///< jobs larger than any partition
   double makespan = 0.0;                ///< last completion time
   bool used_oracle_runtimes = false;    ///< trace lacked walltime requests
+  // Fault accounting (zero in the fault-free world). Goodput is the
+  // core-hours of completed useful work; waste is progress a failure
+  // rolled back (plus everything an abandoned job had consumed).
+  double goodput_core_hours = 0.0;
+  double wasted_core_hours = 0.0;
+  std::size_t interrupted_jobs = 0;     ///< distinct jobs interrupted
+  std::size_t abandoned_jobs = 0;
   SimCounters counters;                 ///< event-loop instrumentation
 };
 

@@ -57,4 +57,18 @@ StatusDraw FailureModel::draw(double intended_run_s, std::uint32_t cores,
   return out;
 }
 
+fault::FaultConfig fault_config_for(const SystemCalibration& cal) noexcept {
+  fault::FaultConfig config;
+  // fail_base = 0.08 is the corpus baseline failure share; anchor it to a
+  // 30-day node MTBF and scale inversely with the system's failure rate.
+  constexpr double kBaselineFailShare = 0.08;
+  constexpr double kBaselineMtbfS = 30.0 * 86400.0;
+  const double share = std::max(cal.fail_base, 0.01);
+  config.node_mtbf_s = kBaselineMtbfS * (kBaselineFailShare / share);
+  // Late-striking failures (high truncation ceiling) indicate heavier
+  // repair/restage work: 0.5–5.5 h across the calibrated range.
+  config.node_mttr_s = 3600.0 * (0.5 + 5.0 * cal.fail_trunc_hi);
+  return config;
+}
+
 }  // namespace lumos::synth

@@ -12,6 +12,7 @@
 //    runtime-by-status distributions of Fig 11.
 #pragma once
 
+#include "fault/fault.hpp"
 #include "synth/calibration.hpp"
 #include "synth/user_model.hpp"
 #include "trace/job.hpp"
@@ -44,5 +45,15 @@ class FailureModel {
  private:
   const SystemCalibration& cal_;
 };
+
+/// Maps a system's status-model calibration onto simulator fault-injection
+/// parameters (fault::FaultConfig). The anchor: a system at the corpus
+/// baseline failure share (fail_base = 0.08) gets a 30-day per-node MTBF;
+/// systems where jobs fail more often get proportionally flakier nodes,
+/// and repair time scales with how late failures strike (fail_trunc_hi).
+/// Deterministic — retry policy, seed, and checkpointing are left at
+/// FaultConfig defaults for the caller to override.
+[[nodiscard]] fault::FaultConfig fault_config_for(
+    const SystemCalibration& cal) noexcept;
 
 }  // namespace lumos::synth

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "fault/failpoint.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -13,7 +14,8 @@ namespace lumos::trace {
 
 namespace {
 
-JobStatus parse_status_text(std::string_view s) {
+JobStatus parse_status_text(std::string_view s, const ParseOptions& opts,
+                            std::size_t line) {
   const std::string t = util::to_lower(util::trim(s));
   if (t == "pass" || t == "passed" || t == "completed" || t == "success") {
     return JobStatus::Passed;
@@ -22,71 +24,97 @@ JobStatus parse_status_text(std::string_view s) {
   if (t == "killed" || t == "cancelled" || t == "canceled" || t == "kill") {
     return JobStatus::Killed;
   }
-  throw ParseError("unknown job status string: " + std::string(s));
+  throw ParseError("CSV " + parse_context(opts, line) +
+                   ": unknown job status string: " + std::string(s));
 }
 
 double require_double(const util::CsvRow& row, std::size_t col,
-                      std::size_t line, const char* what) {
+                      const ParseOptions& opts, std::size_t line,
+                      const char* what) {
   if (col >= row.size()) {
-    throw ParseError(util::format("CSV line %zu: missing column %s", line,
-                                  what));
+    throw ParseError(util::format("CSV %s: missing column %s",
+                                  parse_context(opts, line).c_str(), what));
   }
   const auto v = util::parse_double(row[col]);
   if (!v) {
-    throw ParseError(util::format("CSV line %zu: column %s is not numeric",
-                                  line, what));
+    throw ParseError(util::format("CSV %s: column %s is not numeric",
+                                  parse_context(opts, line).c_str(), what));
   }
   return *v;
 }
 
 std::size_t require_column(const util::CsvReader& reader,
-                           std::string_view name) {
+                           std::string_view name, const ParseOptions& opts) {
   const auto col = reader.column(name);
   if (!col) {
-    throw ParseError("CSV is missing required column: " + std::string(name));
+    std::string msg = "CSV";
+    if (!opts.origin.empty()) msg += " " + opts.origin;
+    throw ParseError(msg + " is missing required column: " +
+                     std::string(name));
   }
   return *col;
 }
 
+/// Shared bad-row bookkeeping: returns normally when the budget absorbs
+/// one more malformed row (recording it), rethrows the current ParseError
+/// otherwise. Must be called from a catch handler.
+void consume_bad_row(std::size_t& bad_rows, const ParseOptions& opts,
+                     ParseAudit* audit, std::size_t line) {
+  if (bad_rows >= opts.bad_row_budget) throw;  // NOLINT: rethrow
+  ++bad_rows;
+  if (audit != nullptr) audit->skipped_lines.push_back(line);
+}
+
 }  // namespace
 
-Trace read_lumos_csv(std::istream& in, SystemSpec spec) {
+Trace read_lumos_csv(std::istream& in, SystemSpec spec,
+                     const ParseOptions& opts, ParseAudit* audit) {
   util::CsvReader reader(in);
-  const std::size_t c_id = require_column(reader, "id");
-  const std::size_t c_user = require_column(reader, "user");
-  const std::size_t c_submit = require_column(reader, "submit");
-  const std::size_t c_wait = require_column(reader, "wait");
-  const std::size_t c_run = require_column(reader, "run");
-  const std::size_t c_req = require_column(reader, "requested_time");
-  const std::size_t c_nodes = require_column(reader, "nodes");
-  const std::size_t c_cores = require_column(reader, "cores");
-  const std::size_t c_kind = require_column(reader, "kind");
-  const std::size_t c_status = require_column(reader, "status");
-  const std::size_t c_vc = require_column(reader, "vc");
+  const std::size_t c_id = require_column(reader, "id", opts);
+  const std::size_t c_user = require_column(reader, "user", opts);
+  const std::size_t c_submit = require_column(reader, "submit", opts);
+  const std::size_t c_wait = require_column(reader, "wait", opts);
+  const std::size_t c_run = require_column(reader, "run", opts);
+  const std::size_t c_req = require_column(reader, "requested_time", opts);
+  const std::size_t c_nodes = require_column(reader, "nodes", opts);
+  const std::size_t c_cores = require_column(reader, "cores", opts);
+  const std::size_t c_kind = require_column(reader, "kind", opts);
+  const std::size_t c_status = require_column(reader, "status", opts);
+  const std::size_t c_vc = require_column(reader, "vc", opts);
 
   Trace trace(std::move(spec));
   util::CsvRow row;
+  std::size_t bad_rows = 0;
   while (reader.next(row)) {
     if (row.size() == 1 && util::trim(row[0]).empty()) continue;
     const std::size_t line = reader.line();
-    Job j;
-    j.id = static_cast<std::uint64_t>(require_double(row, c_id, line, "id"));
-    j.user =
-        static_cast<std::uint32_t>(require_double(row, c_user, line, "user"));
-    j.submit_time = require_double(row, c_submit, line, "submit");
-    j.wait_time = require_double(row, c_wait, line, "wait");
-    j.run_time = require_double(row, c_run, line, "run");
-    j.requested_time = require_double(row, c_req, line, "requested_time");
-    j.nodes = static_cast<std::uint32_t>(
-        require_double(row, c_nodes, line, "nodes"));
-    j.cores = static_cast<std::uint32_t>(
-        require_double(row, c_cores, line, "cores"));
-    j.kind = util::to_lower(row[c_kind]) == "gpu" ? ResourceKind::Gpu
-                                                  : ResourceKind::Cpu;
-    j.status = parse_status_text(row[c_status]);
-    j.virtual_cluster =
-        static_cast<std::int32_t>(require_double(row, c_vc, line, "vc"));
-    trace.add(j);
+    // Only ParseError is budgeted: an InjectedFault armed on this site is
+    // a library fault, not a malformed row, and must propagate.
+    LUMOS_FAILPOINT("trace.csv.row");
+    try {
+      Job j;
+      j.id = static_cast<std::uint64_t>(
+          require_double(row, c_id, opts, line, "id"));
+      j.user = static_cast<std::uint32_t>(
+          require_double(row, c_user, opts, line, "user"));
+      j.submit_time = require_double(row, c_submit, opts, line, "submit");
+      j.wait_time = require_double(row, c_wait, opts, line, "wait");
+      j.run_time = require_double(row, c_run, opts, line, "run");
+      j.requested_time =
+          require_double(row, c_req, opts, line, "requested_time");
+      j.nodes = static_cast<std::uint32_t>(
+          require_double(row, c_nodes, opts, line, "nodes"));
+      j.cores = static_cast<std::uint32_t>(
+          require_double(row, c_cores, opts, line, "cores"));
+      j.kind = util::to_lower(row[c_kind]) == "gpu" ? ResourceKind::Gpu
+                                                    : ResourceKind::Cpu;
+      j.status = parse_status_text(row[c_status], opts, line);
+      j.virtual_cluster = static_cast<std::int32_t>(
+          require_double(row, c_vc, opts, line, "vc"));
+      trace.add(j);
+    } catch (const ParseError&) {
+      consume_bad_row(bad_rows, opts, audit, line);
+    }
   }
   trace.sort_by_submit();
   return trace;
@@ -109,10 +137,14 @@ void write_lumos_csv(std::ostream& out, const Trace& trace) {
   }
 }
 
-Trace read_lumos_csv_file(const std::string& path, SystemSpec spec) {
+Trace read_lumos_csv_file(const std::string& path, SystemSpec spec,
+                          const ParseOptions& opts, ParseAudit* audit) {
+  LUMOS_FAILPOINT("trace.csv.open");
   std::ifstream in(path);
   if (!in) throw ParseError("cannot open CSV file: " + path);
-  return read_lumos_csv(in, std::move(spec));
+  ParseOptions file_opts = opts;
+  if (file_opts.origin.empty()) file_opts.origin = path;
+  return read_lumos_csv(in, std::move(spec), file_opts, audit);
 }
 
 void write_lumos_csv_file(const std::string& path, const Trace& trace) {
@@ -121,94 +153,114 @@ void write_lumos_csv_file(const std::string& path, const Trace& trace) {
   write_lumos_csv(out, trace);
 }
 
-Trace read_dl_csv(std::istream& in, SystemSpec spec) {
+Trace read_dl_csv(std::istream& in, SystemSpec spec,
+                  const ParseOptions& opts, ParseAudit* audit) {
   util::CsvReader reader(in);
-  const std::size_t c_id = require_column(reader, "job_id");
-  const std::size_t c_user = require_column(reader, "user");
-  const std::size_t c_submit = require_column(reader, "submit_time");
-  const std::size_t c_queue = require_column(reader, "queue_delay");
-  const std::size_t c_run = require_column(reader, "run_time");
-  const std::size_t c_gpus = require_column(reader, "gpus");
-  const std::size_t c_status = require_column(reader, "status");
+  const std::size_t c_id = require_column(reader, "job_id", opts);
+  const std::size_t c_user = require_column(reader, "user", opts);
+  const std::size_t c_submit = require_column(reader, "submit_time", opts);
+  const std::size_t c_queue = require_column(reader, "queue_delay", opts);
+  const std::size_t c_run = require_column(reader, "run_time", opts);
+  const std::size_t c_gpus = require_column(reader, "gpus", opts);
+  const std::size_t c_status = require_column(reader, "status", opts);
   const auto c_vc = reader.column("vc");
 
   Trace trace(std::move(spec));
   util::CsvRow row;
+  std::size_t bad_rows = 0;
   while (reader.next(row)) {
     if (row.size() == 1 && util::trim(row[0]).empty()) continue;
     const std::size_t line = reader.line();
-    Job j;
-    j.id = static_cast<std::uint64_t>(
-        require_double(row, c_id, line, "job_id"));
-    j.user =
-        static_cast<std::uint32_t>(require_double(row, c_user, line, "user"));
-    j.submit_time = require_double(row, c_submit, line, "submit_time");
-    j.wait_time =
-        std::max(0.0, require_double(row, c_queue, line, "queue_delay"));
-    j.run_time = require_double(row, c_run, line, "run_time");
-    j.cores =
-        static_cast<std::uint32_t>(require_double(row, c_gpus, line, "gpus"));
-    if (j.cores == 0) j.cores = 1;
-    j.nodes = (j.cores + 7) / 8;  // typical 8-GPU DL nodes
-    j.kind = ResourceKind::Gpu;
-    j.status = parse_status_text(row[c_status]);
-    if (c_vc && *c_vc < row.size()) {
-      const auto vc = util::parse_int(row[*c_vc]);
-      j.virtual_cluster = vc ? static_cast<std::int32_t>(*vc)
-                             : kNoVirtualCluster;
+    LUMOS_FAILPOINT("trace.csv.row");
+    try {
+      Job j;
+      j.id = static_cast<std::uint64_t>(
+          require_double(row, c_id, opts, line, "job_id"));
+      j.user = static_cast<std::uint32_t>(
+          require_double(row, c_user, opts, line, "user"));
+      j.submit_time = require_double(row, c_submit, opts, line, "submit_time");
+      j.wait_time =
+          std::max(0.0, require_double(row, c_queue, opts, line,
+                                       "queue_delay"));
+      j.run_time = require_double(row, c_run, opts, line, "run_time");
+      j.cores = static_cast<std::uint32_t>(
+          require_double(row, c_gpus, opts, line, "gpus"));
+      if (j.cores == 0) j.cores = 1;
+      j.nodes = (j.cores + 7) / 8;  // typical 8-GPU DL nodes
+      j.kind = ResourceKind::Gpu;
+      j.status = parse_status_text(row[c_status], opts, line);
+      if (c_vc && *c_vc < row.size()) {
+        const auto vc = util::parse_int(row[*c_vc]);
+        j.virtual_cluster = vc ? static_cast<std::int32_t>(*vc)
+                               : kNoVirtualCluster;
+      }
+      trace.add(j);
+    } catch (const ParseError&) {
+      consume_bad_row(bad_rows, opts, audit, line);
     }
-    trace.add(j);
   }
   trace.sort_by_submit();
   return trace;
 }
 
-Trace read_alcf_csv(std::istream& in, SystemSpec spec) {
+Trace read_alcf_csv(std::istream& in, SystemSpec spec,
+                    const ParseOptions& opts, ParseAudit* audit) {
   util::CsvReader reader(in);
-  const std::size_t c_id = require_column(reader, "JOB_ID");
-  const std::size_t c_user = require_column(reader, "USER");
-  const std::size_t c_queued = require_column(reader, "QUEUED_TIMESTAMP");
-  const std::size_t c_start = require_column(reader, "START_TIMESTAMP");
-  const std::size_t c_end = require_column(reader, "END_TIMESTAMP");
-  const std::size_t c_nodes = require_column(reader, "NODES_USED");
-  const std::size_t c_cores = require_column(reader, "CORES_USED");
-  const std::size_t c_wall = require_column(reader, "WALLTIME_SECONDS");
-  const std::size_t c_exit = require_column(reader, "EXIT_STATUS");
+  const std::size_t c_id = require_column(reader, "JOB_ID", opts);
+  const std::size_t c_user = require_column(reader, "USER", opts);
+  const std::size_t c_queued =
+      require_column(reader, "QUEUED_TIMESTAMP", opts);
+  const std::size_t c_start = require_column(reader, "START_TIMESTAMP", opts);
+  const std::size_t c_end = require_column(reader, "END_TIMESTAMP", opts);
+  const std::size_t c_nodes = require_column(reader, "NODES_USED", opts);
+  const std::size_t c_cores = require_column(reader, "CORES_USED", opts);
+  const std::size_t c_wall =
+      require_column(reader, "WALLTIME_SECONDS", opts);
+  const std::size_t c_exit = require_column(reader, "EXIT_STATUS", opts);
 
   Trace trace(std::move(spec));
   const double epoch = static_cast<double>(trace.spec().epoch_unix);
   util::CsvRow row;
+  std::size_t bad_rows = 0;
   while (reader.next(row)) {
     if (row.size() == 1 && util::trim(row[0]).empty()) continue;
     const std::size_t line = reader.line();
-    Job j;
-    j.id = static_cast<std::uint64_t>(
-        require_double(row, c_id, line, "JOB_ID"));
-    j.user =
-        static_cast<std::uint32_t>(require_double(row, c_user, line, "USER"));
-    const double queued = require_double(row, c_queued, line, "QUEUED");
-    const double start = require_double(row, c_start, line, "START");
-    const double end = require_double(row, c_end, line, "END");
-    if (end < start || start < queued) {
-      throw ParseError(
-          util::format("CSV line %zu: non-monotonic timestamps", line));
+    LUMOS_FAILPOINT("trace.csv.row");
+    try {
+      Job j;
+      j.id = static_cast<std::uint64_t>(
+          require_double(row, c_id, opts, line, "JOB_ID"));
+      j.user = static_cast<std::uint32_t>(
+          require_double(row, c_user, opts, line, "USER"));
+      const double queued = require_double(row, c_queued, opts, line,
+                                           "QUEUED");
+      const double start = require_double(row, c_start, opts, line, "START");
+      const double end = require_double(row, c_end, opts, line, "END");
+      if (end < start || start < queued) {
+        throw ParseError(
+            util::format("CSV %s: non-monotonic timestamps",
+                         parse_context(opts, line).c_str()));
+      }
+      j.submit_time = queued - epoch;
+      j.wait_time = start - queued;
+      j.run_time = end - start;
+      j.nodes = static_cast<std::uint32_t>(
+          require_double(row, c_nodes, opts, line, "NODES_USED"));
+      j.cores = static_cast<std::uint32_t>(
+          require_double(row, c_cores, opts, line, "CORES_USED"));
+      j.requested_time =
+          require_double(row, c_wall, opts, line, "WALLTIME_SECONDS");
+      if (j.requested_time <= 0.0) j.requested_time = kNoValue;
+      const auto exit_status = static_cast<long long>(
+          require_double(row, c_exit, opts, line, "EXIT"));
+      j.status = exit_status == 0 ? JobStatus::Passed
+                 : exit_status < 0 ? JobStatus::Killed
+                                   : JobStatus::Failed;
+      j.kind = ResourceKind::Cpu;
+      trace.add(j);
+    } catch (const ParseError&) {
+      consume_bad_row(bad_rows, opts, audit, line);
     }
-    j.submit_time = queued - epoch;
-    j.wait_time = start - queued;
-    j.run_time = end - start;
-    j.nodes = static_cast<std::uint32_t>(
-        require_double(row, c_nodes, line, "NODES_USED"));
-    j.cores = static_cast<std::uint32_t>(
-        require_double(row, c_cores, line, "CORES_USED"));
-    j.requested_time = require_double(row, c_wall, line, "WALLTIME_SECONDS");
-    if (j.requested_time <= 0.0) j.requested_time = kNoValue;
-    const auto exit_status =
-        static_cast<long long>(require_double(row, c_exit, line, "EXIT"));
-    j.status = exit_status == 0 ? JobStatus::Passed
-               : exit_status < 0 ? JobStatus::Killed
-                                 : JobStatus::Failed;
-    j.kind = ResourceKind::Cpu;
-    trace.add(j);
   }
   trace.sort_by_submit();
   return trace;

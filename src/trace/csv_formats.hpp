@@ -9,29 +9,40 @@
 #include <iosfwd>
 #include <string>
 
+#include "trace/parse.hpp"
 #include "trace/trace.hpp"
 
 namespace lumos::trace {
 
 /// Canonical columns:
 /// id,user,submit,wait,run,requested_time,nodes,cores,kind,status,vc
-[[nodiscard]] Trace read_lumos_csv(std::istream& in, SystemSpec spec);
+/// All readers honor `opts.bad_row_budget` (0 = strict) and record skipped
+/// line numbers in `audit`; missing-header errors are never budgeted.
+[[nodiscard]] Trace read_lumos_csv(std::istream& in, SystemSpec spec,
+                                   const ParseOptions& opts = {},
+                                   ParseAudit* audit = nullptr);
 void write_lumos_csv(std::ostream& out, const Trace& trace);
 [[nodiscard]] Trace read_lumos_csv_file(const std::string& path,
-                                        SystemSpec spec);
+                                        SystemSpec spec,
+                                        const ParseOptions& opts = {},
+                                        ParseAudit* audit = nullptr);
 void write_lumos_csv_file(const std::string& path, const Trace& trace);
 
 /// Philly/Helios-style columns (header required; extra columns ignored):
 /// job_id,user,vc,submit_time,queue_delay,run_time,gpus,status
 /// status strings: Pass/Passed/Completed -> Passed; Failed -> Failed;
 /// Killed/Cancelled -> Killed (case-insensitive).
-[[nodiscard]] Trace read_dl_csv(std::istream& in, SystemSpec spec);
+[[nodiscard]] Trace read_dl_csv(std::istream& in, SystemSpec spec,
+                                const ParseOptions& opts = {},
+                                ParseAudit* audit = nullptr);
 
 /// ALCF-style columns (header required; extra columns ignored):
 /// JOB_ID,USER,QUEUED_TIMESTAMP,START_TIMESTAMP,END_TIMESTAMP,
 /// NODES_USED,CORES_USED,WALLTIME_SECONDS,EXIT_STATUS
 /// Timestamps are Unix seconds; EXIT_STATUS 0 -> Passed, negative ->
 /// Killed, positive -> Failed.
-[[nodiscard]] Trace read_alcf_csv(std::istream& in, SystemSpec spec);
+[[nodiscard]] Trace read_alcf_csv(std::istream& in, SystemSpec spec,
+                                  const ParseOptions& opts = {},
+                                  ParseAudit* audit = nullptr);
 
 }  // namespace lumos::trace

@@ -1,0 +1,49 @@
+// Shared knobs for the trace parsers (SWF and the CSV dialects).
+//
+// Real archive dumps carry the occasional mangled row; forcing callers to
+// choose between "throw on the first bad byte" and "pre-clean the file by
+// hand" loses data silently or loudly. ParseOptions adds a lenient mode
+// with an explicit per-file bad-row budget (default 0 = strict, the
+// historical behavior), and ParseAudit records exactly which lines were
+// skipped so nothing is dropped without a trace. ParseError messages carry
+// `file:line` context whenever the caller names the origin.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lumos::trace {
+
+struct ParseOptions {
+  /// Malformed rows tolerated per file before the parser throws the
+  /// offending ParseError after all. 0 = strict: first bad row throws.
+  std::size_t bad_row_budget = 0;
+  /// Origin name (usually the file path) for error context; when empty,
+  /// messages fall back to bare line numbers. The *_file readers fill
+  /// this in with their path automatically.
+  std::string origin;
+};
+
+/// Filled in (when the caller passes one) with everything a lenient parse
+/// skipped — the non-silent half of the bad-row budget.
+struct ParseAudit {
+  /// 1-based line numbers of malformed rows skipped under the budget.
+  std::vector<std::size_t> skipped_lines;
+  /// SWF rows dropped for a negative ("unknown") runtime — always dropped,
+  /// budget or not, but surfaced here instead of only in the log.
+  std::size_t dropped_unknown_runtime = 0;
+  [[nodiscard]] bool clean() const noexcept {
+    return skipped_lines.empty() && dropped_unknown_runtime == 0;
+  }
+};
+
+/// "origin:line" when an origin is known, "line N" otherwise — the context
+/// prefix every parser error message carries.
+[[nodiscard]] inline std::string parse_context(const ParseOptions& opts,
+                                               std::size_t line) {
+  if (opts.origin.empty()) return "line " + std::to_string(line);
+  return opts.origin + ":" + std::to_string(line);
+}
+
+}  // namespace lumos::trace

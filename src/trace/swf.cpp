@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "fault/failpoint.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
@@ -31,63 +32,81 @@ long long status_to_swf(JobStatus s) noexcept {
 
 }  // namespace
 
-Trace read_swf(std::istream& in, SystemSpec spec) {
+Trace read_swf(std::istream& in, SystemSpec spec, const ParseOptions& opts,
+               ParseAudit* audit) {
   Trace trace(std::move(spec));
   std::string line;
   std::size_t lineno = 0;
   std::size_t dropped = 0;
+  std::size_t bad_rows = 0;
   while (std::getline(in, line)) {
     ++lineno;
     const auto trimmed = util::trim(line);
     if (trimmed.empty() || trimmed.front() == ';') continue;
-    const auto fields = util::split_whitespace(trimmed);
-    if (fields.size() < 18) {
-      throw ParseError(util::format("SWF line %zu: expected 18 fields, got %zu",
-                                    lineno, fields.size()));
-    }
-    auto need_num = [&](std::size_t i) -> double {
-      const auto v = util::parse_double(fields[i]);
-      if (!v) {
-        throw ParseError(util::format(
-            "SWF line %zu field %zu: not a number", lineno, i + 1));
+    // Only ParseError is budgeted below: an InjectedFault armed on this
+    // site is a library fault, not a malformed row, and must propagate.
+    LUMOS_FAILPOINT("trace.swf.row");
+    try {
+      const auto fields = util::split_whitespace(trimmed);
+      if (fields.size() < 18) {
+        throw ParseError(
+            util::format("SWF %s: expected 18 fields, got %zu",
+                         parse_context(opts, lineno).c_str(), fields.size()));
       }
-      return *v;
-    };
-    Job j;
-    j.id = static_cast<std::uint64_t>(need_num(0));
-    j.submit_time = need_num(1);
-    const double wait = need_num(2);
-    j.wait_time = wait < 0.0 ? 0.0 : wait;
-    j.run_time = need_num(3);
-    if (j.run_time < 0.0) {
-      ++dropped;
-      continue;  // SWF "unknown runtime"
+      auto need_num = [&](std::size_t i) -> double {
+        const auto v = util::parse_double(fields[i]);
+        if (!v) {
+          throw ParseError(util::format(
+              "SWF %s field %zu: not a number",
+              parse_context(opts, lineno).c_str(), i + 1));
+        }
+        return *v;
+      };
+      Job j;
+      j.id = static_cast<std::uint64_t>(need_num(0));
+      j.submit_time = need_num(1);
+      const double wait = need_num(2);
+      j.wait_time = wait < 0.0 ? 0.0 : wait;
+      j.run_time = need_num(3);
+      if (j.run_time < 0.0) {
+        ++dropped;
+        continue;  // SWF "unknown runtime"
+      }
+      const double alloc = need_num(4);
+      const double req_procs = need_num(7);
+      const double procs = alloc > 0.0 ? alloc : req_procs;
+      j.cores = procs > 0.0 ? static_cast<std::uint32_t>(procs) : 1;
+      j.nodes = j.cores;  // SWF has no node notion; proc-granular
+      j.requested_time = need_num(8);
+      if (j.requested_time <= 0.0) j.requested_time = kNoValue;
+      j.status = status_from_swf(static_cast<long long>(need_num(10)));
+      const double user = need_num(11);
+      j.user = user >= 0.0 ? static_cast<std::uint32_t>(user) : 0;
+      j.kind = trace.spec().primary_kind;
+      trace.add(j);
+    } catch (const ParseError&) {
+      if (bad_rows >= opts.bad_row_budget) throw;
+      ++bad_rows;
+      if (audit != nullptr) audit->skipped_lines.push_back(lineno);
     }
-    const double alloc = need_num(4);
-    const double req_procs = need_num(7);
-    const double procs = alloc > 0.0 ? alloc : req_procs;
-    j.cores = procs > 0.0 ? static_cast<std::uint32_t>(procs) : 1;
-    j.nodes = j.cores;  // SWF has no node notion; proc-granular
-    j.requested_time = need_num(8);
-    if (j.requested_time <= 0.0) j.requested_time = kNoValue;
-    j.status = status_from_swf(static_cast<long long>(need_num(10)));
-    const double user = need_num(11);
-    j.user = user >= 0.0 ? static_cast<std::uint32_t>(user) : 0;
-    j.kind = trace.spec().primary_kind;
-    trace.add(j);
   }
   if (dropped > 0) {
     LUMOS_INFO << "read_swf: dropped " << dropped
                << " jobs with unknown runtime";
   }
+  if (audit != nullptr) audit->dropped_unknown_runtime += dropped;
   trace.sort_by_submit();
   return trace;
 }
 
-Trace read_swf_file(const std::string& path, SystemSpec spec) {
+Trace read_swf_file(const std::string& path, SystemSpec spec,
+                    const ParseOptions& opts, ParseAudit* audit) {
+  LUMOS_FAILPOINT("trace.swf.open");
   std::ifstream in(path);
   if (!in) throw ParseError("cannot open SWF file: " + path);
-  return read_swf(in, std::move(spec));
+  ParseOptions file_opts = opts;
+  if (file_opts.origin.empty()) file_opts.origin = path;
+  return read_swf(in, std::move(spec), file_opts, audit);
 }
 
 void write_swf(std::ostream& out, const Trace& trace) {

@@ -9,6 +9,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "trace/parse.hpp"
 #include "trace/trace.hpp"
 
 namespace lumos::trace {
@@ -16,11 +17,17 @@ namespace lumos::trace {
 /// Parses SWF from a stream. Jobs with negative run time (SWF's "unknown")
 /// are dropped; negative wait times are clamped to zero. SWF status codes
 /// map: 1 -> Passed, 0/3/4 -> Failed, 5 -> Killed (cancelled).
-/// Throws ParseError on malformed records.
-[[nodiscard]] Trace read_swf(std::istream& in, SystemSpec spec);
+/// Throws ParseError on malformed records, unless `opts.bad_row_budget`
+/// admits skipping them (skipped line numbers land in `audit`).
+[[nodiscard]] Trace read_swf(std::istream& in, SystemSpec spec,
+                             const ParseOptions& opts = {},
+                             ParseAudit* audit = nullptr);
 
-/// Convenience: read from a file path.
-[[nodiscard]] Trace read_swf_file(const std::string& path, SystemSpec spec);
+/// Convenience: read from a file path (the path becomes the error-context
+/// origin unless `opts` already names one).
+[[nodiscard]] Trace read_swf_file(const std::string& path, SystemSpec spec,
+                                  const ParseOptions& opts = {},
+                                  ParseAudit* audit = nullptr);
 
 /// Writes a trace as SWF (with a minimal comment header carrying the
 /// system name and capacity). Round-trips with read_swf.

@@ -7,9 +7,9 @@
 namespace lumos::trace {
 
 std::string ValidationReport::to_string() const {
-  if (issues.empty()) return "trace OK: no issues\n";
+  if (issues_.empty()) return "trace OK: no issues\n";
   std::ostringstream os;
-  for (const auto& i : issues) {
+  for (const auto& i : issues_) {
     os << (i.severity == IssueSeverity::Fatal ? "[FATAL] " : "[warn]  ")
        << i.check << ": " << i.message;
     if (i.job_count > 0) os << " (" << i.job_count << " jobs)";
@@ -41,7 +41,7 @@ ValidationReport validate(const Trace& trace) {
   }
 
   if (over_capacity > 0) {
-    report.issues.push_back(
+    report.add(
         {IssueSeverity::Fatal, "capacity",
          util::format("jobs larger than the %s capacity of %u were scheduled "
                       "(Supercloud-style inconsistency)",
@@ -49,24 +49,88 @@ ValidationReport validate(const Trace& trace) {
          over_capacity});
   }
   if (negative_geometry > 0) {
-    report.issues.push_back({IssueSeverity::Fatal, "negative-geometry",
-                             "negative submit/wait/run times",
-                             negative_geometry});
+    report.add({IssueSeverity::Fatal, "negative-geometry",
+                "negative submit/wait/run times", negative_geometry});
   }
   if (zero_cores > 0) {
-    report.issues.push_back({IssueSeverity::Warning, "zero-cores",
-                             "jobs with zero allocated cores", zero_cores});
+    report.add({IssueSeverity::Warning, "zero-cores",
+                "jobs with zero allocated cores", zero_cores});
   }
   if (!trace.is_sorted_by_submit()) {
-    report.issues.push_back({IssueSeverity::Warning, "unsorted",
-                             "jobs are not sorted by submit time", 0});
+    report.add({IssueSeverity::Warning, "unsorted",
+                "jobs are not sorted by submit time", 0});
   }
   if (walltime_underrun > 0) {
-    report.issues.push_back(
-        {IssueSeverity::Warning, "walltime-underrun",
-         "jobs ran >5% past their requested walltime", walltime_underrun});
+    report.add({IssueSeverity::Warning, "walltime-underrun",
+                "jobs ran >5% past their requested walltime",
+                walltime_underrun});
   }
   return report;
+}
+
+std::string SanitizeReport::to_string() const {
+  if (dropped() == 0 && !resorted) return "trace OK: nothing to repair\n";
+  std::ostringstream os;
+  os << "sanitized trace: dropped " << dropped() << " jobs";
+  if (dropped_capacity > 0) os << ", " << dropped_capacity << " over-capacity";
+  if (dropped_negative_geometry > 0) {
+    os << ", " << dropped_negative_geometry << " negative-geometry";
+  }
+  if (dropped_zero_cores > 0) os << ", " << dropped_zero_cores << " zero-core";
+  if (resorted) os << "; re-sorted by submit time";
+  os << '\n';
+  return os.str();
+}
+
+SanitizeReport sanitize(Trace& trace, const ValidationReport& report) {
+  SanitizeReport out;
+  bool capacity_flagged = false;
+  bool geometry_flagged = false;
+  bool zero_cores_flagged = false;
+  bool unsorted_flagged = false;
+  for (const auto& issue : report.issues()) {
+    if (issue.check == "capacity") capacity_flagged = true;
+    if (issue.check == "negative-geometry") geometry_flagged = true;
+    if (issue.check == "zero-cores") zero_cores_flagged = true;
+    if (issue.check == "unsorted") unsorted_flagged = true;
+  }
+  if (!capacity_flagged && !geometry_flagged && !zero_cores_flagged &&
+      !unsorted_flagged) {
+    return out;
+  }
+
+  const double capacity =
+      static_cast<double>(trace.spec().primary_capacity());
+  std::vector<Job> kept;
+  kept.reserve(trace.size());
+  for (const Job& j : trace.jobs()) {
+    bool drop = false;
+    if (capacity_flagged && capacity > 0.0 &&
+        static_cast<double>(j.cores) > capacity) {
+      ++out.dropped_capacity;
+      drop = true;
+    } else if (geometry_flagged && (j.run_time < 0.0 || j.wait_time < 0.0 ||
+                                    j.submit_time < 0.0)) {
+      ++out.dropped_negative_geometry;
+      drop = true;
+    } else if (zero_cores_flagged && j.cores == 0) {
+      ++out.dropped_zero_cores;
+      drop = true;
+    }
+    if (drop) {
+      out.quarantined.push_back(j);
+    } else {
+      kept.push_back(j);
+    }
+  }
+  if (out.dropped() > 0) {
+    trace = Trace(trace.spec(), std::move(kept));
+  }
+  if (unsorted_flagged && !trace.is_sorted_by_submit()) {
+    trace.sort_by_submit();
+    out.resorted = true;
+  }
+  return out;
 }
 
 }  // namespace lumos::trace

@@ -22,15 +22,27 @@ struct ValidationIssue {
   std::size_t job_count = 0;  ///< number of offending jobs
 };
 
-struct ValidationReport {
-  std::vector<ValidationIssue> issues;
-  [[nodiscard]] bool consistent() const noexcept {
-    for (const auto& i : issues) {
-      if (i.severity == IssueSeverity::Fatal) return false;
-    }
-    return true;
+class ValidationReport {
+ public:
+  /// Records an issue, maintaining the fatal-count cache.
+  void add(ValidationIssue issue) {
+    if (issue.severity == IssueSeverity::Fatal) ++fatal_count_;
+    issues_.push_back(std::move(issue));
   }
+  [[nodiscard]] const std::vector<ValidationIssue>& issues() const noexcept {
+    return issues_;
+  }
+  [[nodiscard]] std::size_t fatal_count() const noexcept {
+    return fatal_count_;
+  }
+  /// O(1): callers poll this in loops, so the fatal count is cached at
+  /// add() time rather than recomputed by scanning the issues.
+  [[nodiscard]] bool consistent() const noexcept { return fatal_count_ == 0; }
   [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<ValidationIssue> issues_;
+  std::size_t fatal_count_ = 0;
 };
 
 /// Runs all checks:
@@ -42,5 +54,29 @@ struct ValidationReport {
 ///  * walltime-underrun: runtime exceeding requested walltime by > 5%
 ///    (scheduler should have killed it) — Warning.
 [[nodiscard]] ValidationReport validate(const Trace& trace);
+
+/// What sanitize() repaired: per-check drop counts plus the quarantined
+/// jobs themselves, so callers can report (or persist) exactly what was
+/// removed instead of silently losing rows.
+struct SanitizeReport {
+  std::size_t dropped_capacity = 0;
+  std::size_t dropped_negative_geometry = 0;
+  std::size_t dropped_zero_cores = 0;
+  bool resorted = false;
+  std::vector<Job> quarantined;  ///< dropped jobs, original order
+  [[nodiscard]] std::size_t dropped() const noexcept {
+    return quarantined.size();
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Repair mode next to validate(): quarantines the jobs behind the
+/// report's per-job issues (capacity violations, negative geometry, zero
+/// cores) out of `trace` and re-sorts it when the report flagged disorder,
+/// leaving a trace validate() finds consistent. Only checks present in
+/// `report` are acted on, so a warnings-off caller keeps its rows. Job ids
+/// are preserved unless a resort renumbers them.
+[[nodiscard]] SanitizeReport sanitize(Trace& trace,
+                                      const ValidationReport& report);
 
 }  // namespace lumos::trace

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/failpoint.hpp"
 #include "util/annotations.hpp"
 #include "util/error.hpp"
 
@@ -61,7 +62,13 @@ class ThreadPool {
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>>
       LUMOS_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    // The failpoint sits inside the packaged task so an injected fault
+    // surfaces on the caller's future exactly like a task exception would.
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f)]() mutable -> R {
+          LUMOS_FAILPOINT("util.thread_pool.task");
+          return fn();
+        });
     std::future<R> fut = task->get_future();
     {
       ScopedLock lock(mutex_);

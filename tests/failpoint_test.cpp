@@ -1,0 +1,200 @@
+// Failpoint tests: prove the library degrades gracefully when its error
+// paths are forced. Registry semantics are testable in every build; the
+// tests that need compiled-in LUMOS_FAILPOINT sites (parsers, ThreadPool,
+// obs JSON writer) skip themselves in builds without LUMOS_FAILPOINTS
+// (the failpoints/sanitize/tsan presets enable it).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "fault/failpoint.hpp"
+#include "obs/json.hpp"
+#include "trace/csv_formats.hpp"
+#include "trace/swf.hpp"
+#include "trace/system_spec.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lumos {
+namespace {
+
+#ifdef LUMOS_FAILPOINTS
+constexpr bool kFailpointsCompiled = true;
+#else
+constexpr bool kFailpointsCompiled = false;
+#endif
+
+#define SKIP_WITHOUT_FAILPOINT_SITES()                                   \
+  do {                                                                   \
+    if (!kFailpointsCompiled) {                                          \
+      GTEST_SKIP() << "built without LUMOS_FAILPOINTS; run the "         \
+                      "failpoints/sanitize/tsan presets";                \
+    }                                                                    \
+  } while (false)
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FailpointRegistry::global().reset(); }
+  void TearDown() override { fault::FailpointRegistry::global().reset(); }
+};
+
+const char* kSwfRow = "1 0 10 100 4 -1 -1 4 200 -1 1 3 -1 -1 -1 -1 -1 -1\n";
+
+std::string two_swf_rows() {
+  return std::string(kSwfRow) +
+         "2 5 10 100 4 -1 -1 4 200 -1 1 3 -1 -1 -1 -1 -1 -1\n";
+}
+
+const char* kCsvHeader =
+    "id,user,submit,wait,run,requested_time,nodes,cores,kind,status,vc\n";
+
+// ----------------------------------------------------- registry semantics --
+
+TEST_F(FailpointTest, RegistryArmsFiresAndDisarms) {
+  auto& reg = fault::FailpointRegistry::global();
+  EXPECT_FALSE(reg.should_fire("site"));  // unarmed: never fires
+  EXPECT_EQ(reg.evaluations("site"), 1u);
+
+  reg.arm("site");  // fire on next evaluation, then auto-disarm
+  EXPECT_TRUE(reg.should_fire("site"));
+  EXPECT_FALSE(reg.should_fire("site"));
+  EXPECT_EQ(reg.evaluations("site"), 3u);
+  EXPECT_EQ(reg.fired("site"), 1u);
+}
+
+TEST_F(FailpointTest, RegistryHonorsSkipAndFireCounts) {
+  auto& reg = fault::FailpointRegistry::global();
+  reg.arm("site", {.skip = 2, .fire = 2});
+  EXPECT_FALSE(reg.should_fire("site"));
+  EXPECT_FALSE(reg.should_fire("site"));
+  EXPECT_TRUE(reg.should_fire("site"));
+  EXPECT_TRUE(reg.should_fire("site"));
+  EXPECT_FALSE(reg.should_fire("site"));  // exhausted, auto-disarmed
+  EXPECT_EQ(reg.fired("site"), 2u);
+}
+
+TEST_F(FailpointTest, RegistryFireZeroMeansUnlimited) {
+  auto& reg = fault::FailpointRegistry::global();
+  reg.arm("site", {.skip = 0, .fire = 0});
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(reg.should_fire("site"));
+  reg.disarm("site");
+  EXPECT_FALSE(reg.should_fire("site"));
+  EXPECT_EQ(reg.fired("site"), 10u);
+}
+
+TEST_F(FailpointTest, InjectedFaultIsATypedLumosError) {
+  try {
+    fault::throw_injected("some.site");
+    FAIL() << "throw_injected returned";
+  } catch (const Error& e) {  // must be catchable as the base type
+    EXPECT_NE(std::string(e.what()).find("some.site"), std::string::npos);
+  }
+}
+
+// -------------------------------------------------------- parser sites --
+
+TEST_F(FailpointTest, SwfRowFailpointPropagatesTyped) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  fault::FailpointRegistry::global().arm("trace.swf.row");
+  std::istringstream in(kSwfRow);
+  EXPECT_THROW(trace::read_swf(in, trace::theta_spec()),
+               fault::InjectedFault);
+  EXPECT_EQ(fault::FailpointRegistry::global().fired("trace.swf.row"), 1u);
+}
+
+TEST_F(FailpointTest, SwfInjectedFaultIsNeverBudgeted) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  // A lenient bad-row budget swallows ParseErrors — but an injected fault
+  // is a library failure, not a malformed row, and must still propagate.
+  fault::FailpointRegistry::global().arm("trace.swf.row");
+  trace::ParseOptions opts;
+  opts.bad_row_budget = 100;
+  trace::ParseAudit audit;
+  std::istringstream in(two_swf_rows());
+  EXPECT_THROW(trace::read_swf(in, trace::theta_spec(), opts, &audit),
+               fault::InjectedFault);
+  EXPECT_TRUE(audit.skipped_lines.empty());
+}
+
+TEST_F(FailpointTest, SwfSkipCountReachesLaterRows) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  auto& reg = fault::FailpointRegistry::global();
+  reg.arm("trace.swf.row", {.skip = 1, .fire = 1});
+  std::istringstream in(two_swf_rows());
+  EXPECT_THROW(trace::read_swf(in, trace::theta_spec()),
+               fault::InjectedFault);
+  EXPECT_EQ(reg.evaluations("trace.swf.row"), 2u);  // row 1 passed
+  EXPECT_EQ(reg.fired("trace.swf.row"), 1u);
+}
+
+TEST_F(FailpointTest, SwfOpenFailpointPropagatesTyped) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  fault::FailpointRegistry::global().arm("trace.swf.open");
+  EXPECT_THROW(trace::read_swf_file("/nonexistent.swf", trace::theta_spec()),
+               fault::InjectedFault);
+}
+
+TEST_F(FailpointTest, CsvRowFailpointPropagatesTypedDespiteBudget) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  fault::FailpointRegistry::global().arm("trace.csv.row");
+  trace::ParseOptions opts;
+  opts.bad_row_budget = 100;
+  std::istringstream in(std::string(kCsvHeader) +
+                        "1,2,0,5,100,200,1,4,cpu,pass,-1\n");
+  EXPECT_THROW(trace::read_lumos_csv(in, trace::philly_spec(), opts),
+               fault::InjectedFault);
+}
+
+TEST_F(FailpointTest, CsvOpenFailpointPropagatesTyped) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  fault::FailpointRegistry::global().arm("trace.csv.open");
+  EXPECT_THROW(
+      trace::read_lumos_csv_file("/nonexistent.csv", trace::philly_spec()),
+      fault::InjectedFault);
+}
+
+// ----------------------------------------------------- ThreadPool site --
+
+TEST_F(FailpointTest, ThreadPoolTaskFaultSurfacesOnFuture) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  util::ThreadPool pool(2);
+  fault::FailpointRegistry::global().arm("util.thread_pool.task");
+  auto doomed = pool.submit([] { return 1; });
+  EXPECT_THROW(doomed.get(), fault::InjectedFault);
+  // One-shot arming auto-disarms: the pool stays fully usable.
+  auto fine = pool.submit([] { return 2; });
+  EXPECT_EQ(fine.get(), 2);
+}
+
+TEST_F(FailpointTest, ThreadPoolParallelForRethrowsInjectedFault) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  util::ThreadPool pool(2);
+  fault::FailpointRegistry::global().arm("util.thread_pool.task");
+  EXPECT_THROW(pool.parallel_for(0, 64, [](std::size_t) {}),
+               fault::InjectedFault);
+  // The pool drains and keeps working after the failure.
+  pool.parallel_for(0, 8, [](std::size_t) {});
+}
+
+// ------------------------------------------------------ JSON writer site --
+
+TEST_F(FailpointTest, JsonWriterFaultLeavesNoTruncatedFile) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  const auto path = std::filesystem::temp_directory_path() /
+                    "lumos_failpoint_test.json";
+  std::filesystem::remove(path);
+  fault::FailpointRegistry::global().arm("obs.write_json");
+  obs::Json doc = obs::Json::object();
+  doc["key"] = 1;
+  EXPECT_THROW(obs::write_json(doc, path.string()), fault::InjectedFault);
+  // Graceful degradation: no partially written file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  obs::write_json(doc, path.string());  // disarmed: now succeeds
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace lumos

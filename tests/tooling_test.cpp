@@ -339,6 +339,80 @@ TEST(LumosLint, IgnoresCommentsAndStringLiterals) {
                   .empty());
 }
 
+TEST(LumosLint, FlagsNakedCatchAll) {
+  const auto diags = lint::lint_source(
+      "trace/loader.cpp",
+      "void load() {\n"
+      "  try {\n"
+      "    parse();\n"
+      "  } catch (...) {\n"
+      "    log_and_continue();\n"
+      "  }\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "naked-catch-all");
+  EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(LumosLint, CatchAllThatRethrowsIsClean) {
+  EXPECT_TRUE(lint::lint_source("trace/loader.cpp",
+                                "void load() {\n"
+                                "  try { parse(); } catch (...) {\n"
+                                "    cleanup();\n"
+                                "    throw;\n"
+                                "  }\n"
+                                "}\n")
+                  .empty());
+}
+
+TEST(LumosLint, CatchAllThatConvertsToTypedErrorIsClean) {
+  EXPECT_TRUE(lint::lint_source(
+                  "obs/writer.cpp",
+                  "void save() {\n"
+                  "  try { emit(); } catch (...) {\n"
+                  "    throw InternalError(\"emit failed\");\n"
+                  "  }\n"
+                  "}\n")
+                  .empty());
+}
+
+TEST(LumosLint, CatchAllThatCapturesCurrentExceptionIsClean) {
+  // The ThreadPool idiom: stash the exception for a deferred rethrow on
+  // the caller's thread.
+  EXPECT_TRUE(lint::lint_source(
+                  "analysis/sweep.cpp",
+                  "void worker() {\n"
+                  "  try { step(); } catch (...) {\n"
+                  "    first_error = std::current_exception();\n"
+                  "  }\n"
+                  "}\n")
+                  .empty());
+}
+
+TEST(LumosLint, CatchAllAllowlistsThreadPoolAndSkipsNonLibraryTrees) {
+  const std::string swallow =
+      "void f() { try { g(); } catch (...) { } }\n";
+  // The pool's worker-loop boundary is the sanctioned swallower.
+  EXPECT_TRUE(lint::lint_source("util/thread_pool.cpp", swallow).empty());
+  EXPECT_TRUE(lint::lint_source("util/thread_pool.hpp",
+                                "#pragma once\n" + swallow)
+                  .empty());
+  // tools/ and tests/ are outside the checked library surface.
+  EXPECT_TRUE(lint::lint_source("tools/lumos_cli.cpp", swallow).empty());
+  // Library siblings stay checked.
+  EXPECT_FALSE(lint::lint_source("util/csv.cpp", swallow).empty());
+  // bench harnesses are library-grade code too.
+  EXPECT_FALSE(lint::lint_source("bench/table1_traces.cpp", swallow).empty());
+}
+
+TEST(LumosLint, CatchAllInCommentsAndStringsIgnored) {
+  EXPECT_TRUE(lint::lint_source(
+                  "sim/notes.cpp",
+                  "// catch (...) { swallow(); }\n"
+                  "const char* kDoc = \"catch (...) {}\";\n")
+                  .empty());
+}
+
 TEST(LumosLint, CleanFixtureReportsNothing) {
   const auto diags = lint::lint_source("sim/clean.hpp",
                                        "// A well-behaved header.\n"

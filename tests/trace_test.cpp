@@ -298,7 +298,7 @@ TEST(Validate, CleanTracePasses) {
   t.sort_by_submit();
   const auto report = validate(t);
   EXPECT_TRUE(report.consistent());
-  EXPECT_TRUE(report.issues.empty());
+  EXPECT_TRUE(report.issues().empty());
 }
 
 TEST(Validate, DetectsSupercloudStyleInconsistency) {
@@ -307,8 +307,8 @@ TEST(Validate, DetectsSupercloudStyleInconsistency) {
   t.sort_by_submit();
   const auto report = validate(t);
   EXPECT_FALSE(report.consistent());
-  ASSERT_FALSE(report.issues.empty());
-  EXPECT_EQ(report.issues[0].check, "capacity");
+  ASSERT_FALSE(report.issues().empty());
+  EXPECT_EQ(report.issues()[0].check, "capacity");
   EXPECT_NE(report.to_string().find("FATAL"), std::string::npos);
 }
 
@@ -319,7 +319,7 @@ TEST(Validate, WarnsOnZeroCoresAndUnsorted) {
   t.add(make_job(5, 0, 100, 64));
   const auto report = validate(t);
   EXPECT_TRUE(report.consistent());  // warnings only
-  EXPECT_EQ(report.issues.size(), 2u);
+  EXPECT_EQ(report.issues().size(), 2u);
 }
 
 TEST(Validate, WarnsOnWalltimeUnderrun) {
@@ -329,10 +329,219 @@ TEST(Validate, WarnsOnWalltimeUnderrun) {
   t.add(j);
   const auto report = validate(t);
   bool found = false;
-  for (const auto& i : report.issues) {
+  for (const auto& i : report.issues()) {
     found |= i.check == "walltime-underrun";
   }
   EXPECT_TRUE(found);
+}
+
+TEST(Validate, WalltimeUnderrunHasFivePercentGrace) {
+  Trace t(theta_spec());
+  auto inside = make_job(0, 0, 104.9, 64);
+  inside.requested_time = 100.0;  // within the 5% grace band
+  t.add(inside);
+  auto outside = make_job(1, 0, 105.1, 64);
+  outside.requested_time = 100.0;  // just past it
+  t.add(outside);
+  const auto report = validate(t);
+  std::size_t underruns = 0;
+  for (const auto& i : report.issues()) {
+    if (i.check == "walltime-underrun") underruns = i.job_count;
+  }
+  EXPECT_EQ(underruns, 1u);
+}
+
+TEST(Validate, FatalCountIsCachedAndMatchesIssues) {
+  ValidationReport report;
+  EXPECT_TRUE(report.consistent());
+  report.add({IssueSeverity::Warning, "w", "warning", 1});
+  EXPECT_TRUE(report.consistent());
+  report.add({IssueSeverity::Fatal, "f", "fatal", 1});
+  report.add({IssueSeverity::Fatal, "f2", "fatal too", 1});
+  EXPECT_FALSE(report.consistent());
+  EXPECT_EQ(report.fatal_count(), 2u);
+  EXPECT_EQ(report.issues().size(), 3u);
+}
+
+// ------------------------------------------------------------ sanitize ---
+
+TEST(Sanitize, QuarantinesCapacityViolations) {
+  Trace t(theta_spec());  // capacity 281088 cores
+  t.add(make_job(0, 0, 100, 64));
+  t.add(make_job(5, 0, 100, 500000));  // Supercloud-style impossible job
+  t.add(make_job(9, 0, 100, 128));
+  t.sort_by_submit();
+  const auto before = validate(t);
+  ASSERT_FALSE(before.consistent());
+
+  const auto repair = sanitize(t, before);
+  EXPECT_EQ(repair.dropped_capacity, 1u);
+  EXPECT_EQ(repair.dropped(), 1u);
+  ASSERT_EQ(repair.quarantined.size(), 1u);
+  EXPECT_EQ(repair.quarantined[0].cores, 500000u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(validate(t).consistent());
+}
+
+TEST(Sanitize, QuarantinesNegativeGeometryAndZeroCores) {
+  Trace t(theta_spec());
+  t.add(make_job(0, 0, 100, 64));
+  auto negative = make_job(1, 0, 100, 64);
+  negative.run_time = -5.0;
+  t.add(negative);
+  t.add(make_job(2, 0, 100, 0));  // zero cores
+  t.sort_by_submit();
+  const auto repair = sanitize(t, validate(t));
+  EXPECT_EQ(repair.dropped_negative_geometry, 1u);
+  EXPECT_EQ(repair.dropped_zero_cores, 1u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(validate(t).consistent());
+  EXPECT_TRUE(validate(t).issues().empty());
+}
+
+TEST(Sanitize, ResortsWhenReportFlagsDisorder) {
+  Trace t(theta_spec());
+  t.add(make_job(10, 0, 100, 64));
+  t.add(make_job(5, 0, 100, 64));
+  const auto repair = sanitize(t, validate(t));
+  EXPECT_TRUE(repair.resorted);
+  EXPECT_EQ(repair.dropped(), 0u);
+  EXPECT_TRUE(t.is_sorted_by_submit());
+  EXPECT_DOUBLE_EQ(t.jobs()[0].submit_time, 5.0);
+}
+
+TEST(Sanitize, NoOpOnCleanTrace) {
+  Trace t(theta_spec());
+  t.add(make_job(0, 0, 100, 64));
+  t.sort_by_submit();
+  const auto repair = sanitize(t, validate(t));
+  EXPECT_EQ(repair.dropped(), 0u);
+  EXPECT_FALSE(repair.resorted);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_NE(repair.to_string().find("nothing to repair"), std::string::npos);
+}
+
+TEST(Sanitize, ToStringNamesEveryRepair) {
+  Trace t(theta_spec());
+  t.add(make_job(5, 0, 100, 500000));
+  t.add(make_job(0, 0, 100, 0));
+  const auto repair = sanitize(t, validate(t));
+  const auto text = repair.to_string();
+  EXPECT_NE(text.find("capacity"), std::string::npos);
+  EXPECT_NE(text.find("zero"), std::string::npos);
+}
+
+// ------------------------------------------------------- lenient parse ---
+
+TEST(Swf, LenientBudgetAbsorbsBadRows) {
+  const std::string swf =
+      "; header\n"
+      "1 0 0 100 4 -1 -1 4 600 -1 1 3 -1 -1 -1 -1 -1 -1\n"
+      "not an swf row at all\n"
+      "2 10 5 100 4 -1 -1 4 600 -1 1 3 -1 -1 -1 -1 -1 -1\n";
+  std::istringstream in(swf);
+  ParseOptions opts;
+  opts.bad_row_budget = 1;
+  ParseAudit audit;
+  const auto t = read_swf(in, theta_spec(), opts, &audit);
+  EXPECT_EQ(t.size(), 2u);  // both good rows survive
+  ASSERT_EQ(audit.skipped_lines.size(), 1u);
+  EXPECT_EQ(audit.skipped_lines[0], 3u);  // 1-based, comments counted
+  EXPECT_FALSE(audit.clean());
+}
+
+TEST(Swf, BudgetExhaustionRethrowsTheOffendingError) {
+  const std::string swf =
+      "bad row one\n"
+      "bad row two\n"
+      "1 0 0 100 4 -1 -1 4 600 -1 1 3 -1 -1 -1 -1 -1 -1\n";
+  std::istringstream in(swf);
+  ParseOptions opts;
+  opts.bad_row_budget = 1;  // second bad row exceeds the budget
+  ParseAudit audit;
+  try {
+    (void)read_swf(in, theta_spec(), opts, &audit);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  ASSERT_EQ(audit.skipped_lines.size(), 1u);
+  EXPECT_EQ(audit.skipped_lines[0], 1u);
+}
+
+TEST(Swf, StrictByDefaultWithLineContext) {
+  std::istringstream in("1 2 3\n");
+  try {
+    (void)read_swf(in, theta_spec());
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+}
+
+TEST(Swf, OriginPrefixesErrorContext) {
+  std::istringstream in("garbage\n");
+  ParseOptions opts;
+  opts.origin = "theta.swf";
+  try {
+    (void)read_swf(in, theta_spec(), opts);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("theta.swf:1"), std::string::npos);
+  }
+}
+
+TEST(Swf, AuditCountsUnknownRuntimeDrops) {
+  const std::string swf =
+      "1 0 0 -1 4 -1 -1 4 600 -1 1 3 -1 -1 -1 -1 -1 -1\n"
+      "2 10 5 100 4 -1 -1 4 600 -1 1 3 -1 -1 -1 -1 -1 -1\n";
+  std::istringstream in(swf);
+  ParseAudit audit;
+  const auto t = read_swf(in, theta_spec(), {}, &audit);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(audit.dropped_unknown_runtime, 1u);
+  EXPECT_TRUE(audit.skipped_lines.empty());
+  EXPECT_FALSE(audit.clean());
+}
+
+TEST(LumosCsv, LenientBudgetAbsorbsBadRows) {
+  const std::string csv =
+      "id,user,submit,wait,run,requested_time,nodes,cores,kind,status,vc\n"
+      "1,2,0,5,100,200,1,4,cpu,pass,-1\n"
+      "2,2,1,5,oops,200,1,4,cpu,pass,-1\n"
+      "3,2,2,5,100,200,1,4,cpu,pass,-1\n";
+  std::istringstream in(csv);
+  ParseOptions opts;
+  opts.bad_row_budget = 1;
+  ParseAudit audit;
+  const auto t = read_lumos_csv(in, philly_spec(), opts, &audit);
+  EXPECT_EQ(t.size(), 2u);
+  ASSERT_EQ(audit.skipped_lines.size(), 1u);
+  EXPECT_EQ(audit.skipped_lines[0], 3u);  // header is line 1
+}
+
+TEST(LumosCsv, StrictModeThrowsWithContext) {
+  const std::string csv =
+      "id,user,submit,wait,run,requested_time,nodes,cores,kind,status,vc\n"
+      "1,2,0,5,100,200,1,4,cpu,not-a-status,-1\n";
+  std::istringstream in(csv);
+  ParseOptions opts;
+  opts.origin = "philly.csv";
+  try {
+    (void)read_lumos_csv(in, philly_spec(), opts);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("philly.csv:2"), std::string::npos);
+  }
+}
+
+TEST(DlCsv, MissingHeaderIsNeverBudgeted) {
+  // The bad-row budget forgives malformed *rows*; a missing required
+  // column is a file-level defect and must throw regardless.
+  std::istringstream in("job_id,user\n1,2\n");
+  ParseOptions opts;
+  opts.bad_row_budget = 100;
+  EXPECT_THROW((void)read_dl_csv(in, philly_spec(), opts), ParseError);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #             bench_smoke cases)
 #   sanitize  ASan+UBSan build + `ctest -L sanitize` invariant suite
 #   tsan      ThreadSanitizer build + `ctest -L tsan` concurrency suite
+#   failpoints Debug build with -DLUMOS_FAILPOINTS=ON + `ctest -L
+#             failpoints` fault-injection suite (typed-error propagation)
 #   lint      lumos_lint over src/ and bench/ from the release build
 #             (clang-tidy additionally gates compiles when configured with
 #              -DLUMOS_LINT=ON and a clang-tidy binary is on PATH)
@@ -63,6 +65,7 @@ preset_stage release ""
 if [ "$QUICK" -eq 0 ]; then
   preset_stage sanitize sanitize
   preset_stage tsan tsan
+  preset_stage failpoints failpoints
 fi
 run_stage "lint:lumos_lint" ./build/tools/lumos_lint src bench
 run_stage "bench:smoke" ./build/bench/bench_runner --smoke --verify \

@@ -298,6 +298,54 @@ void check_includes(const std::vector<std::string_view>& raw_lines,
   }
 }
 
+// --------------------------------------------------- naked-catch-all rule --
+
+// `catch (...)` that neither rethrows nor captures the exception erases
+// the error entirely — the caller observes success where there was a
+// failure. Handlers must rethrow (`throw;`), convert to a typed
+// lumos::Error (`throw InternalError(...)`), or capture via
+// std::current_exception for deferred rethrow. The ThreadPool boundary is
+// allowlisted at the call site in lint_source.
+void check_naked_catch_all(std::string_view stripped,
+                           std::string_view rel_path,
+                           std::vector<Diagnostic>& out) {
+  static const std::regex catch_re(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
+  const auto end = std::cregex_iterator();
+  for (auto it = std::cregex_iterator(
+           stripped.data(), stripped.data() + stripped.size(), catch_re);
+       it != end; ++it) {
+    const auto match_pos = static_cast<std::size_t>(it->position());
+    const std::size_t open =
+        stripped.find('{', match_pos + static_cast<std::size_t>(it->length()));
+    bool clean = false;
+    if (open != std::string_view::npos) {
+      int depth = 0;
+      std::size_t i = open;
+      for (; i < stripped.size(); ++i) {
+        if (stripped[i] == '{') {
+          ++depth;
+        } else if (stripped[i] == '}' && --depth == 0) {
+          break;
+        }
+      }
+      const std::string_view body = stripped.substr(open, i - open);
+      clean = body.find("throw") != std::string_view::npos ||
+              body.find("current_exception") != std::string_view::npos;
+    }
+    if (!clean) {
+      const int line = 1 + static_cast<int>(std::count(
+                               stripped.begin(),
+                               stripped.begin() +
+                                   static_cast<std::ptrdiff_t>(match_pos),
+                               '\n'));
+      out.push_back(
+          {std::string(rel_path), line, "naked-catch-all",
+           "catch (...) swallows the error; rethrow, convert to a typed "
+           "lumos::Error, or capture std::current_exception"});
+    }
+  }
+}
+
 }  // namespace
 
 // ----------------------------------------------------------- public API --
@@ -331,6 +379,9 @@ std::vector<Diagnostic> lint_source(std::string_view rel_path,
   if (checked_code && !path_is_any(rel_path, {"util/thread_pool.hpp",
                                               "util/thread_pool.cpp"})) {
     apply_token_rules(thread_rules(), stripped_lines, rel_path, out);
+    // Same allowlist: the pool's deferred-rethrow machinery is the one
+    // sanctioned catch-all boundary.
+    check_naked_catch_all(stripped, rel_path, out);
   }
   // stdout-io allowlist, one entry per legitimate stream owner:
   //  * util/logging      — the logging sink itself;

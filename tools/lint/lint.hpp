@@ -18,6 +18,11 @@
 //   float-time      `float` in sim/, trace/, or core/ — simulator time and
 //                   core-hour accounting are double-only; float silently
 //                   loses whole seconds past ~97 days of simulated time.
+//   naked-catch-all `catch (...)` handlers that neither rethrow nor
+//                   convert/capture the exception (throw, typed
+//                   lumos::Error, or std::current_exception) — swallowing
+//                   an unknown exception reports success on failure. The
+//                   ThreadPool boundary is allowlisted.
 //   pragma-once     every header starts (after comments) with #pragma once.
 //   include-hygiene no parent-relative ("../") or backslashed include
 //                   paths, and no duplicate includes within a file.
