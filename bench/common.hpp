@@ -15,21 +15,63 @@
 // source compiles twice: standalone (the macro emits main) and into the
 // lumos_bench_harnesses library for bench_runner (compiled with
 // -DLUMOS_BENCH_LIBRARY, where the macro emits nothing).
+//
+// All bench processes exit with the unified codes below (0 ok, 2 usage,
+// 3 runtime error, 4 injected fault) and ignore SIGPIPE, so the
+// supervisor (bench_runner --supervised) can classify every ending.
 #pragma once
 
 #include <charconv>
+#include <csignal>
 #include <iostream>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/lumos.hpp"
+#include "fault/failpoint.hpp"
 #include "obs/report.hpp"
 #include "synth/calibration.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
 namespace lumos::bench {
+
+// Unified bench process exit codes. Every bench main (standalone harness,
+// bench_runner, and bench_runner's --child mode) maps errors onto these,
+// and the supervisor maps them back onto journal statuses — notably
+// kExitUsage is never retried (a malformed command line is not transient).
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitCheckFailed = 1;  ///< bench_runner: harness failed
+inline constexpr int kExitUsage = 2;        ///< bad flags / unknown names
+inline constexpr int kExitRuntime = 3;      ///< lumos::Error at runtime
+inline constexpr int kExitFault = 4;        ///< fault::InjectedFault
+
+/// Benches write reports into pipes and files; a reader that disappears
+/// must surface as a stream error at the write site, not kill the whole
+/// harness with SIGPIPE mid-report. Call once at the top of every bench
+/// main.
+inline void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+/// The shared catch-ladder: maps an in-flight exception onto the unified
+/// exit codes, printing the message (and usage for argument errors).
+inline int map_bench_exception(const char* argv0) {
+  try {
+    throw;
+  } catch (const InvalidArgument& e) {
+    std::cerr << argv0 << ": " << e.what() << '\n';
+    return kExitUsage;
+  } catch (const fault::InjectedFault& e) {
+    std::cerr << argv0 << ": " << e.what() << '\n';
+    return kExitFault;
+  } catch (const Error& e) {
+    std::cerr << argv0 << ": " << e.what() << '\n';
+    return kExitRuntime;
+  } catch (const std::exception& e) {
+    std::cerr << argv0 << ": " << e.what() << '\n';
+    return kExitRuntime;
+  }
+}
 
 struct Args {
   core::StudyOptions study;
@@ -133,8 +175,11 @@ inline void banner(std::ostream& out, const std::string& what,
 
 /// The standalone-binary driver: parse flags, run the harness against
 /// stdout, attach the registry snapshot, optionally export JSON.
+/// Returns the unified exit codes (kExitOk/kExitUsage/kExitRuntime/
+/// kExitFault) so a supervisor can classify any failure.
 inline int harness_main(int argc, char** argv,
                         obs::Report (*run)(const Args&, std::ostream&)) {
+  ignore_sigpipe();
   try {
     const Args args = parse_args(argc, argv);
     obs::ScopedTimer timer("bench.harness_seconds");
@@ -143,13 +188,16 @@ inline int harness_main(int argc, char** argv,
     timer.cancel();
     report.observability = obs::Registry::global().snapshot();
     if (!args.json_out.empty()) {
-      obs::write_json(report.to_json(), args.json_out);
+      obs::write_json_atomic(report.to_json(), args.json_out);
     }
-    return 0;
-  } catch (const Error& e) {
+    return kExitOk;
+  } catch (const InvalidArgument& e) {
     std::cerr << argv[0] << ": " << e.what() << "\nusage: " << argv[0] << ' '
               << usage() << '\n';
-    return 2;
+    return kExitUsage;
+  } catch (const std::exception&) {
+    // Re-throws inside and resolves the dynamic type to an exit code.
+    return map_bench_exception(argv[0]);
   }
 }
 

@@ -1,9 +1,14 @@
 #include "obs/json.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cctype>
+#include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -463,6 +468,55 @@ void write_json(const Json& json, const std::string& path) {
   file << text;
   if (!file.good()) {
     throw InvalidArgument("json: write failed: " + path);
+  }
+}
+
+void write_json_atomic(const Json& json, const std::string& path) {
+  LUMOS_FAILPOINT("obs.write_json");
+  const std::string text = json.dump(2) + "\n";
+  if (path == "-") {
+    std::cout << text;
+    return;
+  }
+  // The temp file lives next to the target so rename(2) never crosses a
+  // filesystem boundary (cross-device rename is copy+delete, not atomic).
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw InvalidArgument("json: cannot open for writing: " + tmp);
+  }
+  const auto fail_and_cleanup = [&](const std::string& what) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw InvalidArgument("json: " + what + ": " + tmp);
+  };
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_and_cleanup("write failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) fail_and_cleanup("fsync failed");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw InvalidArgument("json: close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw InvalidArgument("json: rename failed: " + tmp + " -> " + path);
+  }
+  // Make the rename itself durable; best-effort (some filesystems refuse
+  // directory fsync, and the data is already safe in the file).
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
 }
 

@@ -94,4 +94,12 @@ class Json {
 /// "-" selects stdout. Throws lumos::InvalidArgument on I/O failure.
 void write_json(const Json& json, const std::string& path);
 
+/// Crash-safe variant of write_json: writes to a same-directory temp file,
+/// fsyncs it, renames it over `path`, and fsyncs the directory, so a kill
+/// at any instant leaves either the old document or the new one — never a
+/// truncated file. "-" falls back to plain stdout output. Shares the
+/// `obs.write_json` failpoint with write_json. Throws
+/// lumos::InvalidArgument on I/O failure (the temp file is removed).
+void write_json_atomic(const Json& json, const std::string& path);
+
 }  // namespace lumos::obs

@@ -41,6 +41,14 @@ struct Report {
   /// The per-harness JSON entry: {figure, wall_seconds, metrics,
   /// counters, gauges, histograms}.
   [[nodiscard]] Json to_json() const;
+
+  /// Rebuilds the deterministic fields (figure, wall_seconds, metrics)
+  /// from a per-harness JSON entry — the inverse of to_json() for what
+  /// the supervised bench runner validates. The observability snapshot is
+  /// NOT reconstructed (the supervisor folds the child's JSON in
+  /// verbatim). Throws lumos::InvalidArgument on kind mismatches.
+  [[nodiscard]] static Report from_json(std::string harness,
+                                        const Json& entry);
 };
 
 }  // namespace lumos::obs

@@ -1,0 +1,160 @@
+#include "supervise/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lumos::supervise {
+
+namespace {
+
+constexpr std::string_view kKindKey = "kind";
+constexpr std::string_view kHeaderKind = "header";
+constexpr std::string_view kAttemptKind = "attempt";
+
+double number_or(const obs::Json& json, std::string_view key,
+                 double fallback) {
+  const obs::Json* value = json.find(key);
+  return value != nullptr && value->is_number() ? value->as_double()
+                                                : fallback;
+}
+
+std::string string_or(const obs::Json& json, std::string_view key) {
+  const obs::Json* value = json.find(key);
+  return value != nullptr && value->kind() == obs::Json::Kind::String
+             ? value->as_string()
+             : std::string();
+}
+
+}  // namespace
+
+obs::Json JournalRecord::to_json() const {
+  obs::Json json = obs::Json::object();
+  json[std::string(kKindKey)] = std::string(kAttemptKind);
+  json["harness"] = harness;
+  json["attempt"] = static_cast<std::int64_t>(attempt);
+  json["status"] = status;
+  if (!detail.empty()) json["detail"] = detail;
+  json["exit_code"] = exit_code;
+  json["signal"] = term_signal;
+  json["wall_seconds"] = wall_seconds;
+  json["user_cpu_seconds"] = user_cpu_seconds;
+  json["system_cpu_seconds"] = system_cpu_seconds;
+  json["max_rss_kb"] = max_rss_kb;
+  if (!stderr_tail.empty()) json["stderr_tail"] = stderr_tail;
+  if (report.kind() == obs::Json::Kind::Object) json["report"] = report;
+  return json;
+}
+
+JournalRecord JournalRecord::from_json(const obs::Json& json) {
+  JournalRecord record;
+  record.harness = string_or(json, "harness");
+  record.attempt =
+      static_cast<std::uint64_t>(number_or(json, "attempt", 1.0));
+  record.status = string_or(json, "status");
+  record.detail = string_or(json, "detail");
+  record.exit_code = static_cast<int>(number_or(json, "exit_code", -1.0));
+  record.term_signal = static_cast<int>(number_or(json, "signal", 0.0));
+  record.wall_seconds = number_or(json, "wall_seconds", 0.0);
+  record.user_cpu_seconds = number_or(json, "user_cpu_seconds", 0.0);
+  record.system_cpu_seconds = number_or(json, "system_cpu_seconds", 0.0);
+  record.max_rss_kb =
+      static_cast<std::int64_t>(number_or(json, "max_rss_kb", 0.0));
+  record.stderr_tail = string_or(json, "stderr_tail");
+  if (const obs::Json* rep = json.find("report")) record.report = *rep;
+  return record;
+}
+
+std::map<std::string, obs::Json> Journal::Contents::completed() const {
+  std::map<std::string, obs::Json> done;
+  for (const auto& record : records) {
+    if (record.status == "ok" &&
+        record.report.kind() == obs::Json::Kind::Object) {
+      done[record.harness] = record.report;
+    }
+  }
+  return done;
+}
+
+Journal::Contents Journal::read(const std::string& path) {
+  Contents contents;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return contents;  // missing journal = nothing to resume
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    obs::Json json;
+    try {
+      json = obs::Json::parse(line);
+    } catch (const Error&) {
+      // A torn line: tolerated at the tail (the expected crash artefact);
+      // anything after it is untrustworthy either way, so stop here.
+      contents.torn_tail = true;
+      break;
+    }
+    const std::string kind = string_or(json, kKindKey);
+    if (first) {
+      first = false;
+      if (kind == kHeaderKind) {
+        contents.header = std::move(json);
+        continue;
+      }
+      // Headerless journal (foreign or pre-schema file): no resume.
+      break;
+    }
+    if (kind == kAttemptKind) {
+      contents.records.push_back(JournalRecord::from_json(json));
+    }
+  }
+  return contents;
+}
+
+Journal::Journal(std::string path, bool truncate) : path_(std::move(path)) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw InvalidArgument("journal: cannot open for append: " + path_ +
+                          ": " + std::strerror(errno));
+  }
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::write_header(const obs::Json& header) {
+  obs::Json line = header;  // callers pass an object; add the kind tag
+  line[std::string(kKindKey)] = std::string(kHeaderKind);
+  append_line(line);
+}
+
+void Journal::append(const JournalRecord& record) {
+  append_line(record.to_json());
+}
+
+void Journal::append_line(const obs::Json& json) {
+  const std::string text = json.dump(-1) + "\n";
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd_, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw InvalidArgument("journal: append failed: " + path_ + ": " +
+                            std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw InvalidArgument("journal: fsync failed: " + path_);
+  }
+}
+
+}  // namespace lumos::supervise

@@ -1,0 +1,85 @@
+// Resumable run journal: append-only JSONL, one record per harness
+// attempt, fsync'd per line.
+//
+// File layout (`BENCH_journal.jsonl`):
+//   line 1   header record — the run configuration fingerprint (seed,
+//            smoke, days, git_rev, schema). A journal only resumes a run
+//            with an *identical* header; anything else would stitch
+//            together metrics from different configurations or code.
+//   line 2+  attempt records — status, exit/signal, rusage, stderr tail,
+//            and (for "ok") the harness's full report JSON, so resuming
+//            never re-executes completed work.
+//
+// Durability contract: append() writes one complete line with a single
+// write(2) sequence and fsyncs before returning, so a crash between
+// harnesses loses at most the line being written. read() tolerates
+// exactly that: a torn final line is ignored (torn_tail flags it); a
+// torn line *mid-file* conservatively ends the readable prefix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lumos::supervise {
+
+struct JournalRecord {
+  std::string harness;
+  std::uint64_t attempt = 1;  ///< 1-based attempt index within its run
+  std::string status;         ///< ok / failed / timeout / crashed:SIGxxx
+  std::string detail;         ///< cause for non-ok statuses
+  int exit_code = -1;         ///< -1 = did not exit normally
+  int term_signal = 0;        ///< 0 = not signal-terminated
+  double wall_seconds = 0.0;
+  double user_cpu_seconds = 0.0;
+  double system_cpu_seconds = 0.0;
+  std::int64_t max_rss_kb = 0;
+  std::string stderr_tail;
+  /// Full per-harness report JSON for "ok" records; null otherwise.
+  obs::Json report;
+
+  [[nodiscard]] obs::Json to_json() const;
+  [[nodiscard]] static JournalRecord from_json(const obs::Json& json);
+};
+
+class Journal {
+ public:
+  struct Contents {
+    /// The header fingerprint; null when the file is missing or its
+    /// first line is unreadable.
+    obs::Json header;
+    std::vector<JournalRecord> records;
+    /// A trailing (or mid-file) torn line was ignored.
+    bool torn_tail = false;
+
+    /// harness -> report for every "ok" record (last one wins): the set
+    /// of work a resumed run skips.
+    [[nodiscard]] std::map<std::string, obs::Json> completed() const;
+  };
+
+  /// Reads a journal; a missing file yields empty Contents.
+  [[nodiscard]] static Contents read(const std::string& path);
+
+  /// Opens for appending; `truncate` starts the file over (new run).
+  /// Throws lumos::InvalidArgument when the file cannot be opened.
+  Journal(std::string path, bool truncate);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Writes the run-fingerprint header (call once, on fresh journals).
+  void write_header(const obs::Json& header);
+  /// Appends one attempt record; durable (fsync) before returning.
+  void append(const JournalRecord& record);
+
+ private:
+  void append_line(const obs::Json& json);
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace lumos::supervise

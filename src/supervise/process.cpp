@@ -1,0 +1,266 @@
+// wait4(2) (rusage with the exit status) is guarded by _DEFAULT_SOURCE,
+// which -std=c++20 (strict ANSI) suppresses; ask for it before any
+// header can pull in <features.h>.
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE 1
+#endif
+
+#include "supervise/process.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace lumos::supervise {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Close-on-destruction pair of pipe fds; -1 marks an already-closed end.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() {
+    if (::pipe(fds) != 0) {
+      throw InternalError(std::string("supervise: pipe: ") +
+                          std::strerror(errno));
+    }
+  }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  Pipe(const Pipe&) = delete;
+  Pipe& operator=(const Pipe&) = delete;
+  [[nodiscard]] int read_fd() const { return fds[0]; }
+  [[nodiscard]] int write_fd() const { return fds[1]; }
+  void close_read() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    fds[0] = -1;
+  }
+  void close_write() {
+    if (fds[1] >= 0) ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Async-signal-safe "message + int + newline" writer for the post-fork,
+/// pre-exec window where snprintf and strerror are off-limits.
+void write_exec_failure(int fd, const char* path, int err) {
+  const auto emit = [fd](const char* s, std::size_t n) {
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::write(fd, s + off, n - off);
+      if (w <= 0) return;  // best-effort: the parent sees 127 regardless
+      off += static_cast<std::size_t>(w);
+    }
+  };
+  const char* prefix = "supervise: exec failed: ";
+  emit(prefix, std::strlen(prefix));
+  emit(path, std::strlen(path));
+  char digits[16];
+  int n = 0;
+  if (err == 0) digits[n++] = '0';
+  while (err > 0 && n < 15) {
+    digits[n++] = static_cast<char>('0' + err % 10);
+    err /= 10;
+  }
+  const char* sep = " (errno ";
+  emit(sep, std::strlen(sep));
+  while (n > 0) emit(&digits[--n], 1);
+  emit(")\n", 2);
+}
+
+/// Appends `data` keeping only the last `limit` bytes.
+void append_tail(std::string& tail, std::string_view data,
+                 std::size_t limit) {
+  if (data.size() >= limit) {
+    tail.assign(data.substr(data.size() - limit));
+    return;
+  }
+  tail.append(data);
+  if (tail.size() > limit) tail.erase(0, tail.size() - limit);
+}
+
+}  // namespace
+
+std::string signal_name(int sig) {
+  static const std::map<int, const char*> names = {
+      {SIGHUP, "SIGHUP"},   {SIGINT, "SIGINT"},   {SIGQUIT, "SIGQUIT"},
+      {SIGILL, "SIGILL"},   {SIGABRT, "SIGABRT"}, {SIGBUS, "SIGBUS"},
+      {SIGFPE, "SIGFPE"},   {SIGKILL, "SIGKILL"}, {SIGSEGV, "SIGSEGV"},
+      {SIGPIPE, "SIGPIPE"}, {SIGALRM, "SIGALRM"}, {SIGTERM, "SIGTERM"},
+      {SIGXCPU, "SIGXCPU"}, {SIGXFSZ, "SIGXFSZ"}};
+  const auto it = names.find(sig);
+  if (it != names.end()) return it->second;
+  return "SIG" + std::to_string(sig);
+}
+
+ChildResult run_child(const ChildSpec& spec) {
+  LUMOS_REQUIRE(!spec.argv.empty(), "supervise: child argv must be non-empty");
+  LUMOS_REQUIRE(spec.deadline_seconds >= 0.0 && spec.grace_seconds >= 0.0,
+                "supervise: deadline and grace must be non-negative");
+
+  // execv wants char* const[]; build it before fork so the child performs
+  // no allocation between fork and exec.
+  std::vector<char*> argv;
+  argv.reserve(spec.argv.size() + 1);
+  for (const auto& arg : spec.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  Pipe out_pipe;
+  Pipe err_pipe;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw InternalError(std::string("supervise: fork: ") +
+                        std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: wire the pipes to stdout/stderr and become the target.
+    // Only async-signal-safe calls from here to execv/_exit.
+    ::dup2(out_pipe.write_fd(), STDOUT_FILENO);
+    ::dup2(err_pipe.write_fd(), STDERR_FILENO);
+    ::close(out_pipe.read_fd());
+    ::close(out_pipe.write_fd());
+    ::close(err_pipe.read_fd());
+    ::close(err_pipe.write_fd());
+    ::execv(argv[0], argv.data());
+    write_exec_failure(STDERR_FILENO, argv[0], errno);
+    ::_exit(127);
+  }
+
+  // Parent.
+  out_pipe.close_write();
+  err_pipe.close_write();
+  set_nonblocking(out_pipe.read_fd());
+  set_nonblocking(err_pipe.read_fd());
+
+  ChildResult result;
+  const auto start = Clock::now();
+  bool out_open = true;
+  bool err_open = true;
+  bool term_sent = false;
+  bool kill_sent = false;
+  bool timed_out = false;
+  bool reaped = false;
+  int status = 0;
+  struct rusage usage {};
+  char buf[8192];
+
+  while (!reaped || out_open || err_open) {
+    const double elapsed = seconds_since(start);
+    if (spec.deadline_seconds > 0.0 && !reaped) {
+      if (!term_sent && elapsed >= spec.deadline_seconds) {
+        timed_out = true;
+        term_sent = true;
+        ::kill(pid, SIGTERM);
+      } else if (term_sent && !kill_sent &&
+                 elapsed >= spec.deadline_seconds + spec.grace_seconds) {
+        kill_sent = true;
+        ::kill(pid, SIGKILL);
+      }
+    }
+
+    struct pollfd fds[2];
+    nfds_t nfds = 0;
+    if (out_open) fds[nfds++] = {out_pipe.read_fd(), POLLIN, 0};
+    if (err_open) fds[nfds++] = {err_pipe.read_fd(), POLLIN, 0};
+    if (nfds > 0) {
+      // Short slices keep the deadline/escalation checks responsive.
+      const int rc = ::poll(fds, nfds, 50);
+      if (rc < 0 && errno != EINTR) {
+        throw InternalError(std::string("supervise: poll: ") +
+                            std::strerror(errno));
+      }
+    } else {
+      // Pipes closed but the child lives on (it closed its fds and kept
+      // running); keep ticking so the deadline can still fire.
+      struct timespec ts = {0, 10 * 1000 * 1000};
+      ::nanosleep(&ts, nullptr);
+    }
+
+    const auto drain = [&](Pipe& pipe, bool& open, bool to_stdout) {
+      if (!open) return;
+      for (;;) {
+        const ssize_t n = ::read(pipe.read_fd(), buf, sizeof(buf));
+        if (n > 0) {
+          const std::string_view data(buf, static_cast<std::size_t>(n));
+          if (to_stdout) {
+            if (result.stdout_text.size() < spec.stdout_limit_bytes) {
+              const std::size_t room =
+                  spec.stdout_limit_bytes - result.stdout_text.size();
+              result.stdout_text.append(data.substr(0, room));
+              if (data.size() > room) result.stdout_truncated = true;
+            } else {
+              result.stdout_truncated = true;
+            }
+          } else {
+            result.stderr_bytes += static_cast<std::uint64_t>(n);
+            append_tail(result.stderr_tail, data, spec.stderr_tail_bytes);
+          }
+          continue;
+        }
+        if (n == 0) {
+          open = false;
+          pipe.close_read();
+        } else if (errno == EINTR) {
+          continue;
+        }
+        // n < 0 with EAGAIN: drained for now.
+        break;
+      }
+    };
+    drain(out_pipe, out_open, /*to_stdout=*/true);
+    drain(err_pipe, err_open, /*to_stdout=*/false);
+
+    if (!reaped) {
+      const pid_t r = ::wait4(pid, &status, WNOHANG, &usage);
+      if (r == pid) reaped = true;
+    }
+  }
+
+  result.wall_seconds = seconds_since(start);
+  result.user_cpu_seconds =
+      static_cast<double>(usage.ru_utime.tv_sec) +
+      static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+  result.system_cpu_seconds =
+      static_cast<double>(usage.ru_stime.tv_sec) +
+      static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+  result.max_rss_kb = static_cast<std::int64_t>(usage.ru_maxrss);
+
+  if (timed_out) {
+    result.outcome = ChildOutcome::Timeout;
+    result.term_signal = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+    result.escalated_to_kill = kill_sent;
+  } else if (WIFSIGNALED(status)) {
+    result.outcome = ChildOutcome::Signaled;
+    result.term_signal = WTERMSIG(status);
+  } else {
+    result.outcome = ChildOutcome::Exited;
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  return result;
+}
+
+}  // namespace lumos::supervise

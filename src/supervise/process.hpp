@@ -1,0 +1,75 @@
+// lumos::supervise process layer — crash-isolated execution of one child.
+//
+// run_child() fork/execs `spec.argv`, captures stdout in full (up to a
+// cap) and stderr into a bounded ring-buffer *tail*, enforces a
+// wall-clock deadline with SIGTERM -> grace -> SIGKILL escalation, and
+// reaps the child with wait4(2) so peak RSS and CPU time come back with
+// the exit status. The child can end three ways, and the supervisor must
+// distinguish them (the journal status taxonomy depends on it):
+//
+//   Exited    the child called exit(); `exit_code` holds the status.
+//             A failed exec surfaces as exit code 127 plus a message on
+//             the stderr tail, exactly like a shell.
+//   Signaled  the child died on a signal it raised itself (SIGSEGV,
+//             SIGABRT, ...); `term_signal` holds it.
+//   Timeout   *we* killed it for overrunning `deadline_seconds`;
+//             `escalated_to_kill` records whether SIGTERM sufficed or
+//             the grace period expired and SIGKILL was needed.
+//
+// Everything here is synchronous and single-threaded: the parent polls
+// the two pipes and the child's state in one loop, so no helper threads
+// (and no raw-thread lint exceptions) are involved.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lumos::supervise {
+
+struct ChildSpec {
+  /// argv[0] is the executable path (execv semantics: no PATH search).
+  std::vector<std::string> argv;
+  /// Wall-clock budget in seconds; 0 disables the deadline.
+  double deadline_seconds = 0.0;
+  /// Seconds between SIGTERM and SIGKILL once the deadline passes.
+  double grace_seconds = 2.0;
+  /// Captured-stdout cap; beyond it the capture stops (stdout_truncated).
+  std::size_t stdout_limit_bytes = 64u << 20u;
+  /// Ring-buffer size for the stderr tail (the *last* N bytes survive).
+  std::size_t stderr_tail_bytes = 4096;
+};
+
+enum class ChildOutcome { Exited, Signaled, Timeout };
+
+struct ChildResult {
+  ChildOutcome outcome = ChildOutcome::Exited;
+  /// Exit status; valid when outcome == Exited (127 = exec failure).
+  int exit_code = -1;
+  /// Terminating signal; valid when Signaled, and when Timeout records
+  /// which of SIGTERM/SIGKILL actually brought the child down.
+  int term_signal = 0;
+  /// Timeout only: SIGTERM was ignored and SIGKILL was required.
+  bool escalated_to_kill = false;
+  std::string stdout_text;
+  bool stdout_truncated = false;
+  /// Last stderr_tail_bytes of stderr (total volume in stderr_bytes).
+  std::string stderr_tail;
+  std::uint64_t stderr_bytes = 0;
+  double wall_seconds = 0.0;
+  double user_cpu_seconds = 0.0;
+  double system_cpu_seconds = 0.0;
+  /// Peak resident set size (ru_maxrss, kilobytes on Linux).
+  std::int64_t max_rss_kb = 0;
+};
+
+/// Runs one child to completion (or deadline). Throws
+/// lumos::InternalError when the *supervisor* cannot do its job (pipe or
+/// fork failure); child misbehaviour is reported in the result, never
+/// thrown.
+[[nodiscard]] ChildResult run_child(const ChildSpec& spec);
+
+/// "SIGSEGV" for SIGSEGV and friends; "SIG<n>" for exotic numbers.
+[[nodiscard]] std::string signal_name(int sig);
+
+}  // namespace lumos::supervise

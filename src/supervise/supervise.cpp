@@ -1,0 +1,126 @@
+#include "supervise/supervise.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace lumos::supervise {
+
+namespace {
+
+/// The conventional "usage error" exit code (bench/common.hpp kExitUsage):
+/// rerunning a malformed command line is never transient.
+constexpr int kUsageExitCode = 2;
+
+Attempt classify(ChildResult child,
+                 const std::function<std::string(const ChildResult&)>&
+                     validate) {
+  Attempt attempt;
+  switch (child.outcome) {
+    case ChildOutcome::Timeout:
+      attempt.status = Status::Timeout;
+      attempt.detail =
+          child.escalated_to_kill
+              ? "deadline exceeded; SIGTERM ignored, escalated to SIGKILL"
+              : "deadline exceeded; stopped by SIGTERM";
+      break;
+    case ChildOutcome::Signaled:
+      attempt.status = Status::Crashed;
+      attempt.detail = "terminated by " + signal_name(child.term_signal);
+      break;
+    case ChildOutcome::Exited:
+      if (child.exit_code != 0) {
+        attempt.status = Status::Failed;
+        attempt.detail = "exit code " + std::to_string(child.exit_code);
+        if (child.exit_code == 127) attempt.detail += " (exec failure)";
+      } else {
+        std::string error = validate ? validate(child) : std::string();
+        if (error.empty()) {
+          attempt.status = Status::Ok;
+        } else {
+          attempt.status = Status::Failed;
+          attempt.detail = std::move(error);
+        }
+      }
+      break;
+  }
+  attempt.child = std::move(child);
+  return attempt;
+}
+
+}  // namespace
+
+std::string status_string(const Attempt& attempt) {
+  switch (attempt.status) {
+    case Status::Ok: return "ok";
+    case Status::Failed: return "failed";
+    case Status::Timeout: return "timeout";
+    case Status::Crashed:
+      return "crashed:" + signal_name(attempt.child.term_signal);
+  }
+  return "failed";
+}
+
+const Attempt& SuperviseResult::final_attempt() const {
+  LUMOS_REQUIRE(!attempts.empty(), "supervise: no attempts recorded");
+  return attempts.back();
+}
+
+double backoff_delay_seconds(const Options& options,
+                             std::size_t retry_index) {
+  LUMOS_REQUIRE(retry_index >= 1, "supervise: retry_index is 1-based");
+  double delay = options.backoff_base_seconds;
+  for (std::size_t i = 1; i < retry_index; ++i) {
+    delay *= 2.0;
+    if (delay >= options.backoff_cap_seconds) break;
+  }
+  return std::min(delay, options.backoff_cap_seconds);
+}
+
+bool retryable(const Attempt& attempt, const Options& options) {
+  switch (attempt.status) {
+    case Status::Ok: return false;
+    case Status::Crashed: return true;
+    case Status::Timeout: return options.retry_timeouts;
+    case Status::Failed:
+      return attempt.child.exit_code != kUsageExitCode;
+  }
+  return false;
+}
+
+SuperviseResult run_supervised(const Options& options) {
+  LUMOS_REQUIRE(options.max_attempts >= 1,
+                "supervise: max_attempts must be >= 1");
+  LUMOS_REQUIRE(options.backoff_base_seconds >= 0.0 &&
+                    options.backoff_cap_seconds >= 0.0,
+                "supervise: backoff must be non-negative");
+  SuperviseResult result;
+  for (std::size_t attempt_index = 1; attempt_index <= options.max_attempts;
+       ++attempt_index) {
+    if (attempt_index > 1) {
+      const double delay = backoff_delay_seconds(options, attempt_index - 1);
+      if (delay > 0.0) {
+        if (options.sleep) {
+          options.sleep(delay);
+        } else {
+          std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+        }
+      }
+    }
+    Attempt attempt = classify(run_child(options.spec), options.validate);
+    if (options.on_attempt) options.on_attempt(attempt, attempt_index);
+    const bool ok = attempt.status == Status::Ok;
+    const bool retry = !ok && retryable(attempt, options);
+    result.attempts.push_back(std::move(attempt));
+    if (ok) {
+      result.ok = true;
+      break;
+    }
+    if (!retry) break;
+  }
+  return result;
+}
+
+}  // namespace lumos::supervise

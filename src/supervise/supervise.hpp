@@ -1,0 +1,81 @@
+// lumos::supervise — bounded-retry supervision of one child command.
+//
+// run_supervised() layers a deterministic retry policy over
+// process.hpp's run_child(): each attempt is classified into the status
+// taxonomy the bench journal records —
+//
+//   ok              exited 0 and (if a validator is installed) the
+//                   output validated
+//   failed          nonzero exit, or exit 0 with invalid output
+//   timeout         killed by the supervisor for overrunning its deadline
+//   crashed:SIGxxx  died on a signal of its own making
+//
+// Retry is for *transient* failures: crashes always retry, plain
+// failures retry unless the exit code is the conventional usage error
+// (2 — rerunning a malformed command line cannot help), timeouts retry
+// only when opted in (a hung harness usually hangs again, and each retry
+// costs a full deadline). Backoff before retry k is
+// base * 2^(k-1), capped — computed by backoff_delay_seconds so tests
+// can assert the schedule without sleeping (inject `sleep` to observe).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "supervise/process.hpp"
+
+namespace lumos::supervise {
+
+enum class Status { Ok, Failed, Timeout, Crashed };
+
+struct Attempt {
+  ChildResult child;
+  Status status = Status::Failed;
+  /// Human-readable cause for non-ok statuses ("exit code 3",
+  /// "unparsable report: ...", ...).
+  std::string detail;
+};
+
+/// "ok" / "failed" / "timeout" / "crashed:SIGSEGV".
+[[nodiscard]] std::string status_string(const Attempt& attempt);
+
+struct Options {
+  ChildSpec spec;
+  /// Total attempts (1 = no retry). Must be >= 1.
+  std::size_t max_attempts = 1;
+  double backoff_base_seconds = 0.5;
+  double backoff_cap_seconds = 30.0;
+  bool retry_timeouts = false;
+  /// Output validator for exit-0 attempts: return "" to accept, or a
+  /// message to classify the attempt as failed (e.g. garbage JSON on
+  /// stdout). Unset = exit 0 is enough.
+  std::function<std::string(const ChildResult&)> validate;
+  /// Observes every attempt as it completes (journal append hook).
+  /// `attempt_index` is 1-based.
+  std::function<void(const Attempt&, std::size_t attempt_index)> on_attempt;
+  /// Backoff sleeper; unset = real sleep. Tests inject a recorder.
+  std::function<void(double seconds)> sleep;
+};
+
+struct SuperviseResult {
+  std::vector<Attempt> attempts;
+  bool ok = false;
+  /// The attempt that settled the run (the last one).
+  [[nodiscard]] const Attempt& final_attempt() const;
+};
+
+/// Delay before retry `retry_index` (1-based): base * 2^(retry-1), capped.
+[[nodiscard]] double backoff_delay_seconds(const Options& options,
+                                           std::size_t retry_index);
+
+/// Whether the policy retries after `attempt` (ignoring attempt budget).
+[[nodiscard]] bool retryable(const Attempt& attempt, const Options& options);
+
+/// Runs the child under the policy. Throws lumos::InvalidArgument on a
+/// malformed policy and lumos::InternalError when spawning itself fails;
+/// every child misbehaviour lands in the result instead.
+[[nodiscard]] SuperviseResult run_supervised(const Options& options);
+
+}  // namespace lumos::supervise

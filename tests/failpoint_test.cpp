@@ -196,5 +196,29 @@ TEST_F(FailpointTest, JsonWriterFaultLeavesNoTruncatedFile) {
   std::filesystem::remove(path);
 }
 
+TEST_F(FailpointTest, AtomicJsonWriterSharesTheWriteJsonSite) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  const auto path = std::filesystem::temp_directory_path() /
+                    "lumos_failpoint_atomic.json";
+  std::filesystem::remove(path);
+  fault::FailpointRegistry::global().arm("obs.write_json");
+  obs::Json doc = obs::Json::object();
+  doc["key"] = 1;
+  EXPECT_THROW(obs::write_json_atomic(doc, path.string()),
+               fault::InjectedFault);
+  // The fault fires before the temp file is even created: neither the
+  // target nor a stale `.tmp.` sibling may exist.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  for (const auto& entry : std::filesystem::directory_iterator(
+           path.parent_path())) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_NE(name.rfind(path.filename().string() + ".tmp", 0), 0u)
+        << "stale temp file: " << name;
+  }
+  obs::write_json_atomic(doc, path.string());  // disarmed: now succeeds
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace lumos

@@ -3,7 +3,12 @@
 // model — golden strings, round-trips, parse errors, snapshot export.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -259,6 +264,81 @@ TEST(ReportJson, DomainMetricsSeparateFromObservability) {
   EXPECT_EQ(j.find("counters"), nullptr);
   // Same inputs, same document: what bench_runner --verify leans on.
   EXPECT_EQ(j.dump(), report.to_json().dump());
+}
+
+TEST(ReportJson, FromJsonRoundTripsDomainMetrics) {
+  Report report;
+  report.harness = "fig4_waiting";
+  report.figure = "Figure 4";
+  report.wall_seconds = 0.25;
+  report.set("median_wait_s.Mira", 100.0);
+  report.set("median_wait_s.Intrepid", 0.1234567890123456789);
+  const Report restored = Report::from_json("fig4_waiting", report.to_json());
+  EXPECT_EQ(restored.harness, "fig4_waiting");
+  EXPECT_EQ(restored.figure, "Figure 4");
+  EXPECT_DOUBLE_EQ(restored.wall_seconds, 0.25);
+  // Bit-exact metric recovery is what the supervised runner's
+  // in-process-vs-child equivalence guarantee rests on.
+  EXPECT_EQ(restored.metrics, report.metrics);
+}
+
+// ------------------------------------------------------- atomic writing --
+
+TEST(AtomicJson, WritesParsableFileAndCleansUpTemp) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("lumos_obs_atomic_" +
+                     std::to_string(static_cast<long>(::getpid())) + ".json");
+  std::filesystem::remove(path);
+  Json doc = Json::object();
+  doc["key"] = 7;
+  write_json_atomic(doc, path.string());
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(Json::parse(buf.str()).find("key")->as_int(), 7);
+  // The same-directory temp file was renamed away, not left behind.
+  for (const auto& entry : std::filesystem::directory_iterator(
+           path.parent_path())) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_NE(name.rfind(path.filename().string() + ".tmp", 0), 0u)
+        << "stale temp file: " << name;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicJson, OverwritesExistingFileAtomically) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("lumos_obs_atomic_over_" +
+                     std::to_string(static_cast<long>(::getpid())) + ".json");
+  Json first = Json::object();
+  first["version"] = 1;
+  write_json_atomic(first, path.string());
+  Json second = Json::object();
+  second["version"] = 2;
+  write_json_atomic(second, path.string());
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(Json::parse(buf.str()).find("version")->as_int(), 2);
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicJson, UnwritableDirectoryThrowsWithoutLeavingTemp) {
+  EXPECT_THROW(
+      write_json_atomic(Json::object(), "/nonexistent/dir/out.json"),
+      InvalidArgument);
+}
+
+TEST(AtomicJson, DashWritesToStdout) {
+  // "-" must keep meaning stdout in the atomic variant too (the bench
+  // runner forwards --out verbatim). Nothing to assert beyond "no throw
+  // and no stray file": the document lands on the test's stdout.
+  testing::internal::CaptureStdout();
+  Json doc = Json::object();
+  doc["k"] = 1;
+  write_json_atomic(doc, "-");
+  const std::string captured = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(Json::parse(captured).find("k")->as_int(), 1);
 }
 
 }  // namespace

@@ -1,0 +1,376 @@
+// lumos::supervise tests: the supervisor against *real* child processes
+// (tests/misbehaving_child.cpp), covering outcome classification, the
+// SIGTERM -> grace -> SIGKILL escalation, stderr-tail ring capture,
+// deterministic retry/backoff, the resumable journal (including torn
+// tails), and SIGKILL-proof atomic JSON writes.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "supervise/journal.hpp"
+#include "supervise/process.hpp"
+#include "supervise/supervise.hpp"
+#include "util/error.hpp"
+
+#ifndef LUMOS_MISBEHAVING_CHILD
+#error "build must define LUMOS_MISBEHAVING_CHILD (see tests/CMakeLists.txt)"
+#endif
+
+namespace lumos::supervise {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifdef LUMOS_FAILPOINTS
+constexpr bool kFailpointsCompiled = true;
+#else
+constexpr bool kFailpointsCompiled = false;
+#endif
+
+ChildSpec child_spec(std::vector<std::string> args) {
+  ChildSpec spec;
+  spec.argv = {LUMOS_MISBEHAVING_CHILD};
+  spec.argv.insert(spec.argv.end(), args.begin(), args.end());
+  return spec;
+}
+
+/// Unique scratch path; removed on destruction.
+struct ScratchFile {
+  fs::path path;
+  explicit ScratchFile(const std::string& name)
+      : path(fs::temp_directory_path() /
+             ("lumos_supervise_" + name + "_" +
+              std::to_string(static_cast<long>(::getpid())))) {
+    fs::remove(path);
+  }
+  ~ScratchFile() { fs::remove(path); }
+};
+
+// ------------------------------------------------ outcome classification --
+
+TEST(RunChild, CleanChildExitsOkWithCapturedReport) {
+  const ChildResult result = run_child(child_spec({"clean"}));
+  EXPECT_EQ(result.outcome, ChildOutcome::Exited);
+  EXPECT_EQ(result.exit_code, 0);
+  // The one stdout line must be a parsable report document.
+  const obs::Json doc = obs::Json::parse(result.stdout_text);
+  ASSERT_NE(doc.find("metrics"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.find("metrics")->find("fixture.value")->as_double(),
+                   1.0);
+  // rusage came back with the exit status.
+  EXPECT_GT(result.max_rss_kb, 0);
+  EXPECT_GE(result.wall_seconds, 0.0);
+}
+
+TEST(RunChild, ExitCodeIsCaptured) {
+  const ChildResult result = run_child(child_spec({"exit", "3"}));
+  EXPECT_EQ(result.outcome, ChildOutcome::Exited);
+  EXPECT_EQ(result.exit_code, 3);
+}
+
+TEST(RunChild, CrashReportsTerminatingSignal) {
+  const ChildResult result = run_child(child_spec({"crash"}));
+  EXPECT_EQ(result.outcome, ChildOutcome::Signaled);
+  EXPECT_EQ(result.term_signal, SIGABRT);
+}
+
+TEST(RunChild, ExecFailureSurfacesAsExit127) {
+  ChildSpec spec;
+  spec.argv = {"/nonexistent/definitely-not-a-binary"};
+  const ChildResult result = run_child(spec);
+  EXPECT_EQ(result.outcome, ChildOutcome::Exited);
+  EXPECT_EQ(result.exit_code, 127);
+  EXPECT_NE(result.stderr_tail.find("exec failed"), std::string::npos);
+}
+
+TEST(RunChild, EmptyArgvIsAPreconditionViolation) {
+  EXPECT_THROW((void)run_child(ChildSpec{}), InvalidArgument);
+}
+
+// ------------------------------------------------- deadline & escalation --
+
+TEST(RunChild, HangTimesOutAndSigtermSuffices) {
+  ChildSpec spec = child_spec({"hang"});
+  spec.deadline_seconds = 0.3;
+  spec.grace_seconds = 5.0;
+  const ChildResult result = run_child(spec);
+  EXPECT_EQ(result.outcome, ChildOutcome::Timeout);
+  EXPECT_EQ(result.term_signal, SIGTERM);
+  EXPECT_FALSE(result.escalated_to_kill);
+  EXPECT_LT(result.wall_seconds, 4.0);  // never waited out the grace
+}
+
+TEST(RunChild, StubbornChildEscalatesToSigkill) {
+  ChildSpec spec = child_spec({"stubborn"});
+  spec.deadline_seconds = 0.3;
+  spec.grace_seconds = 0.3;
+  const ChildResult result = run_child(spec);
+  EXPECT_EQ(result.outcome, ChildOutcome::Timeout);
+  EXPECT_EQ(result.term_signal, SIGKILL);
+  EXPECT_TRUE(result.escalated_to_kill);
+}
+
+// ----------------------------------------------------------- io capture --
+
+TEST(RunChild, StderrTailKeepsOnlyTheLastBytes) {
+  ChildSpec spec = child_spec({"huge-stderr"});
+  spec.stderr_tail_bytes = 1024;
+  const ChildResult result = run_child(spec);
+  EXPECT_EQ(result.exit_code, 3);
+  EXPECT_LE(result.stderr_tail.size(), 1024u);
+  // ~2 MiB actually flowed; the tail holds the *end* of the stream.
+  EXPECT_GT(result.stderr_bytes, 1024u * 1024u);
+  EXPECT_NE(result.stderr_tail.find("END-OF-STDERR-MARKER"),
+            std::string::npos);
+}
+
+TEST(RunChild, PartialJsonIsCapturedVerbatim) {
+  const ChildResult result = run_child(child_spec({"partial-json"}));
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.stdout_text, "{\"figure\": \"Fixture\", \"metrics\": {");
+  EXPECT_THROW((void)obs::Json::parse(result.stdout_text), Error);
+}
+
+TEST(RunChild, StdoutCapIsEnforced) {
+  ChildSpec spec = child_spec({"clean"});
+  spec.stdout_limit_bytes = 8;
+  const ChildResult result = run_child(spec);
+  EXPECT_EQ(result.stdout_text.size(), 8u);
+  EXPECT_TRUE(result.stdout_truncated);
+}
+
+// ------------------------------------------------------- retry & backoff --
+
+TEST(Supervise, BackoffScheduleIsDeterministicAndCapped) {
+  Options options;
+  options.backoff_base_seconds = 0.5;
+  options.backoff_cap_seconds = 3.0;
+  EXPECT_DOUBLE_EQ(backoff_delay_seconds(options, 1), 0.5);
+  EXPECT_DOUBLE_EQ(backoff_delay_seconds(options, 2), 1.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_seconds(options, 3), 2.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_seconds(options, 4), 3.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff_delay_seconds(options, 9), 3.0);
+}
+
+TEST(Supervise, FlakyChildSucceedsOnRetryWithRecordedBackoff) {
+  ScratchFile state("flaky_state");
+  Options options;
+  options.spec = child_spec({"flaky", state.path.string()});
+  options.max_attempts = 3;
+  options.backoff_base_seconds = 0.25;
+  std::vector<double> slept;
+  options.sleep = [&](double seconds) { slept.push_back(seconds); };
+  std::size_t observed = 0;
+  options.on_attempt = [&](const Attempt&, std::size_t index) {
+    EXPECT_EQ(index, observed + 1);
+    ++observed;
+  };
+
+  const SuperviseResult result = run_supervised(options);
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.attempts.size(), 2u);
+  EXPECT_EQ(observed, 2u);
+  EXPECT_EQ(status_string(result.attempts[0]), "crashed:SIGABRT");
+  EXPECT_EQ(status_string(result.attempts[1]), "ok");
+  // Exactly one backoff sleep, of exactly the base delay.
+  ASSERT_EQ(slept.size(), 1u);
+  EXPECT_DOUBLE_EQ(slept[0], 0.25);
+}
+
+TEST(Supervise, UsageExitIsNeverRetried) {
+  Options options;
+  options.spec = child_spec({"exit", "2"});
+  options.max_attempts = 3;
+  options.sleep = [](double) {};
+  const SuperviseResult result = run_supervised(options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.attempts.size(), 1u);  // exit 2 = usage: not transient
+  EXPECT_EQ(status_string(result.final_attempt()), "failed");
+  EXPECT_EQ(result.final_attempt().child.exit_code, 2);
+}
+
+TEST(Supervise, RuntimeExitRetriesUpToTheBudget) {
+  Options options;
+  options.spec = child_spec({"exit", "3"});
+  options.max_attempts = 3;
+  std::vector<double> slept;
+  options.sleep = [&](double seconds) { slept.push_back(seconds); };
+  const SuperviseResult result = run_supervised(options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.attempts.size(), 3u);
+  EXPECT_EQ(slept.size(), 2u);  // backoff before attempts 2 and 3
+  EXPECT_EQ(result.final_attempt().detail, "exit code 3");
+}
+
+TEST(Supervise, TimeoutsAreNotRetriedUnlessOptedIn) {
+  Options options;
+  options.spec = child_spec({"hang"});
+  options.spec.deadline_seconds = 0.2;
+  options.spec.grace_seconds = 2.0;
+  options.max_attempts = 3;
+  options.sleep = [](double) {};
+  const SuperviseResult result = run_supervised(options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.attempts.size(), 1u);
+  EXPECT_EQ(status_string(result.final_attempt()), "timeout");
+}
+
+TEST(Supervise, ValidationFailureClassifiesExitZeroAsFailed) {
+  Options options;
+  options.spec = child_spec({"partial-json"});
+  options.max_attempts = 2;
+  options.sleep = [](double) {};
+  options.validate = [](const ChildResult& child) -> std::string {
+    try {
+      (void)obs::Json::parse(child.stdout_text);
+      return "";
+    } catch (const Error& e) {
+      return std::string("unparsable: ") + e.what();
+    }
+  };
+  const SuperviseResult result = run_supervised(options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.attempts.size(), 2u);  // deterministic garbage retries
+  EXPECT_EQ(status_string(result.final_attempt()), "failed");
+  EXPECT_NE(result.final_attempt().detail.find("unparsable"),
+            std::string::npos);
+}
+
+// -------------------------------------------------------------- journal --
+
+obs::Json sample_header() {
+  obs::Json header = obs::Json::object();
+  header["schema_version"] = 1;
+  header["seed"] = 42;
+  return header;
+}
+
+TEST(JournalTest, RoundTripsHeaderAndRecords) {
+  ScratchFile file("journal");
+  {
+    Journal journal(file.path.string(), /*truncate=*/true);
+    journal.write_header(sample_header());
+    JournalRecord record;
+    record.harness = "fig4_waiting";
+    record.attempt = 2;
+    record.status = "ok";
+    record.exit_code = 0;
+    record.wall_seconds = 1.5;
+    record.max_rss_kb = 4096;
+    record.report = obs::Json::object();
+    record.report["metrics"] = obs::Json::object();
+    journal.append(record);
+
+    JournalRecord crashed;
+    crashed.harness = "fig6_status";
+    crashed.status = "crashed:SIGSEGV";
+    crashed.term_signal = SIGSEGV;
+    crashed.stderr_tail = "boom";
+    journal.append(crashed);
+  }
+  const auto contents = Journal::read(file.path.string());
+  EXPECT_FALSE(contents.torn_tail);
+  ASSERT_NE(contents.header.find("seed"), nullptr);
+  EXPECT_EQ(contents.header.find("seed")->as_int(), 42);
+  ASSERT_EQ(contents.records.size(), 2u);
+  EXPECT_EQ(contents.records[0].harness, "fig4_waiting");
+  EXPECT_EQ(contents.records[0].attempt, 2u);
+  EXPECT_EQ(contents.records[0].status, "ok");
+  EXPECT_DOUBLE_EQ(contents.records[0].wall_seconds, 1.5);
+  EXPECT_EQ(contents.records[1].status, "crashed:SIGSEGV");
+  EXPECT_EQ(contents.records[1].term_signal, SIGSEGV);
+  EXPECT_EQ(contents.records[1].stderr_tail, "boom");
+
+  const auto completed = contents.completed();
+  EXPECT_EQ(completed.size(), 1u);  // only "ok" records carry reports
+  EXPECT_EQ(completed.count("fig4_waiting"), 1u);
+}
+
+TEST(JournalTest, TornTailLineIsIgnored) {
+  ScratchFile file("torn");
+  {
+    Journal journal(file.path.string(), /*truncate=*/true);
+    journal.write_header(sample_header());
+    JournalRecord record;
+    record.harness = "table1_traces";
+    record.status = "ok";
+    record.report = obs::Json::object();
+    journal.append(record);
+  }
+  // Simulate a crash mid-append: a half-written final line.
+  std::ofstream(file.path, std::ios::app)
+      << "{\"kind\":\"attempt\",\"harness\":\"fig1";
+  const auto contents = Journal::read(file.path.string());
+  EXPECT_TRUE(contents.torn_tail);
+  ASSERT_EQ(contents.records.size(), 1u);
+  EXPECT_EQ(contents.records[0].harness, "table1_traces");
+}
+
+TEST(JournalTest, MissingFileReadsAsEmpty) {
+  const auto contents =
+      Journal::read("/nonexistent/dir/BENCH_journal.jsonl");
+  EXPECT_TRUE(contents.header.is_null());
+  EXPECT_TRUE(contents.records.empty());
+  EXPECT_FALSE(contents.torn_tail);
+}
+
+TEST(JournalTest, HeaderlessFileYieldsNoResumeState) {
+  ScratchFile file("headerless");
+  std::ofstream(file.path) << "{\"kind\":\"attempt\",\"harness\":\"x\","
+                              "\"status\":\"ok\",\"report\":{}}\n";
+  const auto contents = Journal::read(file.path.string());
+  EXPECT_TRUE(contents.header.is_null());
+  EXPECT_TRUE(contents.records.empty());
+}
+
+// ------------------------------------------------- atomic-write survival --
+
+TEST(AtomicWrite, SurvivesSigkillAtAnArbitraryInstant) {
+  ScratchFile target("atomic_target");
+  ChildSpec spec = child_spec({"atomic-loop", target.path.string()});
+  // The child rewrites the file as fast as it can and ignores SIGTERM;
+  // the deadline machinery SIGKILLs it somewhere mid-write.
+  spec.deadline_seconds = 0.4;
+  spec.grace_seconds = 0.05;
+  const ChildResult result = run_child(spec);
+  EXPECT_EQ(result.outcome, ChildOutcome::Timeout);
+  EXPECT_TRUE(result.escalated_to_kill);
+  // Whatever instant the kill landed, the target is a complete document.
+  ASSERT_TRUE(std::filesystem::exists(target.path));
+  std::ifstream in(target.path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const obs::Json doc = obs::Json::parse(text);
+  ASSERT_NE(doc.find("iteration"), nullptr);
+  EXPECT_GE(doc.find("iteration")->as_int(), 0);
+  // Clean up temp-file leftovers from the killed writer.
+  for (const auto& entry :
+       fs::directory_iterator(target.path.parent_path())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(target.path.filename().string() + ".tmp", 0) == 0) {
+      fs::remove(entry.path());
+    }
+  }
+}
+
+TEST(AtomicWrite, ArmedFailpointMapsToFaultExitAndLeavesNoFile) {
+  ScratchFile target("failpoint_target");
+  const ChildResult result =
+      run_child(child_spec({"failpoint-write", target.path.string()}));
+  if (kFailpointsCompiled) {
+    EXPECT_EQ(result.exit_code, 4);  // typed InjectedFault -> kExitFault
+    EXPECT_NE(result.stderr_tail.find("injected fault"), std::string::npos);
+    EXPECT_FALSE(std::filesystem::exists(target.path));
+  } else {
+    EXPECT_EQ(result.exit_code, 0);  // site compiled out: write succeeds
+    EXPECT_TRUE(std::filesystem::exists(target.path));
+  }
+}
+
+}  // namespace
+}  // namespace lumos::supervise

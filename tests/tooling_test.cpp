@@ -413,6 +413,48 @@ TEST(LumosLint, CatchAllInCommentsAndStringsIgnored) {
                   .empty());
 }
 
+TEST(LumosLint, FlagsRawExitInLibraryCode) {
+  const auto diags = lint::lint_source(
+      "trace/loader.cpp",
+      "void fail(int code) {\n"
+      "  std::exit(code);\n"
+      "  abort();\n"
+      "  std::quick_exit(1);\n"
+      "  _Exit(2);\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 4u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, "raw-exit");
+  }
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[3].line, 5);
+}
+
+TEST(LumosLint, RawExitExemptsMainTusAndPosixUnderscoreExit) {
+  // A TU that defines main() owns its process: exit/abort are its call.
+  EXPECT_TRUE(lint::lint_source("bench/tool.cpp",
+                                "int main(int argc, char** argv) {\n"
+                                "  if (argc < 2) std::exit(2);\n"
+                                "  std::abort();\n"
+                                "}\n")
+                  .empty());
+  // Async-signal-safe POSIX _exit(2) — the only safe call between fork
+  // and exec — is deliberately outside the rule.
+  EXPECT_TRUE(lint::lint_source("supervise/process.cpp",
+                                "void child() { _exit(127); }\n")
+                  .empty());
+  // tools/ and tests/ are outside the checked library surface.
+  EXPECT_TRUE(lint::lint_source("tools/cli.cpp",
+                                "void die() { std::exit(1); }\n")
+                  .empty());
+  // Mentions in comments and strings never trip the rule.
+  EXPECT_TRUE(lint::lint_source(
+                  "sim/notes.cpp",
+                  "// calls std::exit(1) on failure\n"
+                  "const char* kDoc = \"abort() if unset\";\n")
+                  .empty());
+}
+
 TEST(LumosLint, CleanFixtureReportsNothing) {
   const auto diags = lint::lint_source("sim/clean.hpp",
                                        "// A well-behaved header.\n"

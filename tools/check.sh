@@ -13,6 +13,9 @@
 #              -DLUMOS_LINT=ON and a clang-tidy binary is on PATH)
 #   bench     bench_runner --smoke --verify: every harness on capped
 #             workloads, JSON self-check + same-seed determinism
+#   bench:supervised  the bench_supervised_smoke ctest: fault drill of the
+#             crash-isolated fleet (injected crash/hang/garbage, journal
+#             resume, in-process-vs-supervised metric equivalence)
 #
 # Continues past failures and prints a single PASS/FAIL summary; exit
 # status is non-zero if any stage failed. Run from the repo root:
@@ -70,6 +73,8 @@ fi
 run_stage "lint:lumos_lint" ./build/tools/lumos_lint src bench
 run_stage "bench:smoke" ./build/bench/bench_runner --smoke --verify \
   --out build/BENCH_check.json
+run_stage "bench:supervised" ctest --test-dir build \
+  -R '^bench_supervised_smoke$' --output-on-failure
 
 echo
 echo "================ check.sh summary ================"

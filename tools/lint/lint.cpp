@@ -221,6 +221,29 @@ const std::vector<TokenRule>& stdout_rules() {
   return rules;
 }
 
+const std::vector<TokenRule>& exit_rules() {
+  static const std::vector<TokenRule> rules = [] {
+    std::vector<TokenRule> r;
+    const char* message =
+        "library code must not tear the process down (skips destructors, "
+        "flushes, and the bench exit-code taxonomy); return an error or "
+        "throw a typed lumos::Error, and exit only from main()";
+    // Four separate patterns: `\bexit` deliberately fails to land inside
+    // `quick_exit` or POSIX `_exit` (preceded by `_`, a word character),
+    // so the async-signal-safe post-fork `_exit(2)` idiom stays legal.
+    r.push_back({"raw-exit",
+                 std::regex(R"(\b(std\s*::\s*)?exit\s*\()"), message});
+    r.push_back({"raw-exit",
+                 std::regex(R"(\b(std\s*::\s*)?quick_exit\s*\()"), message});
+    r.push_back({"raw-exit",
+                 std::regex(R"(\b(std\s*::\s*)?abort\s*\()"), message});
+    r.push_back({"raw-exit",
+                 std::regex(R"(\b(std\s*::\s*)?_Exit\s*\()"), message});
+    return r;
+  }();
+  return rules;
+}
+
 const std::vector<TokenRule>& float_rules() {
   static const std::vector<TokenRule> rules = [] {
     std::vector<TokenRule> r;
@@ -393,6 +416,16 @@ std::vector<Diagnostic> lint_source(std::string_view rel_path,
                    {"util/logging.hpp", "util/logging.cpp", "obs/json.cpp",
                     "bench/common.hpp", "bench/bench_runner.cpp"})) {
     apply_token_rules(stdout_rules(), stripped_lines, rel_path, out);
+  }
+  // raw-exit: entry-point TUs (anything defining `int main(`) own their
+  // process and may exit/abort — e.g. a harness's generated main or the
+  // runner's --inject-fault crash hook. Everything else must return or
+  // throw so the supervisor sees the documented exit-code taxonomy.
+  if (checked_code) {
+    static const std::regex main_re(R"(\bint\s+main\s*\()");
+    if (!std::regex_search(stripped.begin(), stripped.end(), main_re)) {
+      apply_token_rules(exit_rules(), stripped_lines, rel_path, out);
+    }
   }
   if (top == "sim" || top == "trace" || top == "core") {
     apply_token_rules(float_rules(), stripped_lines, rel_path, out);

@@ -23,6 +23,14 @@
 //                   lumos::Error, or std::current_exception) — swallowing
 //                   an unknown exception reports success on failure. The
 //                   ThreadPool boundary is allowlisted.
+//   raw-exit        exit()/abort()/quick_exit()/_Exit() in library code:
+//                   tearing the process down skips destructors, pending
+//                   flushes, and the supervisor's exit-code taxonomy
+//                   (bench/common.hpp). Only entry-point TUs — files that
+//                   define `int main(` — own their process and may exit.
+//                   Async-signal-safe POSIX `_exit(2)` (the post-fork
+//                   idiom in supervise/process.cpp) is deliberately not
+//                   matched.
 //   pragma-once     every header starts (after comments) with #pragma once.
 //   include-hygiene no parent-relative ("../") or backslashed include
 //                   paths, and no duplicate includes within a file.
