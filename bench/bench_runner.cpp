@@ -176,7 +176,12 @@ Args harness_args(const RunnerOptions& opt) {
 obs::Report run_one(const HarnessInfo& info, const Args& args,
                     std::ostream& sink) {
   auto& registry = obs::Registry::global();
-  registry.reset();
+  // clear(), not reset(): reset keeps instrument names, so a harness that
+  // never touches the simulator would still publish `sim.events: 0` etc.
+  // in its section — zero-valued ghosts of whichever harness ran earlier
+  // (the ext_fault_aware "sim.events: 0" bug). No harness holds handles
+  // across runs, so dropping the instruments outright is safe here.
+  registry.clear();
   obs::ScopedTimer timer(registry.histogram("bench.harness_seconds"));
   obs::Report report = info.run(args, sink);
   report.wall_seconds = timer.elapsed_seconds();

@@ -2,10 +2,13 @@
 // versions of the two google-benchmark micro suites (those binaries own
 // their main and measure iterations; the runner wants one deterministic
 // pass with domain counters instead).
+#include <algorithm>
+#include <cstdint>
 #include <ostream>
 
 #include "common.hpp"
 #include "harnesses.hpp"
+#include "obs/registry.hpp"
 #include "ml/gbrt.hpp"
 #include "ml/linear.hpp"
 #include "predict/features.hpp"
@@ -48,6 +51,38 @@ obs::Report run_micro_sim(const Args& args, std::ostream& out) {
                std::to_string(result.counters.profile_rebuilds)});
   }
   out << "Theta, " << trace.size() << " jobs:\n" << t.render();
+
+  // Throughput measurement for the bench:perf regression gate. The repeat
+  // count is deterministic (sized from the trace so smoke runs process
+  // ~50k jobs and are not noise-dominated); the timed loop publishes into
+  // a private registry so the global counters above keep their
+  // single-run values. Rates land in GAUGES — deliberately outside the
+  // deterministic `metrics` section that --verify compares.
+  const std::size_t repeats = std::max<std::size_t>(
+      1, 50000 / std::max<std::size_t>(std::size_t{1}, trace.size()));
+  obs::Registry scratch;
+  std::uint64_t events = 0;
+  auto& registry = obs::Registry::global();
+  obs::ScopedTimer timer(registry.histogram("micro.sim_wall_seconds"));
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    sim::SimConfig config;
+    config.backfill.kind = sim::BackfillKind::Easy;
+    events += sim::simulate(trace, config, scratch).counters.events;
+  }
+  const double seconds = timer.elapsed_seconds();
+  const double jobs_done = static_cast<double>(trace.size()) *
+                           static_cast<double>(repeats);
+  registry.gauge("sim.jobs_per_sec")
+      .set(seconds > 0.0 ? jobs_done / seconds : 0.0);
+  registry.gauge("sim.events_per_sec")
+      .set(seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0);
+  registry.gauge("sim.throughput_repeats")
+      .set(static_cast<double>(repeats));
+  out << "throughput: " << repeats << " EASY repeats, "
+      << static_cast<std::uint64_t>(jobs_done) << " jobs in "
+      << util::fixed(seconds, 3) << " s ("
+      << static_cast<std::uint64_t>(seconds > 0.0 ? jobs_done / seconds : 0.0)
+      << " jobs/s)\n";
   return report;
 }
 
@@ -132,6 +167,8 @@ const std::vector<HarnessInfo>& all_harnesses() {
        {"median_runtime_s.", "peak_hour_ratio."}},
       {"ext_node_failures", "Extension", run_ext_node_failures,
        {"goodput_share.", "wasted_core_hours."}},
+      {"ext_sweep_scaling", "Extension", run_ext_sweep_scaling,
+       {"wait_s.", "sweep."}},
       {"micro_sim", "Micro", run_micro_sim, {"events.", "backfilled."}},
       {"micro_ml", "Micro", run_micro_ml,
        {"dataset_rows", "dataset_features"}},

@@ -60,6 +60,67 @@ void BM_SimulateEasy(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateEasy)->Arg(7)->Arg(30)->Unit(benchmark::kMillisecond);
 
+void BM_SimulateEventQueue(benchmark::State& state) {
+  // Calendar-vs-heap event-queue backends on the same workload: range(1)
+  // selects the backend, so a single report shows the bucket queue's edge
+  // (both produce bit-identical SimResults — sim_test asserts that).
+  const auto trace = make_trace("Theta", static_cast<double>(state.range(0)));
+  lumos::sim::SimConfig config;
+  config.backfill.kind = lumos::sim::BackfillKind::Easy;
+  config.event_queue = state.range(1) == 0
+                           ? lumos::sim::EventQueueKind::Heap
+                           : lumos::sim::EventQueueKind::Calendar;
+  state.SetLabel(std::string(to_string(config.event_queue)));
+  lumos::sim::SimResult result;
+  for (auto _ : state) {
+    result = lumos::sim::simulate(trace, config);
+    benchmark::DoNotOptimize(result.outcomes.data());
+  }
+  report_sim_counters(state, result, trace.size());
+}
+BENCHMARK(BM_SimulateEventQueue)
+    ->Args({30, 0})
+    ->Args({30, 1})
+    ->Args({120, 0})
+    ->Args({120, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulateSweepShards(benchmark::State& state) {
+  // End-to-end sharded sweep: 8 (policy, backfill) points over one trace,
+  // range(0) worker threads. Speedup over the threads=1 row is the
+  // number ext_sweep_scaling gates on.
+  const auto trace = make_trace("Theta", 30.0);
+  std::vector<lumos::trace::Trace> traces;
+  traces.push_back(trace);
+  std::vector<lumos::sim::SweepPoint> points;
+  for (auto policy :
+       {lumos::sim::PolicyKind::Fcfs, lumos::sim::PolicyKind::Sjf}) {
+    for (auto kind : {lumos::sim::BackfillKind::None,
+                      lumos::sim::BackfillKind::Easy,
+                      lumos::sim::BackfillKind::Conservative,
+                      lumos::sim::BackfillKind::AdaptiveRelaxed}) {
+      lumos::sim::SweepPoint point;
+      point.config.policy = policy;
+      point.config.backfill.kind = kind;
+      points.push_back(point);
+    }
+  }
+  lumos::sim::SweepOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto outcome = lumos::sim::sweep_shards(traces, points, options);
+    benchmark::DoNotOptimize(outcome.shards.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(trace.size() * points.size()) *
+      state.iterations());
+}
+BENCHMARK(BM_SimulateSweepShards)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SimulateAdaptive(benchmark::State& state) {
   const auto trace = make_trace("Theta", static_cast<double>(state.range(0)));
   lumos::sim::SimConfig config;

@@ -156,6 +156,44 @@ void Registry::reset() {
   for (auto& [name, h] : histograms_) h->reset();
 }
 
+void Registry::clear() {
+  util::ScopedLock lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void Registry::merge(const Snapshot& snap) {
+  util::ScopedLock lock(mutex_);
+  for (const auto& s : snap.counters) {
+    find_or_create(counters_, s.name).add(s.value);
+  }
+  for (const auto& s : snap.gauges) {
+    find_or_create(gauges_, s.name).set(s.value);
+  }
+  for (const auto& s : snap.histograms) {
+    Histogram& h = find_or_create(histograms_, s.name);
+    for (const auto& [bound, n] : s.buckets) {
+      h.buckets_[Histogram::bucket_index(bound)].fetch_add(
+          n, std::memory_order_relaxed);
+    }
+    const std::uint64_t before =
+        h.count_.fetch_add(s.count, std::memory_order_relaxed);
+    atomic_add(h.sum_, s.sum);
+    if (s.count > 0) {
+      if (before == 0) {
+        // Seeding an empty histogram: adopt the snapshot's extrema
+        // (min 0.0 would otherwise be unbeatable for positive samples).
+        h.min_.store(s.min, std::memory_order_relaxed);
+        h.max_.store(s.max, std::memory_order_relaxed);
+      } else {
+        atomic_min(h.min_, s.min);
+        atomic_max(h.max_, s.max);
+      }
+    }
+  }
+}
+
 Registry& Registry::global() {
   static Registry registry;
   return registry;

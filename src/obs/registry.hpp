@@ -109,11 +109,13 @@ class Histogram {
 struct CounterSample {
   std::string name;
   std::uint64_t value = 0;
+  [[nodiscard]] bool operator==(const CounterSample&) const = default;
 };
 
 struct GaugeSample {
   std::string name;
   double value = 0.0;
+  [[nodiscard]] bool operator==(const GaugeSample&) const = default;
 };
 
 struct HistogramSample {
@@ -124,6 +126,7 @@ struct HistogramSample {
   double max = 0.0;
   /// (bucket lower bound, count) for the non-empty buckets only.
   std::vector<std::pair<double, std::uint64_t>> buckets;
+  [[nodiscard]] bool operator==(const HistogramSample&) const = default;
 };
 
 /// Point-in-time copy of every registered instrument, name-sorted.
@@ -155,9 +158,28 @@ class Registry {
   /// Copies every instrument's current value, sorted by name.
   [[nodiscard]] Snapshot snapshot() const LUMOS_EXCLUDES(mutex_);
 
-  /// Zeroes every instrument (names and handles survive). The bench
-  /// runner calls this between harnesses to isolate their sections.
+  /// Zeroes every instrument (names and handles survive). Note that a
+  /// zeroed instrument still appears in snapshots: a consumer that needs
+  /// sections to contain only instruments actually touched since the
+  /// boundary must use clear() instead.
   void reset() LUMOS_EXCLUDES(mutex_);
+
+  /// Removes every instrument — names, values, AND handles. Any
+  /// previously returned Counter/Gauge/Histogram reference is dangling
+  /// afterwards, so callers own a quiescence precondition: no concurrent
+  /// writer may hold a handle across clear(). The bench runner calls this
+  /// between harnesses so a section never inherits zero-valued ghosts of
+  /// another harness's instruments (a stale `sim.events: 0` in a harness
+  /// that never ran the simulator reads as a broken counter pipeline).
+  void clear() LUMOS_EXCLUDES(mutex_);
+
+  /// Folds a snapshot into this registry: counters add, gauges are
+  /// overwritten (last merge wins), histograms accumulate buckets,
+  /// count, sum, and min/max. Instruments missing here are created.
+  /// Merging shard snapshots in a fixed order (shard index, not
+  /// completion order) makes the combined registry deterministic; see
+  /// sim::sweep_shards.
+  void merge(const Snapshot& snap) LUMOS_EXCLUDES(mutex_);
 
   /// The process-wide registry the library layers write into.
   [[nodiscard]] static Registry& global();

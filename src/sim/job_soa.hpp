@@ -1,0 +1,117 @@
+// Structure-of-arrays job state for the simulator event loop.
+//
+// The loop touches a handful of per-job fields millions of times per
+// simulated day: submit/planned times for policy scores, cores for
+// fitting, and the location/run-slot handles for O(1) queue membership.
+// Laying each field out in its own contiguous array keeps the policy
+// sort and the queue compaction streaming over dense doubles instead of
+// striding through an array-of-structs, and keeps cold fault-recovery
+// state (remaining runtime, attempt counts, epochs) out of the
+// fault-free cache footprint entirely — those lanes are only allocated
+// when fault injection is enabled.
+//
+// This is plumbing behind the public API: trace::Job remains the
+// user-facing record, and SimResult/JobOutcome are unchanged. All
+// arrays are index-aligned with the input trace.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "trace/trace.hpp"
+
+namespace lumos::sim {
+
+/// Where a job currently lives in the event loop. Acts as the per-job
+/// queue handle: O(1) membership checks replace linear scans.
+enum class JobLocation : std::uint8_t {
+  NotArrived,
+  Queued,
+  Running,
+  Finished,
+  Dropped,    ///< oversized for its partition, removed from the queue
+  Retrying,   ///< interrupted; waiting out its resubmission backoff
+  Abandoned,  ///< interrupted and out of retry budget: left as Failed
+};
+
+class JobSoA {
+ public:
+  /// Populates the hot lanes from the trace. Returns true when planning
+  /// fell back to oracle runtimes (trace lacked walltime requests).
+  bool build(const trace::Trace& trace, const Cluster& cluster) {
+    const auto jobs = trace.jobs();
+    n_ = jobs.size();
+    submit_.resize(n_);
+    run_.resize(n_);
+    planned_.resize(n_);
+    cores_.resize(n_);
+    partition_.resize(n_);
+    location_.assign(n_, JobLocation::NotArrived);
+    run_slot_.assign(n_, 0);
+    bool used_oracle = false;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto& j = jobs[i];
+      submit_[i] = j.submit_time;
+      run_[i] = std::max(0.0, j.run_time);
+      cores_[i] = j.cores > 0 ? j.cores : 1;
+      partition_[i] = cluster.partition_for(j.virtual_cluster);
+      if (j.has_requested_time()) {
+        planned_[i] = std::max(j.requested_time, 1.0);
+      } else {
+        planned_[i] = std::max(run_[i], 1.0);
+        used_oracle = true;
+      }
+    }
+    return used_oracle;
+  }
+
+  /// Allocates the fault-recovery lanes (fault-free runs never pay for
+  /// them). Remaining runtimes start at the full runtime.
+  void enable_fault_state() {
+    remaining_run_ = run_;
+    run_start_.assign(n_, 0.0);
+    attempts_.assign(n_, 0);
+    epoch_.assign(n_, 0);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  // Hot lanes (immutable after build).
+  [[nodiscard]] double submit(std::size_t i) const noexcept { return submit_[i]; }
+  [[nodiscard]] double run(std::size_t i) const noexcept { return run_[i]; }
+  [[nodiscard]] double planned(std::size_t i) const noexcept { return planned_[i]; }
+  [[nodiscard]] std::uint64_t cores(std::size_t i) const noexcept { return cores_[i]; }
+  [[nodiscard]] std::size_t partition(std::size_t i) const noexcept { return partition_[i]; }
+
+  // Event-loop handles.
+  [[nodiscard]] JobLocation location(std::size_t i) const noexcept { return location_[i]; }
+  void set_location(std::size_t i, JobLocation l) noexcept { location_[i] = l; }
+  [[nodiscard]] std::uint32_t run_slot(std::size_t i) const noexcept { return run_slot_[i]; }
+  void set_run_slot(std::size_t i, std::uint32_t s) noexcept { run_slot_[i] = s; }
+
+  // Fault lanes (valid only after enable_fault_state()).
+  [[nodiscard]] double& remaining_run(std::size_t i) noexcept { return remaining_run_[i]; }
+  [[nodiscard]] double& run_start(std::size_t i) noexcept { return run_start_[i]; }
+  [[nodiscard]] std::uint32_t& attempts(std::size_t i) noexcept { return attempts_[i]; }
+  [[nodiscard]] std::uint32_t& epoch(std::size_t i) noexcept { return epoch_[i]; }
+  [[nodiscard]] std::uint32_t epoch(std::size_t i) const noexcept { return epoch_[i]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> submit_;
+  std::vector<double> run_;
+  std::vector<double> planned_;         ///< walltime request or oracle
+  std::vector<std::uint64_t> cores_;
+  std::vector<std::size_t> partition_;
+  std::vector<JobLocation> location_;
+  std::vector<std::uint32_t> run_slot_;
+  // Cold fault lanes.
+  std::vector<double> remaining_run_;   ///< runtime still owed
+  std::vector<double> run_start_;       ///< start of the current attempt
+  std::vector<std::uint32_t> attempts_; ///< interruptions suffered so far
+  std::vector<std::uint32_t> epoch_;    ///< current interruption generation
+};
+
+}  // namespace lumos::sim

@@ -28,6 +28,9 @@ struct SimMetrics {
                                     ///< copied from the SimResult
 
   [[nodiscard]] std::string to_string() const;
+  /// Field-for-field (bit-exact doubles) — used by the sharded-sweep
+  /// golden bit-identity tests.
+  [[nodiscard]] bool operator==(const SimMetrics&) const = default;
 };
 
 /// Computes metrics for a finished simulation of `trace`.

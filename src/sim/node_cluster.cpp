@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <deque>
-#include <queue>
 
+#include "sim/event_queue.hpp"
 #include "util/error.hpp"
 
 namespace lumos::sim {
@@ -154,14 +154,21 @@ PackingMetrics simulate_packing(const trace::Trace& trace,
       (total + config.gpus_per_node - 1) / config.gpus_per_node);
   NodeCluster cluster(node_count, config.gpus_per_node, config.policy);
 
+  // POD queue entry — slices live out-of-line in `slices_of`, keyed by
+  // job index, so the entry rides the calendar lanes (trivially
+  // copyable) and same-instant completions release in job order, not
+  // heap insertion order.
   struct Running {
     double end;
-    std::vector<NodeCluster::Slice> slices;
     std::uint64_t gpus;
-    bool operator>(const Running& o) const noexcept { return end > o.end; }
+    std::uint32_t index;
+    [[nodiscard]] EventKey key() const noexcept {
+      return {end, EventKind::Finish, index, 0};
+    }
   };
-  std::priority_queue<Running, std::vector<Running>, std::greater<Running>>
-      running;
+  EventQueue<Running> running;
+  std::vector<std::vector<NodeCluster::Slice>> slices_of(
+      config.pooled ? 0 : trace.size());
   std::deque<std::size_t> queue;
   std::uint64_t pooled_free = cluster.total_gpus();
 
@@ -174,14 +181,16 @@ PackingMetrics simulate_packing(const trace::Trace& trace,
 
   auto try_start = [&]() {
     while (!queue.empty()) {
-      const auto& j = jobs[queue.front()];
+      const std::size_t job_index = queue.front();
+      const auto& j = jobs[job_index];
       const std::uint64_t gpus =
           std::min<std::uint64_t>(std::max<std::uint32_t>(j.cores, 1),
                                   cluster.total_gpus());
       if (config.pooled) {
         if (gpus > pooled_free) break;
         pooled_free -= gpus;
-        running.push({now + j.run_time, {}, gpus});
+        running.push({now + j.run_time, gpus,
+                      static_cast<std::uint32_t>(job_index)});
       } else {
         if (!cluster.can_place(gpus)) {
           // Head blocked: record visible-but-unusable capacity.
@@ -189,8 +198,9 @@ PackingMetrics simulate_packing(const trace::Trace& trace,
           ++m.blocked_events;
           break;
         }
-        auto slices = cluster.place(gpus);
-        running.push({now + j.run_time, std::move(slices), gpus});
+        slices_of[job_index] = cluster.place(gpus);
+        running.push({now + j.run_time, gpus,
+                      static_cast<std::uint32_t>(job_index)});
       }
       wait_sum += now - j.submit_time;
       busy += static_cast<double>(gpus) * j.run_time;
@@ -215,7 +225,8 @@ PackingMetrics simulate_packing(const trace::Trace& trace,
       if (config.pooled) {
         pooled_free += r.gpus;
       } else {
-        cluster.release(r.slices);
+        cluster.release(slices_of[r.index]);
+        slices_of[r.index].clear();
       }
       m.makespan = std::max(m.makespan, r.end);
     }

@@ -37,6 +37,37 @@ void ResourceProfile::reserve(double start, double end, std::uint64_t cores) {
   }
 }
 
+void ResourceProfile::assign_reservations(
+    double now, std::uint64_t capacity,
+    const std::vector<std::pair<double, std::uint64_t>>& ends) {
+  LUMOS_REQUIRE(capacity > 0, "profile capacity must be positive");
+  capacity_ = capacity;
+  times_.clear();
+  free_.clear();
+  // Entries with end <= now or zero cores reserve nothing (matching
+  // reserve()'s no-op guard); everything else holds cores from `now`
+  // until its end, so free at any step is capacity minus the cores of
+  // reservations ending strictly later.
+  std::uint64_t active = 0;
+  for (const auto& [end, cores] : ends) {
+    if (end > now) active += cores;
+  }
+  times_.push_back(now);
+  free_.push_back(active >= capacity ? 0 : capacity - active);
+  std::size_t i = 0;
+  const std::size_t n = ends.size();
+  while (i < n) {
+    const double end = ends[i].first;
+    std::uint64_t releasing = 0;
+    for (; i < n && ends[i].first == end; ++i) releasing += ends[i].second;
+    if (end <= now) continue;   // skipped above; releases nothing
+    if (releasing == 0) continue;  // zero-core reserves create no boundary
+    active -= releasing;
+    times_.push_back(end);
+    free_.push_back(active >= capacity ? 0 : capacity - active);
+  }
+}
+
 std::uint64_t ResourceProfile::free_at(double t) const noexcept {
   if (t < times_.front()) return free_.front();
   return free_[step_index(t)];

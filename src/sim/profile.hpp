@@ -26,6 +26,18 @@ class ResourceProfile {
   /// should only commit feasible reservations).
   void reserve(double start, double end, std::uint64_t cores);
 
+  /// Rebuilds this profile in place as `capacity` cores free from `now`,
+  /// minus one reservation [now, end) per (end, cores) entry. `ends`
+  /// must be sorted ascending by end time. Equivalent to constructing
+  /// ResourceProfile(now, capacity) and calling reserve(now, end, cores)
+  /// for each entry — exactly, including `operator==` (reserves starting
+  /// at a common origin commute, and the clamp `max(0, cap - Σcores)`
+  /// composes identically either way) — but O(R) after the sort instead
+  /// of O(R²), and reusing this profile's storage.
+  void assign_reservations(
+      double now, std::uint64_t capacity,
+      const std::vector<std::pair<double, std::uint64_t>>& ends);
+
   /// Earliest time >= `earliest` at which `cores` are continuously free for
   /// `duration` seconds. Returns kTimeInfinity when cores > capacity.
   [[nodiscard]] double earliest_start(double earliest, double duration,

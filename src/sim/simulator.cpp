@@ -4,11 +4,14 @@
 #include <cmath>
 #include <limits>
 #include <optional>
-#include <queue>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/registry.hpp"
 #include "sim/auditor.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/job_soa.hpp"
 #include "sim/profile.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -19,23 +22,636 @@ namespace {
 
 constexpr double kEps = 1e-6;
 
-/// Where a job currently lives in the event loop. Acts as the per-job
-/// queue handle: O(1) membership checks replace the old linear scans.
-enum class JobLocation : std::uint8_t {
-  NotArrived,
-  Queued,
-  Running,
-  Finished,
-  Dropped,    ///< oversized for its partition, removed from the queue
-  Retrying,   ///< interrupted; waiting out its resubmission backoff
-  Abandoned,  ///< interrupted and out of retry budget: left as Failed
-};
-
 /// Policies whose score depends on the current waiting time. Their queue
 /// order can change as time advances even without arrivals, so the
 /// incremental sort must also refresh when `now` moves.
 bool policy_is_time_dependent(PolicyKind p) noexcept {
   return p == PolicyKind::Wfp3 || p == PolicyKind::Unicep;
+}
+
+/// A pending resubmission after an interruption. Ordered as an Arrive
+/// event — (time, Arrive, job index) — matching the historical
+/// (re-arrival time, job index) order exactly.
+struct RetryEvent {
+  double time = 0.0;
+  std::uint32_t index = 0;
+  [[nodiscard]] EventKey key() const noexcept {
+    return {time, EventKind::Arrive, index, 0};
+  }
+};
+
+/// The event-loop engine: all per-run state lives here, laid out
+/// data-oriented (see job_soa.hpp / event_queue.hpp), with every scratch
+/// buffer hoisted to a member so the steady-state loop allocates nothing.
+///
+/// Batching rule (DESIGN.md §4f): each outer iteration advances `now` to
+/// the next event timestamp and drains EVERY event at that instant —
+/// completions, then node faults, then elapsed retries, then arrivals —
+/// before running one scheduling round over all partitions. N same-time
+/// events therefore cost one policy sort per dirty partition and one
+/// availability-profile rebuild per (partition, timestamp), not N.
+class SimEngine {
+ public:
+  SimEngine(const trace::Trace& trace, const SimConfig& config)
+      : trace_(trace),
+        config_(config),
+        cluster_(Cluster::from_spec(trace.spec())),
+        running_(config.event_queue),
+        retries_(config.event_queue) {}
+
+  [[nodiscard]] SimResult run();
+
+ private:
+  struct ProfileCache {
+    ResourceProfile profile{0.0, 1};
+    double time = -1.0;
+    bool valid = false;
+  };
+
+  void audit() {
+    if (auditor_) {
+      auditor_->check(cluster_, queues_, running_by_part_, total_queued_);
+    }
+  }
+
+  // Planned-availability profile for one partition from its running jobs,
+  // rebuilt in place into `out` (O(R log R) via sorted ends; exactly
+  // equal to sequentially reserving each job — see assign_reservations).
+  // Planned ends already in the past (jobs overrunning their estimate)
+  // are treated as ending shortly after `now`.
+  void rebuild_profile(std::size_t part, ResourceProfile& out) {
+    ends_.clear();
+    for (const RunningJob& r : running_by_part_[part]) {
+      const double planned_end =
+          r.planned_end > now_ + kEps ? r.planned_end : now_ + 60.0;
+      ends_.emplace_back(planned_end, r.cores);
+    }
+    // Offline (failed-node) cores are unavailable for planning until they
+    // recover; the MTTR is the scheduler's repair-time estimate, keeping
+    // reservations finite while a node is down.
+    if (faults_on_ && cluster_.offline(part) > 0) {
+      ends_.emplace_back(now_ + config_.fault.node_mttr_s,
+                         cluster_.offline(part));
+    }
+    std::sort(ends_.begin(), ends_.end());
+    out.assign_reservations(now_, cluster_.capacity(part), ends_);
+  }
+
+  // Returns the partition's availability profile, serving from the
+  // incremental cache when it is still anchored at `now`. Callers that
+  // mutate the profile must copy it into a scratch member first.
+  const ResourceProfile& ensure_profile(std::size_t part) {
+    ProfileCache& cache = profiles_[part];
+    if (!cache.valid || cache.time != now_) {
+      rebuild_profile(part, cache.profile);
+      cache.valid = true;
+      cache.time = now_;
+      ++counters_->profile_rebuilds;
+    } else {
+      ++counters_->profile_cache_hits;
+      if (auditor_) {
+        rebuild_profile(part, audit_profile_);
+        auditor_->check_profile(cache.profile, audit_profile_);
+      }
+    }
+    return cache.profile;
+  }
+
+  void invalidate_profile(std::size_t part) {
+    ProfileCache& cache = profiles_[part];
+    if (cache.valid) ++counters_->profile_invalidations;
+    cache.valid = false;
+  }
+
+  void start_job(std::uint32_t idx, bool as_backfill) {
+    if (jobs_.location(idx) != JobLocation::Queued) {
+      throw InternalError("start_job on a job that is not queued");
+    }
+    const std::size_t part = jobs_.partition(idx);
+    const std::uint64_t cores = jobs_.cores(idx);
+    const bool ok = cluster_.allocate(cores, part);
+    if (!ok) throw InternalError("start_job without free cores");
+    auto& outcome = result_.outcomes[idx];
+    // A restart after an interruption keeps the job's original outcome:
+    // start_time/backfilled describe the first attempt only, so the
+    // paper's wait/bsld metrics keep their fault-free meaning.
+    const bool first_start = !outcome.started();
+    if (first_start) {
+      outcome.start_time = now_;
+      outcome.backfilled = as_backfill;
+      if (as_backfill) ++result_.backfilled_jobs;
+    }
+    if (as_backfill) ++counters_->backfill_successes;
+    RunningJob r;
+    r.end = now_ + (faults_on_ ? jobs_.remaining_run(idx) : jobs_.run(idx));
+    r.planned_end = now_ + jobs_.planned(idx);
+    r.cores = cores;
+    r.partition = part;
+    r.index = idx;
+    if (faults_on_) {
+      r.epoch = jobs_.epoch(idx);
+      jobs_.run_start(idx) = now_;
+    }
+    running_.push(r);
+    jobs_.set_location(idx, JobLocation::Running);
+    jobs_.set_run_slot(idx,
+                       static_cast<std::uint32_t>(running_by_part_[part].size()));
+    running_by_part_[part].push_back(r);
+    // Keep the cached profile current: a job starting at the cache's
+    // anchor time reserves exactly what a rebuild would reserve for it
+    // (its planned end is strictly in the future, so no overrun clamp).
+    ProfileCache& cache = profiles_[part];
+    if (cache.valid && cache.time == now_) {
+      cache.profile.reserve(now_, r.planned_end, r.cores);
+    }
+    const double wait = now_ - jobs_.submit(idx);
+    ema_wait_ = ema_init_ ? (1.0 - config_.wait_ema_alpha) * ema_wait_ +
+                                config_.wait_ema_alpha * wait
+                          : wait;
+    ema_init_ = true;
+  }
+
+  // Batch-compacts every job no longer Queued out of `queue` in one
+  // order-preserving pass. Throws InternalError when the queue does not
+  // contain exactly the jobs the caller just started.
+  void remove_started(std::vector<std::uint32_t>& queue, std::size_t expected) {
+    std::size_t w = 0;
+    std::size_t removed = 0;
+    for (std::size_t r = 0; r < queue.size(); ++r) {
+      if (jobs_.location(queue[r]) == JobLocation::Queued) {
+        queue[w++] = queue[r];
+      } else {
+        ++removed;
+      }
+    }
+    if (removed != expected) {
+      throw InternalError(
+          "erase_from_queue: started job missing from its partition queue");
+    }
+    queue.resize(w);
+    total_queued_ -= removed;
+  }
+
+  // One scheduling pass over partition `part`; returns jobs started.
+  std::size_t schedule_partition(std::size_t part) {
+    auto& queue = queues_[part];
+    if (queue.empty()) return 0;
+    ++counters_->scheduling_passes;
+
+    // Drop jobs that can never fit this partition (Supercloud-style
+    // inputs); they would wedge the head of the queue forever.
+    {
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < queue.size(); ++r) {
+        if (jobs_.cores(queue[r]) > cluster_.capacity(part)) {
+          jobs_.set_location(queue[r], JobLocation::Dropped);
+          ++result_.skipped_oversized;
+          --total_queued_;
+        } else {
+          queue[w++] = queue[r];
+        }
+      }
+      queue.resize(w);
+    }
+    if (queue.empty()) return 0;
+
+    // Order the queue by the policy (lower score first, FCFS tiebreak).
+    // Arrivals are pushed in submit order, so FCFS needs no sort. Scores
+    // are precomputed per job — one policy_score call each instead of
+    // two per comparison.
+    if (config_.policy != PolicyKind::Fcfs &&
+        (sort_dirty_[part] != 0 ||
+         (time_dependent_ && sorted_at_[part] != now_))) {
+      ++counters_->sort_invocations;
+      for (const std::uint32_t idx : queue) {
+        const PolicyJobView view{jobs_.submit(idx), now_ - jobs_.submit(idx),
+                                 jobs_.planned(idx), jobs_.cores(idx)};
+        score_[idx] = policy_score(config_.policy, view);
+      }
+      std::stable_sort(queue.begin(), queue.end(),
+                       [this](std::uint32_t a, std::uint32_t b) {
+                         if (score_[a] != score_[b]) return score_[a] < score_[b];
+                         return jobs_.submit(a) < jobs_.submit(b);
+                       });
+      sort_dirty_[part] = 0;
+      sorted_at_[part] = now_;
+    }
+
+    std::size_t started = 0;
+
+    if (config_.backfill.kind == BackfillKind::Conservative) {
+      // Reservation for every queued job; start those whose earliest
+      // start is now.
+      work_profile_ = ensure_profile(part);
+      to_start_.clear();
+      const std::size_t scan =
+          std::min(queue.size(), config_.backfill.scan_limit);
+      for (std::size_t qi = 0; qi < scan; ++qi) {
+        if (qi > 0) ++counters_->backfill_attempts;
+        const std::uint32_t idx = queue[qi];
+        const double planned = jobs_.planned(idx);
+        const std::uint64_t cores = jobs_.cores(idx);
+        const double est = work_profile_.earliest_start(now_, planned, cores);
+        work_profile_.reserve(est, est + planned, cores);
+        auto& outcome = result_.outcomes[idx];
+        if (outcome.first_reservation < 0.0 && est > now_ + kEps) {
+          outcome.first_reservation = est;
+        }
+        if (est <= now_ + kEps) to_start_.push_back(idx);
+      }
+      if (!to_start_.empty()) {
+        // A job is a backfill when it is not the head of the queue as
+        // this pass begins; the head must be captured before any start
+        // mutates the queue front.
+        const std::uint32_t pass_head = queue.front();
+        for (std::uint32_t idx : to_start_) {
+          start_job(idx, /*as_backfill=*/idx != pass_head);
+          ++started;
+        }
+        remove_started(queue, to_start_.size());
+      }
+      return started;
+    }
+
+    // Head service with optional EASY/relaxed backfilling. Pops are
+    // deferred: started heads are skipped over and compacted off in one
+    // batch below.
+    std::size_t head_pos = 0;
+    while (head_pos < queue.size()) {
+      const std::uint32_t h = queue[head_pos];
+      if (!cluster_.fits(jobs_.cores(h), part)) break;
+      start_job(h, /*as_backfill=*/false);
+      ++head_pos;
+      ++started;
+    }
+    if (head_pos > 0) {
+      queue.erase(queue.begin(),
+                  queue.begin() + static_cast<std::ptrdiff_t>(head_pos));
+      total_queued_ -= head_pos;
+    }
+    if (queue.empty() || config_.backfill.kind == BackfillKind::None) {
+      return started;
+    }
+
+    // Head is blocked: compute its EASY reservation (shadow time).
+    const std::uint32_t head = queue.front();
+    const double head_planned = jobs_.planned(head);
+    const std::uint64_t head_cores = jobs_.cores(head);
+    work_profile_ = ensure_profile(part);
+    double shadow = work_profile_.earliest_start(now_, head_planned, head_cores);
+    auto& head_outcome = result_.outcomes[head];
+    if (head_outcome.first_reservation < 0.0) {
+      head_outcome.first_reservation = shadow;
+    }
+    // Cores free at the shadow time beyond what the head needs; a
+    // backfill running past the shadow is harmless if it fits within them.
+    auto extra_at = [&](double t) -> std::uint64_t {
+      const std::uint64_t f = work_profile_.free_at(t);
+      return f > head_cores ? f - head_cores : 0;
+    };
+    std::uint64_t extra = extra_at(shadow);
+
+    // Relaxation allowance: how far past its *first* promise the head may
+    // be pushed. Reference is the EMA of realized waits ("expected job
+    // waiting time"), floored by the head's own wait so far.
+    const double eff_factor = effective_relax_factor(
+        config_.backfill, total_queued_, result_.max_queue_length);
+    const double reference_wait =
+        std::max(ema_wait_, now_ - jobs_.submit(head));
+    const double deadline =
+        head_outcome.first_reservation + eff_factor * reference_wait;
+
+    const std::size_t scan =
+        std::min(queue.size(), config_.backfill.scan_limit);
+    to_start_.clear();
+    std::uint64_t committed = 0;  // cores promised to accepted backfills
+    for (std::size_t qi = 1; qi < scan; ++qi) {
+      ++counters_->backfill_attempts;
+      const std::uint32_t cand = queue[qi];
+      const std::uint64_t cand_cores = jobs_.cores(cand);
+      if (cand_cores + committed > cluster_.free(part)) continue;
+      const double cand_end = now_ + jobs_.planned(cand);
+      bool accept = false;
+      if (cand_end <= shadow + kEps) {
+        accept = true;  // finishes before the head needs the machine
+      } else if (cand_cores <= extra) {
+        accept = true;  // runs on cores the head will not need
+      } else if (eff_factor > 0.0 && shadow < deadline) {
+        // Relaxed path: admit the candidate if the head's recomputed
+        // earliest start stays within the allowance.
+        cand_profile_ = work_profile_;
+        cand_profile_.reserve(now_, cand_end, cand_cores);
+        const double pushed =
+            cand_profile_.earliest_start(now_, head_planned, head_cores);
+        accept = pushed <= deadline + kEps;
+      }
+      if (accept) {
+        to_start_.push_back(cand);
+        committed += cand_cores;
+        // Keep the planning state consistent for later candidates.
+        work_profile_.reserve(now_, cand_end, cand_cores);
+        shadow = work_profile_.earliest_start(now_, head_planned, head_cores);
+        extra = extra_at(shadow);
+      }
+    }
+    if (!to_start_.empty()) {
+      for (std::uint32_t idx : to_start_) {
+        start_job(idx, /*as_backfill=*/true);
+        ++started;
+      }
+      remove_started(queue, to_start_.size());
+    }
+    return started;
+  }
+
+  void schedule_all() {
+    for (;;) {
+      std::size_t started = 0;
+      for (std::size_t part = 0; part < queues_.size(); ++part) {
+        started += schedule_partition(part);
+      }
+      if (started == 0) break;
+    }
+    result_.max_queue_length =
+        std::max(result_.max_queue_length, total_queued_);
+    if (config_.record_queue_series) {
+      result_.queue_series.push_back(
+          {now_, static_cast<std::uint32_t>(total_queued_)});
+    }
+    audit();
+  }
+
+  // Tears one running job down after a node failure: frees its cores,
+  // bumps its epoch (invalidating the completion-queue entry, so the job
+  // leaves the running set exactly once), rolls its progress back to the
+  // last checkpoint, and routes it through the retry policy.
+  void interrupt(std::uint32_t idx) {
+    const std::size_t part = jobs_.partition(idx);
+    auto& vec = running_by_part_[part];
+    const std::uint32_t slot = jobs_.run_slot(idx);
+    if (jobs_.location(idx) != JobLocation::Running || slot >= vec.size() ||
+        vec[slot].index != idx) {
+      throw InternalError("interrupt: running-slot handle out of sync");
+    }
+    const RunningJob r = vec[slot];
+    vec[slot] = vec.back();
+    jobs_.set_run_slot(vec[slot].index, slot);
+    vec.pop_back();
+    cluster_.release(r.cores, r.partition);
+    ++jobs_.epoch(idx);
+
+    auto& outcome = result_.outcomes[idx];
+    const double elapsed = std::max(0.0, now_ - jobs_.run_start(idx));
+    const double interval = config_.fault.checkpoint_interval_s;
+    const double preserved =
+        interval > 0.0 ? std::floor(elapsed / interval) * interval : 0.0;
+    jobs_.remaining_run(idx) =
+        std::max(0.0, jobs_.remaining_run(idx) - preserved);
+    const double lost_ch =
+        (elapsed - preserved) * static_cast<double>(jobs_.cores(idx)) / 3600.0;
+    result_.wasted_core_hours += lost_ch;
+    counters_->work_lost_core_hours += lost_ch;
+    ++counters_->jobs_interrupted;
+    if (outcome.interruptions == 0) ++result_.interrupted_jobs;
+    ++outcome.interruptions;
+    ++jobs_.attempts(idx);
+
+    if (config_.fault.retry == fault::RetryPolicy::Abandon ||
+        jobs_.attempts(idx) > config_.fault.max_retries) {
+      jobs_.set_location(idx, JobLocation::Abandoned);
+      outcome.abandoned = true;
+      ++result_.abandoned_jobs;
+      ++counters_->jobs_abandoned;
+      // Checkpointed progress the job banked is sunk work now too.
+      const double sunk_ch = (jobs_.run(idx) - jobs_.remaining_run(idx)) *
+                             static_cast<double>(jobs_.cores(idx)) / 3600.0;
+      result_.wasted_core_hours += sunk_ch;
+      counters_->work_lost_core_hours += sunk_ch;
+      return;
+    }
+    ++counters_->retries;
+    if (config_.fault.retry == fault::RetryPolicy::RequeueFront) {
+      auto& queue = queues_[part];
+      queue.insert(queue.begin(), idx);
+      jobs_.set_location(idx, JobLocation::Queued);
+      sort_dirty_[part] = 1;
+      ++total_queued_;
+    } else {  // Resubmit with exponential backoff
+      const double backoff =
+          config_.fault.retry_backoff_s *
+          std::pow(2.0, static_cast<double>(jobs_.attempts(idx) - 1));
+      retries_.push(RetryEvent{now_ + backoff, idx});
+      jobs_.set_location(idx, JobLocation::Retrying);
+    }
+  }
+
+  // One node state transition. On failure: interrupt running jobs in the
+  // partition (youngest-first, a deterministic order) until the failed
+  // cores are free, then take them offline. On recovery: return them.
+  void handle_node_event(const fault::NodeEvent& ev) {
+    const auto part = static_cast<std::size_t>(ev.partition);
+    if (ev.failure) {
+      if (cluster_.free(part) < ev.cores) {
+        victims_.clear();
+        victims_.reserve(running_by_part_[part].size());
+        for (const RunningJob& r : running_by_part_[part]) {
+          victims_.push_back(r.index);
+        }
+        std::sort(victims_.begin(), victims_.end(),
+                  std::greater<std::uint32_t>());
+        for (std::uint32_t idx : victims_) {
+          if (cluster_.free(part) >= ev.cores) break;
+          interrupt(idx);
+        }
+      }
+      // Up-node cores are free ∪ allocated, so interrupting enough jobs
+      // always reclaims the failed node's share.
+      if (cluster_.free(part) < ev.cores) {
+        throw InternalError("node failure exceeds reclaimable capacity");
+      }
+      cluster_.fail(ev.cores, part);
+      ++counters_->node_failures;
+    } else {
+      cluster_.recover(ev.cores, part);
+      ++counters_->node_recoveries;
+    }
+    // Offline capacity changed; the cached planning profile is stale.
+    invalidate_profile(part);
+    audit();
+  }
+
+  const trace::Trace& trace_;
+  const SimConfig& config_;
+  SimResult result_;
+  SimCounters* counters_ = nullptr;
+  Cluster cluster_;
+  JobSoA jobs_;
+
+  // Per-partition waiting queues (job indices), policy-ordered.
+  std::vector<std::vector<std::uint32_t>> queues_;
+  EventQueue<RunningJob> running_;
+  // Per-partition running jobs for profile building; unordered, erased by
+  // swap-with-back via the run_slot handle.
+  std::vector<std::vector<RunningJob>> running_by_part_;
+
+  // Incremental policy order: a queue is re-sorted only when its
+  // membership grew (arrival) or, for wait-sensitive policies, when time
+  // advanced since the last sort. Removals preserve relative order, and
+  // a stable sort of an already-ordered queue is the identity, so
+  // skipping the redundant sorts is outcome-identical to sorting every
+  // pass.
+  std::vector<std::uint8_t> sort_dirty_;
+  std::vector<double> sorted_at_;
+  bool time_dependent_ = false;
+
+  // Incrementally maintained planned-availability profiles, one per
+  // partition: rebuilt in place when stale (time advanced or a job
+  // completed), extended in place when a job starts at the cached
+  // timestamp. The scratch profiles below reuse their step storage
+  // across passes, so steady-state scheduling does not allocate.
+  std::vector<ProfileCache> profiles_;
+  ResourceProfile work_profile_{0.0, 1};   ///< mutable pass-local copy
+  ResourceProfile cand_profile_{0.0, 1};   ///< relaxed-candidate trial
+  ResourceProfile audit_profile_{0.0, 1};  ///< auditor cross-check rebuild
+  std::vector<std::pair<double, std::uint64_t>> ends_;
+
+  std::vector<double> score_;          ///< per-job policy score at sort time
+  std::vector<std::uint32_t> to_start_;
+  std::vector<std::uint32_t> victims_;
+
+  std::size_t next_arrival_ = 0;
+  double now_ = 0.0;
+  double ema_wait_ = 0.0;
+  bool ema_init_ = false;
+  std::size_t total_queued_ = 0;
+
+  // Fault injection. All fault state is allocated only when the config
+  // enables faults; the disabled path must stay bit-identical to the
+  // fault-free simulator.
+  bool faults_on_ = false;
+  std::optional<fault::FaultProcess> faults_;
+  EventQueue<RetryEvent> retries_;
+
+  std::optional<SimAuditor> auditor_;
+};
+
+SimResult SimEngine::run() {
+  const auto jobs = trace_.jobs();
+  result_.outcomes.assign(jobs.size(), JobOutcome{});
+  counters_ = &result_.counters;
+  if (jobs.empty()) return result_;
+
+  result_.used_oracle_runtimes = jobs_.build(trace_, cluster_);
+
+  const std::size_t nparts = cluster_.partitions();
+  queues_.resize(nparts);
+  running_by_part_.resize(nparts);
+  sort_dirty_.assign(nparts, 1);
+  sorted_at_.assign(nparts, -1.0);
+  time_dependent_ = policy_is_time_dependent(config_.policy);
+  profiles_.resize(nparts);
+  score_.resize(jobs.size());
+
+  faults_on_ = config_.fault.enabled();
+  if (faults_on_) {
+    std::vector<std::uint64_t> caps(nparts);
+    for (std::size_t p = 0; p < nparts; ++p) caps[p] = cluster_.capacity(p);
+    faults_.emplace(config_.fault, caps);
+    jobs_.enable_fault_state();
+  }
+
+  if (config_.audit) {
+    auditor_.emplace(*counters_, jobs.size(), config_.audit_fatal);
+  }
+
+  // Main event loop. With faults on, the queue can be non-empty while
+  // nothing runs (all cores offline, retries pending), so the loop also
+  // keys on retries and queued work; the fault stream itself is infinite
+  // and never keeps the loop alive.
+  while (next_arrival_ < jobs_.size() || !running_.empty() ||
+         !retries_.empty() || (faults_on_ && total_queued_ > 0)) {
+    double next_time = std::numeric_limits<double>::infinity();
+    if (next_arrival_ < jobs_.size()) {
+      next_time = std::min(next_time, jobs_.submit(next_arrival_));
+    }
+    if (!running_.empty()) next_time = std::min(next_time, running_.top().end);
+    if (!retries_.empty()) {
+      next_time = std::min(next_time, retries_.top().time);
+    }
+    if (faults_on_) next_time = std::min(next_time, faults_->peek()->time);
+    now_ = std::max(now_, next_time);
+    ++counters_->event_batches;
+
+    // Process all completions at or before `now`, in event_before order.
+    while (!running_.empty() && running_.top().end <= now_ + kEps) {
+      const RunningJob r = running_.top();
+      running_.pop();
+      // An entry whose epoch is stale describes an execution attempt a
+      // node failure already tore down; the teardown in interrupt() was
+      // this job's single departure from the running set.
+      if (faults_on_ && jobs_.epoch(r.index) != r.epoch) continue;
+      cluster_.release(r.cores, r.partition);
+      // Swap-erase the running slot; patch the moved job's handle.
+      auto& vec = running_by_part_[r.partition];
+      const std::uint32_t slot = jobs_.run_slot(r.index);
+      if (slot >= vec.size() || vec[slot].index != r.index) {
+        throw InternalError("running-slot handle out of sync");
+      }
+      vec[slot] = vec.back();
+      jobs_.set_run_slot(vec[slot].index, slot);
+      vec.pop_back();
+      jobs_.set_location(r.index, JobLocation::Finished);
+      // A release frees planned capacity the cached profile still holds
+      // reserved; it must be rebuilt on next use.
+      invalidate_profile(r.partition);
+      result_.makespan = std::max(result_.makespan, r.end);
+      ++counters_->completions;
+      if (faults_on_) {
+        result_.goodput_core_hours +=
+            jobs_.run(r.index) * static_cast<double>(r.cores) / 3600.0;
+      }
+      audit();
+    }
+    // Node failures/recoveries at or before `now` (after completions: a
+    // job ending exactly when its node dies is considered done).
+    if (faults_on_) {
+      while (faults_->peek()->time <= now_ + kEps) {
+        handle_node_event(faults_->pop());
+      }
+    }
+    // Interrupted jobs whose resubmission backoff has elapsed re-enter
+    // their queue like fresh arrivals (but keep their original submit
+    // time for policy scores and metrics).
+    while (!retries_.empty() && retries_.top().time <= now_ + kEps) {
+      const RetryEvent rt = retries_.top();
+      retries_.pop();
+      const std::size_t part = jobs_.partition(rt.index);
+      queues_[part].push_back(rt.index);
+      jobs_.set_location(rt.index, JobLocation::Queued);
+      sort_dirty_[part] = 1;
+      ++total_queued_;
+      audit();
+    }
+    // Enqueue all arrivals at or before `now`.
+    while (next_arrival_ < jobs_.size() &&
+           jobs_.submit(next_arrival_) <= now_ + kEps) {
+      const auto idx = static_cast<std::uint32_t>(next_arrival_);
+      const std::size_t part = jobs_.partition(idx);
+      queues_[part].push_back(idx);
+      jobs_.set_location(idx, JobLocation::Queued);
+      sort_dirty_[part] = 1;
+      ++total_queued_;
+      ++next_arrival_;
+      ++counters_->arrivals;
+      audit();
+    }
+    result_.max_queue_length =
+        std::max(result_.max_queue_length, total_queued_);
+    schedule_all();
+  }
+
+  counters_->events = counters_->completions + counters_->arrivals;
+  return result_;
 }
 
 }  // namespace
@@ -47,590 +663,12 @@ Simulator::Simulator(const trace::Trace& trace, SimConfig config)
 }
 
 SimResult Simulator::run() {
-  SimResult result;
-  const auto jobs = trace_.jobs();
-  result.outcomes.assign(jobs.size(), JobOutcome{});
-  if (jobs.empty()) return result;
-
-  Cluster cluster = Cluster::from_spec(trace_.spec());
-  SimCounters& counters = result.counters;
-
-  // Build pending-job descriptors; detect whether planning falls back to
-  // oracle runtimes (DL traces without walltime requests).
-  std::vector<PendingJob> pending(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const auto& j = jobs[i];
-    PendingJob p;
-    p.index = static_cast<std::uint32_t>(i);
-    p.cores = j.cores > 0 ? j.cores : 1;
-    p.partition = cluster.partition_for(j.virtual_cluster);
-    p.submit = j.submit_time;
-    p.run = std::max(0.0, j.run_time);
-    if (j.has_requested_time()) {
-      p.planned = std::max(j.requested_time, 1.0);
-    } else {
-      p.planned = std::max(p.run, 1.0);
-      result.used_oracle_runtimes = true;
-    }
-    pending[i] = p;
-  }
-
-  const std::size_t nparts = cluster.partitions();
-  // Per-partition waiting queues (indices into `pending`), policy-ordered.
-  std::vector<std::vector<std::uint32_t>> queues(nparts);
-  std::priority_queue<RunningJob, std::vector<RunningJob>,
-                      std::greater<RunningJob>>
-      running;
-  // Per-partition running jobs for profile building; unordered, erased by
-  // swap-with-back via `run_slot`.
-  std::vector<std::vector<RunningJob>> running_by_part(nparts);
-
-  // Per-job event-loop handles.
-  std::vector<JobLocation> location(jobs.size(), JobLocation::NotArrived);
-  std::vector<std::uint32_t> run_slot(jobs.size(), 0);
-
-  // Incremental policy order: a queue is re-sorted only when its
-  // membership grew (arrival) or, for wait-sensitive policies, when time
-  // advanced since the last sort. Removals preserve relative order, and a
-  // stable sort of an already-ordered queue is the identity, so skipping
-  // the redundant sorts is outcome-identical to sorting every pass.
-  std::vector<std::uint8_t> sort_dirty(nparts, 1);
-  std::vector<double> sorted_at(nparts, -1.0);
-  const bool time_dependent = policy_is_time_dependent(config_.policy);
-
-  // Incrementally maintained planned-availability profiles, one per
-  // partition: rebuilt when stale (time advanced or a job completed),
-  // extended in place when a job starts at the cached timestamp.
-  struct ProfileCache {
-    std::optional<ResourceProfile> profile;
-    double time = -1.0;
-  };
-  std::vector<ProfileCache> profiles(nparts);
-
-  std::size_t next_arrival = 0;
-  double now = 0.0;
-  double ema_wait = 0.0;
-  bool ema_init = false;
-  std::size_t total_queued = 0;
-
-  // ------------------------------------------------------ fault injection --
-  // All fault state is allocated only when the config enables faults; the
-  // disabled path must stay bit-identical to the fault-free simulator.
-  const bool faults_on = config_.fault.enabled();
-  std::optional<fault::FaultProcess> faults;
-  // Per-job execution state across interruptions.
-  std::vector<double> remaining_run;   ///< runtime still owed
-  std::vector<double> run_start;       ///< start of the current attempt
-  std::vector<std::uint32_t> attempts; ///< interruptions suffered so far
-  std::vector<std::uint32_t> epoch;    ///< current interruption generation
-  // Pending resubmissions, ordered by (re-arrival time, job index).
-  struct Retry {
-    double time;
-    std::uint32_t index;
-    bool operator>(const Retry& o) const noexcept {
-      if (time != o.time) return time > o.time;
-      return index > o.index;
-    }
-  };
-  std::priority_queue<Retry, std::vector<Retry>, std::greater<Retry>> retries;
-  if (faults_on) {
-    std::vector<std::uint64_t> caps(nparts);
-    for (std::size_t p = 0; p < nparts; ++p) caps[p] = cluster.capacity(p);
-    faults.emplace(config_.fault, caps);
-    remaining_run.resize(jobs.size());
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      remaining_run[i] = pending[i].run;
-    }
-    run_start.assign(jobs.size(), 0.0);
-    attempts.assign(jobs.size(), 0);
-    epoch.assign(jobs.size(), 0);
-  }
-
-  std::optional<SimAuditor> auditor;
-  if (config_.audit) {
-    auditor.emplace(counters, jobs.size(), config_.audit_fatal);
-  }
-  auto audit = [&] {
-    if (auditor) {
-      auditor->check(cluster, queues, running_by_part, total_queued);
-    }
-  };
-
-  // Planned-availability profile for one partition from its running jobs.
-  // Planned ends already in the past (jobs overrunning their estimate) are
-  // treated as ending shortly after `now`.
-  auto rebuild_profile = [&](std::size_t part) {
-    ResourceProfile profile(now, cluster.capacity(part));
-    for (const RunningJob& r : running_by_part[part]) {
-      const double planned_end =
-          r.planned_end > now + kEps ? r.planned_end : now + 60.0;
-      profile.reserve(now, planned_end, r.cores);
-    }
-    // Offline (failed-node) cores are unavailable for planning until they
-    // recover; the MTTR is the scheduler's repair-time estimate, keeping
-    // reservations finite while a node is down.
-    if (faults_on && cluster.offline(part) > 0) {
-      profile.reserve(now, now + config_.fault.node_mttr_s,
-                      cluster.offline(part));
-    }
-    return profile;
-  };
-
-  // Returns (a copy of) the partition's availability profile, serving from
-  // the incremental cache when it is still anchored at `now`.
-  auto base_profile = [&](std::size_t part) -> ResourceProfile {
-    ProfileCache& cache = profiles[part];
-    if (!cache.profile || cache.time != now) {
-      cache.profile = rebuild_profile(part);
-      cache.time = now;
-      ++counters.profile_rebuilds;
-    } else {
-      ++counters.profile_cache_hits;
-      if (auditor) auditor->check_profile(*cache.profile, rebuild_profile(part));
-    }
-    return *cache.profile;
-  };
-
-  auto start_job = [&](std::uint32_t idx, bool as_backfill) {
-    if (location[idx] != JobLocation::Queued) {
-      throw InternalError("start_job on a job that is not queued");
-    }
-    const PendingJob& p = pending[idx];
-    const bool ok = cluster.allocate(p.cores, p.partition);
-    if (!ok) throw InternalError("start_job without free cores");
-    auto& outcome = result.outcomes[idx];
-    // A restart after an interruption keeps the job's original outcome:
-    // start_time/backfilled describe the first attempt only, so the
-    // paper's wait/bsld metrics keep their fault-free meaning.
-    const bool first_start = !outcome.started();
-    if (first_start) {
-      outcome.start_time = now;
-      outcome.backfilled = as_backfill;
-      if (as_backfill) ++result.backfilled_jobs;
-    }
-    if (as_backfill) ++counters.backfill_successes;
-    RunningJob r;
-    r.end = now + (faults_on ? remaining_run[idx] : p.run);
-    r.planned_end = now + p.planned;
-    r.cores = p.cores;
-    r.partition = p.partition;
-    r.index = idx;
-    if (faults_on) {
-      r.epoch = epoch[idx];
-      run_start[idx] = now;
-    }
-    running.push(r);
-    location[idx] = JobLocation::Running;
-    run_slot[idx] = static_cast<std::uint32_t>(running_by_part[p.partition].size());
-    running_by_part[p.partition].push_back(r);
-    // Keep the cached profile current: a job starting at the cache's
-    // anchor time reserves exactly what a rebuild would reserve for it
-    // (its planned end is strictly in the future, so no overrun clamp).
-    ProfileCache& cache = profiles[p.partition];
-    if (cache.profile && cache.time == now) {
-      cache.profile->reserve(now, r.planned_end, r.cores);
-    }
-    const double wait = now - p.submit;
-    ema_wait = ema_init
-                   ? (1.0 - config_.wait_ema_alpha) * ema_wait +
-                         config_.wait_ema_alpha * wait
-                   : wait;
-    ema_init = true;
-  };
-
-  // Batch-compacts every job no longer Queued out of `queue` in one
-  // order-preserving pass — the indexed replacement for the old per-job
-  // unchecked find+erase. Throws InternalError when the queue does not
-  // contain exactly the jobs the caller just started.
-  auto remove_started = [&](std::vector<std::uint32_t>& queue,
-                            std::size_t expected) {
-    std::size_t w = 0;
-    std::size_t removed = 0;
-    for (std::size_t r = 0; r < queue.size(); ++r) {
-      if (location[queue[r]] == JobLocation::Queued) {
-        queue[w++] = queue[r];
-      } else {
-        ++removed;
-      }
-    }
-    if (removed != expected) {
-      throw InternalError("erase_from_queue: started job missing from its "
-                          "partition queue");
-    }
-    queue.resize(w);
-    total_queued -= removed;
-  };
-
-  // One scheduling pass over partition `part`; returns jobs started.
-  auto schedule_partition = [&](std::size_t part) -> std::size_t {
-    auto& queue = queues[part];
-    if (queue.empty()) return 0;
-    ++counters.scheduling_passes;
-
-    // Drop jobs that can never fit this partition (Supercloud-style
-    // inputs); they would wedge the head of the queue forever.
-    {
-      std::size_t w = 0;
-      for (std::size_t r = 0; r < queue.size(); ++r) {
-        if (pending[queue[r]].cores > cluster.capacity(part)) {
-          location[queue[r]] = JobLocation::Dropped;
-          ++result.skipped_oversized;
-          --total_queued;
-        } else {
-          queue[w++] = queue[r];
-        }
-      }
-      queue.resize(w);
-    }
-    if (queue.empty()) return 0;
-
-    // Order the queue by the policy (lower score first, FCFS tiebreak).
-    // Arrivals are pushed in submit order, so FCFS needs no sort.
-    if (config_.policy != PolicyKind::Fcfs &&
-        (sort_dirty[part] != 0 || (time_dependent && sorted_at[part] != now))) {
-      ++counters.sort_invocations;
-      std::stable_sort(
-          queue.begin(), queue.end(),
-          [&](std::uint32_t a, std::uint32_t b) {
-            PolicyJobView va{pending[a].submit, now - pending[a].submit,
-                             pending[a].planned, pending[a].cores};
-            PolicyJobView vb{pending[b].submit, now - pending[b].submit,
-                             pending[b].planned, pending[b].cores};
-            const double sa = policy_score(config_.policy, va);
-            const double sb = policy_score(config_.policy, vb);
-            if (sa != sb) return sa < sb;
-            return pending[a].submit < pending[b].submit;
-          });
-      sort_dirty[part] = 0;
-      sorted_at[part] = now;
-    }
-
-    std::size_t started = 0;
-
-    if (config_.backfill.kind == BackfillKind::Conservative) {
-      // Reservation for every queued job; start those whose earliest start
-      // is now.
-      ResourceProfile profile = base_profile(part);
-      std::vector<std::uint32_t> to_start;
-      const std::size_t scan =
-          std::min(queue.size(), config_.backfill.scan_limit);
-      for (std::size_t qi = 0; qi < scan; ++qi) {
-        if (qi > 0) ++counters.backfill_attempts;
-        const PendingJob& p = pending[queue[qi]];
-        const double est = profile.earliest_start(now, p.planned, p.cores);
-        profile.reserve(est, est + p.planned, p.cores);
-        auto& outcome = result.outcomes[queue[qi]];
-        if (outcome.first_reservation < 0.0 && est > now + kEps) {
-          outcome.first_reservation = est;
-        }
-        if (est <= now + kEps) to_start.push_back(queue[qi]);
-      }
-      if (!to_start.empty()) {
-        // A job is a backfill when it is not the head of the queue as this
-        // pass begins; the head must be captured before any start mutates
-        // the queue front.
-        const std::uint32_t pass_head = queue.front();
-        for (std::uint32_t idx : to_start) {
-          start_job(idx, /*as_backfill=*/idx != pass_head);
-          ++started;
-        }
-        remove_started(queue, to_start.size());
-      }
-      return started;
-    }
-
-    // Head service with optional EASY/relaxed backfilling. Pops are
-    // deferred: started heads are skipped over and compacted off in one
-    // batch below.
-    std::size_t head_pos = 0;
-    while (head_pos < queue.size()) {
-      const std::uint32_t h = queue[head_pos];
-      if (!cluster.fits(pending[h].cores, part)) break;
-      start_job(h, /*as_backfill=*/false);
-      ++head_pos;
-      ++started;
-    }
-    if (head_pos > 0) {
-      queue.erase(queue.begin(),
-                  queue.begin() + static_cast<std::ptrdiff_t>(head_pos));
-      total_queued -= head_pos;
-    }
-    if (queue.empty() || config_.backfill.kind == BackfillKind::None) {
-      return started;
-    }
-
-    // Head is blocked: compute its EASY reservation (shadow time).
-    const std::uint32_t head = queue.front();
-    const PendingJob& hp = pending[head];
-    ResourceProfile profile = base_profile(part);
-    double shadow = profile.earliest_start(now, hp.planned, hp.cores);
-    auto& head_outcome = result.outcomes[head];
-    if (head_outcome.first_reservation < 0.0) {
-      head_outcome.first_reservation = shadow;
-    }
-    // Cores free at the shadow time beyond what the head needs; a backfill
-    // running past the shadow is harmless if it fits within them.
-    auto extra_at = [&](double t) -> std::uint64_t {
-      const std::uint64_t f = profile.free_at(t);
-      return f > hp.cores ? f - hp.cores : 0;
-    };
-    std::uint64_t extra = extra_at(shadow);
-
-    // Relaxation allowance: how far past its *first* promise the head may
-    // be pushed. Reference is the EMA of realized waits ("expected job
-    // waiting time"), floored by the head's own wait so far.
-    const double eff_factor = effective_relax_factor(
-        config_.backfill, total_queued, result.max_queue_length);
-    const double reference_wait = std::max(ema_wait, now - hp.submit);
-    const double deadline =
-        head_outcome.first_reservation + eff_factor * reference_wait;
-
-    const std::size_t scan =
-        std::min(queue.size(), config_.backfill.scan_limit);
-    std::vector<std::uint32_t> to_start;
-    std::uint64_t committed = 0;  // cores promised to accepted backfills
-    for (std::size_t qi = 1; qi < scan; ++qi) {
-      ++counters.backfill_attempts;
-      const std::uint32_t cand = queue[qi];
-      const PendingJob& cp = pending[cand];
-      if (cp.cores + committed > cluster.free(part)) continue;
-      const double cand_end = now + cp.planned;
-      bool accept = false;
-      if (cand_end <= shadow + kEps) {
-        accept = true;  // finishes before the head needs the machine
-      } else if (cp.cores <= extra) {
-        accept = true;  // runs on cores the head will not need
-      } else if (eff_factor > 0.0 && shadow < deadline) {
-        // Relaxed path: admit the candidate if the head's recomputed
-        // earliest start stays within the allowance.
-        ResourceProfile with_cand = profile;
-        with_cand.reserve(now, cand_end, cp.cores);
-        const double pushed =
-            with_cand.earliest_start(now, hp.planned, hp.cores);
-        accept = pushed <= deadline + kEps;
-      }
-      if (accept) {
-        to_start.push_back(cand);
-        committed += cp.cores;
-        // Keep the planning state consistent for later candidates.
-        profile.reserve(now, cand_end, cp.cores);
-        shadow = profile.earliest_start(now, hp.planned, hp.cores);
-        extra = extra_at(shadow);
-      }
-    }
-    if (!to_start.empty()) {
-      for (std::uint32_t idx : to_start) {
-        start_job(idx, /*as_backfill=*/true);
-        ++started;
-      }
-      remove_started(queue, to_start.size());
-    }
-    return started;
-  };
-
-  auto schedule_all = [&]() {
-    for (;;) {
-      std::size_t started = 0;
-      for (std::size_t part = 0; part < nparts; ++part) {
-        started += schedule_partition(part);
-      }
-      if (started == 0) break;
-    }
-    result.max_queue_length = std::max(result.max_queue_length, total_queued);
-    if (config_.record_queue_series) {
-      result.queue_series.push_back(
-          {now, static_cast<std::uint32_t>(total_queued)});
-    }
-    audit();
-  };
-
-  // Tears one running job down after a node failure: frees its cores,
-  // bumps its epoch (invalidating the completion-heap entry, so the job
-  // leaves the running set exactly once), rolls its progress back to the
-  // last checkpoint, and routes it through the retry policy.
-  auto interrupt = [&](std::uint32_t idx) {
-    auto& vec = running_by_part[pending[idx].partition];
-    const std::uint32_t slot = run_slot[idx];
-    if (location[idx] != JobLocation::Running || slot >= vec.size() ||
-        vec[slot].index != idx) {
-      throw InternalError("interrupt: running-slot handle out of sync");
-    }
-    const RunningJob r = vec[slot];
-    vec[slot] = vec.back();
-    run_slot[vec[slot].index] = slot;
-    vec.pop_back();
-    cluster.release(r.cores, r.partition);
-    ++epoch[idx];
-
-    const PendingJob& p = pending[idx];
-    auto& outcome = result.outcomes[idx];
-    const double elapsed = std::max(0.0, now - run_start[idx]);
-    const double interval = config_.fault.checkpoint_interval_s;
-    const double preserved =
-        interval > 0.0 ? std::floor(elapsed / interval) * interval : 0.0;
-    remaining_run[idx] = std::max(0.0, remaining_run[idx] - preserved);
-    const double lost_ch =
-        (elapsed - preserved) * static_cast<double>(p.cores) / 3600.0;
-    result.wasted_core_hours += lost_ch;
-    counters.work_lost_core_hours += lost_ch;
-    ++counters.jobs_interrupted;
-    if (outcome.interruptions == 0) ++result.interrupted_jobs;
-    ++outcome.interruptions;
-    ++attempts[idx];
-
-    if (config_.fault.retry == fault::RetryPolicy::Abandon ||
-        attempts[idx] > config_.fault.max_retries) {
-      location[idx] = JobLocation::Abandoned;
-      outcome.abandoned = true;
-      ++result.abandoned_jobs;
-      ++counters.jobs_abandoned;
-      // Checkpointed progress the job banked is sunk work now too.
-      const double sunk_ch = (p.run - remaining_run[idx]) *
-                             static_cast<double>(p.cores) / 3600.0;
-      result.wasted_core_hours += sunk_ch;
-      counters.work_lost_core_hours += sunk_ch;
-      return;
-    }
-    ++counters.retries;
-    if (config_.fault.retry == fault::RetryPolicy::RequeueFront) {
-      auto& queue = queues[p.partition];
-      queue.insert(queue.begin(), idx);
-      location[idx] = JobLocation::Queued;
-      sort_dirty[p.partition] = 1;
-      ++total_queued;
-    } else {  // Resubmit with exponential backoff
-      const double backoff =
-          config_.fault.retry_backoff_s *
-          std::pow(2.0, static_cast<double>(attempts[idx] - 1));
-      retries.push(Retry{now + backoff, idx});
-      location[idx] = JobLocation::Retrying;
-    }
-  };
-
-  // One node state transition. On failure: interrupt running jobs in the
-  // partition (youngest-first, a deterministic order) until the failed
-  // cores are free, then take them offline. On recovery: return them.
-  auto handle_node_event = [&](const fault::NodeEvent& ev) {
-    const auto part = static_cast<std::size_t>(ev.partition);
-    if (ev.failure) {
-      if (cluster.free(part) < ev.cores) {
-        std::vector<std::uint32_t> victims;
-        victims.reserve(running_by_part[part].size());
-        for (const RunningJob& r : running_by_part[part]) {
-          victims.push_back(r.index);
-        }
-        std::sort(victims.begin(), victims.end(),
-                  std::greater<std::uint32_t>());
-        for (std::uint32_t idx : victims) {
-          if (cluster.free(part) >= ev.cores) break;
-          interrupt(idx);
-        }
-      }
-      // Up-node cores are free ∪ allocated, so interrupting enough jobs
-      // always reclaims the failed node's share.
-      if (cluster.free(part) < ev.cores) {
-        throw InternalError("node failure exceeds reclaimable capacity");
-      }
-      cluster.fail(ev.cores, part);
-      ++counters.node_failures;
-    } else {
-      cluster.recover(ev.cores, part);
-      ++counters.node_recoveries;
-    }
-    // Offline capacity changed; the cached planning profile is stale.
-    if (profiles[part].profile) ++counters.profile_invalidations;
-    profiles[part].profile.reset();
-    audit();
-  };
-
-  // Main event loop. With faults on, the queue can be non-empty while
-  // nothing runs (all cores offline, retries pending), so the loop also
-  // keys on retries and queued work; the fault stream itself is infinite
-  // and never keeps the loop alive.
-  while (next_arrival < pending.size() || !running.empty() ||
-         !retries.empty() || (faults_on && total_queued > 0)) {
-    double next_time = std::numeric_limits<double>::infinity();
-    if (next_arrival < pending.size()) {
-      next_time = std::min(next_time, pending[next_arrival].submit);
-    }
-    if (!running.empty()) next_time = std::min(next_time, running.top().end);
-    if (!retries.empty()) next_time = std::min(next_time, retries.top().time);
-    if (faults_on) next_time = std::min(next_time, faults->peek()->time);
-    now = std::max(now, next_time);
-
-    // Process all completions at or before `now`.
-    while (!running.empty() && running.top().end <= now + kEps) {
-      const RunningJob r = running.top();
-      running.pop();
-      // An entry whose epoch is stale describes an execution attempt a
-      // node failure already tore down; the teardown in interrupt() was
-      // this job's single departure from the running set.
-      if (faults_on && epoch[r.index] != r.epoch) continue;
-      cluster.release(r.cores, r.partition);
-      // Swap-erase the running slot; patch the moved job's handle.
-      auto& vec = running_by_part[r.partition];
-      const std::uint32_t slot = run_slot[r.index];
-      if (slot >= vec.size() || vec[slot].index != r.index) {
-        throw InternalError("running-slot handle out of sync");
-      }
-      vec[slot] = vec.back();
-      run_slot[vec[slot].index] = slot;
-      vec.pop_back();
-      location[r.index] = JobLocation::Finished;
-      // A release frees planned capacity the cached profile still holds
-      // reserved; it must be rebuilt on next use.
-      if (profiles[r.partition].profile) ++counters.profile_invalidations;
-      profiles[r.partition].profile.reset();
-      result.makespan = std::max(result.makespan, r.end);
-      ++counters.completions;
-      if (faults_on) {
-        result.goodput_core_hours += pending[r.index].run *
-                                     static_cast<double>(r.cores) / 3600.0;
-      }
-      audit();
-    }
-    // Node failures/recoveries at or before `now` (after completions: a
-    // job ending exactly when its node dies is considered done).
-    if (faults_on) {
-      while (faults->peek()->time <= now + kEps) {
-        handle_node_event(faults->pop());
-      }
-    }
-    // Interrupted jobs whose resubmission backoff has elapsed re-enter
-    // their queue like fresh arrivals (but keep their original submit
-    // time for policy scores and metrics).
-    while (!retries.empty() && retries.top().time <= now + kEps) {
-      const Retry rt = retries.top();
-      retries.pop();
-      const PendingJob& p = pending[rt.index];
-      queues[p.partition].push_back(rt.index);
-      location[rt.index] = JobLocation::Queued;
-      sort_dirty[p.partition] = 1;
-      ++total_queued;
-      audit();
-    }
-    // Enqueue all arrivals at or before `now`.
-    while (next_arrival < pending.size() &&
-           pending[next_arrival].submit <= now + kEps) {
-      const PendingJob& p = pending[next_arrival];
-      queues[p.partition].push_back(p.index);
-      location[p.index] = JobLocation::Queued;
-      sort_dirty[p.partition] = 1;
-      ++total_queued;
-      ++next_arrival;
-      ++counters.arrivals;
-      audit();
-    }
-    result.max_queue_length = std::max(result.max_queue_length, total_queued);
-    schedule_all();
-  }
-
-  counters.events = counters.completions + counters.arrivals;
-  return result;
+  SimEngine engine(trace_, config_);
+  return engine.run();
 }
 
-SimResult simulate(const trace::Trace& trace, const SimConfig& config) {
-  auto& registry = obs::Registry::global();
+SimResult simulate(const trace::Trace& trace, const SimConfig& config,
+                   obs::Registry& registry) {
   obs::ScopedTimer timer(registry.histogram(
       "sim.loop_seconds." + std::string(to_string(config.policy))));
   Simulator sim(trace, config);
@@ -638,6 +676,7 @@ SimResult simulate(const trace::Trace& trace, const SimConfig& config) {
   // Publish the event-loop counters; deterministic for deterministic input.
   const SimCounters& c = result.counters;
   registry.counter("sim.events").add(c.events);
+  registry.counter("sim.event_batches").add(c.event_batches);
   registry.counter("sim.scheduling_passes").add(c.scheduling_passes);
   registry.counter("sim.backfill_attempts").add(c.backfill_attempts);
   registry.counter("sim.backfill_successes").add(c.backfill_successes);
@@ -655,6 +694,10 @@ SimResult simulate(const trace::Trace& trace, const SimConfig& config) {
     registry.gauge("sim.work_lost_core_hours").set(c.work_lost_core_hours);
   }
   return result;
+}
+
+SimResult simulate(const trace::Trace& trace, const SimConfig& config) {
+  return simulate(trace, config, obs::Registry::global());
 }
 
 }  // namespace lumos::sim

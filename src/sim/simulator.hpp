@@ -23,8 +23,13 @@
 #include "fault/fault.hpp"
 #include "sim/backfill.hpp"
 #include "sim/cluster.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/policy.hpp"
 #include "trace/trace.hpp"
+
+namespace lumos::obs {
+class Registry;
+}  // namespace lumos::obs
 
 namespace lumos::sim {
 
@@ -50,6 +55,11 @@ struct SimConfig {
   /// default is disabled, and a disabled config leaves every result field
   /// and counter bit-identical to the fault-free simulator.
   fault::FaultConfig fault;
+  /// Future-event queue backend. Both backends honour the same explicit
+  /// `event_before` total order (sim/event_queue.hpp), so results are
+  /// bit-identical; Calendar is O(1) amortised per event, Heap is the
+  /// reference fallback.
+  EventQueueKind event_queue = EventQueueKind::Calendar;
 };
 
 /// Event-loop instrumentation, surfaced through SimResult. All counters
@@ -59,6 +69,10 @@ struct SimCounters {
   std::uint64_t events = 0;            ///< completions + arrivals
   std::uint64_t completions = 0;
   std::uint64_t arrivals = 0;
+  /// Distinct event timestamps processed: every event at one simulated
+  /// instant is drained in one batch that triggers a single scheduling
+  /// round, so events/event_batches measures how much work batching saves.
+  std::uint64_t event_batches = 0;
   std::uint64_t scheduling_passes = 0; ///< per-partition pass invocations
   std::uint64_t sort_invocations = 0;  ///< policy re-sorts actually run
   std::uint64_t profile_rebuilds = 0;  ///< from-scratch profile builds
@@ -75,6 +89,7 @@ struct SimCounters {
   std::uint64_t retries = 0;           ///< resubmissions + requeues
   std::uint64_t jobs_abandoned = 0;    ///< jobs that exhausted retries
   double work_lost_core_hours = 0.0;   ///< progress discarded by faults
+  [[nodiscard]] bool operator==(const SimCounters&) const = default;
 };
 
 /// A job currently executing — event-loop state, exposed so the
@@ -85,10 +100,14 @@ struct RunningJob {
   std::uint64_t cores = 0;
   std::size_t partition = 0;
   std::uint32_t index = 0;
-  /// Interruption generation at start; a heap entry whose epoch is stale
+  /// Interruption generation at start; a queue entry whose epoch is stale
   /// belongs to an execution attempt a node failure already tore down.
   std::uint32_t epoch = 0;
-  bool operator>(const RunningJob& o) const noexcept { return end > o.end; }
+  /// Completion-event ordering key: (end, Finish, index, epoch) under
+  /// `event_before` — same-instant completions drain in job-index order.
+  [[nodiscard]] EventKey key() const noexcept {
+    return {end, EventKind::Finish, index, epoch};
+  }
 };
 
 /// Outcome for one job, index-aligned with the input trace.
@@ -105,11 +124,13 @@ struct JobOutcome {
     const double d = start_time - first_reservation;
     return d > 1e-6 ? d : 0.0;
   }
+  [[nodiscard]] bool operator==(const JobOutcome&) const = default;
 };
 
 struct QueueSample {
   double time = 0.0;
   std::uint32_t length = 0;
+  [[nodiscard]] bool operator==(const QueueSample&) const = default;
 };
 
 struct SimResult {
@@ -128,6 +149,9 @@ struct SimResult {
   std::size_t interrupted_jobs = 0;     ///< distinct jobs interrupted
   std::size_t abandoned_jobs = 0;
   SimCounters counters;                 ///< event-loop instrumentation
+  /// Field-for-field (bit-exact for doubles) — the backend-equivalence
+  /// and shard-identity tests compare entire results with this.
+  [[nodiscard]] bool operator==(const SimResult&) const = default;
 };
 
 class Simulator {
@@ -138,22 +162,22 @@ class Simulator {
   [[nodiscard]] SimResult run();
 
  private:
-  struct PendingJob {
-    std::uint32_t index;      ///< index into trace jobs
-    std::uint64_t cores;
-    std::size_t partition;
-    double submit;
-    double run;
-    double planned;           ///< planning duration (walltime or oracle)
-  };
-
   const trace::Trace& trace_;
   SimConfig config_;
 };
 
-/// Convenience wrapper: simulate and return (result, metrics are computed
-/// separately via sim::compute_metrics).
+/// Convenience wrapper: simulate, publishing event-loop counters to the
+/// global obs registry (metrics are computed separately via
+/// sim::compute_metrics).
 [[nodiscard]] SimResult simulate(const trace::Trace& trace,
                                  const SimConfig& config);
+
+/// As above, but publishing into `registry` — sweep shards thread a
+/// private registry through here so counters come from the registry
+/// actually wired into the run, never a global one mutated by whoever
+/// ran last.
+[[nodiscard]] SimResult simulate(const trace::Trace& trace,
+                                 const SimConfig& config,
+                                 obs::Registry& registry);
 
 }  // namespace lumos::sim

@@ -1,0 +1,104 @@
+// Monotonic chunked arena allocator.
+//
+// Serves aligned, never-individually-freed allocations from geometrically
+// growing chunks; `reset()` recycles every chunk without returning memory
+// to the system. Built for event-loop scratch storage (the calendar event
+// queue's bucket lanes, rebuilt wholesale on every queue resize): in
+// steady state the hot path performs zero heap allocations, and the waste
+// from abandoned lanes is bounded by one reset cycle.
+//
+// Not thread-safe: one arena belongs to one simulator shard. Types placed
+// in an arena must be trivially destructible (nothing runs destructors).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace lumos::util {
+
+class Arena {
+ public:
+  /// First chunk size in bytes; later chunks double up to `kMaxChunk`.
+  explicit Arena(std::size_t first_chunk_bytes = 4096)
+      : next_chunk_bytes_(first_chunk_bytes < kMinChunk ? kMinChunk
+                                                        : first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialised storage for `count` objects of T, aligned for T.
+  /// T must be trivially destructible — reset() never runs destructors.
+  template <typename T>
+  [[nodiscard]] T* allocate(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is reclaimed without running destructors");
+    return static_cast<T*>(allocate_bytes(count * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles every chunk: subsequent allocations reuse the same memory.
+  /// Everything previously allocated is invalidated.
+  void reset() noexcept {
+    chunk_index_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes currently reserved across all chunks (capacity, not use).
+  [[nodiscard]] std::size_t reserved_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& c : chunks_) total += c.size;
+    return total;
+  }
+
+  /// Bytes handed out since the last reset (including alignment padding).
+  [[nodiscard]] std::size_t used_bytes() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i + 1 < chunks_.size() && i < chunk_index_; ++i) {
+      total += chunks_[i].size;
+    }
+    return chunks_.empty() ? 0 : total + offset_;
+  }
+
+ private:
+  static constexpr std::size_t kMinChunk = 256;
+  static constexpr std::size_t kMaxChunk = std::size_t{1} << 22;  // 4 MiB
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  [[nodiscard]] void* allocate_bytes(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    for (;;) {
+      if (chunk_index_ < chunks_.size()) {
+        Chunk& chunk = chunks_[chunk_index_];
+        const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+        const std::size_t aligned =
+            (base + offset_ + (align - 1)) / align * align - base;
+        if (aligned + bytes <= chunk.size) {
+          offset_ = aligned + bytes;
+          return chunk.data.get() + aligned;
+        }
+        // Chunk exhausted; move on (recycled chunks keep their storage).
+        ++chunk_index_;
+        offset_ = 0;
+        continue;
+      }
+      std::size_t size = next_chunk_bytes_;
+      if (size < bytes + align) size = bytes + align;
+      chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+      if (next_chunk_bytes_ < kMaxChunk) next_chunk_bytes_ *= 2;
+    }
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_index_ = 0;       ///< chunk currently being filled
+  std::size_t offset_ = 0;            ///< fill offset within that chunk
+  std::size_t next_chunk_bytes_;
+};
+
+}  // namespace lumos::util

@@ -89,7 +89,20 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       }
     }));
   }
-  for (auto& fut : futures) fut.get();
+  // Every future must be drained before anything is rethrown. A bare
+  // fut.get() loop would rethrow exceptions that escape the task wrapper
+  // itself (e.g. an injected failpoint in submit's instrumentation) as
+  // soon as that chunk's future is reached — in race order, and while
+  // later chunks still reference `f` and `errors` on this stack frame.
+  // Catching into the chunk's slot keeps propagation deterministic
+  // (lowest chunk wins) and keeps the frame alive until all chunks stop.
+  for (std::size_t c = 0; c < futures.size(); ++c) {
+    try {
+      futures[c].get();
+    } catch (...) {
+      if (!errors[c]) errors[c] = std::current_exception();
+    }
+  }
   for (const auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }

@@ -125,6 +125,70 @@ TEST(Registry, ResetZeroesButKeepsHandles) {
   EXPECT_EQ(snap.histograms[0].count, 0u);
 }
 
+TEST(Registry, ClearRemovesInstrumentsEntirely) {
+  // reset() keeps zero-valued ghosts in snapshots (the bug behind the
+  // stale `sim.events: 0` sections in BENCH_results.json); clear() is the
+  // section boundary that actually empties the registry.
+  Registry reg;
+  reg.counter("events").add(5);
+  reg.gauge("depth").set(2.0);
+  reg.histogram("t").observe(1.0);
+  reg.clear();
+  EXPECT_TRUE(reg.snapshot().empty());
+  // Names are re-creatable afterwards, starting from scratch.
+  reg.counter("events").add(1);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(Registry, MergeAddsCountersOverwritesGaugesAccumulatesHistograms) {
+  Registry a;
+  a.counter("events").add(10);
+  a.gauge("speed").set(1.0);
+  a.histogram("t").observe(0.5);
+  a.histogram("t").observe(4.0);
+
+  Registry b;
+  b.counter("events").add(32);
+  b.counter("only_b").add(1);
+  b.gauge("speed").set(9.0);
+  b.histogram("t").observe(2.0);
+
+  Registry merged;
+  merged.merge(a.snapshot());
+  merged.merge(b.snapshot());
+  const Snapshot snap = merged.snapshot();
+
+  ASSERT_EQ(snap.counters.size(), 2u);  // name-sorted: events, only_b
+  EXPECT_EQ(snap.counters[0].value, 42u);
+  EXPECT_EQ(snap.counters[1].value, 1u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 9.0);  // last merge wins
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 3u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 6.5);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].min, 0.5);  // seeded, not clamped to 0
+  EXPECT_DOUBLE_EQ(snap.histograms[0].max, 4.0);
+}
+
+TEST(Registry, MergeIntoEmptyReproducesSnapshot) {
+  Registry source;
+  source.counter("events").add(7);
+  source.gauge("speed").set(3.25);
+  for (double v : {1e-6, 0.125, 1.0, 77.0}) source.histogram("t").observe(v);
+  const Snapshot original = source.snapshot();
+
+  Registry copy;
+  copy.merge(original);
+  const Snapshot replayed = copy.snapshot();
+  EXPECT_EQ(replayed.counters, original.counters);
+  EXPECT_EQ(replayed.gauges, original.gauges);
+  EXPECT_EQ(replayed.histograms, original.histograms);
+}
+
 TEST(ScopedTimer, ObservesOnDestructionUnlessCancelled) {
   Histogram h;
   {

@@ -285,6 +285,28 @@ TEST(LumosLint, LintTreePrefixSelectsRuleDomain) {
   fs::remove_all(dir);
 }
 
+TEST(LumosLint, FlagsPriorityQueueInSimOutsideEventQueue) {
+  const std::string body =
+      "void f() { std::priority_queue<int> q; q.push(1); }\n";
+  const auto in_sim = lint::lint_source("sim/scheduler.cpp", body);
+  ASSERT_EQ(in_sim.size(), 1u);
+  EXPECT_EQ(in_sim[0].rule, "sim-priority-queue");
+  EXPECT_EQ(in_sim[0].line, 1);
+  // The EventQueue heap backend is the one sanctioned use...
+  EXPECT_TRUE(lint::lint_source("sim/event_queue.hpp",
+                                "#pragma once\ninline void g() { "
+                                "std::priority_queue<int> q; }\n")
+                  .empty());
+  // ...and the rule is scoped to sim/: other layers may order freely.
+  EXPECT_TRUE(lint::lint_source("stats/topk.cpp", body).empty());
+  EXPECT_TRUE(lint::lint_source("util/heap_util.cpp", body).empty());
+  // Mentions in comments and strings never trip the token scan.
+  EXPECT_TRUE(lint::lint_source("sim/notes.cpp",
+                                "// std::priority_queue is banned here\n"
+                                "const char* s = \"std::priority_queue\";\n")
+                  .empty());
+}
+
 TEST(LumosLint, SanctionedImplementationsAreExempt) {
   EXPECT_TRUE(lint::lint_source("util/rng.cpp",
                                 "unsigned seed() { std::random_device rd; "

@@ -16,6 +16,9 @@
 #   bench:supervised  the bench_supervised_smoke ctest: fault drill of the
 #             crash-isolated fleet (injected crash/hang/garbage, journal
 #             resume, in-process-vs-supervised metric equivalence)
+#   bench:perf  `lumos perf-gate` compares the smoke run's sim.jobs_per_sec
+#             gauges against the committed BENCH_results.json and fails on
+#             a >20% throughput regression
 #
 # Continues past failures and prints a single PASS/FAIL summary; exit
 # status is non-zero if any stage failed. Run from the repo root:
@@ -75,6 +78,13 @@ run_stage "bench:smoke" ./build/bench/bench_runner --smoke --verify \
   --out build/BENCH_check.json
 run_stage "bench:supervised" ctest --test-dir build \
   -R '^bench_supervised_smoke$' --output-on-failure
+# Throughput gate: the bench:smoke stage above refreshed
+# build/BENCH_check.json; gate its sim.jobs_per_sec gauges against the
+# committed baseline. 20% tolerance absorbs machine noise — the gate
+# exists to catch order-of-magnitude collapses, not jitter.
+run_stage "bench:perf" ./build/tools/lumos perf-gate \
+  --baseline BENCH_results.json --current build/BENCH_check.json \
+  --max-regression 0.20
 
 echo
 echo "================ check.sh summary ================"

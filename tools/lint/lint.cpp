@@ -255,6 +255,19 @@ const std::vector<TokenRule>& float_rules() {
   return rules;
 }
 
+const std::vector<TokenRule>& priority_queue_rules() {
+  static const std::vector<TokenRule> rules = [] {
+    std::vector<TokenRule> r;
+    r.push_back({"sim-priority-queue",
+                 std::regex(R"(std\s*::\s*priority_queue\b)"),
+                 "simulator event ordering must go through sim::EventQueue "
+                 "(sim/event_queue.hpp) so the documented event_before "
+                 "tie-break — not heap insertion order — decides ties"});
+    return r;
+  }();
+  return rules;
+}
+
 void apply_token_rules(const std::vector<TokenRule>& rules,
                        const std::vector<std::string_view>& stripped_lines,
                        std::string_view rel_path,
@@ -429,6 +442,14 @@ std::vector<Diagnostic> lint_source(std::string_view rel_path,
   }
   if (top == "sim" || top == "trace" || top == "core") {
     apply_token_rules(float_rules(), stripped_lines, rel_path, out);
+  }
+  // sim-priority-queue: the EventQueue heap backend is the ONE sanctioned
+  // std::priority_queue in the simulator — every other event collection
+  // must use the shared abstraction so the event_before total order (and
+  // the calendar/heap bit-equivalence it guarantees) cannot fork.
+  if (top == "sim" && !path_is_any(rel_path, {"sim/event_queue.hpp",
+                                              "sim/event_queue.cpp"})) {
+    apply_token_rules(priority_queue_rules(), stripped_lines, rel_path, out);
   }
   if (is_header) check_pragma_once(stripped_lines, rel_path, out);
   check_includes(raw_lines, rel_path, out);

@@ -18,6 +18,12 @@
 //   float-time      `float` in sim/, trace/, or core/ — simulator time and
 //                   core-hour accounting are double-only; float silently
 //                   loses whole seconds past ~97 days of simulated time.
+//   sim-priority-queue
+//                   std::priority_queue in sim/ outside sim/event_queue.hpp
+//                   — event ordering must flow through sim::EventQueue so
+//                   the documented event_before tie-break (not heap
+//                   insertion order) decides same-timestamp ties, and the
+//                   calendar/heap backends stay bit-equivalent.
 //   naked-catch-all `catch (...)` handlers that neither rethrow nor
 //                   convert/capture the exception (throw, typed
 //                   lumos::Error, or std::current_exception) — swallowing
