@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "core/lumos.hpp"
-#include "fault/failpoint.hpp"
+#include "util/failpoint.hpp"
 #include "obs/report.hpp"
 #include "synth/calibration.hpp"
 #include "util/error.hpp"

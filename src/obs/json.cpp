@@ -12,7 +12,7 @@
 #include <fstream>
 #include <iostream>
 
-#include "fault/failpoint.hpp"
+#include "util/failpoint.hpp"
 #include "util/error.hpp"
 
 namespace lumos::obs {

@@ -45,6 +45,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/arena.hpp"
 #include "util/error.hpp"
 
@@ -139,7 +140,7 @@ class EventQueue {
     return kind_ == EventQueueKind::Heap ? heap_.size() : count_;
   }
 
-  void push(const Entry& entry) {
+  LUMOS_HOT_PATH void push(const Entry& entry) {
     if (kind_ == EventQueueKind::Heap) {
       heap_.push(entry);
       return;
@@ -155,13 +156,13 @@ class EventQueue {
     if (min_valid_ && event_before(key, min_key_)) min_valid_ = false;
   }
 
-  [[nodiscard]] const Entry& top() {
+  [[nodiscard]] LUMOS_HOT_PATH const Entry& top() {
     if (kind_ == EventQueueKind::Heap) return heap_.top();
     find_min();
     return lanes_[min_bucket_][min_slot_].entry;
   }
 
-  void pop() {
+  LUMOS_HOT_PATH void pop() {
     if (kind_ == EventQueueKind::Heap) {
       heap_.pop();
       return;
@@ -255,8 +256,9 @@ class EventQueue {
   /// the same lane have larger vindexes), so the first bucket with a
   /// matching slot ends the search. A full fruitless wrap falls back to
   /// direct search over every lane (sparse-queue escape hatch).
-  void find_min() {
+  LUMOS_HOT_PATH void find_min() {
     if (min_valid_) return;
+    // lumos-lint: allow(hot-throw) empty-queue top() is a caller bug, never hit on the event loop's happy path
     if (count_ == 0) throw InternalError("EventQueue::top on empty queue");
     const std::size_t buckets = lanes_.size();
     std::uint64_t index = cursor_;

@@ -21,6 +21,7 @@
 
 #include "sim/cluster.hpp"
 #include "trace/trace.hpp"
+#include "util/annotations.hpp"
 
 namespace lumos::sim {
 
@@ -87,9 +88,9 @@ class JobSoA {
 
   // Event-loop handles.
   [[nodiscard]] JobLocation location(std::size_t i) const noexcept { return location_[i]; }
-  void set_location(std::size_t i, JobLocation l) noexcept { location_[i] = l; }
+  LUMOS_HOT_PATH void set_location(std::size_t i, JobLocation l) noexcept { location_[i] = l; }
   [[nodiscard]] std::uint32_t run_slot(std::size_t i) const noexcept { return run_slot_[i]; }
-  void set_run_slot(std::size_t i, std::uint32_t s) noexcept { run_slot_[i] = s; }
+  LUMOS_HOT_PATH void set_run_slot(std::size_t i, std::uint32_t s) noexcept { run_slot_[i] = s; }
 
   // Fault lanes (valid only after enable_fault_state()).
   [[nodiscard]] double& remaining_run(std::size_t i) noexcept { return remaining_run_[i]; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 
 namespace lumos::sim {
@@ -37,7 +38,7 @@ void ResourceProfile::reserve(double start, double end, std::uint64_t cores) {
   }
 }
 
-void ResourceProfile::assign_reservations(
+LUMOS_HOT_PATH void ResourceProfile::assign_reservations(
     double now, std::uint64_t capacity,
     const std::vector<std::pair<double, std::uint64_t>>& ends) {
   LUMOS_REQUIRE(capacity > 0, "profile capacity must be positive");
@@ -73,8 +74,8 @@ std::uint64_t ResourceProfile::free_at(double t) const noexcept {
   return free_[step_index(t)];
 }
 
-double ResourceProfile::earliest_start(double earliest, double duration,
-                                       std::uint64_t cores) const noexcept {
+LUMOS_HOT_PATH double ResourceProfile::earliest_start(
+    double earliest, double duration, std::uint64_t cores) const noexcept {
   if (cores > capacity_) return kTimeInfinity;
   const double t0 = std::max(earliest, times_.front());
   if (cores == 0) return t0;

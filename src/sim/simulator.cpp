@@ -13,6 +13,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/job_soa.hpp"
 #include "sim/profile.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -79,7 +80,7 @@ class SimEngine {
   // equal to sequentially reserving each job — see assign_reservations).
   // Planned ends already in the past (jobs overrunning their estimate)
   // are treated as ending shortly after `now`.
-  void rebuild_profile(std::size_t part, ResourceProfile& out) {
+  LUMOS_HOT_PATH void rebuild_profile(std::size_t part, ResourceProfile& out) {
     ends_.clear();
     for (const RunningJob& r : running_by_part_[part]) {
       const double planned_end =
@@ -100,7 +101,7 @@ class SimEngine {
   // Returns the partition's availability profile, serving from the
   // incremental cache when it is still anchored at `now`. Callers that
   // mutate the profile must copy it into a scratch member first.
-  const ResourceProfile& ensure_profile(std::size_t part) {
+  LUMOS_HOT_PATH const ResourceProfile& ensure_profile(std::size_t part) {
     ProfileCache& cache = profiles_[part];
     if (!cache.valid || cache.time != now_) {
       rebuild_profile(part, cache.profile);
@@ -123,13 +124,15 @@ class SimEngine {
     cache.valid = false;
   }
 
-  void start_job(std::uint32_t idx, bool as_backfill) {
+  LUMOS_HOT_PATH void start_job(std::uint32_t idx, bool as_backfill) {
     if (jobs_.location(idx) != JobLocation::Queued) {
+      // lumos-lint: allow(hot-throw) scheduler-invariant guard: callers only pass Queued jobs
       throw InternalError("start_job on a job that is not queued");
     }
     const std::size_t part = jobs_.partition(idx);
     const std::uint64_t cores = jobs_.cores(idx);
     const bool ok = cluster_.allocate(cores, part);
+    // lumos-lint: allow(hot-throw) scheduler-invariant guard: fit was checked before the call
     if (!ok) throw InternalError("start_job without free cores");
     auto& outcome = result_.outcomes[idx];
     // A restart after an interruption keeps the job's original outcome:
@@ -193,7 +196,7 @@ class SimEngine {
   }
 
   // One scheduling pass over partition `part`; returns jobs started.
-  std::size_t schedule_partition(std::size_t part) {
+  LUMOS_HOT_PATH std::size_t schedule_partition(std::size_t part) {
     auto& queue = queues_[part];
     if (queue.empty()) return 0;
     ++counters_->scheduling_passes;
@@ -535,7 +538,7 @@ class SimEngine {
   std::optional<SimAuditor> auditor_;
 };
 
-SimResult SimEngine::run() {
+LUMOS_HOT_PATH SimResult SimEngine::run() {
   const auto jobs = trace_.jobs();
   result_.outcomes.assign(jobs.size(), JobOutcome{});
   counters_ = &result_.counters;
@@ -595,6 +598,7 @@ SimResult SimEngine::run() {
       auto& vec = running_by_part_[r.partition];
       const std::uint32_t slot = jobs_.run_slot(r.index);
       if (slot >= vec.size() || vec[slot].index != r.index) {
+        // lumos-lint: allow(hot-throw) corrupted run_slot handle means the swap-erase patching broke; fail loudly
         throw InternalError("running-slot handle out of sync");
       }
       vec[slot] = vec.back();

@@ -5,7 +5,7 @@
 #include <istream>
 #include <ostream>
 
-#include "fault/failpoint.hpp"
+#include "util/failpoint.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"

@@ -4,7 +4,7 @@
 #include <istream>
 #include <ostream>
 
-#include "fault/failpoint.hpp"
+#include "util/failpoint.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"

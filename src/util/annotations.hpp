@@ -56,6 +56,20 @@
 #define LUMOS_NO_THREAD_SAFETY_ANALYSIS \
   LUMOS_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+/// Marks a function definition as simulator-hot-path code. Expands to
+/// nothing at compile time; lumos_lint's hot-path pass (tools/lint/
+/// hotpath.hpp) scans every marked body and fails on heap allocation,
+/// node-container construction, lock acquisition, stream I/O, throw, and
+/// std::regex. Put it before the return type of the *definition*:
+///
+///     LUMOS_HOT_PATH void push(Event event) { ... }
+///
+/// Individual findings inside a marked body can be waived with
+///     // lumos-lint: allow(<rule>) <reason>
+/// on the offending line or the line above — used for genuine invariant
+/// throws that never fire on the happy path.
+#define LUMOS_HOT_PATH
+
 namespace lumos::util {
 
 /// std::unique_lock with capability annotations. libstdc++'s lock types

@@ -1,4 +1,4 @@
-#include "fault/failpoint.hpp"
+#include "util/failpoint.hpp"
 
 namespace lumos::fault {
 

@@ -13,7 +13,13 @@
 //
 // This header sits below every other lumos library (util::ThreadPool
 // threads a failpoint through task execution), so it depends only on the
-// header-only util/error.hpp and util/annotations.hpp.
+// header-only util/error.hpp and util/annotations.hpp. That position is
+// why it lives in src/util/ rather than src/fault/: trace, obs, and util
+// itself evaluate failpoints, and the module layer DAG
+// (tools/lint/layers.txt) places fault — the stochastic MTBF/MTTR node
+// failure model — above those layers. The injection vocabulary keeps the
+// lumos::fault namespace: an armed site throws fault::InjectedFault no
+// matter which layer hosts the site.
 #pragma once
 
 #include <cstdint>

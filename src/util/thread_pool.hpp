@@ -23,7 +23,7 @@
 #include <thread>
 #include <vector>
 
-#include "fault/failpoint.hpp"
+#include "util/failpoint.hpp"
 #include "util/annotations.hpp"
 #include "util/error.hpp"
 

@@ -9,7 +9,7 @@
 #include <sstream>
 #include <string>
 
-#include "fault/failpoint.hpp"
+#include "util/failpoint.hpp"
 #include "obs/json.hpp"
 #include "trace/csv_formats.hpp"
 #include "trace/swf.hpp"

@@ -1,0 +1,353 @@
+// Structural lumos_lint passes on fixture trees: layer DAG parsing,
+// include-graph analysis (cycles, inversions, .cpp includes), the
+// LUMOS_HOT_PATH body scanner, and the baseline ratchet.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/baseline.hpp"
+#include "lint/hotpath.hpp"
+#include "lint/lint.hpp"
+#include "lint/structure.hpp"
+#include "util/error.hpp"
+
+namespace lint = lumos::lint;
+
+namespace {
+
+std::vector<lint::SourceFile> tree(
+    std::initializer_list<std::pair<const char*, const char*>> files) {
+  std::vector<lint::SourceFile> out;
+  for (const auto& [path, content] : files) out.push_back({path, content});
+  return out;
+}
+
+int count_rule(const std::vector<lint::Diagnostic>& diags,
+               std::string_view rule) {
+  int n = 0;
+  for (const auto& d : diags) n += d.rule == rule ? 1 : 0;
+  return n;
+}
+
+// ------------------------------------------------------- parse_layers --
+
+TEST(ParseLayers, AcceptsCommentsBlanksAndDeps) {
+  const auto spec = lint::parse_layers(
+      "# comment\n"
+      "\n"
+      "util:\n"
+      "trace: util   # trailing comment\n"
+      "sim: util trace\n");
+  EXPECT_TRUE(spec.knows("util"));
+  EXPECT_TRUE(spec.knows("sim"));
+  EXPECT_FALSE(spec.knows("obs"));
+  EXPECT_EQ(spec.allowed.at("sim"),
+            (std::set<std::string>{"util", "trace"}));
+  EXPECT_TRUE(spec.allowed.at("util").empty());
+}
+
+TEST(ParseLayers, RejectsMalformedLine) {
+  EXPECT_THROW((void)lint::parse_layers("util\n"), lumos::InvalidArgument);
+}
+
+TEST(ParseLayers, RejectsUndeclaredDep) {
+  EXPECT_THROW((void)lint::parse_layers("sim: util\n"),
+               lumos::InvalidArgument);
+}
+
+TEST(ParseLayers, RejectsSelfDep) {
+  EXPECT_THROW((void)lint::parse_layers("sim: sim\n"),
+               lumos::InvalidArgument);
+}
+
+TEST(ParseLayers, RejectsDuplicateModule) {
+  EXPECT_THROW((void)lint::parse_layers("util:\nutil:\n"),
+               lumos::InvalidArgument);
+}
+
+TEST(ParseLayers, RejectsCyclicDeclaredGraph) {
+  EXPECT_THROW((void)lint::parse_layers("a: b\nb: a\n"),
+               lumos::InvalidArgument);
+}
+
+// ---------------------------------------------------- check_structure --
+
+TEST(CheckStructure, CleanTreeHasNoFindings) {
+  const auto spec = lint::parse_layers("util:\nsim: util\n");
+  const auto diags = lint::check_structure(
+      tree({{"util/rng.hpp", "#pragma once\n"},
+            {"sim/engine.hpp", "#pragma once\n#include \"util/rng.hpp\"\n"}}),
+      spec);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(CheckStructure, ReportsIncludeCycleOnceAtSmallestMember) {
+  const auto spec = lint::parse_layers("sim: \n");
+  const auto diags = lint::check_structure(
+      tree({{"sim/a.hpp", "#include \"sim/b.hpp\"\n"},
+            {"sim/b.hpp", "#include \"sim/c.hpp\"\n"},
+            {"sim/c.hpp", "#include \"sim/a.hpp\"\n"}}),
+      spec);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "include-cycle");
+  EXPECT_EQ(diags[0].file, "sim/a.hpp");
+  EXPECT_EQ(diags[0].line, 1);
+  // The message carries the full chain, closing back on the anchor.
+  EXPECT_NE(diags[0].message.find("sim/a.hpp -> sim/b.hpp -> sim/c.hpp -> "
+                                  "sim/a.hpp"),
+            std::string::npos);
+}
+
+TEST(CheckStructure, SelfIncludeIsACycle) {
+  const auto spec = lint::parse_layers("sim: \n");
+  const auto diags = lint::check_structure(
+      tree({{"sim/a.hpp", "#include \"sim/a.hpp\"\n"}}), spec);
+  ASSERT_EQ(count_rule(diags, "include-cycle"), 1);
+}
+
+TEST(CheckStructure, ReportsLayerInversion) {
+  const auto spec = lint::parse_layers("util:\nsim: util\n");
+  const auto diags = lint::check_structure(
+      tree({{"util/rng.hpp", "#include \"sim/engine.hpp\"\n"},
+            {"sim/engine.hpp", "#pragma once\n"}}),
+      spec);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "layer-inversion");
+  EXPECT_EQ(diags[0].file, "util/rng.hpp");
+  EXPECT_NE(diags[0].message.find("'util' may not include 'sim'"),
+            std::string::npos);
+}
+
+TEST(CheckStructure, ReportsIncludeOfTranslationUnit) {
+  const auto spec = lint::parse_layers("sim: \n");
+  const auto diags = lint::check_structure(
+      tree({{"sim/a.cpp", "#include \"sim/b.cpp\"\n"},
+            {"sim/b.cpp", "int x;\n"}}),
+      spec);
+  EXPECT_EQ(count_rule(diags, "include-cpp"), 1);
+}
+
+TEST(CheckStructure, ReportsUnknownModuleBothDirections) {
+  const auto spec = lint::parse_layers("util:\n");
+  // mystery/ is in the scanned set but not declared: flagged both as the
+  // includer and as the included module.
+  const auto diags = lint::check_structure(
+      tree({{"util/a.hpp", "#include \"mystery/m.hpp\"\n"},
+            {"mystery/m.hpp", "#include \"util/a.hpp\"\n"}}),
+      spec);
+  EXPECT_EQ(count_rule(diags, "layer-unknown-module"), 2);
+}
+
+TEST(CheckStructure, IgnoresThirdPartyQuotedIncludes) {
+  const auto spec = lint::parse_layers("util:\n");
+  const auto diags = lint::check_structure(
+      tree({{"util/a.hpp", "#include \"gtest/gtest.h\"\n"}}), spec);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(CheckStructure, HonoursInlineSuppression) {
+  const auto spec = lint::parse_layers("util:\nsim: util\n");
+  const auto diags = lint::check_structure(
+      tree({{"util/rng.hpp",
+             "// lumos-lint: allow(layer-inversion) transitional, see #42\n"
+             "#include \"sim/engine.hpp\"\n"},
+            {"sim/engine.hpp", "#pragma once\n"}}),
+      spec);
+  EXPECT_EQ(count_rule(diags, "layer-inversion"), 0);
+}
+
+// ---------------------------------------------------- check_hot_paths --
+
+TEST(HotPath, FlagsAllSixRules) {
+  const auto diags = lint::check_hot_paths("sim/hot.cpp",
+                                           R"(LUMOS_HOT_PATH void spin() {
+  auto* p = new int[8];
+  std::map<int, int> m;
+  std::mutex mu;
+  std::cout << 1;
+  throw 1;
+  std::regex re("x");
+})");
+  EXPECT_EQ(count_rule(diags, "hot-alloc"), 1);
+  EXPECT_EQ(count_rule(diags, "hot-node-container"), 1);
+  EXPECT_EQ(count_rule(diags, "hot-mutex"), 1);
+  EXPECT_EQ(count_rule(diags, "hot-stream"), 1);
+  EXPECT_EQ(count_rule(diags, "hot-throw"), 1);
+  EXPECT_EQ(count_rule(diags, "hot-regex"), 1);
+}
+
+TEST(HotPath, UnmarkedFunctionIsNotScanned) {
+  const auto diags = lint::check_hot_paths(
+      "sim/cold.cpp", "void setup() { auto* p = new int[8]; (void)p; }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(HotPath, BodyEndsAtMatchingBrace) {
+  // The allocation after the marked body must not be attributed to it.
+  const auto diags = lint::check_hot_paths("sim/hot.cpp",
+                                           R"(LUMOS_HOT_PATH void hot() {
+  if (true) { int x = 0; (void)x; }
+  for (;;) { break; }
+}
+void cold() { auto* p = new int[8]; (void)p; })");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(HotPath, LambdaInsideBodyIsScanned) {
+  const auto diags = lint::check_hot_paths("sim/hot.cpp",
+                                           R"(LUMOS_HOT_PATH void hot() {
+  auto fn = [&](int n) { return new int[n]; };
+  (void)fn;
+})");
+  EXPECT_EQ(count_rule(diags, "hot-alloc"), 1);
+}
+
+TEST(HotPath, BracesInParametersDoNotConfuseBodyStart) {
+  // Default argument with a braced init sits inside parens; the body is
+  // still found and the allocation inside it is flagged.
+  const auto diags = lint::check_hot_paths("sim/hot.cpp",
+                                           R"(LUMOS_HOT_PATH int hot(std::pair<int,int> p = {1, 2}) {
+  return *new int(p.first);
+})");
+  EXPECT_EQ(count_rule(diags, "hot-alloc"), 1);
+}
+
+TEST(HotPath, SuppressionWithReasonRemovesFinding) {
+  const auto diags = lint::check_hot_paths("sim/hot.cpp",
+                                           R"(LUMOS_HOT_PATH void hot() {
+  // lumos-lint: allow(hot-throw) invariant guard, never on happy path
+  if (false) throw 1;
+})");
+  EXPECT_EQ(count_rule(diags, "hot-throw"), 0);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(HotPath, ReasonlessSuppressionIsItselfAFinding) {
+  const auto diags = lint::check_hot_paths("sim/hot.cpp",
+                                           R"(LUMOS_HOT_PATH void hot() {
+  // lumos-lint: allow(hot-throw)
+  if (false) throw 1;
+})");
+  EXPECT_EQ(count_rule(diags, "hot-throw"), 1);
+  EXPECT_EQ(count_rule(diags, "lint-suppression"), 1);
+}
+
+TEST(HotPath, MarkerOnDeclarationIsMisuse) {
+  const auto diags = lint::check_hot_paths(
+      "sim/hot.hpp", "LUMOS_HOT_PATH void hot();\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "hot-path-misuse");
+}
+
+TEST(HotPath, MarkerInCommentOrStringIgnored) {
+  const auto diags = lint::check_hot_paths(
+      "sim/doc.cpp",
+      "// LUMOS_HOT_PATH void fake() { new int; }\n"
+      "const char* s = \"LUMOS_HOT_PATH void fake2() { new int; }\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(HotPath, DefinitionSiteIsExempt) {
+  const auto diags = lint::check_hot_paths(
+      "util/annotations.hpp",
+      "LUMOS_HOT_PATH void would_fail() { throw 1; }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(HotPath, DiagnosticNamesTheFunction) {
+  const auto diags = lint::check_hot_paths(
+      "sim/hot.cpp", "LUMOS_HOT_PATH void spin_once() { throw 1; }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("(in spin_once)"), std::string::npos);
+}
+
+// ----------------------------------------------------------- baseline --
+
+TEST(Baseline, JsonRoundTrip) {
+  std::vector<lint::Diagnostic> diags = {
+      {"sim/a.cpp", 10, "hot-alloc", "m"},
+      {"sim/a.cpp", 20, "hot-alloc", "m"},
+      {"util/b.hpp", 5, "layer-inversion", "m"},
+  };
+  const auto baseline = lint::baseline_from(diags);
+  const auto parsed = lint::baseline_from_json(lint::to_json(baseline));
+  EXPECT_EQ(parsed.pinned, baseline.pinned);
+  EXPECT_EQ(parsed.pinned.at({"sim/a.cpp", "hot-alloc"}), 2);
+}
+
+TEST(Baseline, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)lint::baseline_from_json("{}"), lumos::InvalidArgument);
+  EXPECT_THROW(
+      (void)lint::baseline_from_json(R"({"schema_version": 2, "pinned": []})"),
+      lumos::InvalidArgument);
+  EXPECT_THROW((void)lint::baseline_from_json(
+                   R"({"schema_version": 1,
+                       "pinned": [{"file": "a", "rule": "r", "count": 0}]})"),
+               lumos::InvalidArgument);
+}
+
+TEST(Ratchet, FreshFindingsFailPinnedOnesPass) {
+  std::vector<lint::Diagnostic> old_diags = {
+      {"sim/a.cpp", 10, "hot-alloc", "m"}};
+  const auto baseline = lint::baseline_from(old_diags);
+
+  // Same findings → clean.
+  auto result = lint::ratchet(old_diags, baseline);
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.pinned.size(), 1u);
+
+  // One more finding of the pinned (file, rule) → exactly one fresh.
+  std::vector<lint::Diagnostic> more = {
+      {"sim/a.cpp", 10, "hot-alloc", "m"},
+      {"sim/a.cpp", 99, "hot-alloc", "m"},
+  };
+  result = lint::ratchet(more, baseline);
+  EXPECT_FALSE(result.clean());
+  ASSERT_EQ(result.fresh.size(), 1u);
+  EXPECT_EQ(result.fresh[0].line, 99);  // the later finding is the fresh one
+
+  // A different rule in the same file is fresh even though the file is
+  // mentioned in the baseline.
+  std::vector<lint::Diagnostic> other_rule = {
+      {"sim/a.cpp", 10, "hot-throw", "m"}};
+  result = lint::ratchet(other_rule, baseline);
+  EXPECT_EQ(result.fresh.size(), 1u);
+}
+
+TEST(Ratchet, FixedFindingsReportStalePins) {
+  std::vector<lint::Diagnostic> old_diags = {
+      {"sim/a.cpp", 10, "hot-alloc", "m"},
+      {"sim/a.cpp", 20, "hot-alloc", "m"}};
+  const auto baseline = lint::baseline_from(old_diags);
+  const auto result = lint::ratchet({}, baseline);
+  EXPECT_TRUE(result.clean());
+  ASSERT_EQ(result.stale.size(), 1u);
+  EXPECT_EQ(result.stale[0], (std::pair<std::string, std::string>{
+                                 "sim/a.cpp", "hot-alloc"}));
+}
+
+TEST(Ratchet, EmptyBaselineFailsEverything) {
+  std::vector<lint::Diagnostic> diags = {{"sim/a.cpp", 1, "hot-alloc", "m"}};
+  const auto result = lint::ratchet(diags, lint::Baseline{});
+  EXPECT_EQ(result.fresh.size(), 1u);
+  EXPECT_TRUE(result.pinned.empty());
+}
+
+// One end-to-end composition: structural findings feed the ratchet the
+// same way the lumos_lint driver wires them.
+TEST(Ratchet, StructuralFindingsRoundTripThroughBaseline) {
+  const auto spec = lint::parse_layers("util:\nsim: util\n");
+  const auto files =
+      tree({{"util/rng.hpp", "#include \"sim/engine.hpp\"\n"},
+            {"sim/engine.hpp", "#pragma once\n"}});
+  const auto diags = lint::check_structure(files, spec);
+  ASSERT_EQ(diags.size(), 1u);
+
+  const auto baseline = lint::baseline_from(diags);
+  EXPECT_TRUE(lint::ratchet(diags, baseline).clean());
+  const auto parsed = lint::baseline_from_json(lint::to_json(baseline));
+  EXPECT_TRUE(lint::ratchet(diags, parsed).clean());
+}
+
+}  // namespace

@@ -37,7 +37,7 @@
 #include <string>
 #include <thread>
 
-#include "fault/failpoint.hpp"
+#include "util/failpoint.hpp"
 #include "obs/json.hpp"
 #include "util/error.hpp"
 

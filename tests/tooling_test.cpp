@@ -8,6 +8,7 @@
 #include "analysis/export.hpp"
 #include "core/study.hpp"
 #include "lint/lint.hpp"
+#include "obs/registry.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/descriptive.hpp"
 #include "trace/transform.hpp"
@@ -475,6 +476,112 @@ TEST(LumosLint, RawExitExemptsMainTusAndPosixUnderscoreExit) {
                   "// calls std::exit(1) on failure\n"
                   "const char* kDoc = \"abort() if unset\";\n")
                   .empty());
+}
+
+TEST(LumosLint, RawStringDelimitersAndContentsAreStripped) {
+  // d-char-seq raw strings: the banned tokens live inside
+  // R"delim(...)delim" and a plain )" inside the body must not end the
+  // literal early (that would leak `rand()` into the scan).
+  EXPECT_TRUE(lint::lint_source(
+                  "sim/notes.cpp",
+                  "const char* a = R\"x(std::cout << rand();)x\";\n"
+                  "const char* b = R\"re(quote)\" then rand() still inside)re\";\n")
+                  .empty());
+  // Code after the raw literal on the same line is still scanned.
+  const auto diags = lint::lint_source(
+      "sim/notes.cpp", "const char* c = R\"(text)\"; int r = rand();\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "banned-rng");
+}
+
+TEST(LumosLint, BackslashContinuationExtendsLineComments) {
+  // A // comment ending in a backslash splices the next physical line
+  // into the comment (translation phase 2): rand() on the spliced line
+  // is commentary, not code.
+  EXPECT_TRUE(lint::lint_source("sim/notes.cpp",
+                                "// disabled: \\\n"
+                                "int r = rand();\n")
+                  .empty());
+  // CRLF between the backslash and the newline still splices.
+  EXPECT_TRUE(lint::lint_source("sim/notes.cpp",
+                                "// disabled: \\\r\n"
+                                "int r = rand();\n")
+                  .empty());
+  // The line after the spliced one is real code again.
+  const auto diags = lint::lint_source("sim/notes.cpp",
+                                       "// off: \\\n"
+                                       "still comment\n"
+                                       "int r = rand();\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LumosLint, SuppressionWithReasonSilencesOwnAndNextLine) {
+  // Same line.
+  EXPECT_TRUE(lint::lint_source(
+                  "sim/seedy.cpp",
+                  "int r = rand();  // lumos-lint: allow(banned-rng) "
+                  "fixture exercises libc fallback\n")
+                  .empty());
+  // Line above.
+  EXPECT_TRUE(lint::lint_source(
+                  "sim/seedy.cpp",
+                  "// lumos-lint: allow(banned-rng) fixture exercises "
+                  "libc fallback\n"
+                  "int r = rand();\n")
+                  .empty());
+}
+
+TEST(LumosLint, SuppressionIsRuleScoped) {
+  // An allow() for a different rule does not silence the finding.
+  const auto diags = lint::lint_source(
+      "sim/seedy.cpp",
+      "// lumos-lint: allow(stdout-io) wrong rule\n"
+      "int r = rand();\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "banned-rng");
+}
+
+TEST(LumosLint, ReasonlessSuppressionIsAFinding) {
+  const auto diags = lint::lint_source("sim/seedy.cpp",
+                                       "// lumos-lint: allow(banned-rng)\n"
+                                       "int r = rand();\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "lint-suppression");
+  EXPECT_EQ(diags[1].rule, "banned-rng");
+}
+
+TEST(LumosLint, LintTreePublishesScanMetrics) {
+  // The registry overload reports files scanned, findings, and duration.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "lumos_lint_metrics_fixture";
+  std::filesystem::create_directories(dir / "sim");
+  {
+    std::ofstream out(dir / "sim" / "bad.cpp");
+    out << "int r = rand();\n";
+  }
+  lumos::obs::Registry registry;
+  const auto diags = lint::lint_tree(dir, "", registry);
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(diags.size(), 1u);
+  const auto snap = registry.snapshot();
+  bool saw_files = false;
+  bool saw_findings = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "lint.files") {
+      saw_files = true;
+      EXPECT_EQ(c.value, 1u);
+    }
+    if (c.name == "lint.findings") {
+      saw_findings = true;
+      EXPECT_EQ(c.value, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_files);
+  EXPECT_TRUE(saw_findings);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "lint.tree_seconds");
+  EXPECT_EQ(snap.histograms[0].count, 1u);
 }
 
 TEST(LumosLint, CleanFixtureReportsNothing) {

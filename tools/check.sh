@@ -8,7 +8,11 @@
 #   tsan      ThreadSanitizer build + `ctest -L tsan` concurrency suite
 #   failpoints Debug build with -DLUMOS_FAILPOINTS=ON + `ctest -L
 #             failpoints` fault-injection suite (typed-error propagation)
-#   lint      lumos_lint over src/ and bench/ from the release build
+#   lint      the three lumos_lint ctest cases (lumos_lint token rules,
+#             lint_layers include-graph/layer DAG, lint_hotpath
+#             LUMOS_HOT_PATH discipline) with --output-on-failure so a
+#             break prints file:line diagnostics, plus a direct --ratchet
+#             run that prints per-rule finding counts
 #             (clang-tidy additionally gates compiles when configured with
 #              -DLUMOS_LINT=ON and a clang-tidy binary is on PATH)
 #   bench     bench_runner --smoke --verify: every harness on capped
@@ -73,7 +77,14 @@ if [ "$QUICK" -eq 0 ]; then
   preset_stage tsan tsan
   preset_stage failpoints failpoints
 fi
-run_stage "lint:lumos_lint" ./build/tools/lumos_lint src bench
+# Structural lint: the three registered ctest cases fail with file:line
+# diagnostics; the direct run prints per-rule counts and exercises the
+# committed baseline exactly as CI does.
+run_stage "lint:ctest" ctest --test-dir build \
+  -R '^(lumos_lint|lint_layers|lint_hotpath)$' --output-on-failure
+run_stage "lint:ratchet" ./build/tools/lumos_lint --ratchet \
+  --layers tools/lint/layers.txt --baseline tools/lint/baseline.json \
+  src bench
 run_stage "bench:smoke" ./build/bench/bench_runner --smoke --verify \
   --out build/BENCH_check.json
 run_stage "bench:supervised" ctest --test-dir build \

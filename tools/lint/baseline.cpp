@@ -1,0 +1,111 @@
+#include "lint/baseline.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace lumos::lint {
+
+Baseline baseline_from(const std::vector<Diagnostic>& diags) {
+  Baseline baseline;
+  for (const Diagnostic& d : diags) {
+    ++baseline.pinned[{d.file, d.rule}];
+  }
+  return baseline;
+}
+
+std::string to_json(const Baseline& baseline) {
+  obs::Json doc = obs::Json::object();
+  doc["schema_version"] = obs::Json(std::int64_t{1});
+  obs::Json pinned = obs::Json::array();
+  // std::map iteration: (file, rule) sorted — the document is stable.
+  for (const auto& [key, count] : baseline.pinned) {
+    obs::Json entry = obs::Json::object();
+    entry["file"] = obs::Json(key.first);
+    entry["rule"] = obs::Json(key.second);
+    entry["count"] = obs::Json(count);
+    pinned.push_back(std::move(entry));
+  }
+  doc["pinned"] = std::move(pinned);
+  return doc.dump(2);
+}
+
+Baseline baseline_from_json(std::string_view text) {
+  const obs::Json doc = obs::Json::parse(text);
+  const obs::Json* version = doc.find("schema_version");
+  if (version == nullptr || !version->is_number() || version->as_int() != 1) {
+    throw InvalidArgument(
+        "baseline: missing or unsupported schema_version (expected 1)");
+  }
+  const obs::Json* pinned = doc.find("pinned");
+  if (pinned == nullptr) {
+    throw InvalidArgument("baseline: missing \"pinned\" array");
+  }
+  Baseline baseline;
+  for (const obs::Json& entry : pinned->items()) {
+    const obs::Json* file = entry.find("file");
+    const obs::Json* rule = entry.find("rule");
+    const obs::Json* count = entry.find("count");
+    if (file == nullptr || rule == nullptr || count == nullptr) {
+      throw InvalidArgument(
+          "baseline: pinned entry needs file, rule, and count");
+    }
+    const std::int64_t n = count->as_int();
+    if (n <= 0) {
+      throw InvalidArgument("baseline: pinned count must be positive for " +
+                            file->as_string() + " / " + rule->as_string());
+    }
+    auto key = std::make_pair(file->as_string(), rule->as_string());
+    if (!baseline.pinned.emplace(std::move(key), n).second) {
+      throw InvalidArgument("baseline: duplicate pin for " +
+                            file->as_string() + " / " + rule->as_string());
+    }
+  }
+  return baseline;
+}
+
+RatchetResult ratchet(const std::vector<Diagnostic>& diags,
+                      const Baseline& baseline) {
+  // Bucket findings by (file, rule), preserving line order within each
+  // bucket (diags arrive sorted by file/line from the passes).
+  std::map<std::pair<std::string, std::string>, std::vector<Diagnostic>>
+      buckets;
+  for (const Diagnostic& d : diags) {
+    buckets[{d.file, d.rule}].push_back(d);
+  }
+
+  RatchetResult result;
+  for (auto& [key, bucket] : buckets) {
+    const auto pin = baseline.pinned.find(key);
+    const std::int64_t allowed =
+        pin == baseline.pinned.end() ? 0 : pin->second;
+    const auto absorbed = std::min<std::int64_t>(
+        allowed, static_cast<std::int64_t>(bucket.size()));
+    for (std::int64_t i = 0; i < absorbed; ++i) {
+      result.pinned.push_back(std::move(bucket[static_cast<std::size_t>(i)]));
+    }
+    for (auto i = static_cast<std::size_t>(absorbed); i < bucket.size();
+         ++i) {
+      result.fresh.push_back(std::move(bucket[i]));
+    }
+  }
+  for (const auto& [key, allowed] : baseline.pinned) {
+    const auto bucket = buckets.find(key);
+    const std::int64_t present =
+        bucket == buckets.end()
+            ? 0
+            : static_cast<std::int64_t>(bucket->second.size());
+    if (present < allowed) result.stale.push_back(key);
+  }
+
+  const auto by_pos = [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    return a.line < b.line;
+  };
+  std::stable_sort(result.fresh.begin(), result.fresh.end(), by_pos);
+  std::stable_sort(result.pinned.begin(), result.pinned.end(), by_pos);
+  return result;
+}
+
+}  // namespace lumos::lint

@@ -1,0 +1,73 @@
+// Baseline ratchet for lumos_lint findings.
+//
+// A new rule landing on an old tree faces a choice: fix every existing
+// finding first (blocks the rule), or grandfather them invisibly (loses
+// them). The ratchet is the third way: existing findings are *pinned* in
+// a committed baseline file and tolerated, while anything not pinned
+// fails. The pin is a (file, rule) → count — deliberately not
+// line-anchored, so unrelated edits that shift line numbers don't churn
+// the baseline; but adding one more finding of a pinned rule to a pinned
+// file exceeds its count and fails. Counts can only be ratcheted *down*:
+// when the tree has fewer findings than a pin allows, the pin is stale
+// and `lumos_lint --write-baseline` shrinks it.
+//
+// Baseline document (tools/lint/baseline.json, via obs::Json so key
+// order is stable and diffs are reviewable):
+//
+//   { "schema_version": 1,
+//     "pinned": [ {"file": "sim/x.cpp", "rule": "hot-alloc", "count": 2} ] }
+//
+// Workflow:
+//   * new finding in CI        → fix it, suppress it with a reason, or —
+//                                for a deliberate rule rollout — pin it
+//                                via --write-baseline in the same PR.
+//   * fixed a pinned finding   → --write-baseline shrinks the pin; the
+//                                shrink commits with the fix (the ratchet).
+//   * `lumos_lint --ratchet`   → exit 0 iff no finding exceeds its pin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace lumos::lint {
+
+/// Pinned finding counts, keyed by (file, rule).
+struct Baseline {
+  std::map<std::pair<std::string, std::string>, std::int64_t> pinned;
+};
+
+/// Collapses diagnostics into a baseline pinning exactly the given
+/// findings (what --write-baseline persists).
+[[nodiscard]] Baseline baseline_from(const std::vector<Diagnostic>& diags);
+
+/// Stable JSON round-trip. from_json throws lumos::InvalidArgument on a
+/// malformed document or unsupported schema_version.
+[[nodiscard]] std::string to_json(const Baseline& baseline);
+[[nodiscard]] Baseline baseline_from_json(std::string_view text);
+
+/// The verdict of a ratchet run.
+struct RatchetResult {
+  /// Findings beyond the pinned counts — these fail the run. When a
+  /// (file, rule) bucket holds N findings against a pin of K < N, the
+  /// *last* N-K by line order are reported fresh (deterministic, and in
+  /// practice new code lands below old code more often than not).
+  std::vector<Diagnostic> fresh;
+  /// Findings absorbed by pins.
+  std::vector<Diagnostic> pinned;
+  /// Pins whose buckets have shrunk: (file, rule) with surplus capacity.
+  /// Not a failure — but --write-baseline tightens them.
+  std::vector<std::pair<std::string, std::string>> stale;
+
+  [[nodiscard]] bool clean() const { return fresh.empty(); }
+};
+
+/// Splits `diags` against `baseline` per the rules above.
+[[nodiscard]] RatchetResult ratchet(const std::vector<Diagnostic>& diags,
+                                    const Baseline& baseline);
+
+}  // namespace lumos::lint

@@ -41,8 +41,25 @@
 //   include-hygiene no parent-relative ("../") or backslashed include
 //                   paths, and no duplicate includes within a file.
 //
-// The scanner strips comments and string/char literal contents first, so
-// mentions in documentation or messages do not trip the token rules.
+// Structural passes live alongside this per-file engine:
+//   structure.hpp   include-graph analysis — file-level include cycles,
+//                   includes of .cpp files, and module layer inversions
+//                   against the declared DAG in tools/lint/layers.txt.
+//   hotpath.hpp     LUMOS_HOT_PATH function-body discipline — no heap
+//                   allocation, node containers, locks, stream I/O,
+//                   throw, or std::regex inside marked hot functions.
+//   baseline.hpp    (file, rule)-count baseline with --ratchet semantics:
+//                   pinned findings pass, new ones fail.
+//
+// Any rule can be suppressed inline, on the offending line or the line
+// directly above it:
+//     // lumos-lint: allow(<rule>) <reason>
+// The reason is mandatory — a bare allow() is itself a finding
+// (`lint-suppression`), so every exception in the tree documents why.
+//
+// The scanner strips comments and string/char literal contents first
+// (including raw strings and `\`-spliced line comments), so mentions in
+// documentation or messages do not trip the token rules.
 // `lint_source` is the pure, unit-testable core; `lint_tree` walks a
 // directory; the `lumos_lint` binary wraps the latter as a ctest case.
 #pragma once
@@ -52,6 +69,10 @@
 #include <string_view>
 #include <vector>
 
+namespace lumos::obs {
+class Registry;
+}  // namespace lumos::obs
+
 namespace lumos::lint {
 
 struct Diagnostic {
@@ -59,6 +80,15 @@ struct Diagnostic {
   int line = 0;         // 1-based
   std::string rule;     // stable rule id, e.g. "banned-rng"
   std::string message;  // human-readable explanation
+};
+
+/// One source file, loaded for analysis. `rel_path` uses forward slashes
+/// and is relative to the source root with the tree prefix applied (the
+/// same convention as lint_source) — "sim/simulator.cpp",
+/// "bench/common.hpp".
+struct SourceFile {
+  std::string rel_path;
+  std::string content;
 };
 
 /// "file:line: [rule] message" — the one true diagnostic format.
@@ -76,6 +106,21 @@ struct Diagnostic {
 [[nodiscard]] std::vector<Diagnostic> lint_source(std::string_view rel_path,
                                                   std::string_view content);
 
+/// Removes diagnostics covered by an inline suppression in `content` —
+/// `// lumos-lint: allow(<rule>) <reason>` on the diagnostic's own line
+/// or the line immediately above — and appends a `lint-suppression`
+/// diagnostic for every suppression that lacks a reason. Called by
+/// lint_source and by the structural passes; exposed for tests.
+void apply_suppressions(std::string_view rel_path, std::string_view content,
+                        std::vector<Diagnostic>& diags);
+
+/// Reads every .hpp/.cpp/.h/.cc under `root` (deterministic path order)
+/// with `prefix` prepended to each relative path — the input format the
+/// structural passes (structure.hpp, hotpath.hpp) consume, loaded once
+/// and shared across passes. Throws lumos::InvalidArgument on IO errors.
+[[nodiscard]] std::vector<SourceFile> load_tree(
+    const std::filesystem::path& root, std::string_view prefix = "");
+
 /// Lints every .hpp/.cpp under `root` (deterministic path order).
 /// Diagnostic paths are relative to `root`, with `prefix` prepended before
 /// rule selection — so a tree rooted at bench/ lints its files as
@@ -83,5 +128,14 @@ struct Diagnostic {
 /// whose children are already top-level rule domains (src/).
 [[nodiscard]] std::vector<Diagnostic> lint_tree(
     const std::filesystem::path& root, std::string_view prefix = "");
+
+/// As above, but also publishes the scan cost into `registry`:
+/// `lint.files` / `lint.findings` counters, a `lint.tree_seconds`
+/// histogram sample (obs::ScopedTimer), and a `lint.duration_ms` gauge —
+/// so a full-tree lint shows up in the bench-style JSON next to the
+/// workloads it gates.
+[[nodiscard]] std::vector<Diagnostic> lint_tree(
+    const std::filesystem::path& root, std::string_view prefix,
+    obs::Registry& registry);
 
 }  // namespace lumos::lint

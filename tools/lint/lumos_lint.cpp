@@ -1,65 +1,300 @@
-// lumos_lint CLI: walks source trees and reports domain-invariant
-// violations (see lint.hpp for the rule catalogue). Exit status 0 means a
-// clean tree, 1 means violations were printed, 2 means usage/IO error.
-// Registered as a ctest case so `ctest` fails on any violation.
+// lumos_lint CLI: the project's structural gatekeeper.
+//
+//   lumos_lint [options] <source-dir>...
+//
+//   --pass rules|layers|hotpath   run one pass (repeatable; default: all)
+//   --layers <file>               layer DAG spec (default tools/lint/layers.txt)
+//   --baseline <file>             baseline file (default tools/lint/baseline.json)
+//   --ratchet                     tolerate findings pinned in the baseline;
+//                                 only findings beyond a pin fail
+//   --write-baseline              persist the current findings as the new
+//                                 baseline (the ratchet tightens: counts
+//                                 can only shrink) and exit 0
+//   --json <path>                 machine-readable report ("-" = stdout)
+//
+// Passes: `rules` is the per-file engine (lint.hpp), `layers` the
+// include-graph analysis against the declared DAG (structure.hpp), and
+// `hotpath` the LUMOS_HOT_PATH body discipline (hotpath.hpp). Trees are
+// loaded once and shared; the structural passes see the concatenation of
+// every root, so cross-root edges (bench/ including src/ headers) are
+// part of the graph.
+//
+// Exit status: 0 clean (under --ratchet: nothing beyond the baseline),
+// 1 findings, 2 usage/IO/config error. Diagnostics print as
+// `<base>/<file>:<line>: [rule] message` — absolute when the roots are
+// absolute (ctest), so editors can jump to them — followed by per-rule
+// counts and a one-line summary.
+#include <algorithm>
+#include <cstdint>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/baseline.hpp"
+#include "lint/hotpath.hpp"
 #include "lint/lint.hpp"
+#include "lint/structure.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+struct Options {
+  std::vector<std::string> roots;
+  bool pass_rules = true;
+  bool pass_layers = true;
+  bool pass_hotpath = true;
+  std::string layers_file = "tools/lint/layers.txt";
+  std::string baseline_file = "tools/lint/baseline.json";
+  bool ratchet = false;
+  bool write_baseline = false;
+  std::string json_path;  // empty = no report
+};
+
+void usage(std::ostream& out) {
+  out << "usage: lumos_lint [options] <source-dir>...\n"
+         "  --pass rules|layers|hotpath  run one pass (repeatable; default "
+         "all)\n"
+         "  --layers <file>              layer DAG (default "
+         "tools/lint/layers.txt)\n"
+         "  --baseline <file>            baseline (default "
+         "tools/lint/baseline.json)\n"
+         "  --ratchet                    only findings beyond the baseline "
+         "fail\n"
+         "  --write-baseline             pin the current findings and exit\n"
+         "  --json <path>                machine-readable report (\"-\" = "
+         "stdout)\n";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw lumos::InvalidArgument("lumos_lint: cannot read " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// Per-root display base so findings print as jump-to-able paths: a root
+/// ".../src" lints files as "sim/x.cpp" and prints ".../src/sim/x.cpp";
+/// a root ".../bench" lints as "bench/x.cpp" and prints ".../bench/x.cpp".
+struct RootBase {
+  std::string prefix;  // "" or "bench/"
+  std::string base;    // directory to prepend for display
+};
+
+std::string display_path(const std::vector<RootBase>& bases,
+                         const std::string& file) {
+  const RootBase* best = nullptr;
+  for (const RootBase& rb : bases) {
+    if (file.rfind(rb.prefix, 0) != 0) continue;
+    if (best == nullptr || rb.prefix.size() > best->prefix.size()) best = &rb;
+  }
+  if (best == nullptr || best->base.empty()) return file;
+  return best->base + "/" + file;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> roots;
+  Options opt;
+  std::vector<std::string> passes;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "lumos_lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
     if (arg == "-h" || arg == "--help") {
-      std::cout << "usage: lumos_lint <source-dir>...\n"
-                   "Checks lumos domain invariants: banned-rng, raw-thread,\n"
-                   "stdout-io, float-time, pragma-once, include-hygiene.\n";
+      usage(std::cout);
       return 0;
+    } else if (arg == "--pass") {
+      passes.push_back(value("--pass"));
+    } else if (arg == "--layers") {
+      opt.layers_file = value("--layers");
+    } else if (arg == "--baseline") {
+      opt.baseline_file = value("--baseline");
+    } else if (arg == "--ratchet") {
+      opt.ratchet = true;
+    } else if (arg == "--write-baseline") {
+      opt.write_baseline = true;
+    } else if (arg == "--json") {
+      opt.json_path = value("--json");
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "lumos_lint: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      opt.roots.push_back(arg);
     }
-    roots.push_back(arg);
   }
-  if (roots.empty()) {
+  if (!passes.empty()) {
+    opt.pass_rules = opt.pass_layers = opt.pass_hotpath = false;
+    for (const std::string& p : passes) {
+      if (p == "rules") opt.pass_rules = true;
+      else if (p == "layers") opt.pass_layers = true;
+      else if (p == "hotpath") opt.pass_hotpath = true;
+      else {
+        std::cerr << "lumos_lint: unknown pass '" << p
+                  << "' (rules|layers|hotpath)\n";
+        return 2;
+      }
+    }
+  }
+  if (opt.roots.empty()) {
     std::cerr << "lumos_lint: no source directory given (try: lumos_lint "
-                 "src)\n";
+                 "src bench)\n";
     return 2;
   }
 
-  std::size_t total = 0;
   try {
-    for (const auto& root : roots) {
-      // A root named other than "src" (e.g. bench/) lints its files under
-      // that name, so the per-directory rule domains in lint_source apply.
-      const auto path = std::filesystem::path(root).lexically_normal();
-      std::string name = path.filename().string();
-      if (name.empty()) name = path.parent_path().filename().string();
-      const std::string prefix = name == "src" ? "" : name + "/";
-      const auto diags = lumos::lint::lint_tree(path, prefix);
-      const std::string base =
-          prefix.empty() ? path.string() : path.parent_path().string();
-      for (const auto& d : diags) {
-        if (base.empty()) {
-          std::cout << lumos::lint::format(d) << '\n';
-        } else {
-          std::cout << base << '/' << lumos::lint::format(d) << '\n';
+    lumos::obs::Registry registry;
+    std::vector<lumos::lint::Diagnostic> findings;
+    std::vector<RootBase> bases;
+    {
+      lumos::obs::ScopedTimer timer(registry.histogram("lint.tree_seconds"));
+
+      // Load every root once; all passes share the same file set.
+      std::vector<lumos::lint::SourceFile> files;
+      for (const std::string& root : opt.roots) {
+        const auto path = std::filesystem::path(root).lexically_normal();
+        std::string name = path.filename().string();
+        if (name.empty()) name = path.parent_path().filename().string();
+        const std::string prefix = name == "src" ? "" : name + "/";
+        const std::string base =
+            prefix.empty() ? path.string() : path.parent_path().string();
+        bases.push_back({prefix, base});
+        auto tree = lumos::lint::load_tree(path, prefix);
+        files.insert(files.end(), std::make_move_iterator(tree.begin()),
+                     std::make_move_iterator(tree.end()));
+      }
+
+      if (opt.pass_rules) {
+        for (const auto& file : files) {
+          auto diags = lumos::lint::lint_source(file.rel_path, file.content);
+          findings.insert(findings.end(),
+                          std::make_move_iterator(diags.begin()),
+                          std::make_move_iterator(diags.end()));
         }
       }
-      total += diags.size();
+      if (opt.pass_layers) {
+        const auto spec =
+            lumos::lint::parse_layers(read_file(opt.layers_file));
+        auto diags = lumos::lint::check_structure(files, spec);
+        findings.insert(findings.end(), std::make_move_iterator(diags.begin()),
+                        std::make_move_iterator(diags.end()));
+      }
+      if (opt.pass_hotpath) {
+        auto diags = lumos::lint::check_hot_paths(files);
+        findings.insert(findings.end(), std::make_move_iterator(diags.begin()),
+                        std::make_move_iterator(diags.end()));
+      }
+
+      std::stable_sort(findings.begin(), findings.end(),
+                       [](const lumos::lint::Diagnostic& a,
+                          const lumos::lint::Diagnostic& b) {
+                         if (a.file != b.file) return a.file < b.file;
+                         return a.line < b.line;
+                       });
+
+      registry.counter("lint.files").add(files.size());
+      registry.counter("lint.findings").add(findings.size());
+      registry.gauge("lint.duration_ms").set(timer.elapsed_seconds() * 1e3);
     }
+
+    if (opt.write_baseline) {
+      const auto baseline = lumos::lint::baseline_from(findings);
+      std::ofstream out(opt.baseline_file, std::ios::binary);
+      if (!out) {
+        throw lumos::InvalidArgument("lumos_lint: cannot write " +
+                                     opt.baseline_file);
+      }
+      out << lumos::lint::to_json(baseline) << "\n";
+      std::cout << "lumos_lint: pinned " << findings.size() << " finding"
+                << (findings.size() == 1 ? "" : "s") << " into "
+                << opt.baseline_file << "\n";
+      return 0;
+    }
+
+    // Under --ratchet, split findings against the baseline; only fresh
+    // ones fail. A missing baseline file ratchets against empty.
+    std::vector<lumos::lint::Diagnostic> failing = findings;
+    std::size_t pinned = 0;
+    std::size_t stale = 0;
+    if (opt.ratchet) {
+      lumos::lint::Baseline baseline;
+      if (std::filesystem::exists(opt.baseline_file)) {
+        baseline =
+            lumos::lint::baseline_from_json(read_file(opt.baseline_file));
+      }
+      auto result = lumos::lint::ratchet(findings, baseline);
+      failing = std::move(result.fresh);
+      pinned = result.pinned.size();
+      stale = result.stale.size();
+    }
+
+    for (const auto& d : failing) {
+      lumos::lint::Diagnostic shown = d;
+      shown.file = display_path(bases, d.file);
+      std::cout << lumos::lint::format(shown) << "\n";
+    }
+
+    // Per-rule counts over everything that failed.
+    std::map<std::string, std::size_t> by_rule;
+    for (const auto& d : failing) ++by_rule[d.rule];
+    for (const auto& [rule, count] : by_rule) {
+      std::cout << "  " << rule << ": " << count << "\n";
+    }
+
+    if (!opt.json_path.empty()) {
+      lumos::obs::Json doc = lumos::obs::Json::object();
+      doc["schema_version"] = lumos::obs::Json(std::int64_t{1});
+      lumos::obs::Json arr = lumos::obs::Json::array();
+      for (const auto& d : failing) {
+        lumos::obs::Json entry = lumos::obs::Json::object();
+        entry["file"] = lumos::obs::Json(d.file);
+        entry["line"] = lumos::obs::Json(std::int64_t{d.line});
+        entry["rule"] = lumos::obs::Json(d.rule);
+        entry["message"] = lumos::obs::Json(d.message);
+        arr.push_back(std::move(entry));
+      }
+      doc["findings"] = std::move(arr);
+      doc["ratchet"] = lumos::obs::Json(opt.ratchet);
+      doc["pinned"] = lumos::obs::Json(static_cast<std::int64_t>(pinned));
+      doc["metrics"] = lumos::obs::to_json(registry.snapshot());
+      lumos::obs::write_json(doc, opt.json_path);
+    }
+
+    if (failing.empty()) {
+      std::cout << "lumos_lint: clean (" << opt.roots.size() << " tree"
+                << (opt.roots.size() == 1 ? "" : "s") << " checked";
+      if (opt.ratchet && pinned > 0) {
+        std::cout << ", " << pinned << " baselined";
+      }
+      if (opt.ratchet && stale > 0) {
+        std::cout << ", " << stale
+                  << " stale pin(s) — run --write-baseline to tighten";
+      }
+      std::cout << ")\n";
+      return 0;
+    }
+    std::cout << "lumos_lint: " << failing.size() << " violation"
+              << (failing.size() == 1 ? "" : "s");
+    if (opt.ratchet && pinned > 0) std::cout << " (" << pinned << " baselined)";
+    std::cout << "\n";
+    return 1;
   } catch (const std::exception& e) {
-    std::cerr << "lumos_lint: " << e.what() << '\n';
+    std::cerr << "lumos_lint: " << e.what() << "\n";
     return 2;
   }
-
-  if (total == 0) {
-    std::cout << "lumos_lint: clean (" << roots.size() << " tree"
-              << (roots.size() == 1 ? "" : "s") << " checked)\n";
-    return 0;
-  }
-  std::cout << "lumos_lint: " << total << " violation"
-            << (total == 1 ? "" : "s") << '\n';
-  return 1;
 }

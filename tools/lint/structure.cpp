@@ -1,0 +1,377 @@
+#include "lint/structure.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <regex>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lumos::lint {
+
+namespace {
+
+std::string_view module_of(std::string_view path) {
+  const std::size_t slash = path.find('/');
+  return slash == std::string_view::npos ? std::string_view{}
+                                         : path.substr(0, slash);
+}
+
+bool is_tu_extension(std::string_view path) {
+  return (path.size() >= 4 && path.substr(path.size() - 4) == ".cpp") ||
+         (path.size() >= 3 && path.substr(path.size() - 3) == ".cc");
+}
+
+struct Include {
+  std::string target;  // the quoted include path, verbatim
+  int line = 0;        // 1-based
+};
+
+std::vector<Include> quoted_includes(std::string_view content) {
+  static const std::regex include_re(R"re(^\s*#\s*include\s*"([^"]+)")re");
+  std::vector<Include> out;
+  std::size_t start = 0;
+  int line = 0;
+  while (start <= content.size()) {
+    ++line;
+    std::size_t nl = content.find('\n', start);
+    if (nl == std::string_view::npos) nl = content.size();
+    const std::string_view text = content.substr(start, nl - start);
+    std::cmatch m;
+    if (std::regex_search(text.begin(), text.end(), m, include_re)) {
+      out.push_back({m[1].str(), line});
+    }
+    start = nl + 1;
+  }
+  return out;
+}
+
+// --------------------------------------------------- cycle detection --
+
+/// Iterative Tarjan SCC over the file-level include graph. Nodes are
+/// indices into `files`; adjacency lists hold node indices.
+class SccFinder {
+ public:
+  explicit SccFinder(const std::vector<std::vector<std::uint32_t>>& adj)
+      : adj_(adj),
+        index_(adj.size(), kUnvisited),
+        low_(adj.size(), 0),
+        on_stack_(adj.size(), 0) {}
+
+  /// Returns the strongly-connected components containing a cycle (size
+  /// > 1, or a single node with a self-loop), in deterministic order.
+  std::vector<std::vector<std::uint32_t>> cyclic_components() {
+    for (std::uint32_t v = 0; v < adj_.size(); ++v) {
+      if (index_[v] == kUnvisited) run(v);
+    }
+    return std::move(cyclic_);
+  }
+
+ private:
+  static constexpr std::uint32_t kUnvisited = 0xffffffffu;
+
+  struct Frame {
+    std::uint32_t node;
+    std::size_t next_edge = 0;
+  };
+
+  void run(std::uint32_t root) {
+    std::vector<Frame> call;
+    call.push_back({root});
+    open(root);
+    while (!call.empty()) {
+      Frame& frame = call.back();
+      if (frame.next_edge < adj_[frame.node].size()) {
+        const std::uint32_t to = adj_[frame.node][frame.next_edge++];
+        if (index_[to] == kUnvisited) {
+          open(to);
+          call.push_back({to});
+        } else if (on_stack_[to] != 0) {
+          low_[frame.node] = std::min(low_[frame.node], index_[to]);
+        }
+        continue;
+      }
+      // Post-order: pop a complete SCC when this node is its root.
+      if (low_[frame.node] == index_[frame.node]) {
+        std::vector<std::uint32_t> component;
+        std::uint32_t w;
+        do {
+          w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = 0;
+          component.push_back(w);
+        } while (w != frame.node);
+        const bool self_loop =
+            component.size() == 1 &&
+            std::find(adj_[w].begin(), adj_[w].end(), w) != adj_[w].end();
+        if (component.size() > 1 || self_loop) {
+          std::sort(component.begin(), component.end());
+          cyclic_.push_back(std::move(component));
+        }
+      }
+      const std::uint32_t done = frame.node;
+      call.pop_back();
+      if (!call.empty()) {
+        low_[call.back().node] = std::min(low_[call.back().node], low_[done]);
+      }
+    }
+  }
+
+  void open(std::uint32_t v) {
+    index_[v] = low_[v] = counter_++;
+    stack_.push_back(v);
+    on_stack_[v] = 1;
+  }
+
+  const std::vector<std::vector<std::uint32_t>>& adj_;
+  std::vector<std::uint32_t> index_;
+  std::vector<std::uint32_t> low_;
+  std::vector<std::uint8_t> on_stack_;
+  std::vector<std::uint32_t> stack_;
+  std::uint32_t counter_ = 0;
+  std::vector<std::vector<std::uint32_t>> cyclic_;
+};
+
+/// Shortest include path from `from` back to `from` staying inside the
+/// component (BFS over the first hop's choices, smallest-index
+/// tie-break) — so the diagnostic shows a REAL chain, not just the SCC
+/// member list.
+std::vector<std::uint32_t> cycle_path(
+    std::uint32_t from, const std::vector<std::vector<std::uint32_t>>& adj,
+    const std::vector<std::uint8_t>& in_component) {
+  std::vector<std::uint32_t> parent(adj.size(), 0xffffffffu);
+  std::deque<std::uint32_t> frontier;
+  for (const std::uint32_t first : adj[from]) {
+    if (in_component[first] == 0 || parent[first] != 0xffffffffu) continue;
+    parent[first] = from;
+    if (first == from) break;  // self-include
+    frontier.push_back(first);
+  }
+  while (!frontier.empty() && parent[from] == 0xffffffffu) {
+    const std::uint32_t v = frontier.front();
+    frontier.pop_front();
+    for (const std::uint32_t to : adj[v]) {
+      if (in_component[to] == 0) continue;
+      if (to == from) {
+        parent[from] = v;
+        break;
+      }
+      if (parent[to] == 0xffffffffu) {
+        parent[to] = v;
+        frontier.push_back(to);
+      }
+    }
+  }
+  std::vector<std::uint32_t> path{from};
+  for (std::uint32_t v = parent[from]; v != from; v = parent[v]) {
+    path.push_back(v);
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());  // from -> ... -> from
+  return path;
+}
+
+}  // namespace
+
+LayerSpec parse_layers(std::string_view text) {
+  LayerSpec spec;
+  std::vector<std::pair<std::string, std::vector<std::string>>> lines;
+  std::size_t start = 0;
+  int lineno = 0;
+  while (start <= text.size()) {
+    ++lineno;
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(start, nl - start);
+    start = nl + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) continue;
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      throw InvalidArgument("layers.txt:" + std::to_string(lineno) +
+                            ": expected '<module>: <deps...>', got \"" +
+                            std::string(line) + "\"");
+    }
+    std::string module(line.substr(0, colon));
+    while (!module.empty() && (module.back() == ' ' || module.back() == '\t')) {
+      module.pop_back();
+    }
+    if (module.empty() || module.find_first_of(" \t/") != std::string::npos) {
+      throw InvalidArgument("layers.txt:" + std::to_string(lineno) +
+                            ": bad module name");
+    }
+    std::istringstream deps(std::string(line.substr(colon + 1)));
+    std::vector<std::string> dep_list;
+    std::string dep;
+    while (deps >> dep) dep_list.push_back(dep);
+    lines.emplace_back(std::move(module), std::move(dep_list));
+  }
+
+  for (const auto& [module, deps] : lines) {
+    if (!spec.allowed.emplace(module, std::set<std::string>{}).second) {
+      throw InvalidArgument("layers.txt: duplicate module line: " + module);
+    }
+  }
+  for (auto& [module, deps] : lines) {
+    auto& allowed = spec.allowed[module];
+    for (const std::string& dep : deps) {
+      if (dep == module) {
+        throw InvalidArgument("layers.txt: " + module +
+                              " lists itself as a dependency");
+      }
+      if (spec.allowed.find(dep) == spec.allowed.end()) {
+        throw InvalidArgument("layers.txt: " + module +
+                              " depends on undeclared module " + dep);
+      }
+      allowed.insert(dep);
+    }
+  }
+
+  // The declared graph must itself be a DAG: iteratively strip modules
+  // whose deps are all already stripped (Kahn); leftovers form a cycle.
+  std::set<std::string> resolved;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const auto& [module, deps] : spec.allowed) {
+      if (resolved.count(module) != 0) continue;
+      const bool ready =
+          std::all_of(deps.begin(), deps.end(), [&](const std::string& d) {
+            return resolved.count(d) != 0;
+          });
+      if (ready) {
+        resolved.insert(module);
+        progress = true;
+      }
+    }
+  }
+  if (resolved.size() != spec.allowed.size()) {
+    std::string cycle;
+    for (const auto& [module, deps] : spec.allowed) {
+      if (resolved.count(module) == 0) {
+        cycle += cycle.empty() ? module : (", " + module);
+      }
+    }
+    throw InvalidArgument("layers.txt: declared layer graph has a cycle "
+                          "among: " +
+                          cycle);
+  }
+  return spec;
+}
+
+std::vector<Diagnostic> check_structure(const std::vector<SourceFile>& files,
+                                        const LayerSpec& layers) {
+  // Index files by rel_path; extract each file's quoted includes once.
+  std::map<std::string_view, std::uint32_t> by_path;
+  for (std::uint32_t i = 0; i < files.size(); ++i) {
+    by_path.emplace(files[i].rel_path, i);
+  }
+  std::vector<std::vector<Include>> includes(files.size());
+  std::vector<std::vector<std::uint32_t>> adj(files.size());
+  std::vector<Diagnostic> out;
+
+  for (std::uint32_t i = 0; i < files.size(); ++i) {
+    const SourceFile& file = files[i];
+    includes[i] = quoted_includes(file.content);
+    const std::string_view mod = module_of(file.rel_path);
+    for (const Include& inc : includes[i]) {
+      const auto hit = by_path.find(inc.target);
+      if (hit != by_path.end()) adj[i].push_back(hit->second);
+
+      if (is_tu_extension(inc.target)) {
+        out.push_back({file.rel_path, inc.line, "include-cpp",
+                       "#include \"" + inc.target +
+                           "\": translation units are compiled, never "
+                           "textually included — move shared code into a "
+                           "header"});
+      }
+
+      const std::string_view target_mod = module_of(inc.target);
+      if (target_mod.empty()) continue;  // not module-qualified
+      const bool target_known = layers.knows(target_mod);
+      if (!target_known && hit == by_path.end()) {
+        continue;  // third-party quoted include (e.g. gtest/gtest.h)
+      }
+      if (mod.empty()) continue;  // top-level file: no module to check
+      if (target_mod == mod) continue;
+      if (!layers.knows(mod)) {
+        out.push_back({file.rel_path, inc.line, "layer-unknown-module",
+                       "module '" + std::string(mod) +
+                           "' is not declared in layers.txt; add a "
+                           "'<module>: <deps...>' line for it"});
+        continue;
+      }
+      if (!target_known) {
+        out.push_back({file.rel_path, inc.line, "layer-unknown-module",
+                       "include of module '" + std::string(target_mod) +
+                           "' which is not declared in layers.txt"});
+        continue;
+      }
+      const auto& allowed = layers.allowed.at(std::string(mod));
+      if (allowed.count(std::string(target_mod)) == 0) {
+        std::string deps;
+        for (const std::string& d : allowed) {
+          deps += deps.empty() ? d : (", " + d);
+        }
+        out.push_back(
+            {file.rel_path, inc.line, "layer-inversion",
+             "module '" + std::string(mod) + "' may not include '" +
+                 std::string(target_mod) + "' (declared deps: " +
+                 (deps.empty() ? "none" : deps) +
+                 ") — see tools/lint/layers.txt"});
+      }
+    }
+  }
+
+  // File-level include cycles: one diagnostic per cyclic SCC, anchored
+  // at the smallest member's include of the next file on a real chain.
+  for (const auto& component : SccFinder(adj).cyclic_components()) {
+    std::vector<std::uint8_t> in_component(files.size(), 0);
+    for (const std::uint32_t v : component) in_component[v] = 1;
+    const std::uint32_t anchor = component.front();  // sorted: smallest
+    const auto path = cycle_path(anchor, adj, in_component);
+    std::string chain;
+    for (const std::uint32_t v : path) {
+      if (!chain.empty()) chain += " -> ";
+      chain += files[v].rel_path;
+    }
+    int line = 1;
+    for (const Include& inc : includes[anchor]) {
+      if (path.size() > 1 && inc.target == files[path[1]].rel_path) {
+        line = inc.line;
+        break;
+      }
+    }
+    out.push_back({files[anchor].rel_path, line, "include-cycle",
+                   "include cycle: " + chain});
+  }
+
+  // Inline suppressions are per-file; group, filter, and re-merge.
+  std::map<std::string, std::vector<Diagnostic>> by_file;
+  for (auto& d : out) {
+    by_file[d.file].push_back(std::move(d));
+  }
+  std::vector<Diagnostic> kept;
+  for (auto& [path, mine] : by_file) {
+    const auto hit = by_path.find(std::string_view(path));
+    if (hit != by_path.end()) {
+      apply_suppressions(path, files[hit->second].content, mine);
+    }
+    kept.insert(kept.end(), std::make_move_iterator(mine.begin()),
+                std::make_move_iterator(mine.end()));
+  }
+
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return kept;
+}
+
+}  // namespace lumos::lint

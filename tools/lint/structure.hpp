@@ -1,0 +1,66 @@
+// Include-graph analysis: the structural half of lumos_lint.
+//
+// Where lint.hpp's rules look at one file at a time, this pass sees the
+// whole tree at once. It parses every `#include "..."` directive, builds
+// the file-level include graph and the module-level dependency graph
+// (module = first path component: "sim/simulator.cpp" is in `sim`), and
+// enforces three rules:
+//
+//   include-cycle   the file-level include graph must be acyclic. Each
+//                   strongly-connected component with a cycle is reported
+//                   ONCE, at its lexicographically-smallest member, with
+//                   the full cycle path in the message.
+//   layer-inversion every module edge (A includes a header of B) must be
+//                   declared in the layer DAG (tools/lint/layers.txt,
+//                   parsed by parse_layers). The declared graph itself is
+//                   validated acyclic at parse time, so conformance of
+//                   the code implies an acyclic module graph.
+//   include-cpp     #include of a .cpp/.cc file — a translation unit is
+//                   compiled, never textually included.
+//
+// `layers.txt` is the checked-in source of truth: one line per module,
+//     <module>: <allowed dep> <allowed dep> ...
+// so admitting a new module (or a new edge) is a reviewable one-line
+// diff. Unknown modules fail (`layer-unknown-module`) rather than pass
+// silently. Angle-bracket includes and quoted includes that are neither
+// module-qualified nor present in the scanned file set (system and
+// third-party headers) are ignored.
+//
+// All diagnostics honour the inline suppression syntax from lint.hpp.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace lumos::lint {
+
+/// The declared module layer DAG. `allowed[m]` is the set of modules m
+/// may include from (membership of m itself is implied).
+struct LayerSpec {
+  std::map<std::string, std::set<std::string>> allowed;
+
+  [[nodiscard]] bool knows(std::string_view module) const {
+    return allowed.find(std::string(module)) != allowed.end();
+  }
+};
+
+/// Parses layers.txt content: `#` comments, blank lines, and one
+/// `<module>: <dep> <dep> ...` line per module. Throws
+/// lumos::InvalidArgument on malformed lines, deps naming undeclared
+/// modules, self-deps, duplicate module lines, or a cyclic declared
+/// graph — a broken spec is a configuration error, not a finding.
+[[nodiscard]] LayerSpec parse_layers(std::string_view text);
+
+/// Runs the include-graph rules over `files` (typically the
+/// concatenation of load_tree("src"), load_tree("bench", "bench/"), so
+/// cross-tree edges are visible). Diagnostics come back sorted by
+/// (file, line) with inline suppressions already applied.
+[[nodiscard]] std::vector<Diagnostic> check_structure(
+    const std::vector<SourceFile>& files, const LayerSpec& layers);
+
+}  // namespace lumos::lint
