@@ -169,6 +169,8 @@ const std::vector<HarnessInfo>& all_harnesses() {
        {"goodput_share.", "wasted_core_hours."}},
       {"ext_sweep_scaling", "Extension", run_ext_sweep_scaling,
        {"wait_s.", "sweep."}},
+      {"ext_stream_ingest", "Extension", run_ext_stream_ingest,
+       {"rank_err.", "stream."}},
       {"micro_sim", "Micro", run_micro_sim, {"events.", "backfilled."}},
       {"micro_ml", "Micro", run_micro_ml,
        {"dataset_rows", "dataset_features"}},

@@ -35,6 +35,22 @@ struct Summary {
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
 /// Quantile over data the caller has already sorted ascending; O(1).
+///
+/// This is THE quantile convention of the repo — every quantile producer
+/// (`quantile`, `summarize`, `Ecdf::quantile`, `stats::QuantileSketch`,
+/// `stats::StreamingHistogram`) follows it, and the
+/// `SketchMatchesExactConvention` test pins exact and sketch backends to
+/// it so they stay swappable:
+///   * position: the q-quantile sits at fractional 0-based position
+///     `pos = q * (n - 1)` in order-statistic space (the "type 7" /
+///     numpy-default rule);
+///   * interpolation: linear between the two adjacent order statistics,
+///     `x[floor(pos)] * (1 - frac) + x[floor(pos) + 1] * frac`;
+///   * ties: duplicate values are distinct order statistics (a run of
+///     equal values occupies a run of positions); the forward CDF
+///     `F(x) = P(X <= x)` counts ALL items `<= x` (upper-bound
+///     semantics), so `F` is right-continuous at ties;
+///   * clamping: `q <= 0` returns the minimum, `q >= 1` the maximum.
 [[nodiscard]] double quantile_sorted(std::span<const double> sorted,
                                      double q) noexcept;
 

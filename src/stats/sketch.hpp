@@ -1,0 +1,206 @@
+// Mergeable streaming sketches: bounded-memory quantile/ECDF estimation.
+//
+// The exact stats layer (`Ecdf`, `summarize`) needs the whole sample in
+// memory; these sketches answer the same queries over unbounded streams
+// with O(k log(n/k)) retained items and O(1) amortized ingest — the
+// substrate of the streaming "lumos-served" mode (DESIGN.md "Streaming
+// mode", `src/stream`). Two complementary error models:
+//
+//   QuantileSketch     — KLL-style compactor hierarchy (Karnin-Lang-
+//                        Liberty 2016). Guarantees *rank* error: a
+//                        quantile query returns a value whose true rank
+//                        is within epsilon() * n of the requested one.
+//                        Accuracy is value-scale-free.
+//   StreamingHistogram — log-bucket histogram (DDSketch-style,
+//                        Masson et al. 2019). Guarantees *relative value*
+//                        error: the returned quantile value is within
+//                        relative_error() of the true quantile value.
+//                        Merge is exact (bucket-wise add), so sharded
+//                        ingest is bit-identical to serial ingest.
+//
+// Both expose the `Ecdf` query surface — operator()(x) = F(x),
+// quantile(q), curve(points) — so analyses can swap the exact backend for
+// a sketch without touching query code, and both follow the shared
+// quantile convention documented on `stats::quantile_sorted`
+// (descriptive.hpp): linear interpolation at fractional position
+// q * (n - 1), ties counted by upper bound. When a QuantileSketch has
+// never compacted (n <= its level-0 capacity) its answers equal the exact
+// code's bit for bit — the `SketchMatchesExactConvention` test pins this.
+//
+// Merging: merge() folds another sketch in; the result is a valid sketch
+// over the union stream with the same error bound, so sharded ingest
+// (split stream, sketch per shard, merge in any order) stays within
+// epsilon of the serial sketch. QuantileSketch compaction uses a seeded
+// util::Rng coin, so a fixed (seed, stream, merge order) reproduces the
+// sketch bit-for-bit — the determinism contract every lumos experiment
+// keeps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lumos::stats {
+
+/// KLL-style mergeable quantile sketch with rank-error guarantee.
+class QuantileSketch {
+ public:
+  struct Options {
+    /// Accuracy knob: capacity of the highest compactor level. Rank error
+    /// shrinks as ~1/k while retained items grow as ~3k.
+    std::size_t k = 200;
+    /// Seed of the compaction coin (odd/even survivor choice). Fixed by
+    /// default so sketches are deterministic; vary it only to study the
+    /// randomization itself.
+    std::uint64_t seed = 0x6c756d6f73ULL;  // "lumos"
+  };
+
+  QuantileSketch() : QuantileSketch(Options{}) {}
+  explicit QuantileSketch(Options options);
+
+  /// Adds one observation. O(1) amortized; a compaction pass runs only
+  /// when the retained items exceed the capacity budget.
+  void insert(double x);
+
+  /// Folds `other` into this sketch. The merged sketch covers the
+  /// concatenated streams and keeps the epsilon() bound. Merging in any
+  /// order yields rank-equivalent (not bit-identical) sketches.
+  void merge(const QuantileSketch& other);
+
+  /// Stream length so far (the n of the rank-error bound).
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Exact stream extremes (tracked outside the compactors).
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Configured normalized rank-error bound: for any q, the true rank of
+  /// quantile(q) is within epsilon() * count() of q * count(). The
+  /// constant is conservative for the c = 2/3 compactor geometry; tests
+  /// assert the observed error against this bound on the seed traces.
+  [[nodiscard]] double epsilon() const noexcept {
+    return 3.0 / static_cast<double>(k_);
+  }
+
+  /// Items currently held across all levels — the memory footprint proxy
+  /// (8 bytes each). Bounded by ~3k + 8 * levels regardless of count().
+  [[nodiscard]] std::size_t retained() const noexcept;
+
+  // ---- Ecdf-compatible query surface (shared quantile convention) ----
+
+  /// Approximate F(x) = P(X <= x); 0 for an empty sketch.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Approximate inverse CDF with linear interpolation; q clamped to
+  /// [0, 1]. Follows the quantile_sorted convention (descriptive.hpp);
+  /// exact (bitwise) while the sketch has never compacted.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// `points` (x, F(x)) pairs evenly spaced in probability, min and max
+  /// included — same shape as Ecdf::curve.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points) const;
+
+ private:
+  /// Capacity of level `level` when `num_levels` exist (top level gets k,
+  /// lower levels decay by c = 2/3, floored at kMinLevelCapacity).
+  [[nodiscard]] std::size_t level_capacity(std::size_t level,
+                                           std::size_t num_levels) const;
+  [[nodiscard]] std::size_t capacity_budget() const;
+  /// Compacts the lowest over-full level until within budget.
+  void compress();
+  /// Sorted (value, weight) view of every retained item; cached until the
+  /// next mutation.
+  void ensure_view() const;
+
+  static constexpr std::size_t kMinLevelCapacity = 8;
+
+  std::size_t k_;
+  util::Rng rng_;
+  /// levels_[h] holds items of weight 2^h, unsorted between compactions.
+  std::vector<std::vector<double>> levels_;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+
+  mutable bool view_dirty_ = true;
+  mutable std::vector<std::pair<double, std::uint64_t>> view_;
+};
+
+/// Mergeable log-bucket histogram with a relative value-error guarantee.
+class StreamingHistogram {
+ public:
+  struct Options {
+    /// Relative accuracy alpha: quantile values are within alpha of the
+    /// true quantile value (for values above `min_value`).
+    double relative_error = 0.01;
+    /// Values in [0, min_value) fold into the zero bucket.
+    double min_value = 1e-9;
+    /// Hard memory cap: when exceeded, the lowest buckets collapse into
+    /// one (the DDSketch collapse rule), sacrificing low-tail accuracy
+    /// but never the bound for large values.
+    std::size_t max_buckets = 2048;
+  };
+
+  StreamingHistogram() : StreamingHistogram(Options{}) {}
+  explicit StreamingHistogram(Options options);
+
+  /// Adds one non-negative observation (negatives clamp to 0).
+  void insert(double x);
+
+  /// Bucket-wise add — exact, commutative, and associative, so sharded
+  /// ingest merges bit-identically to serial ingest. Requires equal
+  /// Options on both sides (throws lumos::InvalidArgument otherwise).
+  void merge(const StreamingHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double relative_error() const noexcept {
+    return options_.relative_error;
+  }
+  /// Non-empty buckets currently held (memory proxy; <= max_buckets + 1).
+  [[nodiscard]] std::size_t buckets() const noexcept {
+    return buckets_.size() + (zero_count_ > 0 ? 1u : 0u);
+  }
+
+  // ---- Ecdf-compatible query surface ----
+
+  /// Approximate F(x); exact for the zero bucket, within one bucket
+  /// otherwise.
+  [[nodiscard]] double operator()(double x) const;
+  /// Approximate inverse CDF; the returned value is within
+  /// relative_error() of the order statistic at position
+  /// floor(q * (n - 1)) when that value is above min_value. (Unlike the
+  /// rank-error sketch, a log-bucket histogram cannot bound its distance
+  /// to the *interpolated* type-7 value: interpolation may land between
+  /// two arbitrarily distant sample values.)
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points) const;
+
+ private:
+  [[nodiscard]] std::int32_t bucket_index(double x) const;
+  [[nodiscard]] double bucket_value(std::int32_t index) const;
+  void collapse_if_needed();
+
+  Options options_;
+  double log_gamma_;
+  /// bucket index -> count; ordered so quantile walks are one pass.
+  std::map<std::int32_t, std::uint64_t> buckets_;
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lumos::stats

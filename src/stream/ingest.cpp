@@ -1,0 +1,198 @@
+#include "stream/ingest.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <istream>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "trace/parse.hpp"
+#include "trace/swf.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace lumos::stream {
+
+double peak_rss_mb() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB on Linux
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+obs::Json make_report_document(const IngestResult& result,
+                               const std::string& source) {
+  obs::Report report;
+  report.harness = "lumos_serve";
+  report.figure = "streaming characterization (DESIGN.md Streaming mode)";
+  report.wall_seconds = result.wall_seconds;
+  result.characterizer.publish(report, "stream.");
+
+  obs::Registry registry;
+  registry.counter("stream.events").add(result.events);
+  registry.counter("stream.bad_rows").add(result.bad_rows);
+  registry.counter("stream.unknown_runtime").add(result.unknown_runtime);
+  registry.counter("stream.reports_written").add(result.reports_written);
+  registry.gauge("stream.events_per_sec").set(result.events_per_sec);
+  registry.gauge("stream.peak_rss_mb").set(peak_rss_mb());
+  registry.gauge("stream.retained_items")
+      .set(static_cast<double>(result.characterizer.retained_items()));
+  report.observability = registry.snapshot();
+
+  obs::Json doc = obs::Json::object();
+  obs::Json meta = obs::Json::object();
+  meta["schema_version"] = obs::Json(kReportSchemaVersion);
+  meta["source"] = obs::Json(source);
+  meta["events"] = obs::Json(result.events);
+  meta["reports"] = obs::Json(result.reports_written);
+  meta["bad_rows"] = obs::Json(result.bad_rows);
+  meta["unknown_runtime"] = obs::Json(result.unknown_runtime);
+  doc["_meta"] = std::move(meta);
+  doc["lumos_serve"] = report.to_json();
+  return doc;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Shared per-line ingest state: counters, cadence, report emission.
+class Ingestor {
+ public:
+  explicit Ingestor(const IngestOptions& options)
+      : options_(options), start_(Clock::now()) {
+    result_.characterizer = OnlineCharacterizer(options.config);
+    parse_opts_.origin =
+        options_.input_path == "-" ? "stdin" : options_.input_path;
+  }
+
+  /// Feeds one raw line; returns false once max_events is reached.
+  bool feed(std::string_view line) {
+    ++lineno_;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == ';') return true;
+    LUMOS_FAILPOINT("stream.ingest.row");
+    try {
+      const trace::SwfRow row = trace::parse_swf_row(
+          trimmed, trace::ResourceKind::Cpu, parse_opts_, lineno_);
+      if (row.unknown_runtime) {
+        ++result_.unknown_runtime;
+        return true;
+      }
+      result_.characterizer.ingest(row.job);
+      ++result_.events;
+    } catch (const ParseError&) {
+      if (result_.bad_rows >= options_.bad_row_budget) throw;
+      ++result_.bad_rows;
+      return true;
+    }
+    if (options_.report_every_events > 0 &&
+        result_.events % options_.report_every_events == 0) {
+      emit_report();
+    }
+    return options_.max_events == 0 || result_.events < options_.max_events;
+  }
+
+  /// Final report + throughput accounting; returns the result.
+  IngestResult finish() {
+    refresh_timing();
+    if (!options_.output_path.empty()) emit_report();
+    return std::move(result_);
+  }
+
+ private:
+  void refresh_timing() {
+    const std::chrono::duration<double> elapsed = Clock::now() - start_;
+    result_.wall_seconds = elapsed.count();
+    result_.events_per_sec =
+        result_.wall_seconds > 0.0
+            ? static_cast<double>(result_.events) / result_.wall_seconds
+            : 0.0;
+  }
+
+  void emit_report() {
+    if (options_.output_path.empty()) return;
+    refresh_timing();
+    obs::write_json_atomic(
+        make_report_document(result_, parse_opts_.origin),
+        options_.output_path);
+    ++result_.reports_written;
+  }
+
+  const IngestOptions& options_;
+  trace::ParseOptions parse_opts_;
+  IngestResult result_;
+  std::size_t lineno_ = 0;
+  Clock::time_point start_;
+};
+
+}  // namespace
+
+IngestResult ingest_stream(std::istream& in, const IngestOptions& options) {
+  Ingestor ingestor(options);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!ingestor.feed(line)) break;
+  }
+  return ingestor.finish();
+}
+
+IngestResult run_ingest(const IngestOptions& options) {
+  if (options.input_path == "-") {
+    return ingest_stream(std::cin, options);
+  }
+  std::ifstream in(options.input_path);
+  if (!in) {
+    throw ParseError("cannot open stream source: " + options.input_path);
+  }
+  if (!options.follow) return ingest_stream(in, options);
+
+  // tail -f over a growing regular file: chunked reads with a carry
+  // buffer so a half-written line is never parsed; EOF clears and the
+  // loop polls until idle_timeout_s passes without new bytes.
+  Ingestor ingestor(options);
+  std::string carry;
+  std::string chunk(1 << 16, '\0');
+  double idle_s = 0.0;
+  bool stop = false;
+  while (!stop && idle_s < options.idle_timeout_s) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const std::streamsize got = in.gcount();
+    if (got == 0) {
+      in.clear();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.poll_interval_s));
+      idle_s += options.poll_interval_s;
+      continue;
+    }
+    idle_s = 0.0;
+    carry.append(chunk.data(), static_cast<std::size_t>(got));
+    std::size_t begin = 0;
+    for (std::size_t nl = carry.find('\n', begin);
+         nl != std::string::npos && !stop; nl = carry.find('\n', begin)) {
+      stop = !ingestor.feed(
+          std::string_view(carry).substr(begin, nl - begin));
+      begin = nl + 1;
+    }
+    carry.erase(0, begin);
+  }
+  if (!stop && !carry.empty()) ingestor.feed(carry);  // trailing line
+  return ingestor.finish();
+}
+
+}  // namespace lumos::stream

@@ -1,0 +1,94 @@
+// stream::run_ingest — the long-running "lumos-served" ingest loop.
+//
+// Tails an SWF event source (a growing file, a FIFO, or stdin), feeds
+// every job row into an OnlineCharacterizer, and periodically publishes
+// the characterization as a schema-versioned report document written with
+// obs::write_json_atomic — so a dashboard (or a test) polling the output
+// path always reads either the previous complete report or the new one,
+// never a torn file. `tools/lumos_serve` is the CLI wrapper;
+// `bench/ext_stream_ingest` reuses the same loop for throughput
+// measurement. EXPERIMENTS.md ("Streaming ingest walkthrough") shows the
+// end-to-end pipe recipe.
+//
+// Report document shape (see DESIGN.md "Streaming mode"):
+//   {
+//     "_meta": { "schema_version": 1, "source": ..., "events": ...,
+//                "reports": ..., "bad_rows": ..., "unknown_runtime": ... },
+//     "lumos_serve": <obs::Report entry — stream.* metrics, plus the
+//                     stream.events_per_sec / stream.peak_rss_mb gauges>
+//   }
+// The per-harness entry round-trips through obs::Report::from_json, so
+// downstream tooling written against BENCH_results.json entries works on
+// streaming reports unchanged.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/report.hpp"
+#include "stream/online.hpp"
+
+namespace lumos::stream {
+
+/// Version of the emitted report document; bump on breaking changes to
+/// the _meta or metric-key layout.
+inline constexpr int kReportSchemaVersion = 1;
+
+struct IngestOptions {
+  /// SWF source path; "-" reads stdin.
+  std::string input_path = "-";
+  /// Report destination; "-" writes stdout, "" disables report emission
+  /// (bench mode: the caller publishes from the returned characterizer).
+  std::string output_path;
+  /// Characterizer knobs (epoch/offset for the diurnal profile etc).
+  StreamConfig config;
+  /// Emit a report every N ingested job events (0 = only the final one).
+  std::uint64_t report_every_events = 10000;
+  /// Keep polling for more data after EOF (tail -f). Only meaningful for
+  /// regular files; pipes/stdin block in read instead. The loop stops
+  /// after `idle_timeout_s` without new data.
+  bool follow = false;
+  double poll_interval_s = 0.25;
+  double idle_timeout_s = 5.0;
+  /// Stop after this many job events (0 = unlimited). Lets tests and
+  /// benches bound a run over an endless source.
+  std::uint64_t max_events = 0;
+  /// Malformed rows tolerated before the loop throws ParseError — live
+  /// feeds default lenient, unlike the strict batch reader.
+  std::uint64_t bad_row_budget = 1000;
+};
+
+struct IngestResult {
+  std::uint64_t events = 0;          ///< job rows ingested
+  std::uint64_t bad_rows = 0;        ///< malformed rows skipped
+  std::uint64_t unknown_runtime = 0; ///< rows dropped (negative runtime)
+  std::uint64_t reports_written = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  /// Final characterizer state (also what the last report published).
+  OnlineCharacterizer characterizer;
+};
+
+/// Runs the ingest loop over an already-open stream (no follow mode —
+/// reads to EOF or max_events). The deterministic core of run_ingest;
+/// tests drive this overload directly.
+[[nodiscard]] IngestResult ingest_stream(std::istream& in,
+                                         const IngestOptions& options);
+
+/// Opens `options.input_path` (file, FIFO, or "-") and runs the loop,
+/// honoring follow mode for regular files. Throws ParseError when the
+/// source cannot be opened or the bad-row budget is exhausted.
+[[nodiscard]] IngestResult run_ingest(const IngestOptions& options);
+
+/// Builds the schema-versioned report document for a characterizer state
+/// (the document run_ingest writes). Exposed so the bench can emit the
+/// identical shape without a filesystem round-trip.
+[[nodiscard]] obs::Json make_report_document(const IngestResult& result,
+                                             const std::string& source);
+
+/// Peak resident set size of this process in MiB (getrusage; 0.0 where
+/// unsupported). Published as the stream.peak_rss_mb gauge.
+[[nodiscard]] double peak_rss_mb() noexcept;
+
+}  // namespace lumos::stream

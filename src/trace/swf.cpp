@@ -32,6 +32,48 @@ long long status_to_swf(JobStatus s) noexcept {
 
 }  // namespace
 
+SwfRow parse_swf_row(std::string_view trimmed, ResourceKind kind,
+                     const ParseOptions& opts, std::size_t lineno) {
+  const auto fields = util::split_whitespace(trimmed);
+  if (fields.size() < 18) {
+    throw ParseError(
+        util::format("SWF %s: expected 18 fields, got %zu",
+                     parse_context(opts, lineno).c_str(), fields.size()));
+  }
+  auto need_num = [&](std::size_t i) -> double {
+    const auto v = util::parse_double(fields[i]);
+    if (!v) {
+      throw ParseError(util::format("SWF %s field %zu: not a number",
+                                    parse_context(opts, lineno).c_str(),
+                                    i + 1));
+    }
+    return *v;
+  };
+  SwfRow row;
+  Job& j = row.job;
+  j.id = static_cast<std::uint64_t>(need_num(0));
+  j.submit_time = need_num(1);
+  const double wait = need_num(2);
+  j.wait_time = wait < 0.0 ? 0.0 : wait;
+  j.run_time = need_num(3);
+  if (j.run_time < 0.0) {
+    row.unknown_runtime = true;  // SWF "unknown runtime"
+    return row;
+  }
+  const double alloc = need_num(4);
+  const double req_procs = need_num(7);
+  const double procs = alloc > 0.0 ? alloc : req_procs;
+  j.cores = procs > 0.0 ? static_cast<std::uint32_t>(procs) : 1;
+  j.nodes = j.cores;  // SWF has no node notion; proc-granular
+  j.requested_time = need_num(8);
+  if (j.requested_time <= 0.0) j.requested_time = kNoValue;
+  j.status = status_from_swf(static_cast<long long>(need_num(10)));
+  const double user = need_num(11);
+  j.user = user >= 0.0 ? static_cast<std::uint32_t>(user) : 0;
+  j.kind = kind;
+  return row;
+}
+
 Trace read_swf(std::istream& in, SystemSpec spec, const ParseOptions& opts,
                ParseAudit* audit) {
   Trace trace(std::move(spec));
@@ -47,43 +89,13 @@ Trace read_swf(std::istream& in, SystemSpec spec, const ParseOptions& opts,
     // site is a library fault, not a malformed row, and must propagate.
     LUMOS_FAILPOINT("trace.swf.row");
     try {
-      const auto fields = util::split_whitespace(trimmed);
-      if (fields.size() < 18) {
-        throw ParseError(
-            util::format("SWF %s: expected 18 fields, got %zu",
-                         parse_context(opts, lineno).c_str(), fields.size()));
-      }
-      auto need_num = [&](std::size_t i) -> double {
-        const auto v = util::parse_double(fields[i]);
-        if (!v) {
-          throw ParseError(util::format(
-              "SWF %s field %zu: not a number",
-              parse_context(opts, lineno).c_str(), i + 1));
-        }
-        return *v;
-      };
-      Job j;
-      j.id = static_cast<std::uint64_t>(need_num(0));
-      j.submit_time = need_num(1);
-      const double wait = need_num(2);
-      j.wait_time = wait < 0.0 ? 0.0 : wait;
-      j.run_time = need_num(3);
-      if (j.run_time < 0.0) {
+      const SwfRow row =
+          parse_swf_row(trimmed, trace.spec().primary_kind, opts, lineno);
+      if (row.unknown_runtime) {
         ++dropped;
-        continue;  // SWF "unknown runtime"
+        continue;
       }
-      const double alloc = need_num(4);
-      const double req_procs = need_num(7);
-      const double procs = alloc > 0.0 ? alloc : req_procs;
-      j.cores = procs > 0.0 ? static_cast<std::uint32_t>(procs) : 1;
-      j.nodes = j.cores;  // SWF has no node notion; proc-granular
-      j.requested_time = need_num(8);
-      if (j.requested_time <= 0.0) j.requested_time = kNoValue;
-      j.status = status_from_swf(static_cast<long long>(need_num(10)));
-      const double user = need_num(11);
-      j.user = user >= 0.0 ? static_cast<std::uint32_t>(user) : 0;
-      j.kind = trace.spec().primary_kind;
-      trace.add(j);
+      trace.add(row.job);
     } catch (const ParseError&) {
       if (bad_rows >= opts.bad_row_budget) throw;
       ++bad_rows;

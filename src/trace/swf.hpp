@@ -6,13 +6,34 @@
 // columns; `;` lines are header comments.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "trace/parse.hpp"
 #include "trace/trace.hpp"
 
 namespace lumos::trace {
+
+/// One parsed SWF data row. `unknown_runtime` flags SWF's "unknown
+/// runtime" sentinel (negative run time): batch readers drop such rows.
+struct SwfRow {
+  Job job;
+  bool unknown_runtime = false;
+};
+
+/// Parses one non-comment, non-blank SWF data row (18 whitespace-separated
+/// fields; caller has already trimmed and filtered `;` comment lines).
+/// This is the single row-decoding routine shared by the batch reader
+/// below and the incremental `stream::ingest` tailer, so both accept
+/// exactly the same dialect. `kind` labels the job's cores (CPU vs GPU);
+/// `opts`/`lineno` feed the lazy error context. Throws ParseError on a
+/// malformed row.
+[[nodiscard]] SwfRow parse_swf_row(std::string_view trimmed,
+                                   ResourceKind kind,
+                                   const ParseOptions& opts,
+                                   std::size_t lineno);
 
 /// Parses SWF from a stream. Jobs with negative run time (SWF's "unknown")
 /// are dropped; negative wait times are clamped to zero. SWF status codes

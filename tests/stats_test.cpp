@@ -1,9 +1,11 @@
 // Unit tests for the stats substrate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/correlation.hpp"
+#include "stats/sketch.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/ecdf.hpp"
 #include "stats/histogram.hpp"
@@ -215,6 +217,220 @@ TEST(Correlation, DegenerateInputs) {
   const std::vector<double> y{1, 2, 3};
   EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
   EXPECT_THROW((void)pearson(std::vector<double>{1.0}, y), InvalidArgument);
+}
+
+// -------------------------------------------------------------- sketch ---
+
+// Observed normalized rank error of `value` at target quantile q against
+// a sorted sample: any rank inside the [F(value-), F(value)] tie interval
+// is exact, otherwise the distance to the nearer edge.
+double rank_error(const std::vector<double>& sorted, double value,
+                  double q) {
+  const double n = static_cast<double>(sorted.size());
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), value);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), value);
+  const double f_below = static_cast<double>(lo - sorted.begin()) / n;
+  const double f_at = static_cast<double>(hi - sorted.begin()) / n;
+  if (q >= f_below && q <= f_at) return 0.0;
+  return q < f_below ? f_below - q : q - f_at;
+}
+
+double max_rank_error(const QuantileSketch& sketch,
+                      std::vector<double> sample) {
+  std::sort(sample.begin(), sample.end());
+  double worst = 0.0;
+  for (int i = 0; i <= 500; ++i) {
+    const double q = static_cast<double>(i) / 500.0;
+    worst = std::max(worst, rank_error(sample, sketch.quantile(q), q));
+  }
+  return worst;
+}
+
+// A skewed runtime-like sample with heavy ties (the tie/interpolation
+// cases the shared convention pins down).
+std::vector<double> skewed_sample(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) {
+      xs.push_back(60.0);  // atom: a popular "one minute" runtime
+    } else {
+      xs.push_back(std::exp(rng.normal(4.0, 2.0)));
+    }
+  }
+  return xs;
+}
+
+// The pinning test named by the quantile-convention documentation in
+// descriptive.hpp: while a sketch has never compacted (n <= level-0
+// capacity), its answers equal the exact stats backends bit for bit, so
+// exact and sketch implementations are swappable.
+TEST(QuantileSketch, SketchMatchesExactConvention) {
+  const auto xs = skewed_sample(150, 7);  // < k = 200: never compacts
+  QuantileSketch sketch;
+  for (double x : xs) sketch.insert(x);
+  ASSERT_EQ(sketch.retained(), xs.size());
+
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const Ecdf ecdf(xs);
+  for (int i = 0; i <= 100; ++i) {
+    const double q = static_cast<double>(i) / 100.0;
+    EXPECT_DOUBLE_EQ(sketch.quantile(q), quantile_sorted(sorted, q))
+        << "q=" << q;
+    EXPECT_DOUBLE_EQ(sketch.quantile(q), ecdf.quantile(q)) << "q=" << q;
+  }
+  for (double x : {sorted.front(), 59.9, 60.0, 60.1, sorted.back()}) {
+    EXPECT_DOUBLE_EQ(sketch(x), ecdf(x)) << "x=" << x;
+  }
+  // Clamping edges of the shared convention.
+  EXPECT_DOUBLE_EQ(sketch.quantile(-0.5), sorted.front());
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.5), sorted.back());
+}
+
+TEST(QuantileSketch, RankErrorWithinBoundAfterCompaction) {
+  const auto xs = skewed_sample(100000, 11);
+  QuantileSketch sketch;
+  for (double x : xs) sketch.insert(x);
+  EXPECT_EQ(sketch.count(), xs.size());
+  // Compaction definitely ran: far fewer retained items than inserts.
+  EXPECT_LT(sketch.retained(), 3000u);
+  EXPECT_LE(max_rank_error(sketch, xs), sketch.epsilon());
+  // Exact extremes survive compaction.
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(sketch.min(), sorted.front());
+  EXPECT_DOUBLE_EQ(sketch.max(), sorted.back());
+}
+
+TEST(QuantileSketch, BoundedMemoryPlateaus) {
+  QuantileSketch sketch;
+  util::Rng rng(3);
+  std::size_t retained_at_100k = 0;
+  for (std::size_t i = 0; i < 400000; ++i) {
+    sketch.insert(rng.uniform(0.0, 1e6));
+    if (i == 100000) retained_at_100k = sketch.retained();
+  }
+  // 4x the stream adds at most a few levels, not linear growth.
+  EXPECT_LT(sketch.retained(), retained_at_100k + 200);
+}
+
+TEST(QuantileSketch, MergeCommutesWithinBound) {
+  const auto xs = skewed_sample(30000, 17);
+  const std::size_t third = xs.size() / 3;
+  QuantileSketch a, b, c;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < third ? a : i < 2 * third ? b : c).insert(xs[i]);
+  }
+  // (a + b) + c  vs  c + (b + a): different association and order.
+  QuantileSketch left = a;
+  left.merge(b);
+  left.merge(c);
+  QuantileSketch right = c;
+  QuantileSketch ba = b;
+  ba.merge(a);
+  right.merge(ba);
+
+  EXPECT_EQ(left.count(), xs.size());
+  EXPECT_EQ(right.count(), xs.size());
+  EXPECT_LE(max_rank_error(left, xs), left.epsilon());
+  EXPECT_LE(max_rank_error(right, xs), right.epsilon());
+  // Both orders agree with each other within twice the bound.
+  for (int i = 0; i <= 20; ++i) {
+    const double q = static_cast<double>(i) / 20.0;
+    const double rank_gap =
+        std::abs(left(right.quantile(q)) - right(right.quantile(q)));
+    EXPECT_LE(rank_gap, 2.0 * left.epsilon()) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, EmptyAndSingle) {
+  QuantileSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch(1.0), 0.0);
+  EXPECT_TRUE(sketch.curve(5).empty());
+  sketch.insert(42.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(sketch(41.0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch(42.0), 1.0);
+}
+
+TEST(QuantileSketch, DeterministicForFixedSeed) {
+  const auto xs = skewed_sample(50000, 23);
+  QuantileSketch s1, s2;
+  for (double x : xs) {
+    s1.insert(x);
+    s2.insert(x);
+  }
+  for (int i = 0; i <= 100; ++i) {
+    const double q = static_cast<double>(i) / 100.0;
+    EXPECT_DOUBLE_EQ(s1.quantile(q), s2.quantile(q));
+  }
+}
+
+TEST(StreamingHistogram, RelativeValueErrorWithinBound) {
+  const auto xs = skewed_sample(50000, 29);
+  StreamingHistogram hist;
+  for (double x : xs) hist.insert(x);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  for (int i = 0; i <= 500; ++i) {
+    const double q = static_cast<double>(i) / 500.0;
+    const auto idx = static_cast<std::size_t>(std::floor(q * (n - 1.0)));
+    const double exact = sorted[idx];
+    EXPECT_NEAR(hist.quantile(q), exact, exact * hist.relative_error())
+        << "q=" << q;
+  }
+}
+
+TEST(StreamingHistogram, ShardedMergeIsBitIdentical) {
+  const auto xs = skewed_sample(20000, 31);
+  StreamingHistogram serial;
+  for (double x : xs) serial.insert(x);
+
+  StreamingHistogram merged;
+  const std::size_t shard_size = xs.size() / 4;
+  for (std::size_t s = 0; s < 4; ++s) {
+    StreamingHistogram shard;
+    const std::size_t begin = s * shard_size;
+    const std::size_t end =
+        s == 3 ? xs.size() : begin + shard_size;
+    for (std::size_t i = begin; i < end; ++i) shard.insert(xs[i]);
+    merged.merge(shard);
+  }
+  EXPECT_EQ(merged.count(), serial.count());
+  // sum() is a float accumulation — summation *order* differs between
+  // sharded and serial ingest, so it matches only to rounding noise.
+  EXPECT_NEAR(merged.sum(), serial.sum(), 1e-9 * serial.sum());
+  EXPECT_EQ(merged.buckets(), serial.buckets());
+  for (int i = 0; i <= 200; ++i) {
+    const double q = static_cast<double>(i) / 200.0;
+    EXPECT_DOUBLE_EQ(merged.quantile(q), serial.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(StreamingHistogram, MergeRequiresIdenticalOptions) {
+  StreamingHistogram a;
+  StreamingHistogram::Options tighter;
+  tighter.relative_error = 0.001;
+  StreamingHistogram b(tighter);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+}
+
+TEST(StreamingHistogram, ZeroAndNegativeValues) {
+  StreamingHistogram hist;
+  hist.insert(-5.0);  // clamps to 0
+  hist.insert(0.0);
+  hist.insert(10.0);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist(0.0), 2.0 / 3.0);
+  EXPECT_NEAR(hist.quantile(1.0), 10.0, 10.0 * hist.relative_error());
 }
 
 }  // namespace

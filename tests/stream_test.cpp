@@ -1,0 +1,415 @@
+// Tests for lumos::stream — the bounded-memory online characterization
+// and the lumos-served ingest loop. The exact analyses in src/analysis
+// are the reference: what the characterizer claims is exact must match
+// them to floating-point noise; what is sketched must stay within the
+// documented bounds. Labelled `tsan sanitize`: the concurrent sharded
+// ingest test is this module's data-race probe.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <vector>
+
+#include "analysis/arrival.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "stats/descriptive.hpp"
+#include "stream/ingest.hpp"
+#include "stream/online.hpp"
+#include "synth/generator.hpp"
+#include "trace/swf.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lumos::stream {
+namespace {
+
+trace::Trace make_trace(std::size_t jobs = 3000, std::uint64_t seed = 42) {
+  synth::GeneratorOptions options;
+  options.seed = seed;
+  options.duration_days = std::max(1.0, static_cast<double>(jobs) / 500.0);
+  trace::Trace trace = synth::generate_system("Theta", options);
+  return trace;
+}
+
+StreamConfig config_for(const trace::Trace& trace) {
+  StreamConfig config;
+  config.epoch_unix = trace.spec().epoch_unix;
+  config.utc_offset_hours = trace.spec().utc_offset_hours;
+  return config;
+}
+
+OnlineCharacterizer ingest_all(const trace::Trace& trace,
+                               const StreamConfig& config) {
+  OnlineCharacterizer chr(config);
+  for (const auto& job : trace.jobs()) chr.ingest(job);
+  return chr;
+}
+
+// ---- exactness against the batch analyses --------------------------------
+
+TEST(OnlineCharacterizer, DiurnalProfileMatchesExactAnalysis) {
+  const auto trace = make_trace();
+  const auto chr = ingest_all(trace, config_for(trace));
+  const auto exact = analysis::analyze_arrivals(trace);
+
+  ASSERT_EQ(exact.hourly.size(), 24u);
+  for (std::size_t h = 0; h < 24; ++h) {
+    EXPECT_DOUBLE_EQ(chr.hourly()[h], exact.hourly[h]) << "hour " << h;
+  }
+  EXPECT_DOUBLE_EQ(chr.peak_ratio(), exact.peak_ratio);
+  EXPECT_DOUBLE_EQ(chr.business_hours_share(), exact.business_hours_share);
+}
+
+TEST(OnlineCharacterizer, InterarrivalMomentsMatchExactStats) {
+  const auto trace = make_trace();
+  const auto chr = ingest_all(trace, config_for(trace));
+  const auto gaps = trace.interarrival_times();
+  const auto summary = stats::summarize(gaps);
+
+  EXPECT_EQ(chr.interarrival_gaps(), gaps.size());
+  EXPECT_NEAR(chr.interarrival_mean(), summary.mean,
+              1e-9 * std::max(1.0, summary.mean));
+  const double exact_cv =
+      summary.mean > 0.0 ? summary.stddev / summary.mean : 0.0;
+  EXPECT_NEAR(chr.interarrival_cv(), exact_cv, 1e-6 * std::max(1.0, exact_cv));
+}
+
+TEST(OnlineCharacterizer, SketchQuantilesWithinBound) {
+  const auto trace = make_trace();
+  const auto chr = ingest_all(trace, config_for(trace));
+  auto runtimes = trace.run_times();
+  std::sort(runtimes.begin(), runtimes.end());
+  const double n = static_cast<double>(runtimes.size());
+  const double eps = chr.runtime_sketch().epsilon();
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double estimate = chr.runtime_sketch().quantile(q);
+    // Convert to rank space: the exact rank of the estimate must be
+    // within eps of q (ties covered by the lower/upper bound interval).
+    const auto lo = std::lower_bound(runtimes.begin(), runtimes.end(),
+                                     estimate) -
+                    runtimes.begin();
+    const auto hi = std::upper_bound(runtimes.begin(), runtimes.end(),
+                                     estimate) -
+                    runtimes.begin();
+    const double f_lo = static_cast<double>(lo) / n;
+    const double f_hi = static_cast<double>(hi) / n;
+    EXPECT_LE(f_lo - eps, q) << "q=" << q;
+    EXPECT_GE(f_hi + eps, q) << "q=" << q;
+  }
+}
+
+// ---- windows -------------------------------------------------------------
+
+TEST(OnlineCharacterizer, TumblingWindows) {
+  StreamConfig config;
+  config.window_seconds = 100.0;
+  OnlineCharacterizer chr(config);
+  trace::Job job;
+  for (double t : {10.0, 20.0, 90.0}) {  // window 0: 3 jobs
+    job.submit_time = t;
+    chr.ingest(job);
+  }
+  EXPECT_EQ(chr.windows_completed(), 0u);
+  EXPECT_EQ(chr.open_window_jobs(), 3u);
+
+  job.submit_time = 150.0;  // window 1 opens, window 0 completes
+  chr.ingest(job);
+  EXPECT_EQ(chr.windows_completed(), 1u);
+  EXPECT_EQ(chr.last_window().jobs, 3u);
+  EXPECT_DOUBLE_EQ(chr.last_window().start, 0.0);
+  EXPECT_DOUBLE_EQ(chr.last_window().rate_per_hour, 3.0 / (100.0 / 3600.0));
+
+  job.submit_time = 480.0;  // skips windows 2 and 3 entirely
+  chr.ingest(job);
+  EXPECT_EQ(chr.windows_completed(), 4u);
+  EXPECT_EQ(chr.last_window().jobs, 1u);
+  EXPECT_EQ(chr.open_window_jobs(), 1u);
+}
+
+// ---- merge semantics -----------------------------------------------------
+
+TEST(OnlineCharacterizer, ContiguousShardMergeMatchesSerial) {
+  const auto trace = make_trace();
+  const auto config = config_for(trace);
+  const auto serial = ingest_all(trace, config);
+
+  constexpr std::size_t kShards = 4;
+  const auto jobs = trace.jobs();
+  const std::size_t per = (jobs.size() + kShards - 1) / kShards;
+  OnlineCharacterizer merged(config);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    OnlineCharacterizer shard(config);
+    const std::size_t begin = s * per;
+    const std::size_t end = std::min(jobs.size(), begin + per);
+    for (std::size_t i = begin; i < end; ++i) shard.ingest(jobs[i]);
+    merged.merge(shard);
+  }
+
+  // Exact state merges exactly: counts, profile, moments (contiguous
+  // shards reconstruct the boundary gaps), histogram.
+  EXPECT_EQ(merged.jobs(), serial.jobs());
+  EXPECT_EQ(merged.hourly(), serial.hourly());
+  EXPECT_EQ(merged.interarrival_gaps(), serial.interarrival_gaps());
+  EXPECT_NEAR(merged.interarrival_cv(), serial.interarrival_cv(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.first_submit(), serial.first_submit());
+  EXPECT_DOUBLE_EQ(merged.last_submit(), serial.last_submit());
+  for (int i = 0; i <= 100; ++i) {
+    const double q = static_cast<double>(i) / 100.0;
+    EXPECT_DOUBLE_EQ(merged.runtime_histogram().quantile(q),
+                     serial.runtime_histogram().quantile(q));
+  }
+  // Sketch state merges within its bound.
+  const double eps = serial.runtime_sketch().epsilon();
+  auto runtimes = trace.run_times();
+  std::sort(runtimes.begin(), runtimes.end());
+  const double n = static_cast<double>(runtimes.size());
+  for (double q : {0.25, 0.5, 0.9}) {
+    const double estimate = merged.runtime_sketch().quantile(q);
+    const auto lo = std::lower_bound(runtimes.begin(), runtimes.end(),
+                                     estimate) -
+                    runtimes.begin();
+    const auto hi = std::upper_bound(runtimes.begin(), runtimes.end(),
+                                     estimate) -
+                    runtimes.begin();
+    EXPECT_LE(static_cast<double>(lo) / n - eps, q);
+    EXPECT_GE(static_cast<double>(hi) / n + eps, q);
+  }
+}
+
+TEST(OnlineCharacterizer, MergeRequiresIdenticalConfig) {
+  OnlineCharacterizer a;
+  StreamConfig other;
+  other.sketch_k = 100;
+  OnlineCharacterizer b(other);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+}
+
+// The tsan-labelled probe: shards ingest concurrently on the pool, each
+// into private state, then merge in index order on the caller. Any
+// hidden shared mutable state in the sketches would trip TSan here.
+TEST(OnlineCharacterizer, ConcurrentShardedIngest) {
+  const auto trace = make_trace(6000, 7);
+  const auto config = config_for(trace);
+  const auto jobs = trace.jobs();
+
+  constexpr std::size_t kShards = 8;
+  std::vector<OnlineCharacterizer> shards;
+  shards.reserve(kShards);
+  for (std::size_t s = 0; s < kShards; ++s) shards.emplace_back(config);
+
+  util::ThreadPool pool(kShards);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kShards);
+  const std::size_t per = (jobs.size() + kShards - 1) / kShards;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    futures.push_back(pool.submit([&, s] {
+      const std::size_t begin = s * per;
+      const std::size_t end = std::min(jobs.size(), begin + per);
+      for (std::size_t i = begin; i < end; ++i) shards[s].ingest(jobs[i]);
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  OnlineCharacterizer merged(config);
+  for (const auto& shard : shards) merged.merge(shard);
+  const auto serial = ingest_all(trace, config);
+  EXPECT_EQ(merged.jobs(), serial.jobs());
+  EXPECT_EQ(merged.hourly(), serial.hourly());
+  EXPECT_NEAR(merged.interarrival_cv(), serial.interarrival_cv(), 1e-9);
+}
+
+// ---- bounded memory ------------------------------------------------------
+
+TEST(OnlineCharacterizer, BoundedUserTable) {
+  StreamConfig config;
+  config.max_tracked_users = 16;
+  config.max_groups_per_user = 4;
+  OnlineCharacterizer chr(config);
+  util::Rng rng(5);
+  trace::Job job;
+  for (int i = 0; i < 20000; ++i) {
+    job.submit_time = static_cast<double>(i);
+    job.user = static_cast<std::uint32_t>(rng.uniform(0.0, 500.0));
+    job.cores = static_cast<std::uint32_t>(1 + rng.uniform(0.0, 64.0));
+    job.run_time = std::exp(rng.normal(4.0, 2.0));
+    chr.ingest(job);
+  }
+  EXPECT_LE(chr.tracked_users(), 16u);
+  EXPECT_GT(chr.untracked_jobs(), 0u);
+  // Total retained slots stay bounded regardless of stream length.
+  EXPECT_LT(chr.retained_items(), 10000u);
+}
+
+TEST(OnlineCharacterizer, RetainedItemsPlateau) {
+  const auto trace = make_trace(12000, 13);
+  const auto config = config_for(trace);
+  OnlineCharacterizer chr(config);
+  std::size_t at_half = 0;
+  const auto jobs = trace.jobs();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    chr.ingest(jobs[i]);
+    if (i == jobs.size() / 2) at_half = chr.retained_items();
+  }
+  // Doubling the stream must not double retained state.
+  EXPECT_LT(chr.retained_items(), at_half + at_half / 2 + 500);
+}
+
+// ---- repetition ----------------------------------------------------------
+
+TEST(OnlineCharacterizer, RepetitionFindsRepeatedConfigs) {
+  StreamConfig config;
+  config.min_jobs_per_user = 50;
+  OnlineCharacterizer chr(config);
+  trace::Job job;
+  // User 1: 100 jobs, all the same (cores, runtime) config.
+  job.user = 1;
+  job.cores = 16;
+  job.run_time = 3600.0;
+  for (int i = 0; i < 100; ++i) {
+    job.submit_time = static_cast<double>(i);
+    chr.ingest(job);
+  }
+  // User 2: only 10 jobs — below the representative threshold.
+  job.user = 2;
+  for (int i = 0; i < 10; ++i) {
+    job.submit_time = 200.0 + static_cast<double>(i);
+    chr.ingest(job);
+  }
+  const auto rep = chr.repetition(3);
+  EXPECT_EQ(rep.representative_users, 1u);
+  EXPECT_DOUBLE_EQ(rep.topk_share, 1.0);
+  EXPECT_DOUBLE_EQ(rep.mean_groups_per_user, 1.0);
+}
+
+// ---- publish -------------------------------------------------------------
+
+TEST(OnlineCharacterizer, PublishEmitsDocumentedKeys) {
+  const auto trace = make_trace();
+  const auto chr = ingest_all(trace, config_for(trace));
+  obs::Report report;
+  chr.publish(report, "stream.");
+  for (const char* key :
+       {"stream.jobs", "stream.runtime_p50_s", "stream.wait_p50_s",
+        "stream.interarrival_cv", "stream.peak_hour_ratio",
+        "stream.business_hours_share", "stream.rep_top3_share",
+        "stream.windows_completed", "stream.retained_items"}) {
+    EXPECT_TRUE(report.metrics.contains(key)) << key;
+  }
+  EXPECT_DOUBLE_EQ(report.metrics.at("stream.jobs"),
+                   static_cast<double>(trace.size()));
+}
+
+// ---- ingest loop ---------------------------------------------------------
+
+TEST(Ingest, StreamToEofMatchesBatchReader) {
+  const auto trace = make_trace();
+  std::ostringstream swf;
+  trace::write_swf(swf, trace);
+
+  IngestOptions options;
+  options.config = config_for(trace);
+  std::istringstream in(swf.str());
+  const auto result = ingest_stream(in, options);
+  EXPECT_EQ(result.events, trace.size());
+  EXPECT_EQ(result.bad_rows, 0u);
+  EXPECT_EQ(result.characterizer.jobs(), trace.size());
+}
+
+TEST(Ingest, BadRowBudget) {
+  IngestOptions options;
+  options.bad_row_budget = 1;
+  {
+    std::istringstream in("garbage row\n");
+    const auto result = ingest_stream(in, options);
+    EXPECT_EQ(result.bad_rows, 1u);
+    EXPECT_EQ(result.events, 0u);
+  }
+  {
+    IngestOptions strict;
+    strict.bad_row_budget = 0;
+    std::istringstream in("garbage row\n");
+    EXPECT_THROW((void)ingest_stream(in, strict), ParseError);
+  }
+}
+
+TEST(Ingest, MaxEventsStopsEarly) {
+  const auto trace = make_trace();
+  std::ostringstream swf;
+  trace::write_swf(swf, trace);
+  IngestOptions options;
+  options.config = config_for(trace);
+  options.max_events = 10;
+  std::istringstream in(swf.str());
+  const auto result = ingest_stream(in, options);
+  EXPECT_EQ(result.events, 10u);
+}
+
+TEST(Ingest, EndToEndReportRoundTrips) {
+  namespace fs = std::filesystem;
+  const auto trace = make_trace(1000, 3);
+  const fs::path dir =
+      fs::temp_directory_path() / "lumos_stream_test";
+  fs::create_directories(dir);
+  const fs::path swf_path = dir / "trace.swf";
+  const fs::path report_path = dir / "report.json";
+  trace::write_swf_file(swf_path.string(), trace);
+
+  IngestOptions options;
+  options.input_path = swf_path.string();
+  options.output_path = report_path.string();
+  options.config = config_for(trace);
+  options.report_every_events = 100;
+  const auto result = run_ingest(options);
+  EXPECT_EQ(result.events, trace.size());
+  EXPECT_GE(result.reports_written, 1u);
+
+  // The emitted document is valid JSON with the documented schema, and
+  // its harness entry round-trips through obs::Report::from_json.
+  std::ifstream in(report_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = obs::Json::parse(buffer.str());
+  const auto* meta = doc.find("_meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->find("schema_version")->as_int(), kReportSchemaVersion);
+  EXPECT_EQ(meta->find("events")->as_int(),
+            static_cast<std::int64_t>(trace.size()));
+  const auto* entry = doc.find("lumos_serve");
+  ASSERT_NE(entry, nullptr);
+  const auto report = obs::Report::from_json("lumos_serve", *entry);
+  EXPECT_DOUBLE_EQ(report.metrics.at("stream.jobs"),
+                   static_cast<double>(trace.size()));
+
+  fs::remove_all(dir);
+}
+
+TEST(Ingest, ReportDocumentIsDeterministicInState) {
+  const auto trace = make_trace(500, 9);
+  std::ostringstream swf;
+  trace::write_swf(swf, trace);
+  IngestOptions options;
+  options.config = config_for(trace);
+  std::istringstream in1(swf.str()), in2(swf.str());
+  auto r1 = ingest_stream(in1, options);
+  auto r2 = ingest_stream(in2, options);
+  // Gauges (rates, RSS) vary run to run; the metrics section must not.
+  const auto d1 = make_report_document(r1, "test");
+  const auto d2 = make_report_document(r2, "test");
+  const auto* m1 = d1.find("lumos_serve")->find("metrics");
+  const auto* m2 = d2.find("lumos_serve")->find("metrics");
+  ASSERT_NE(m1, nullptr);
+  ASSERT_NE(m2, nullptr);
+  EXPECT_EQ(*m1, *m2);
+}
+
+}  // namespace
+}  // namespace lumos::stream

@@ -15,14 +15,18 @@
 #             run that prints per-rule finding counts
 #             (clang-tidy additionally gates compiles when configured with
 #              -DLUMOS_LINT=ON and a clang-tidy binary is on PATH)
+#   docs      the docs_check ctest: every tools/lint/layers.txt module
+#             must appear in docs/ARCHITECTURE.md and every bench binary
+#             documented in docs/FIGURES.md must exist in bench/
 #   bench     bench_runner --smoke --verify: every harness on capped
 #             workloads, JSON self-check + same-seed determinism
 #   bench:supervised  the bench_supervised_smoke ctest: fault drill of the
 #             crash-isolated fleet (injected crash/hang/garbage, journal
 #             resume, in-process-vs-supervised metric equivalence)
-#   bench:perf  `lumos perf-gate` compares the smoke run's sim.jobs_per_sec
-#             gauges against the committed BENCH_results.json and fails on
-#             a >20% throughput regression
+#   bench:perf  `lumos perf-gate` compares the smoke run's throughput
+#             gauges (sim.jobs_per_sec, stream.events_per_sec) against
+#             the committed BENCH_results.json and fails on a >20%
+#             regression
 #
 # Continues past failures and prints a single PASS/FAIL summary; exit
 # status is non-zero if any stage failed. Run from the repo root:
@@ -85,14 +89,19 @@ run_stage "lint:ctest" ctest --test-dir build \
 run_stage "lint:ratchet" ./build/tools/lumos_lint --ratchet \
   --layers tools/lint/layers.txt --baseline tools/lint/baseline.json \
   src bench
+# Docs-rot gate: layers.txt modules ↔ ARCHITECTURE.md, FIGURES.md
+# binaries ↔ bench/ sources (tools/docs_check.cpp).
+run_stage "docs:check" ctest --test-dir build \
+  -R '^docs_check$' --output-on-failure
 run_stage "bench:smoke" ./build/bench/bench_runner --smoke --verify \
   --out build/BENCH_check.json
 run_stage "bench:supervised" ctest --test-dir build \
   -R '^bench_supervised_smoke$' --output-on-failure
 # Throughput gate: the bench:smoke stage above refreshed
-# build/BENCH_check.json; gate its sim.jobs_per_sec gauges against the
-# committed baseline. 20% tolerance absorbs machine noise — the gate
-# exists to catch order-of-magnitude collapses, not jitter.
+# build/BENCH_check.json; gate its throughput gauges (sim.jobs_per_sec,
+# stream.events_per_sec) against the committed baseline. 20% tolerance
+# absorbs machine noise — the gate exists to catch order-of-magnitude
+# collapses, not jitter.
 run_stage "bench:perf" ./build/tools/lumos perf-gate \
   --baseline BENCH_results.json --current build/BENCH_check.json \
   --max-regression 0.20

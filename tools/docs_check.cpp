@@ -1,0 +1,114 @@
+// docs_check — documentation consistency gate (the `docs_check` ctest).
+//
+// Docs drift silently: a module gets added to tools/lint/layers.txt but
+// never to docs/ARCHITECTURE.md, or a FIGURES.md row keeps naming a bench
+// binary that was renamed away. This tool pins the two invariants the
+// docs overhaul established:
+//
+//   1. every module declared in tools/lint/layers.txt (and the `bench`
+//      pseudo-module) is documented in docs/ARCHITECTURE.md — matched as
+//      a backticked `module` mention, the way the module map writes them;
+//   2. every bench binary named in a docs/FIGURES.md table row
+//      (first-column `| `name` |` cells) exists as bench/<name>.cpp.
+//
+// Usage: docs_check --repo <repo root>. Prints one line per violation and
+// exits non-zero on any, so `ctest -R docs_check` gives file-level
+// diagnostics. Registered in tools/CMakeLists.txt; also run by
+// tools/check.sh's docs stage.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "docs_check: cannot read " << path << '\n';
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Module names from layers.txt: leading `name:` of non-comment lines.
+std::vector<std::string> layer_modules(const std::string& text) {
+  std::vector<std::string> modules;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const auto colon = line.find(':', first);
+    if (colon == std::string::npos) continue;
+    modules.push_back(line.substr(first, colon - first));
+  }
+  return modules;
+}
+
+/// First-column backticked binary names of FIGURES.md table rows.
+std::vector<std::string> figures_binaries(const std::string& text) {
+  std::vector<std::string> names;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    // A data row starts "| `name`"; header/separator rows do not.
+    const auto tick = line.find("| `");
+    if (tick != 0) continue;
+    const auto start = tick + 3;
+    const auto end = line.find('`', start);
+    if (end == std::string::npos) continue;
+    names.push_back(line.substr(start, end - start));
+  }
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path repo = ".";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::string(argv[i]) == "--repo") repo = argv[i + 1];
+  }
+  const auto layers = read_file(repo / "tools" / "lint" / "layers.txt");
+  const auto architecture =
+      read_file(repo / "docs" / "ARCHITECTURE.md");
+  const auto figures = read_file(repo / "docs" / "FIGURES.md");
+  if (layers.empty() || architecture.empty() || figures.empty()) return 2;
+
+  int violations = 0;
+
+  for (const auto& module : layer_modules(layers)) {
+    // The module map writes modules as backticked `name` mentions.
+    if (architecture.find("`" + module + "`") == std::string::npos) {
+      std::cout << "docs_check: module \"" << module
+                << "\" (tools/lint/layers.txt) is not documented in "
+                   "docs/ARCHITECTURE.md\n";
+      ++violations;
+    }
+  }
+
+  for (const auto& name : figures_binaries(figures)) {
+    const fs::path source = repo / "bench" / (name + ".cpp");
+    if (!fs::exists(source)) {
+      std::cout << "docs_check: docs/FIGURES.md names binary \"" << name
+                << "\" but bench/" << name << ".cpp does not exist\n";
+      ++violations;
+    }
+  }
+
+  if (violations == 0) {
+    std::cout << "docs_check: clean (" << layer_modules(layers).size()
+              << " modules, " << figures_binaries(figures).size()
+              << " bench binaries checked)\n";
+    return 0;
+  }
+  std::cout << "docs_check: " << violations << " violation(s)\n";
+  return 1;
+}

@@ -238,17 +238,23 @@ lumos::obs::Json load_json(const std::string& path) {
   return lumos::obs::Json::parse(buffer.str());
 }
 
-// Throughput gauge for one harness section, or nullopt when absent.
-std::optional<double> jobs_per_sec(const lumos::obs::Json& harness) {
+// Throughput gauges the gate watches, one per engine: the simulator's
+// jobs/s and the streaming ingest's events/s.
+constexpr std::string_view kThroughputGauges[] = {"sim.jobs_per_sec",
+                                                  "stream.events_per_sec"};
+
+// Named throughput gauge for one harness section, or nullopt when absent.
+std::optional<double> throughput_gauge(const lumos::obs::Json& harness,
+                                       std::string_view key) {
   const auto* gauges = harness.find("gauges");
   if (!gauges) return std::nullopt;
-  const auto* gauge = gauges->find("sim.jobs_per_sec");
+  const auto* gauge = gauges->find(key);
   if (!gauge || !gauge->is_number()) return std::nullopt;
   return gauge->as_double();
 }
 
-// Compares `sim.jobs_per_sec` per harness between two bench_runner JSON
-// documents. Throughput lives in gauges precisely because it is NOT
+// Compares the kThroughputGauges per harness between two bench_runner
+// JSON documents. Throughput lives in gauges precisely because it is NOT
 // deterministic — so the gate tolerates noise (default 20%) and only
 // fails on a real collapse, the check tools/check.sh runs as bench:perf.
 // Harnesses present only in the baseline, or only in the current run,
@@ -274,31 +280,33 @@ int cmd_perf_gate(const Cli& cli) {
   int gated = 0;
   int failures = 0;
   for (const auto& [name, harness] : base_harnesses->entries()) {
-    const auto base = jobs_per_sec(harness);
-    if (!base || *base <= 0.0) continue;
-    const auto* cur_harness = cur_harnesses->find(name);
-    if (!cur_harness) {
-      std::cout << "perf-gate: " << name
-                << ": not in current run (skipped)\n";
-      continue;
+    for (const auto key : kThroughputGauges) {
+      const auto base = throughput_gauge(harness, key);
+      if (!base || *base <= 0.0) continue;
+      const auto* cur_harness = cur_harnesses->find(name);
+      if (!cur_harness) {
+        std::cout << "perf-gate: " << name
+                  << ": not in current run (skipped)\n";
+        continue;
+      }
+      const auto cur = throughput_gauge(*cur_harness, key);
+      if (!cur) {
+        std::cout << "perf-gate: " << name << ": " << key
+                  << " missing in current run (skipped)\n";
+        continue;
+      }
+      ++gated;
+      const double floor = *base * (1.0 - max_regression);
+      const bool ok = *cur >= floor;
+      failures += !ok;
+      std::cout << "perf-gate: " << name << ": " << key << " baseline "
+                << lumos::util::fixed(*base, 0) << "/s, current "
+                << lumos::util::fixed(*cur, 0) << "/s ("
+                << lumos::util::percent(*cur / *base - 1.0) << ") "
+                << (ok ? "ok" : "REGRESSION") << "\n";
     }
-    const auto cur = jobs_per_sec(*cur_harness);
-    if (!cur) {
-      std::cout << "perf-gate: " << name
-                << ": sim.jobs_per_sec missing in current run (skipped)\n";
-      continue;
-    }
-    ++gated;
-    const double floor = *base * (1.0 - max_regression);
-    const bool ok = *cur >= floor;
-    failures += !ok;
-    std::cout << "perf-gate: " << name << ": baseline "
-              << lumos::util::fixed(*base, 0) << " jobs/s, current "
-              << lumos::util::fixed(*cur, 0) << " jobs/s ("
-              << lumos::util::percent(*cur / *base - 1.0) << ") "
-              << (ok ? "ok" : "REGRESSION") << "\n";
   }
-  std::cout << "perf-gate: " << gated << " harness(es) gated, " << failures
+  std::cout << "perf-gate: " << gated << " gauge(s) gated, " << failures
             << " regression(s) beyond "
             << lumos::util::percent(max_regression) << "\n";
   return failures == 0 ? 0 : 1;

@@ -1,0 +1,96 @@
+// lumos_serve — long-running streaming characterization driver.
+//
+// Tails an SWF event source (growing file, FIFO, or stdin) through
+// stream::run_ingest and periodically publishes the bounded-memory
+// characterization as a schema-versioned report JSON written atomically,
+// so consumers polling the output path never observe a torn document.
+// EXPERIMENTS.md ("Streaming ingest walkthrough") shows end-to-end
+// usage; DESIGN.md "Streaming mode" documents the report schema.
+//
+//   lumos_serve --in trace.swf --out report.json [--follow]
+//               [--every N] [--max-events N] [--epoch-unix T]
+//               [--utc-offset H] [--sketch-k K] [--window-s S]
+//               [--bad-row-budget N] [--idle-timeout-s S]
+//
+// Exit codes follow the bench taxonomy: 0 ok, 2 usage, 1 runtime error.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "stream/ingest.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: lumos_serve --in PATH|- --out PATH|- [--follow]\n"
+         "  --in PATH           SWF source; '-' reads stdin (default -)\n"
+         "  --out PATH          report JSON destination; '-' for stdout\n"
+         "  --follow            keep tailing a growing file after EOF\n"
+         "  --every N           report every N job events (default 10000)\n"
+         "  --max-events N      stop after N events (0 = unlimited)\n"
+         "  --epoch-unix T      trace epoch for the diurnal profile\n"
+         "  --utc-offset H      local-time offset hours for the profile\n"
+         "  --sketch-k K        quantile sketch accuracy knob (default 200)\n"
+         "  --window-s S        tumbling window seconds (default 86400)\n"
+         "  --bad-row-budget N  malformed rows tolerated (default 1000)\n"
+         "  --idle-timeout-s S  follow mode: stop after S idle seconds\n";
+  return 2;
+}
+
+double number_or(const std::map<std::string, std::string>& options,
+                 const std::string& key, double fallback) {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : std::stod(it->second);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> options;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) return usage();
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      options[key] = argv[++i];
+    } else {
+      options[key] = "1";
+    }
+  }
+  if (options.count("help") != 0) return usage();
+
+  lumos::stream::IngestOptions ingest;
+  ingest.input_path = options.count("in") ? options["in"] : "-";
+  ingest.output_path = options.count("out") ? options["out"] : "-";
+  ingest.follow = options.count("follow") != 0;
+  ingest.report_every_events =
+      static_cast<std::uint64_t>(number_or(options, "every", 10000));
+  ingest.max_events =
+      static_cast<std::uint64_t>(number_or(options, "max-events", 0));
+  ingest.bad_row_budget =
+      static_cast<std::uint64_t>(number_or(options, "bad-row-budget", 1000));
+  ingest.idle_timeout_s = number_or(options, "idle-timeout-s", 5.0);
+  ingest.config.epoch_unix =
+      static_cast<std::int64_t>(number_or(options, "epoch-unix", 0));
+  ingest.config.utc_offset_hours = number_or(options, "utc-offset", 0.0);
+  ingest.config.sketch_k =
+      static_cast<std::size_t>(number_or(options, "sketch-k", 200));
+  ingest.config.window_seconds = number_or(options, "window-s", 86400.0);
+
+  try {
+    const auto result = lumos::stream::run_ingest(ingest);
+    std::cerr << "lumos_serve: " << result.events << " events, "
+              << result.reports_written << " report(s), "
+              << result.bad_rows << " bad row(s), "
+              << static_cast<long long>(result.events_per_sec)
+              << " events/s\n";
+    return 0;
+  } catch (const lumos::Error& e) {
+    std::cerr << "lumos_serve: " << e.what() << '\n';
+    return 1;
+  }
+}
