@@ -171,6 +171,7 @@ const std::vector<HarnessInfo>& all_harnesses() {
        {"wait_s.", "sweep."}},
       {"ext_stream_ingest", "Extension", run_ext_stream_ingest,
        {"rank_err.", "stream."}},
+      {"ext_serve_chaos", "Extension", run_ext_serve_chaos, {"chaos."}},
       {"micro_sim", "Micro", run_micro_sim, {"events.", "backfilled."}},
       {"micro_ml", "Micro", run_micro_ml,
        {"dataset_rows", "dataset_features"}},

@@ -168,6 +168,46 @@ double QuantileSketch::quantile(double q) const {
   return max_;
 }
 
+QuantileSketch::Snapshot QuantileSketch::snapshot() const {
+  Snapshot snap;
+  snap.k = k_;
+  snap.rng = rng_.state();
+  snap.levels = levels_;
+  snap.count = count_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
+}
+
+QuantileSketch QuantileSketch::restore(const Snapshot& snapshot) {
+  // Weight conservation is the sketch's core invariant: every level-h
+  // item represents 2^h stream elements. A checkpoint that fails it is
+  // corrupt and must not restore into a silently-wrong sketch.
+  std::uint64_t weight = 0;
+  LUMOS_REQUIRE(snapshot.levels.size() < 64,
+                "QuantileSketch snapshot: too many levels");
+  for (std::size_t h = 0; h < snapshot.levels.size(); ++h) {
+    weight += static_cast<std::uint64_t>(snapshot.levels[h].size()) << h;
+  }
+  LUMOS_REQUIRE(weight == snapshot.count,
+                "QuantileSketch snapshot: retained weight does not match "
+                "count");
+  LUMOS_REQUIRE(snapshot.count == 0 || snapshot.min <= snapshot.max,
+                "QuantileSketch snapshot: min exceeds max");
+  Options options;
+  options.k = snapshot.k;
+  QuantileSketch sketch(options);
+  LUMOS_REQUIRE(sketch.k_ == snapshot.k,
+                "QuantileSketch snapshot: k below the minimum capacity");
+  sketch.rng_.set_state(snapshot.rng);
+  sketch.levels_ = snapshot.levels;
+  sketch.count_ = snapshot.count;
+  sketch.min_ = snapshot.min;
+  sketch.max_ = snapshot.max;
+  sketch.view_dirty_ = true;
+  return sketch;
+}
+
 std::vector<std::pair<double, double>> QuantileSketch::curve(
     std::size_t points) const {
   std::vector<std::pair<double, double>> out;
@@ -286,6 +326,41 @@ double StreamingHistogram::quantile(double q) const {
     }
   }
   return max_;
+}
+
+StreamingHistogram::Snapshot StreamingHistogram::snapshot() const {
+  Snapshot snap;
+  snap.options = options_;
+  snap.buckets.assign(buckets_.begin(), buckets_.end());
+  snap.zero_count = zero_count_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
+}
+
+StreamingHistogram StreamingHistogram::restore(const Snapshot& snapshot) {
+  StreamingHistogram hist(snapshot.options);  // validates the options
+  std::uint64_t total = snapshot.zero_count;
+  for (const auto& [index, n] : snapshot.buckets) {
+    LUMOS_REQUIRE(hist.buckets_.emplace(index, n).second,
+                  "StreamingHistogram snapshot: duplicate bucket index");
+    total += n;
+  }
+  LUMOS_REQUIRE(total == snapshot.count,
+                "StreamingHistogram snapshot: bucket counts do not sum to "
+                "count");
+  LUMOS_REQUIRE(snapshot.count == 0 || snapshot.min <= snapshot.max,
+                "StreamingHistogram snapshot: min exceeds max");
+  LUMOS_REQUIRE(snapshot.buckets.size() <= snapshot.options.max_buckets,
+                "StreamingHistogram snapshot: more buckets than max_buckets");
+  hist.zero_count_ = snapshot.zero_count;
+  hist.count_ = snapshot.count;
+  hist.sum_ = snapshot.sum;
+  hist.min_ = snapshot.min;
+  hist.max_ = snapshot.max;
+  return hist;
 }
 
 std::vector<std::pair<double, double>> StreamingHistogram::curve(

@@ -104,6 +104,27 @@ class QuantileSketch {
   [[nodiscard]] std::vector<std::pair<double, double>> curve(
       std::size_t points) const;
 
+  // ---- checkpoint/restore (crash-consistent serve mode) ----
+
+  /// Complete sketch state, including the compaction coin. restore() of a
+  /// snapshot yields a sketch that is bit-identical to the original — it
+  /// answers every query identically AND continues ingesting identically,
+  /// because the coin state rides along. The streaming checkpoint codec
+  /// (stream/snapshot.hpp) serializes this to schema-checked JSON.
+  struct Snapshot {
+    std::size_t k = 0;                        ///< clamped accuracy knob
+    util::Rng::State rng;                     ///< compaction-coin state
+    std::vector<std::vector<double>> levels;  ///< items per weight level
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Rebuilds a sketch from a snapshot. Throws lumos::InvalidArgument on
+  /// inconsistent state (total retained weight must equal count) so a
+  /// corrupted checkpoint can never restore into a silently-wrong sketch.
+  [[nodiscard]] static QuantileSketch restore(const Snapshot& snapshot);
+
  private:
   /// Capacity of level `level` when `num_levels` exist (top level gets k,
   /// lower levels decay by c = 2/3, floored at kMinLevelCapacity).
@@ -186,6 +207,25 @@ class StreamingHistogram {
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] std::vector<std::pair<double, double>> curve(
       std::size_t points) const;
+
+  // ---- checkpoint/restore (crash-consistent serve mode) ----
+
+  /// Complete histogram state; restore() is exact (the histogram is pure
+  /// counts — no randomness), so a checkpointed histogram round-trips
+  /// bit-identically.
+  struct Snapshot {
+    Options options;
+    std::vector<std::pair<std::int32_t, std::uint64_t>> buckets;
+    std::uint64_t zero_count = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Throws lumos::InvalidArgument on inconsistent state (bucket counts
+  /// plus the zero bucket must sum to count; options must validate).
+  [[nodiscard]] static StreamingHistogram restore(const Snapshot& snapshot);
 
  private:
   [[nodiscard]] std::int32_t bucket_index(double x) const;

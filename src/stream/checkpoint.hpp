@@ -1,0 +1,97 @@
+// stream checkpoints — crash-consistent state for the serve loop.
+//
+// A checkpoint is one JSON document pairing a *source cursor* (how far
+// into the input the characterizer state accounts for) with the complete
+// OnlineCharacterizer snapshot (stream/snapshot.hpp). run_ingest writes
+// one every `checkpoint_every_events` events and on graceful shutdown; on
+// startup it restores the newest good checkpoint, seeks the source to
+// `cursor.byte_offset`, and replays only the gap — so a SIGKILL at any
+// instant costs at most one checkpoint interval of replay and the final
+// report is identical to an uninterrupted run (the ext_serve_chaos drill
+// pins this).
+//
+// Document shape (schema-checked on load):
+//   { "_meta": { "schema_version": 1, "kind": "lumos_checkpoint" },
+//     "cursor": { "input", "byte_offset", "line", "events", "bad_rows",
+//                 "unknown_runtime", "fingerprint" },
+//     "characterizer": <stream/snapshot.hpp encoding> }
+//
+// Torn-write safety, two layers:
+//   * save_checkpoint writes via obs::write_json_atomic (temp + fsync +
+//     rename), so a kill mid-write leaves the previous document intact;
+//   * before writing it rotates the current document to `path + ".prev"`,
+//     and load_checkpoint falls back to .prev when the primary is missing
+//     or fails schema/decode checks — so even out-of-band corruption of
+//     the primary never crashes the daemon and never silently restarts
+//     from zero state (the fallback is logged and surfaced in Outcome).
+//
+// The cursor fingerprint (FNV-1a over the first min(byte_offset, 64 KiB)
+// of the input) catches the operational accident checkpoints cannot
+// otherwise see: the input file was replaced or rewritten between runs,
+// making the cursor meaningless. A mismatch refuses the resume (typed
+// InvalidArgument) instead of silently double-counting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+#include "stream/online.hpp"
+
+namespace lumos::stream {
+
+/// Resume position in the input stream. Counters mirror IngestResult so a
+/// resumed run reports cumulative totals identical to an uninterrupted one.
+struct SourceCursor {
+  std::string input;                  ///< path the offsets refer to
+  std::uint64_t byte_offset = 0;      ///< next unconsumed input byte
+  std::uint64_t line = 0;             ///< input lines consumed so far
+  std::uint64_t events = 0;           ///< job events ingested so far
+  std::uint64_t bad_rows = 0;
+  std::uint64_t unknown_runtime = 0;
+  std::uint64_t fingerprint = 0;      ///< input_fingerprint at write time
+};
+
+struct Checkpoint {
+  SourceCursor cursor;
+  OnlineCharacterizer::Snapshot characterizer;
+};
+
+[[nodiscard]] obs::Json to_json(const Checkpoint& checkpoint);
+/// Strict decode incl. _meta schema/kind check; throws
+/// lumos::InvalidArgument on any mismatch.
+[[nodiscard]] Checkpoint checkpoint_from_json(const obs::Json& json);
+
+/// FNV-1a over the first min(`byte_offset`, 64 KiB) bytes of `path`.
+/// Returns 0 for byte_offset == 0 (nothing consumed -> nothing to match).
+/// Throws SourceError (source.hpp) when the file cannot be read.
+[[nodiscard]] std::uint64_t input_fingerprint(const std::string& path,
+                                              std::uint64_t byte_offset);
+
+/// Rotates the current checkpoint at `path` to `path + ".prev"`, then
+/// writes `checkpoint` atomically. Evaluates the stream.checkpoint.write
+/// failpoint before touching the filesystem; throws lumos::InvalidArgument
+/// on I/O failure (from write_json_atomic).
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path);
+
+struct CheckpointLoad {
+  enum class Outcome {
+    NoCheckpoint,    ///< neither path nor path.prev exists — fresh start
+    Primary,         ///< restored from `path`
+    Fallback,        ///< primary missing/corrupt; restored from .prev
+    CorruptIgnored,  ///< both unreadable — fresh start, loudly logged
+  };
+  Outcome outcome = Outcome::NoCheckpoint;
+  std::optional<Checkpoint> checkpoint;
+  /// Decode errors encountered along the way (empty when clean).
+  std::string detail;
+};
+
+/// Loads the newest good checkpoint: `path`, then `path + ".prev"`.
+/// Never throws on corrupt documents (that is the point — see the header
+/// comment); evaluates the stream.checkpoint.load failpoint, whose
+/// InjectedFault does propagate.
+[[nodiscard]] CheckpointLoad load_checkpoint(const std::string& path);
+
+}  // namespace lumos::stream

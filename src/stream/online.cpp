@@ -296,6 +296,96 @@ std::size_t OnlineCharacterizer::retained_items() const noexcept {
   return total;
 }
 
+OnlineCharacterizer::Snapshot OnlineCharacterizer::snapshot() const {
+  Snapshot s;
+  s.config = config_;
+  s.jobs = jobs_;
+  s.out_of_order = out_of_order_;
+  s.first_submit = first_submit_;
+  s.last_submit = last_submit_;
+  s.runtime_sketch = runtime_sketch_.snapshot();
+  s.wait_sketch = wait_sketch_.snapshot();
+  s.interarrival_sketch = interarrival_sketch_.snapshot();
+  s.runtime_histogram = runtime_histogram_.snapshot();
+  s.hourly = hourly_;
+  s.gap_count = gap_count_;
+  s.gap_sum = gap_sum_;
+  s.gap_sum_sq = gap_sum_sq_;
+  s.users.reserve(users_.size());
+  for (const auto& [id, user] : users_) {
+    Snapshot::UserEntry entry;
+    entry.id = id;
+    entry.jobs = user.jobs;
+    entry.overflow = user.overflow;
+    entry.groups.assign(user.groups.begin(), user.groups.end());
+    s.users.push_back(std::move(entry));
+  }
+  s.untracked_jobs = untracked_jobs_;
+  s.open_window_index = open_window_index_;
+  s.window_started = window_started_;
+  s.open_window_jobs = open_window_jobs_;
+  s.windows_completed = windows_completed_;
+  s.last_window = last_window_;
+  return s;
+}
+
+OnlineCharacterizer OnlineCharacterizer::restore(const Snapshot& snapshot) {
+  // The constructor re-validates the config; the sketch restores validate
+  // their own invariants (weight conservation, options, bucket caps).
+  OnlineCharacterizer c(snapshot.config);
+  c.jobs_ = snapshot.jobs;
+  c.out_of_order_ = snapshot.out_of_order;
+  c.first_submit_ = snapshot.first_submit;
+  c.last_submit_ = snapshot.last_submit;
+  c.runtime_sketch_ = stats::QuantileSketch::restore(snapshot.runtime_sketch);
+  c.wait_sketch_ = stats::QuantileSketch::restore(snapshot.wait_sketch);
+  c.interarrival_sketch_ =
+      stats::QuantileSketch::restore(snapshot.interarrival_sketch);
+  c.runtime_histogram_ =
+      stats::StreamingHistogram::restore(snapshot.runtime_histogram);
+  LUMOS_REQUIRE(c.runtime_sketch_.count() == snapshot.jobs &&
+                    c.wait_sketch_.count() == snapshot.jobs &&
+                    c.runtime_histogram_.count() == snapshot.jobs,
+                "OnlineCharacterizer::restore: runtime/wait sketch and "
+                "histogram counts must match the job count");
+  LUMOS_REQUIRE(c.interarrival_sketch_.count() == snapshot.gap_count,
+                "OnlineCharacterizer::restore: interarrival sketch count "
+                "does not match gap_count");
+  c.hourly_ = snapshot.hourly;
+  c.gap_count_ = snapshot.gap_count;
+  c.gap_sum_ = snapshot.gap_sum;
+  c.gap_sum_sq_ = snapshot.gap_sum_sq;
+  LUMOS_REQUIRE(snapshot.users.size() <= snapshot.config.max_tracked_users,
+                "OnlineCharacterizer::restore: user table exceeds "
+                "max_tracked_users");
+  for (const auto& entry : snapshot.users) {
+    LUMOS_REQUIRE(entry.groups.size() <= snapshot.config.max_groups_per_user,
+                  "OnlineCharacterizer::restore: user group table exceeds "
+                  "max_groups_per_user");
+    UserState user;
+    user.jobs = entry.jobs;
+    user.overflow = entry.overflow;
+    std::uint64_t grouped = entry.overflow;
+    for (const auto& [key, n] : entry.groups) {
+      LUMOS_REQUIRE(user.groups.emplace(key, n).second,
+                    "OnlineCharacterizer::restore: duplicate group key");
+      grouped += n;
+    }
+    LUMOS_REQUIRE(grouped == entry.jobs,
+                  "OnlineCharacterizer::restore: user group counts plus "
+                  "overflow must sum to the user's jobs");
+    LUMOS_REQUIRE(c.users_.emplace(entry.id, std::move(user)).second,
+                  "OnlineCharacterizer::restore: duplicate user id");
+  }
+  c.untracked_jobs_ = snapshot.untracked_jobs;
+  c.open_window_index_ = snapshot.open_window_index;
+  c.window_started_ = snapshot.window_started;
+  c.open_window_jobs_ = snapshot.open_window_jobs;
+  c.windows_completed_ = snapshot.windows_completed;
+  c.last_window_ = snapshot.last_window;
+  return c;
+}
+
 void OnlineCharacterizer::publish(obs::Report& report,
                                   const std::string& prefix) const {
   const auto set = [&](std::string_view key, double value) {

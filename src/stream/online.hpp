@@ -40,6 +40,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/report.hpp"
 #include "stats/sketch.hpp"
@@ -179,6 +181,50 @@ class OnlineCharacterizer {
   /// `prefix` + key (see DESIGN.md "Streaming mode" for the key list).
   /// Every published value is deterministic in (stream, config).
   void publish(obs::Report& report, const std::string& prefix) const;
+
+  // ---- checkpoint/restore (crash-consistent serve mode) ----
+
+  /// Complete characterizer state. restore() is bit-identical: the
+  /// restored characterizer answers every query identically AND continues
+  /// ingesting identically to the original (sketch compaction coins ride
+  /// along), which is what makes kill-and-resume drills reproduce an
+  /// uninterrupted run exactly. stream/snapshot.hpp provides the
+  /// schema-checked JSON codec used by run_ingest checkpoints.
+  struct Snapshot {
+    StreamConfig config;
+    std::uint64_t jobs = 0;
+    std::uint64_t out_of_order = 0;
+    double first_submit = 0.0;
+    double last_submit = 0.0;
+    stats::QuantileSketch::Snapshot runtime_sketch;
+    stats::QuantileSketch::Snapshot wait_sketch;
+    stats::QuantileSketch::Snapshot interarrival_sketch;
+    stats::StreamingHistogram::Snapshot runtime_histogram;
+    std::array<double, 24> hourly{};
+    std::uint64_t gap_count = 0;
+    double gap_sum = 0.0;
+    double gap_sum_sq = 0.0;
+    struct UserEntry {
+      std::uint32_t id = 0;
+      std::uint64_t jobs = 0;
+      std::uint64_t overflow = 0;
+      /// (cores, runtime log-bucket) group key -> count, sorted by key.
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> groups;
+    };
+    std::vector<UserEntry> users;  ///< sorted by id
+    std::uint64_t untracked_jobs = 0;
+    std::int64_t open_window_index = 0;
+    bool window_started = false;
+    std::uint64_t open_window_jobs = 0;
+    std::uint64_t windows_completed = 0;
+    WindowSummary last_window;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Rebuilds a characterizer from a snapshot. Throws
+  /// lumos::InvalidArgument on inconsistent state (invalid config, sketch
+  /// invariant violations, capacity caps exceeded, duplicate users) so a
+  /// corrupted checkpoint can never restore into silently-wrong state.
+  [[nodiscard]] static OnlineCharacterizer restore(const Snapshot& snapshot);
 
  private:
   struct UserState {

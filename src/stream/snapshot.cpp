@@ -1,0 +1,359 @@
+#include "stream/snapshot.hpp"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lumos::stream {
+
+namespace {
+
+using obs::Json;
+
+// ---- strict decode helpers -------------------------------------------
+
+[[noreturn]] void bad(const std::string& path, const std::string& what) {
+  throw InvalidArgument("snapshot codec: " + path + ": " + what);
+}
+
+const Json& get(const Json& obj, const std::string& path,
+                const std::string& key) {
+  if (obj.kind() != Json::Kind::Object) bad(path, "expected an object");
+  const Json* value = obj.find(key);
+  if (value == nullptr) bad(path + "." + key, "missing");
+  return *value;
+}
+
+double get_double(const Json& obj, const std::string& path,
+                  const std::string& key) {
+  const Json& v = get(obj, path, key);
+  if (!v.is_number()) bad(path + "." + key, "expected a number");
+  return v.as_double();
+}
+
+std::int64_t get_int(const Json& obj, const std::string& path,
+                     const std::string& key) {
+  const Json& v = get(obj, path, key);
+  if (v.kind() != Json::Kind::Int) bad(path + "." + key, "expected an integer");
+  return v.as_int();
+}
+
+// uint64 fields travel through the int64 JSON integer as a two's-complement
+// bit-cast (see the header comment); the cast back is lossless.
+std::uint64_t get_u64(const Json& obj, const std::string& path,
+                      const std::string& key) {
+  return static_cast<std::uint64_t>(get_int(obj, path, key));
+}
+
+std::size_t get_size(const Json& obj, const std::string& path,
+                     const std::string& key) {
+  const std::int64_t v = get_int(obj, path, key);
+  if (v < 0) bad(path + "." + key, "expected a non-negative integer");
+  return static_cast<std::size_t>(v);
+}
+
+bool get_bool(const Json& obj, const std::string& path,
+              const std::string& key) {
+  const Json& v = get(obj, path, key);
+  if (v.kind() != Json::Kind::Bool) bad(path + "." + key, "expected a bool");
+  return v.as_bool();
+}
+
+const std::vector<Json>& get_array(const Json& obj, const std::string& path,
+                                   const std::string& key) {
+  const Json& v = get(obj, path, key);
+  if (v.kind() != Json::Kind::Array) bad(path + "." + key, "expected an array");
+  return v.items();
+}
+
+// ---- util::Rng::State ------------------------------------------------
+
+Json rng_to_json(const util::Rng::State& state) {
+  Json words = Json::array();
+  for (const std::uint64_t w : state.words) words.push_back(Json(w));
+  Json json = Json::object();
+  json["words"] = std::move(words);
+  json["cached_normal"] = Json(state.cached_normal);
+  json["has_cached_normal"] = Json(state.has_cached_normal);
+  return json;
+}
+
+util::Rng::State rng_from_json(const Json& json, const std::string& path) {
+  util::Rng::State state;
+  const auto& words = get_array(json, path, "words");
+  if (words.size() != state.words.size()) {
+    bad(path + ".words", "expected exactly 4 state words");
+  }
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (words[i].kind() != Json::Kind::Int) {
+      bad(path + ".words", "expected integer state words");
+    }
+    state.words[i] = static_cast<std::uint64_t>(words[i].as_int());
+  }
+  state.cached_normal = get_double(json, path, "cached_normal");
+  state.has_cached_normal = get_bool(json, path, "has_cached_normal");
+  return state;
+}
+
+}  // namespace
+
+// ---- QuantileSketch --------------------------------------------------
+
+Json to_json(const stats::QuantileSketch::Snapshot& s) {
+  Json json = Json::object();
+  json["k"] = Json(static_cast<std::uint64_t>(s.k));
+  json["rng"] = rng_to_json(s.rng);
+  Json levels = Json::array();
+  for (const auto& level : s.levels) {
+    Json items = Json::array();
+    for (const double x : level) items.push_back(Json(x));
+    levels.push_back(std::move(items));
+  }
+  json["levels"] = std::move(levels);
+  json["count"] = Json(s.count);
+  json["min"] = Json(s.min);
+  json["max"] = Json(s.max);
+  return json;
+}
+
+stats::QuantileSketch::Snapshot sketch_from_json(const Json& json) {
+  const std::string path = "sketch";
+  stats::QuantileSketch::Snapshot s;
+  s.k = get_size(json, path, "k");
+  s.rng = rng_from_json(get(json, path, "rng"), path + ".rng");
+  const auto& levels = get_array(json, path, "levels");
+  s.levels.reserve(levels.size());
+  for (const Json& level : levels) {
+    if (level.kind() != Json::Kind::Array) {
+      bad(path + ".levels", "expected arrays of items");
+    }
+    std::vector<double> items;
+    items.reserve(level.items().size());
+    for (const Json& x : level.items()) {
+      if (!x.is_number()) bad(path + ".levels", "expected numeric items");
+      items.push_back(x.as_double());
+    }
+    s.levels.push_back(std::move(items));
+  }
+  s.count = get_u64(json, path, "count");
+  s.min = get_double(json, path, "min");
+  s.max = get_double(json, path, "max");
+  return s;
+}
+
+// ---- StreamingHistogram ----------------------------------------------
+
+Json to_json(const stats::StreamingHistogram::Snapshot& s) {
+  Json options = Json::object();
+  options["relative_error"] = Json(s.options.relative_error);
+  options["min_value"] = Json(s.options.min_value);
+  options["max_buckets"] = Json(static_cast<std::uint64_t>(s.options.max_buckets));
+  Json buckets = Json::array();
+  for (const auto& [index, count] : s.buckets) {
+    Json pair = Json::array();
+    pair.push_back(Json(static_cast<std::int64_t>(index)));
+    pair.push_back(Json(count));
+    buckets.push_back(std::move(pair));
+  }
+  Json json = Json::object();
+  json["options"] = std::move(options);
+  json["buckets"] = std::move(buckets);
+  json["zero_count"] = Json(s.zero_count);
+  json["count"] = Json(s.count);
+  json["sum"] = Json(s.sum);
+  json["min"] = Json(s.min);
+  json["max"] = Json(s.max);
+  return json;
+}
+
+stats::StreamingHistogram::Snapshot histogram_from_json(const Json& json) {
+  const std::string path = "histogram";
+  stats::StreamingHistogram::Snapshot s;
+  const Json& options = get(json, path, "options");
+  s.options.relative_error = get_double(options, path + ".options",
+                                        "relative_error");
+  s.options.min_value = get_double(options, path + ".options", "min_value");
+  s.options.max_buckets = get_size(options, path + ".options", "max_buckets");
+  for (const Json& pair : get_array(json, path, "buckets")) {
+    if (pair.kind() != Json::Kind::Array || pair.items().size() != 2 ||
+        pair.items()[0].kind() != Json::Kind::Int ||
+        pair.items()[1].kind() != Json::Kind::Int) {
+      bad(path + ".buckets", "expected [index, count] integer pairs");
+    }
+    const std::int64_t index = pair.items()[0].as_int();
+    if (index < INT32_MIN || index > INT32_MAX) {
+      bad(path + ".buckets", "bucket index out of int32 range");
+    }
+    s.buckets.emplace_back(static_cast<std::int32_t>(index),
+                           static_cast<std::uint64_t>(pair.items()[1].as_int()));
+  }
+  s.zero_count = get_u64(json, path, "zero_count");
+  s.count = get_u64(json, path, "count");
+  s.sum = get_double(json, path, "sum");
+  s.min = get_double(json, path, "min");
+  s.max = get_double(json, path, "max");
+  return s;
+}
+
+// ---- OnlineCharacterizer ---------------------------------------------
+
+namespace {
+
+Json config_to_json(const StreamConfig& c) {
+  Json json = Json::object();
+  json["sketch_k"] = Json(static_cast<std::uint64_t>(c.sketch_k));
+  json["histogram_relative_error"] = Json(c.histogram_relative_error);
+  json["max_tracked_users"] = Json(static_cast<std::uint64_t>(c.max_tracked_users));
+  json["max_groups_per_user"] =
+      Json(static_cast<std::uint64_t>(c.max_groups_per_user));
+  json["min_jobs_per_user"] = Json(static_cast<std::uint64_t>(c.min_jobs_per_user));
+  json["run_tolerance"] = Json(c.run_tolerance);
+  json["epoch_unix"] = Json(c.epoch_unix);
+  json["utc_offset_hours"] = Json(c.utc_offset_hours);
+  json["window_seconds"] = Json(c.window_seconds);
+  json["sketch_seed"] = Json(c.sketch_seed);
+  return json;
+}
+
+StreamConfig config_from_json(const Json& json) {
+  const std::string path = "characterizer.config";
+  StreamConfig c;
+  c.sketch_k = get_size(json, path, "sketch_k");
+  c.histogram_relative_error =
+      get_double(json, path, "histogram_relative_error");
+  c.max_tracked_users = get_size(json, path, "max_tracked_users");
+  c.max_groups_per_user = get_size(json, path, "max_groups_per_user");
+  c.min_jobs_per_user = get_size(json, path, "min_jobs_per_user");
+  c.run_tolerance = get_double(json, path, "run_tolerance");
+  c.epoch_unix = get_int(json, path, "epoch_unix");
+  c.utc_offset_hours = get_double(json, path, "utc_offset_hours");
+  c.window_seconds = get_double(json, path, "window_seconds");
+  c.sketch_seed = get_u64(json, path, "sketch_seed");
+  return c;
+}
+
+Json window_to_json(const WindowSummary& w) {
+  Json json = Json::object();
+  json["start"] = Json(w.start);
+  json["jobs"] = Json(w.jobs);
+  json["rate_per_hour"] = Json(w.rate_per_hour);
+  return json;
+}
+
+WindowSummary window_from_json(const Json& json, const std::string& path) {
+  WindowSummary w;
+  w.start = get_double(json, path, "start");
+  w.jobs = get_u64(json, path, "jobs");
+  w.rate_per_hour = get_double(json, path, "rate_per_hour");
+  return w;
+}
+
+}  // namespace
+
+Json to_json(const OnlineCharacterizer::Snapshot& s) {
+  Json json = Json::object();
+  json["config"] = config_to_json(s.config);
+  json["jobs"] = Json(s.jobs);
+  json["out_of_order"] = Json(s.out_of_order);
+  json["first_submit"] = Json(s.first_submit);
+  json["last_submit"] = Json(s.last_submit);
+  json["runtime_sketch"] = to_json(s.runtime_sketch);
+  json["wait_sketch"] = to_json(s.wait_sketch);
+  json["interarrival_sketch"] = to_json(s.interarrival_sketch);
+  json["runtime_histogram"] = to_json(s.runtime_histogram);
+  Json hourly = Json::array();
+  for (const double h : s.hourly) hourly.push_back(Json(h));
+  json["hourly"] = std::move(hourly);
+  json["gap_count"] = Json(s.gap_count);
+  json["gap_sum"] = Json(s.gap_sum);
+  json["gap_sum_sq"] = Json(s.gap_sum_sq);
+  Json users = Json::array();
+  for (const auto& entry : s.users) {
+    Json groups = Json::array();
+    for (const auto& [key, n] : entry.groups) {
+      Json pair = Json::array();
+      pair.push_back(Json(key));
+      pair.push_back(Json(n));
+      groups.push_back(std::move(pair));
+    }
+    Json user = Json::object();
+    user["id"] = Json(static_cast<std::uint64_t>(entry.id));
+    user["jobs"] = Json(entry.jobs);
+    user["overflow"] = Json(entry.overflow);
+    user["groups"] = std::move(groups);
+    users.push_back(std::move(user));
+  }
+  json["users"] = std::move(users);
+  json["untracked_jobs"] = Json(s.untracked_jobs);
+  Json window = Json::object();
+  window["open_index"] = Json(s.open_window_index);
+  window["started"] = Json(s.window_started);
+  window["open_jobs"] = Json(s.open_window_jobs);
+  window["completed"] = Json(s.windows_completed);
+  window["last"] = window_to_json(s.last_window);
+  json["window"] = std::move(window);
+  return json;
+}
+
+OnlineCharacterizer::Snapshot characterizer_from_json(const Json& json) {
+  const std::string path = "characterizer";
+  OnlineCharacterizer::Snapshot s;
+  s.config = config_from_json(get(json, path, "config"));
+  s.jobs = get_u64(json, path, "jobs");
+  s.out_of_order = get_u64(json, path, "out_of_order");
+  s.first_submit = get_double(json, path, "first_submit");
+  s.last_submit = get_double(json, path, "last_submit");
+  s.runtime_sketch = sketch_from_json(get(json, path, "runtime_sketch"));
+  s.wait_sketch = sketch_from_json(get(json, path, "wait_sketch"));
+  s.interarrival_sketch =
+      sketch_from_json(get(json, path, "interarrival_sketch"));
+  s.runtime_histogram =
+      histogram_from_json(get(json, path, "runtime_histogram"));
+  const auto& hourly = get_array(json, path, "hourly");
+  if (hourly.size() != s.hourly.size()) {
+    bad(path + ".hourly", "expected exactly 24 hour counts");
+  }
+  for (std::size_t h = 0; h < hourly.size(); ++h) {
+    if (!hourly[h].is_number()) bad(path + ".hourly", "expected numbers");
+    s.hourly[h] = hourly[h].as_double();
+  }
+  s.gap_count = get_u64(json, path, "gap_count");
+  s.gap_sum = get_double(json, path, "gap_sum");
+  s.gap_sum_sq = get_double(json, path, "gap_sum_sq");
+  for (const Json& user : get_array(json, path, "users")) {
+    const std::string user_path = path + ".users";
+    OnlineCharacterizer::Snapshot::UserEntry entry;
+    const std::int64_t id = get_int(user, user_path, "id");
+    if (id < 0 || id > static_cast<std::int64_t>(UINT32_MAX)) {
+      bad(user_path + ".id", "user id out of uint32 range");
+    }
+    entry.id = static_cast<std::uint32_t>(id);
+    entry.jobs = get_u64(user, user_path, "jobs");
+    entry.overflow = get_u64(user, user_path, "overflow");
+    for (const Json& pair : get_array(user, user_path, "groups")) {
+      if (pair.kind() != Json::Kind::Array || pair.items().size() != 2 ||
+          pair.items()[0].kind() != Json::Kind::Int ||
+          pair.items()[1].kind() != Json::Kind::Int) {
+        bad(user_path + ".groups", "expected [key, count] integer pairs");
+      }
+      entry.groups.emplace_back(
+          static_cast<std::uint64_t>(pair.items()[0].as_int()),
+          static_cast<std::uint64_t>(pair.items()[1].as_int()));
+    }
+    s.users.push_back(std::move(entry));
+  }
+  s.untracked_jobs = get_u64(json, path, "untracked_jobs");
+  const Json& window = get(json, path, "window");
+  s.open_window_index = get_int(window, path + ".window", "open_index");
+  s.window_started = get_bool(window, path + ".window", "started");
+  s.open_window_jobs = get_u64(window, path + ".window", "open_jobs");
+  s.windows_completed = get_u64(window, path + ".window", "completed");
+  s.last_window = window_from_json(get(window, path + ".window", "last"),
+                                   path + ".window.last");
+  return s;
+}
+
+}  // namespace lumos::stream

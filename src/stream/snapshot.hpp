@@ -1,0 +1,46 @@
+// JSON codec for streaming-state snapshots (crash-consistent serve mode).
+//
+// stats::QuantileSketch / stats::StreamingHistogram / OnlineCharacterizer
+// expose plain-struct `Snapshot`s; this module maps them onto `obs::Json`
+// documents and back. It lives in `stream` (not `stats`) because stats
+// must stay below obs in the include-graph layering (tools/lint/layers.txt)
+// — the sketches know nothing about serialization formats.
+//
+// Round-trip fidelity: the obs::Json writer emits doubles in shortest
+// round-trip form (std::to_chars) and the parser reads them back with
+// std::from_chars, so every finite double survives dump→parse bit-exactly.
+// uint64 fields (rng state words, group keys, counters) ride through the
+// int64 JSON integer via two's-complement cast, which is lossless. Hence
+// decode(encode(snapshot)) == snapshot exactly, and restoring it yields a
+// characterizer bit-identical to the original — the property the
+// kill-and-resume drills depend on.
+//
+// Decoding is strict: missing keys, wrong kinds, or malformed shapes throw
+// lumos::InvalidArgument naming the offending path. Semantic invariants
+// (weight conservation, capacity caps) are enforced one layer up by the
+// `restore()` functions, so a corrupted checkpoint fails loudly either way.
+#pragma once
+
+#include "obs/json.hpp"
+#include "stats/sketch.hpp"
+#include "stream/online.hpp"
+
+namespace lumos::stream {
+
+/// Bump when any snapshot encoding changes shape. Checked by the
+/// checkpoint loader (stream/checkpoint.hpp) before decoding.
+inline constexpr std::int64_t kSnapshotSchemaVersion = 1;
+
+[[nodiscard]] obs::Json to_json(const stats::QuantileSketch::Snapshot& s);
+[[nodiscard]] stats::QuantileSketch::Snapshot sketch_from_json(
+    const obs::Json& json);
+
+[[nodiscard]] obs::Json to_json(const stats::StreamingHistogram::Snapshot& s);
+[[nodiscard]] stats::StreamingHistogram::Snapshot histogram_from_json(
+    const obs::Json& json);
+
+[[nodiscard]] obs::Json to_json(const OnlineCharacterizer::Snapshot& s);
+[[nodiscard]] OnlineCharacterizer::Snapshot characterizer_from_json(
+    const obs::Json& json);
+
+}  // namespace lumos::stream

@@ -1,0 +1,167 @@
+#include "stream/source.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/backoff.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
+
+namespace lumos::stream {
+
+void EventSource::seek(std::uint64_t /*offset*/) {
+  throw InvalidArgument("EventSource::seek: source '" + describe() +
+                        "' is not seekable");
+}
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  const int err = errno;
+  throw SourceError(what + ": " + std::strerror(err), err);
+}
+
+/// Raw POSIX-fd source; the concrete classes differ only in how they
+/// classify a read of zero bytes and EAGAIN.
+class FdSourceBase : public EventSource {
+ public:
+  FdSourceBase(int fd, bool owned, std::string origin)
+      : fd_(fd), owned_(owned), origin_(std::move(origin)) {}
+  ~FdSourceBase() override {
+    if (owned_ && fd_ >= 0) ::close(fd_);
+  }
+  FdSourceBase(const FdSourceBase&) = delete;
+  FdSourceBase& operator=(const FdSourceBase&) = delete;
+
+  ReadResult read_some(char* data, std::size_t capacity) override {
+    LUMOS_FAILPOINT("stream.source.read");
+    const ::ssize_t got = ::read(fd_, data, capacity);
+    if (got > 0) {
+      return ReadResult{ReadStatus::Data, static_cast<std::size_t>(got)};
+    }
+    if (got == 0) return ReadResult{eof_status(), 0};
+    if (errno == EINTR) return ReadResult{ReadStatus::Interrupted, 0};
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return ReadResult{ReadStatus::Idle, 0};
+    }
+    throw_errno("read from '" + origin_ + "' failed");
+  }
+
+  [[nodiscard]] const std::string& describe() const noexcept override {
+    return origin_;
+  }
+
+ protected:
+  /// What a zero-byte read means for this source shape.
+  [[nodiscard]] virtual ReadStatus eof_status() const noexcept {
+    return ReadStatus::Eof;
+  }
+
+  int fd_;
+
+ private:
+  bool owned_;
+  std::string origin_;
+};
+
+/// stdin or another non-seekable stream fd: EOF is final.
+class FdSource final : public FdSourceBase {
+ public:
+  using FdSourceBase::FdSourceBase;
+};
+
+/// Regular file: seekable, so checkpoint resume can reposition, and Eof
+/// is retryable under follow (the fd offset persists across reads).
+class FileSource final : public FdSourceBase {
+ public:
+  using FdSourceBase::FdSourceBase;
+
+  [[nodiscard]] bool seekable() const noexcept override { return true; }
+
+  void seek(std::uint64_t offset) override {
+    if (::lseek(fd_, static_cast<::off_t>(offset), SEEK_SET) ==
+        static_cast<::off_t>(-1)) {
+      throw_errno("seek in '" + describe() + "' failed");
+    }
+  }
+};
+
+/// FIFO opened O_NONBLOCK: a zero-byte read means "no writer connected
+/// right now", not end of stream — a writer may attach later, so both
+/// that and EAGAIN map to Idle and the ingest idle-timeout ends the run.
+class FifoSource final : public FdSourceBase {
+ public:
+  using FdSourceBase::FdSourceBase;
+
+ protected:
+  [[nodiscard]] ReadStatus eof_status() const noexcept override {
+    return ReadStatus::Idle;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<EventSource> open_event_source(const std::string& path) {
+  LUMOS_FAILPOINT("stream.source.open");
+  if (path == "-") {
+    return std::make_unique<FdSource>(STDIN_FILENO, /*owned=*/false,
+                                      "stdin");
+  }
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    throw_errno("cannot stat stream source '" + path + "'");
+  }
+  if (S_ISFIFO(st.st_mode)) {
+    // O_NONBLOCK so open() returns before a writer connects; reads then
+    // report Idle until data arrives.
+    const int fd = ::open(path.c_str(), O_RDONLY | O_NONBLOCK);  // NOLINT
+    if (fd < 0) throw_errno("cannot open FIFO source '" + path + "'");
+    return std::make_unique<FifoSource>(fd, /*owned=*/true, path);
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT
+  if (fd < 0) throw_errno("cannot open stream source '" + path + "'");
+  if (S_ISREG(st.st_mode)) {
+    return std::make_unique<FileSource>(fd, /*owned=*/true, path);
+  }
+  return std::make_unique<FdSource>(fd, /*owned=*/true, path);
+}
+
+RetryingSource::RetryingSource(std::unique_ptr<EventSource> inner,
+                               RetryPolicy policy)
+    : inner_(std::move(inner)), policy_(std::move(policy)) {
+  LUMOS_REQUIRE(inner_ != nullptr, "RetryingSource requires a source");
+  if (!policy_.sleep) {
+    policy_.sleep = [](double seconds) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    };
+  }
+}
+
+ReadResult RetryingSource::read_some(char* data, std::size_t capacity) {
+  std::size_t failures = 0;
+  for (;;) {
+    try {
+      return inner_->read_some(data, capacity);
+    } catch (const SourceError& e) {
+      ++failures;
+      if (failures > policy_.max_retries) throw;
+      const double delay = util::backoff_delay_seconds(
+          policy_.base_delay_s, policy_.max_delay_s, failures);
+      LUMOS_WARN << "source '" << describe() << "': transient error ("
+                 << e.what() << "); retry " << failures << "/"
+                 << policy_.max_retries << " in " << delay << "s";
+      ++retries_;
+      policy_.sleep(delay);
+    }
+  }
+}
+
+}  // namespace lumos::stream

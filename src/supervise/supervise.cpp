@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "util/backoff.hpp"
 #include "util/error.hpp"
 
 namespace lumos::supervise {
@@ -70,13 +71,10 @@ const Attempt& SuperviseResult::final_attempt() const {
 
 double backoff_delay_seconds(const Options& options,
                              std::size_t retry_index) {
-  LUMOS_REQUIRE(retry_index >= 1, "supervise: retry_index is 1-based");
-  double delay = options.backoff_base_seconds;
-  for (std::size_t i = 1; i < retry_index; ++i) {
-    delay *= 2.0;
-    if (delay >= options.backoff_cap_seconds) break;
-  }
-  return std::min(delay, options.backoff_cap_seconds);
+  // Shared schedule: stream::EventSource retries pace identically.
+  return util::backoff_delay_seconds(options.backoff_base_seconds,
+                                     options.backoff_cap_seconds,
+                                     retry_index);
 }
 
 bool retryable(const Attempt& attempt, const Options& options) {

@@ -1,5 +1,8 @@
 #include "trace/swf.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -47,11 +50,31 @@ SwfRow parse_swf_row(std::string_view trimmed, ResourceKind kind,
                                     parse_context(opts, lineno).c_str(),
                                     i + 1));
     }
+    // std::from_chars accepts "nan"/"inf"; a non-finite field would poison
+    // every downstream sketch and moment, so reject it as malformed.
+    if (!std::isfinite(*v)) {
+      throw ParseError(util::format("SWF %s field %zu: non-finite value",
+                                    parse_context(opts, lineno).c_str(),
+                                    i + 1));
+    }
     return *v;
+  };
+  // Clamped float->int conversions: a value outside the target range is a
+  // malformed row in practice, but casting it directly is UB — and the
+  // fuzz corpus (trace_test) feeds exactly such rows.
+  const auto to_u32 = [](double v) -> std::uint32_t {
+    if (!(v > 0.0)) return 0;
+    if (v >= 4294967295.0) return UINT32_MAX;
+    return static_cast<std::uint32_t>(v);
+  };
+  const auto to_u64 = [](double v) -> std::uint64_t {
+    if (!(v > 0.0)) return 0;
+    if (v >= 18446744073709549568.0) return UINT64_MAX;  // 2^64 pred
+    return static_cast<std::uint64_t>(v);
   };
   SwfRow row;
   Job& j = row.job;
-  j.id = static_cast<std::uint64_t>(need_num(0));
+  j.id = to_u64(need_num(0));
   j.submit_time = need_num(1);
   const double wait = need_num(2);
   j.wait_time = wait < 0.0 ? 0.0 : wait;
@@ -63,13 +86,14 @@ SwfRow parse_swf_row(std::string_view trimmed, ResourceKind kind,
   const double alloc = need_num(4);
   const double req_procs = need_num(7);
   const double procs = alloc > 0.0 ? alloc : req_procs;
-  j.cores = procs > 0.0 ? static_cast<std::uint32_t>(procs) : 1;
+  j.cores = procs > 0.0 ? std::max<std::uint32_t>(to_u32(procs), 1) : 1;
   j.nodes = j.cores;  // SWF has no node notion; proc-granular
   j.requested_time = need_num(8);
   if (j.requested_time <= 0.0) j.requested_time = kNoValue;
-  j.status = status_from_swf(static_cast<long long>(need_num(10)));
-  const double user = need_num(11);
-  j.user = user >= 0.0 ? static_cast<std::uint32_t>(user) : 0;
+  const double status = need_num(10);
+  j.status = status_from_swf(
+      status >= 0.0 && status <= 5.0 ? static_cast<long long>(status) : -1);
+  j.user = to_u32(need_num(11));
   j.kind = kind;
   return row;
 }

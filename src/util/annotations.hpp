@@ -70,6 +70,18 @@
 /// throws that never fire on the happy path.
 #define LUMOS_HOT_PATH
 
+/// Marks a function definition as an async signal handler (or code that
+/// runs in signal context). Expands to nothing at compile time;
+/// lumos_lint's marker pass (tools/lint/hotpath.hpp) scans every marked
+/// body and fails on anything that is not async-signal-safe: heap
+/// allocation, stream I/O / printf-family formatting, lock acquisition,
+/// and `throw` (unwinding out of a handler is undefined). A handler body
+/// may only touch lock-free atomics, sig_atomic_t, and raw syscalls like
+/// write(2). Put it before the return type of the *definition*:
+///
+///     extern "C" LUMOS_SIGNAL_HANDLER void on_term(int sig) { ... }
+#define LUMOS_SIGNAL_HANDLER
+
 namespace lumos::util {
 
 /// std::unique_lock with capability annotations. libstdc++'s lock types

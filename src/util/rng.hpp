@@ -60,6 +60,26 @@ class Rng {
   /// Splits off an independent child generator (for per-thread streams).
   Rng split() noexcept;
 
+  /// Complete generator state, exposed so stateful consumers (the
+  /// quantile-sketch compaction coin, checkpointed streams) can snapshot
+  /// and restore a generator bit-for-bit mid-stream. `words` is never
+  /// all-zero for a generator produced by the seeding constructor.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  [[nodiscard]] State state() const noexcept {
+    return State{state_, cached_normal_, has_cached_normal_};
+  }
+  /// Restores a previously captured state; the restored generator
+  /// produces exactly the sequence the captured one would have.
+  void set_state(const State& s) noexcept {
+    state_ = s.words;
+    cached_normal_ = s.cached_normal;
+    has_cached_normal_ = s.has_cached_normal;
+  }
+
   /// Fisher–Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) noexcept {

@@ -1,0 +1,51 @@
+#include "util/signal_util.hpp"
+
+#include <atomic>
+#include <csignal>
+
+#include "util/annotations.hpp"
+#include "util/error.hpp"
+
+namespace lumos::util {
+
+namespace {
+
+// Lock-free atomic stores are async-signal-safe; sig_atomic_t would also
+// do but cannot carry *which* signal arrived.
+std::atomic<int> g_shutdown_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free atomic");
+
+extern "C" LUMOS_SIGNAL_HANDLER void lumos_on_shutdown_signal(int sig) {
+  g_shutdown_signal.store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_signals() {
+  struct sigaction action {};
+  action.sa_handler = lumos_on_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  // Deliberately no SA_RESTART: a blocking read must come back EINTR so
+  // the ingest loop can notice the flag (see the header comment).
+  action.sa_flags = 0;
+  for (const int sig : {SIGTERM, SIGINT}) {
+    if (sigaction(sig, &action, nullptr) != 0) {
+      throw InternalError("install_shutdown_signals: sigaction failed");
+    }
+  }
+}
+
+bool shutdown_requested() noexcept {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int shutdown_signal() noexcept {
+  return g_shutdown_signal.load(std::memory_order_relaxed);
+}
+
+void clear_shutdown_request() noexcept {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace lumos::util

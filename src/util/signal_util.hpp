@@ -1,0 +1,37 @@
+// Cooperative shutdown signaling for long-running drivers.
+//
+// A daemon that dies mid-write loses everything since its last
+// checkpoint; one that catches SIGTERM/SIGINT can flush a final
+// checkpoint + report first (stream::run_ingest does exactly that — see
+// DESIGN.md "Streaming mode", crash consistency). The handler installed
+// here is the async-signal-safe minimum: it stores the signal number into
+// a lock-free atomic and returns. Everything else — noticing the flag,
+// flushing, exiting — happens on the normal control path, which polls
+// `shutdown_requested()` at loop granularity.
+//
+// The handlers are installed WITHOUT SA_RESTART, so a blocking read(2)
+// returns EINTR when a shutdown signal lands and the loop notices
+// immediately instead of after the next byte arrives. EINTR-safe readers
+// (stream::EventSource) treat that as "check the flag, then retry".
+//
+// Process-wide by necessity (signal dispositions are); the flag is
+// test-resettable via clear_shutdown_request().
+#pragma once
+
+namespace lumos::util {
+
+/// Installs SIGTERM and SIGINT handlers that record the signal in the
+/// process-wide shutdown flag. Idempotent. Throws lumos::InternalError
+/// if sigaction fails.
+void install_shutdown_signals();
+
+/// True once a shutdown signal has been received.
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// The signal that requested shutdown (SIGTERM/SIGINT), or 0.
+[[nodiscard]] int shutdown_signal() noexcept;
+
+/// Clears the flag (tests, and drivers that run multiple ingest rounds).
+void clear_shutdown_request() noexcept;
+
+}  // namespace lumos::util

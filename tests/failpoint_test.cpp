@@ -5,12 +5,19 @@
 // (the failpoints/sanitize/tsan presets enable it).
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "util/failpoint.hpp"
 #include "obs/json.hpp"
+#include "stream/checkpoint.hpp"
+#include "stream/ingest.hpp"
+#include "stream/source.hpp"
+#include "synth/generator.hpp"
 #include "trace/csv_formats.hpp"
 #include "trace/swf.hpp"
 #include "trace/system_spec.hpp"
@@ -218,6 +225,120 @@ TEST_F(FailpointTest, AtomicJsonWriterSharesTheWriteJsonSite) {
   obs::write_json_atomic(doc, path.string());  // disarmed: now succeeds
   EXPECT_TRUE(std::filesystem::exists(path));
   std::filesystem::remove(path);
+}
+
+// ------------------------------------------------- stream source sites --
+
+TEST_F(FailpointTest, SourceOpenFailpointPropagatesTyped) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  fault::FailpointRegistry::global().arm("stream.source.open");
+  EXPECT_THROW((void)stream::open_event_source("-"), fault::InjectedFault);
+}
+
+TEST_F(FailpointTest, SourceReadFaultIsNeverRetried) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  // RetryingSource retries transient SourceErrors — but an injected fault
+  // is a library failure and must surface immediately, with zero sleeps.
+  const auto path = std::filesystem::temp_directory_path() /
+                    "lumos_failpoint_source.swf";
+  {
+    std::ofstream out(path);
+    out << kSwfRow;
+  }
+  std::size_t sleeps = 0;
+  stream::RetryPolicy policy;
+  policy.sleep = [&](double) { ++sleeps; };
+  stream::RetryingSource source(stream::open_event_source(path.string()),
+                                policy);
+  fault::FailpointRegistry::global().arm("stream.source.read");
+  char buf[64];
+  EXPECT_THROW((void)source.read_some(buf, sizeof(buf)),
+               fault::InjectedFault);
+  EXPECT_EQ(sleeps, 0u);
+  EXPECT_EQ(source.retries(), 0u);
+  // One-shot arming auto-disarms: the source keeps working.
+  const auto r = source.read_some(buf, sizeof(buf));
+  EXPECT_EQ(r.status, stream::ReadStatus::Data);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------- stream checkpoint sites --
+
+TEST_F(FailpointTest, CheckpointLoadFaultPropagatesTyped) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  fault::FailpointRegistry::global().arm("stream.checkpoint.load");
+  EXPECT_THROW((void)stream::load_checkpoint("/nonexistent/ck.json"),
+               fault::InjectedFault);
+}
+
+TEST_F(FailpointTest, TornCheckpointWriteLeavesPriorStateResumable) {
+  SKIP_WITHOUT_FAILPOINT_SITES();
+  // The satellite drill: a fault at the checkpoint-write site mid-run must
+  // leave the on-disk checkpoint exactly as it was (the failpoint sits
+  // before the .prev rotation), so the next start resumes from the last
+  // good state and still reproduces the uninterrupted report.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "lumos_failpoint_torn_ck";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string swf = (dir / "stream.swf").string();
+  const std::string ck = (dir / "ck.json").string();
+
+  synth::GeneratorOptions gen;
+  gen.seed = 77;
+  gen.duration_days = 3.0;
+  const auto trace = synth::generate_system("Theta", gen);
+  trace::write_swf_file(swf, trace);
+  const std::uint64_t total = trace.size();
+  ASSERT_GT(total, 200u);
+
+  stream::IngestOptions options;
+  options.input_path = swf;
+  options.config.epoch_unix = trace.spec().epoch_unix;
+  options.config.utc_offset_hours = trace.spec().utc_offset_hours;
+  options.report_every_events = 0;
+  const auto baseline = stream::run_ingest(options);
+
+  options.checkpoint_path = ck;
+  options.checkpoint_every_events = 50;
+  options.max_events = 100;
+  (void)stream::run_ingest(options);
+
+  std::string before;
+  {
+    std::ifstream in(ck, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    before = buf.str();
+  }
+
+  fault::FailpointRegistry::global().arm("stream.checkpoint.write");
+  options.max_events = 0;
+  EXPECT_THROW((void)stream::run_ingest(options), fault::InjectedFault);
+
+  std::string after;
+  {
+    std::ifstream in(ck, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    after = buf.str();
+  }
+  EXPECT_EQ(before, after) << "faulted write touched the checkpoint";
+
+  // Unarmed rerun resumes from the untouched checkpoint and converges on
+  // the uninterrupted result.
+  const auto recovered = stream::run_ingest(options);
+  EXPECT_EQ(recovered.events, total);
+  EXPECT_EQ(recovered.resumed_events, 100u);
+  const obs::Json base_doc = stream::make_report_document(baseline, "t");
+  const obs::Json rec_doc = stream::make_report_document(recovered, "t");
+  const auto* a = base_doc.find("lumos_serve");
+  const auto* b = rec_doc.find("lumos_serve");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*a->find("metrics"), *b->find("metrics"));
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -262,6 +262,66 @@ TEST(HotPath, DiagnosticNamesTheFunction) {
   EXPECT_NE(diags[0].message.find("(in spin_once)"), std::string::npos);
 }
 
+// --------------------------------------------- check_signal_handlers --
+
+TEST(SignalHandler, CleanAtomicStoreBodyPasses) {
+  // The only thing a handler may do: store into a lock-free atomic.
+  const auto diags = lint::check_signal_handlers(
+      "util/signal_util.cpp",
+      R"(LUMOS_SIGNAL_HANDLER void on_signal(int sig) {
+  g_shutdown_signal.store(sig, std::memory_order_relaxed);
+})");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SignalHandler, FlagsEveryAsyncUnsafeOperation) {
+  const auto diags = lint::check_signal_handlers(
+      "util/signal_util.cpp",
+      R"(LUMOS_SIGNAL_HANDLER void on_signal(int sig) {
+  auto* p = new int(sig);
+  std::lock_guard<std::mutex> lock(mu);
+  std::cout << sig;
+  throw 1;
+})");
+  EXPECT_EQ(count_rule(diags, "signal-alloc"), 1);
+  EXPECT_EQ(count_rule(diags, "signal-mutex"), 1);
+  EXPECT_EQ(count_rule(diags, "signal-stream"), 1);
+  EXPECT_EQ(count_rule(diags, "signal-throw"), 1);
+}
+
+TEST(SignalHandler, LoggingMacrosAndPrintfAreStreams) {
+  // The logging macros expand to stream writes (malloc + locks under the
+  // hood); printf takes the async-signal-unsafe stdio lock.
+  const auto diags = lint::check_signal_handlers(
+      "util/signal_util.cpp",
+      R"(LUMOS_SIGNAL_HANDLER void on_signal(int sig) {
+  LUMOS_WARN("got %d", sig);
+  printf("got %d\n", sig);
+})");
+  EXPECT_EQ(count_rule(diags, "signal-stream"), 2);
+}
+
+TEST(SignalHandler, MarkerOnDeclarationIsMisuse) {
+  const auto diags = lint::check_signal_handlers(
+      "util/signal_util.hpp", "LUMOS_SIGNAL_HANDLER void on_signal(int);\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "signal-handler-misuse");
+}
+
+TEST(SignalHandler, UnmarkedFunctionIsNotScanned) {
+  const auto diags = lint::check_signal_handlers(
+      "stream/ingest.cpp",
+      "void emit() { std::cout << new int[8]; throw 1; }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SignalHandler, DefinitionSiteIsExempt) {
+  const auto diags = lint::check_signal_handlers(
+      "util/annotations.hpp",
+      "LUMOS_SIGNAL_HANDLER void would_fail() { throw 1; }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
 // ----------------------------------------------------------- baseline --
 
 TEST(Baseline, JsonRoundTrip) {

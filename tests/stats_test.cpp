@@ -433,5 +433,73 @@ TEST(StreamingHistogram, ZeroAndNegativeValues) {
   EXPECT_NEAR(hist.quantile(1.0), 10.0, 10.0 * hist.relative_error());
 }
 
+// ------------------------------- snapshots (crash-consistent restore) ----
+
+TEST(QuantileSketch, SnapshotRestoreContinuesBitIdentically) {
+  // Restore must reproduce the sketch exactly — including the compaction
+  // coin — so a restored sketch fed the same remaining stream lands in
+  // the same final state as one that never stopped.
+  QuantileSketch original;
+  util::Rng data(21);
+  for (int i = 0; i < 50000; ++i) original.insert(data.lognormal(5.0, 2.0));
+  QuantileSketch resumed = QuantileSketch::restore(original.snapshot());
+  EXPECT_EQ(resumed.count(), original.count());
+  EXPECT_EQ(resumed.retained(), original.retained());
+  for (int i = 0; i < 50000; ++i) {
+    const double x = data.lognormal(5.0, 2.0);
+    original.insert(x);
+    resumed.insert(x);
+  }
+  EXPECT_EQ(resumed.count(), original.count());
+  EXPECT_EQ(resumed.retained(), original.retained());
+  for (int i = 0; i <= 500; ++i) {
+    const double q = static_cast<double>(i) / 500.0;
+    EXPECT_DOUBLE_EQ(resumed.quantile(q), original.quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(resumed.min(), original.min());
+  EXPECT_DOUBLE_EQ(resumed.max(), original.max());
+}
+
+TEST(QuantileSketch, RestoreRejectsInconsistentWeight) {
+  QuantileSketch sketch;
+  for (int i = 0; i < 1000; ++i) sketch.insert(static_cast<double>(i));
+  auto snapshot = sketch.snapshot();
+  snapshot.count += 1;  // retained weight no longer sums to count
+  EXPECT_THROW(QuantileSketch::restore(snapshot), InvalidArgument);
+}
+
+TEST(QuantileSketch, RestoreRejectsInvertedMinMax) {
+  QuantileSketch sketch;
+  sketch.insert(1.0);
+  sketch.insert(2.0);
+  auto snapshot = sketch.snapshot();
+  std::swap(snapshot.min, snapshot.max);
+  EXPECT_THROW(QuantileSketch::restore(snapshot), InvalidArgument);
+}
+
+TEST(StreamingHistogram, SnapshotRestoreIsExact) {
+  StreamingHistogram original;
+  util::Rng data(22);
+  for (int i = 0; i < 20000; ++i) original.insert(data.lognormal(4.0, 1.5));
+  original.insert(0.0);  // populate the zero bucket too
+  StreamingHistogram resumed =
+      StreamingHistogram::restore(original.snapshot());
+  EXPECT_EQ(resumed.count(), original.count());
+  EXPECT_EQ(resumed.buckets(), original.buckets());
+  EXPECT_DOUBLE_EQ(resumed.sum(), original.sum());
+  for (int i = 0; i <= 200; ++i) {
+    const double q = static_cast<double>(i) / 200.0;
+    EXPECT_DOUBLE_EQ(resumed.quantile(q), original.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(StreamingHistogram, RestoreRejectsCountMismatch) {
+  StreamingHistogram hist;
+  for (int i = 1; i <= 100; ++i) hist.insert(static_cast<double>(i));
+  auto snapshot = hist.snapshot();
+  snapshot.count += 5;  // buckets no longer account for every insert
+  EXPECT_THROW(StreamingHistogram::restore(snapshot), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace lumos::stats

@@ -7,25 +7,37 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "analysis/arrival.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "stats/descriptive.hpp"
+#include "stream/checkpoint.hpp"
 #include "stream/ingest.hpp"
 #include "stream/online.hpp"
+#include "stream/snapshot.hpp"
+#include "stream/source.hpp"
 #include "synth/generator.hpp"
 #include "trace/swf.hpp"
 #include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/signal_util.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lumos::stream {
@@ -409,6 +421,395 @@ TEST(Ingest, ReportDocumentIsDeterministicInState) {
   ASSERT_NE(m1, nullptr);
   ASSERT_NE(m2, nullptr);
   EXPECT_EQ(*m1, *m2);
+}
+
+// ---- state snapshots (crash-consistent serve mode, DESIGN.md §4g) --------
+
+TEST(Snapshot, RestoredCharacterizerIsBitIdentical) {
+  // Stop at an arbitrary point, snapshot, restore, continue: the restored
+  // instance must land in the exact state of one that never stopped —
+  // including sketch rng — which is what makes kill-and-resume reports
+  // identical. The JSON encoding of the full state is the equality probe.
+  const auto trace = make_trace(3000, 31);
+  const auto config = config_for(trace);
+  const auto& jobs = trace.jobs();
+  const std::size_t split = jobs.size() / 3;
+  OnlineCharacterizer uninterrupted(config);
+  OnlineCharacterizer stopped(config);
+  for (std::size_t i = 0; i < split; ++i) {
+    uninterrupted.ingest(jobs[i]);
+    stopped.ingest(jobs[i]);
+  }
+  OnlineCharacterizer resumed = OnlineCharacterizer::restore(
+      characterizer_from_json(to_json(stopped.snapshot())));
+  for (std::size_t i = split; i < jobs.size(); ++i) {
+    uninterrupted.ingest(jobs[i]);
+    resumed.ingest(jobs[i]);
+  }
+  EXPECT_EQ(to_json(resumed.snapshot()).dump(),
+            to_json(uninterrupted.snapshot()).dump());
+}
+
+TEST(Snapshot, RoundTripAcrossWindowStates) {
+  // Windows not yet started (no jobs), mid-window, and after many
+  // completed windows: every window bookkeeping state must survive.
+  const auto trace = make_trace(2000, 32);
+  auto config = config_for(trace);
+  config.window_seconds = 3600.0;  // many completed windows in the trace
+  OnlineCharacterizer chr(config);
+  const auto probe = [&] {
+    const auto snap = chr.snapshot();
+    const auto restored = OnlineCharacterizer::restore(snap);
+    EXPECT_EQ(to_json(restored.snapshot()).dump(), to_json(snap).dump());
+  };
+  probe();  // empty, window not started
+  for (std::size_t i = 0; i < trace.jobs().size(); ++i) {
+    chr.ingest(trace.jobs()[i]);
+    if (i == 0 || i == trace.jobs().size() / 2) probe();
+  }
+  probe();  // after completed windows
+  EXPECT_GT(chr.windows_completed(), 1u);
+}
+
+TEST(Snapshot, JsonCodecRoundTripsExactly) {
+  const auto trace = make_trace(1500, 33);
+  auto chr = ingest_all(trace, config_for(trace));
+  const std::string text = to_json(chr.snapshot()).dump();
+  const auto decoded = characterizer_from_json(obs::Json::parse(text));
+  EXPECT_EQ(to_json(decoded).dump(), text);
+}
+
+TEST(Snapshot, CorruptedStateIsRejectedOnRestore) {
+  const auto trace = make_trace(800, 34);
+  auto chr = ingest_all(trace, config_for(trace));
+  auto snapshot = chr.snapshot();
+  snapshot.jobs += 1;  // sketch counts no longer match the job count
+  EXPECT_THROW(OnlineCharacterizer::restore(snapshot), Error);
+}
+
+TEST(Snapshot, MalformedDocumentNamesTheOffendingPath) {
+  const auto trace = make_trace(500, 35);
+  auto chr = ingest_all(trace, config_for(trace));
+  auto doc = to_json(chr.snapshot());
+  doc["jobs"] = obs::Json("not-a-number");
+  try {
+    (void)characterizer_from_json(doc);
+    FAIL() << "malformed snapshot decoded";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("jobs"), std::string::npos);
+  }
+}
+
+// ---- checkpoints ---------------------------------------------------------
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lumos_ckpt_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  static Checkpoint make_checkpoint(std::uint64_t events,
+                                    std::uint64_t seed = 40) {
+    const auto trace = make_trace(events, seed);
+    Checkpoint cp;
+    OnlineCharacterizer chr(config_for(trace));
+    for (std::size_t i = 0; i < events && i < trace.jobs().size(); ++i) {
+      chr.ingest(trace.jobs()[i]);
+    }
+    cp.cursor.input = "test.swf";
+    cp.cursor.byte_offset = events * 64;
+    cp.cursor.line = events;
+    cp.cursor.events = chr.jobs();
+    cp.characterizer = chr.snapshot();
+    return cp;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTest, SaveThenLoadIsPrimaryAndExact) {
+  const Checkpoint cp = make_checkpoint(300);
+  save_checkpoint(cp, path("ck.json"));
+  const CheckpointLoad load = load_checkpoint(path("ck.json"));
+  EXPECT_EQ(load.outcome, CheckpointLoad::Outcome::Primary);
+  ASSERT_TRUE(load.checkpoint.has_value());
+  EXPECT_EQ(load.checkpoint->cursor.events, cp.cursor.events);
+  EXPECT_EQ(load.checkpoint->cursor.byte_offset, cp.cursor.byte_offset);
+  EXPECT_EQ(to_json(load.checkpoint->characterizer).dump(),
+            to_json(cp.characterizer).dump());
+}
+
+TEST_F(CheckpointTest, MissingFileIsNoCheckpoint) {
+  const CheckpointLoad load = load_checkpoint(path("absent.json"));
+  EXPECT_EQ(load.outcome, CheckpointLoad::Outcome::NoCheckpoint);
+  EXPECT_FALSE(load.checkpoint.has_value());
+}
+
+TEST_F(CheckpointTest, CorruptPrimaryFallsBackToPrev) {
+  // Two saves: the first document rotates to .prev. A torn/corrupted
+  // primary must fall back to it — never crash, never silently restart
+  // from zero state.
+  save_checkpoint(make_checkpoint(100), path("ck.json"));
+  save_checkpoint(make_checkpoint(200), path("ck.json"));
+  {
+    std::ofstream torn(path("ck.json"), std::ios::binary | std::ios::trunc);
+    torn << "{\"_meta\": {\"schema_version\": 1, \"kind\": \"lumos_che";
+  }
+  const CheckpointLoad load = load_checkpoint(path("ck.json"));
+  EXPECT_EQ(load.outcome, CheckpointLoad::Outcome::Fallback);
+  ASSERT_TRUE(load.checkpoint.has_value());
+  EXPECT_EQ(load.checkpoint->cursor.events,
+            make_checkpoint(100).cursor.events);
+  EXPECT_FALSE(load.detail.empty());
+}
+
+TEST_F(CheckpointTest, BothCorruptIsLoudFreshStart) {
+  {
+    std::ofstream a(path("ck.json"), std::ios::binary);
+    a << "not json";
+    std::ofstream b(path("ck.json.prev"), std::ios::binary);
+    b << "[1, 2,";
+  }
+  const CheckpointLoad load = load_checkpoint(path("ck.json"));
+  EXPECT_EQ(load.outcome, CheckpointLoad::Outcome::CorruptIgnored);
+  EXPECT_FALSE(load.checkpoint.has_value());
+  EXPECT_FALSE(load.detail.empty());
+}
+
+TEST_F(CheckpointTest, WrongSchemaOrKindIsRejected) {
+  auto doc = to_json(make_checkpoint(50));
+  auto meta = obs::Json::object();
+  meta["schema_version"] = obs::Json(std::int64_t{999});
+  meta["kind"] = obs::Json("lumos_checkpoint");
+  doc["_meta"] = std::move(meta);
+  EXPECT_THROW((void)checkpoint_from_json(doc), InvalidArgument);
+}
+
+TEST_F(CheckpointTest, FingerprintWindowAndZeroOffset) {
+  const std::string file = path("input.swf");
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << std::string(1000, 'a') << std::string(1000, 'b');
+  }
+  EXPECT_EQ(input_fingerprint(file, 0), 0u);
+  const std::uint64_t fp = input_fingerprint(file, 1500);
+  EXPECT_NE(fp, 0u);
+  EXPECT_EQ(input_fingerprint(file, 1500), fp);  // deterministic
+  EXPECT_NE(input_fingerprint(file, 1000), fp);  // offset-sensitive
+  EXPECT_THROW((void)input_fingerprint(path("gone"), 10), SourceError);
+  // Shorter file than the claimed offset: the cursor cannot describe it.
+  EXPECT_THROW((void)input_fingerprint(file, 50000), SourceError);
+}
+
+// ---- resilient sources ---------------------------------------------------
+
+TEST_F(CheckpointTest, FileSourceReadsAndSeeks) {
+  const std::string file = path("source.txt");
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << "0123456789";
+  }
+  auto source = open_event_source(file);
+  EXPECT_TRUE(source->seekable());
+  char buf[4];
+  auto r = source->read_some(buf, sizeof(buf));
+  EXPECT_EQ(r.status, ReadStatus::Data);
+  EXPECT_EQ(std::string(buf, r.bytes), "0123");
+  source->seek(8);
+  r = source->read_some(buf, sizeof(buf));
+  EXPECT_EQ(r.status, ReadStatus::Data);
+  EXPECT_EQ(std::string(buf, r.bytes), "89");
+  r = source->read_some(buf, sizeof(buf));
+  EXPECT_EQ(r.status, ReadStatus::Eof);
+}
+
+TEST(Source, MissingFileThrowsSourceError) {
+  try {
+    (void)open_event_source("/nonexistent/lumos/source.swf");
+    FAIL() << "open succeeded on a missing path";
+  } catch (const SourceError& e) {
+    EXPECT_NE(e.errno_value(), 0);
+  }
+}
+
+namespace {
+
+/// Fails the first `failures` reads with a transient SourceError, then
+/// serves `payload` and EOF. Non-seekable, like a pipe.
+class FlakySource : public EventSource {
+ public:
+  FlakySource(int failures, std::string payload)
+      : failures_(failures), payload_(std::move(payload)) {}
+
+  ReadResult read_some(char* data, std::size_t capacity) override {
+    if (failures_ > 0) {
+      --failures_;
+      throw SourceError("flaky: transient read failure", EIO);
+    }
+    if (pos_ >= payload_.size()) return {ReadStatus::Eof, 0};
+    const std::size_t n = std::min(capacity, payload_.size() - pos_);
+    std::copy_n(payload_.data() + pos_, n, data);
+    pos_ += n;
+    return {ReadStatus::Data, n};
+  }
+  const std::string& describe() const noexcept override { return name_; }
+
+ private:
+  int failures_;
+  std::string payload_;
+  std::size_t pos_ = 0;
+  std::string name_ = "flaky";
+};
+
+}  // namespace
+
+TEST(Source, RetryScheduleIsDeterministic) {
+  std::vector<double> delays;
+  RetryPolicy policy;
+  policy.max_retries = 5;
+  policy.base_delay_s = 0.05;
+  policy.max_delay_s = 1.0;
+  policy.sleep = [&](double s) { delays.push_back(s); };
+  RetryingSource source(std::make_unique<FlakySource>(3, "abc"), policy);
+  char buf[8];
+  const auto r = source.read_some(buf, sizeof(buf));
+  EXPECT_EQ(r.status, ReadStatus::Data);
+  EXPECT_EQ(std::string(buf, r.bytes), "abc");
+  EXPECT_EQ(source.retries(), 3u);
+  // Exactly util::backoff_delay_seconds(0.05, 1.0, i) for i = 1..3 — the
+  // same deterministic schedule the supervisor uses, no jitter.
+  ASSERT_EQ(delays.size(), 3u);
+  EXPECT_DOUBLE_EQ(delays[0], 0.05);
+  EXPECT_DOUBLE_EQ(delays[1], 0.1);
+  EXPECT_DOUBLE_EQ(delays[2], 0.2);
+}
+
+TEST(Source, RetriesExhaustRethrowTheSourceError) {
+  std::vector<double> delays;
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.sleep = [&](double s) { delays.push_back(s); };
+  RetryingSource source(std::make_unique<FlakySource>(10, ""), policy);
+  char buf[8];
+  EXPECT_THROW((void)source.read_some(buf, sizeof(buf)), SourceError);
+  EXPECT_EQ(delays.size(), 2u);  // slept before each retry, then gave up
+}
+
+// ---- crash consistency end to end (in-library kill-and-resume) -----------
+
+TEST_F(CheckpointTest, ResumeAfterStopMatchesUninterruptedRun) {
+  const auto trace = make_trace(1200, 44);
+  const std::string swf = path("stream.swf");
+  trace::write_swf_file(swf, trace);
+  const std::uint64_t total = trace.size();
+
+  IngestOptions base;
+  base.input_path = swf;
+  base.config = config_for(trace);
+  base.report_every_events = 0;
+  const IngestResult uninterrupted = run_ingest(base);
+  ASSERT_EQ(uninterrupted.events, total);
+
+  // Stop partway (max_events stands in for the kill; the final checkpoint
+  // at stop is exactly what a graceful shutdown writes).
+  IngestOptions stopped = base;
+  stopped.checkpoint_path = path("ck.json");
+  stopped.checkpoint_every_events = 100;
+  stopped.max_events = total / 2;
+  const IngestResult partial = run_ingest(stopped);
+  EXPECT_EQ(partial.events, total / 2);
+  EXPECT_GE(partial.checkpoints_written, 1u);
+
+  IngestOptions resumed = stopped;
+  resumed.max_events = 0;
+  const IngestResult rest = run_ingest(resumed);
+  EXPECT_EQ(rest.events, total);
+  EXPECT_EQ(rest.resumed_events, total / 2);
+  EXPECT_EQ(rest.replayed_events, total - total / 2);
+  EXPECT_EQ(rest.events, rest.resumed_events + rest.replayed_events);
+
+  // The resumed run's report is indistinguishable from never stopping.
+  const obs::Json direct_doc = make_report_document(uninterrupted, "t");
+  const obs::Json after_doc = make_report_document(rest, "t");
+  const auto* direct = direct_doc.find("lumos_serve");
+  const auto* after = after_doc.find("lumos_serve");
+  ASSERT_NE(direct, nullptr);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(*direct->find("metrics"), *after->find("metrics"));
+}
+
+TEST_F(CheckpointTest, ResumeRefusesRewrittenInput) {
+  const auto trace = make_trace(600, 45);
+  const std::string swf = path("stream.swf");
+  trace::write_swf_file(swf, trace);
+
+  IngestOptions options;
+  options.input_path = swf;
+  options.config = config_for(trace);
+  options.report_every_events = 0;
+  options.checkpoint_path = path("ck.json");
+  options.max_events = 200;
+  (void)run_ingest(options);
+
+  // Replace the input with different content (longer, so the fingerprint
+  // window is readable and the mismatch — not a short read — is what
+  // trips): the cursor no longer describes this file, and resuming would
+  // double-count.
+  trace::write_swf_file(swf, make_trace(1200, 46));
+  options.max_events = 0;
+  EXPECT_THROW((void)run_ingest(options), InvalidArgument);
+}
+
+TEST_F(CheckpointTest, NoResumeFlagStartsFresh) {
+  const auto trace = make_trace(400, 47);
+  const std::string swf = path("stream.swf");
+  trace::write_swf_file(swf, trace);
+  IngestOptions options;
+  options.input_path = swf;
+  options.config = config_for(trace);
+  options.report_every_events = 0;
+  options.checkpoint_path = path("ck.json");
+  options.max_events = 150;
+  (void)run_ingest(options);
+
+  options.resume = false;
+  options.max_events = 0;
+  const IngestResult fresh = run_ingest(options);
+  EXPECT_EQ(fresh.resumed_events, 0u);
+  EXPECT_EQ(fresh.events, trace.size());
+}
+
+TEST_F(CheckpointTest, ShutdownFlagStopsLoopGracefully) {
+  const auto trace = make_trace(500, 48);
+  const std::string swf = path("stream.swf");
+  trace::write_swf_file(swf, trace);
+
+  util::install_shutdown_signals();
+  util::clear_shutdown_request();
+  std::raise(SIGTERM);
+  ASSERT_TRUE(util::shutdown_requested());
+
+  IngestOptions options;
+  options.input_path = swf;
+  options.config = config_for(trace);
+  options.report_every_events = 0;
+  options.checkpoint_path = path("ck.json");
+  const IngestResult result = run_ingest(options);
+  util::clear_shutdown_request();
+
+  // The pending flag is honoured before the first read: nothing ingested,
+  // the cause is recorded, and a final checkpoint still lands.
+  EXPECT_EQ(result.shutdown_signal, SIGTERM);
+  EXPECT_EQ(result.events, 0u);
+  EXPECT_GE(result.checkpoints_written, 1u);
+  EXPECT_EQ(load_checkpoint(path("ck.json")).outcome,
+            CheckpointLoad::Outcome::Primary);
 }
 
 }  // namespace

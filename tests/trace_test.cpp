@@ -1,7 +1,9 @@
 // Unit tests for the trace model, parsers and validation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <string>
 
 #include "trace/csv_formats.hpp"
 #include "trace/swf.hpp"
@@ -9,6 +11,7 @@
 #include "trace/trace.hpp"
 #include "trace/validate.hpp"
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 
 namespace lumos::trace {
 namespace {
@@ -542,6 +545,105 @@ TEST(DlCsv, MissingHeaderIsNeverBudgeted) {
   ParseOptions opts;
   opts.bad_row_budget = 100;
   EXPECT_THROW((void)read_dl_csv(in, philly_spec(), opts), ParseError);
+}
+
+// ---- malformed-row fuzz corpus (crash-consistent serve mode) -------------
+//
+// A live feed hands the parser arbitrary bytes; every row here has crashed
+// or could crash a naive parser (UB float->int casts, non-finite doubles
+// poisoning sketches, unbounded field counts). The contract: definite
+// malformation throws typed ParseError (never crashes, never UB), and the
+// lenient budget in read_swf absorbs it without losing neighboring rows.
+
+namespace {
+
+const char* kMalformedSwfRows[] = {
+    "",                                         // blank after trim? (guard)
+    "1 2 3",                                    // far too few fields
+    "1 0 10 100 4 -1 -1 4 200 -1 1 3 -1 -1 -1 -1 -1",  // 17 fields
+    "a b c d e f g h i j k l m n o p q r",     // 18 non-numeric fields
+    "nan 0 10 100 4 -1 -1 4 200 -1 1 3 -1 -1 -1 -1 -1 -1",   // nan id
+    "1 inf 10 100 4 -1 -1 4 200 -1 1 3 -1 -1 -1 -1 -1 -1",   // inf submit
+    "1 0 -inf 100 4 -1 -1 4 200 -1 1 3 -1 -1 -1 -1 -1 -1",   // -inf wait
+    "1 0 10 nan 4 -1 -1 4 200 -1 1 3 -1 -1 -1 -1 -1 -1",     // nan runtime
+    "1 0 10 1e400 4 -1 -1 4 200 -1 1 3 -1 -1 -1 -1 -1 -1",   // overflow
+    "1 0 10 100 4 -1 -1 4 200 -1 \x01\x02 3 -1 -1 -1 -1 -1 -1",  // binary
+    "1,0,10,100,4,-1,-1,4,200,-1,1,3,-1,-1,-1,-1,-1,-1",     // CSV dialect
+};
+
+}  // namespace
+
+TEST(SwfFuzz, MalformedRowsThrowTypedParseError) {
+  for (const char* raw : kMalformedSwfRows) {
+    const auto trimmed = util::trim(raw);
+    if (trimmed.empty()) continue;  // read_swf filters blanks before parse
+    EXPECT_THROW((void)parse_swf_row(trimmed, ResourceKind::Cpu, {}, 1),
+                 ParseError)
+        << "row accepted: " << raw;
+  }
+}
+
+TEST(SwfFuzz, LenientReaderSurvivesTheWholeCorpusInOneFile) {
+  // Interleave every malformed row with valid rows: the budget must skip
+  // exactly the bad ones and keep every good one, with audit line numbers
+  // pointing at the skips.
+  std::ostringstream file;
+  file << "; fuzz corpus\n";
+  std::size_t valid = 0;
+  std::size_t malformed = 0;
+  for (const char* raw : kMalformedSwfRows) {
+    if (!util::trim(raw).empty()) ++malformed;
+    file << raw << "\n";
+    ++valid;
+    file << valid << " " << valid * 10
+         << " 5 100 4 -1 -1 4 200 -1 1 3 -1 -1 -1 -1 -1 -1\n";
+  }
+  // An overlong line (10 KiB of digits in one field) must not wedge it —
+  // the id overflows double parsing, so the row is budgeted, not crashed.
+  file << std::string(10000, '9')
+       << " 0 5 100 4 -1 -1 4 200 -1 1 3 -1 -1 -1 -1 -1 -1\n";
+  std::istringstream in(file.str());
+  ParseOptions opts;
+  opts.bad_row_budget = 1000;  // the live-feed default
+  ParseAudit audit;
+  const auto t = read_swf(in, theta_spec(), opts, &audit);
+  EXPECT_EQ(t.size(), valid);
+  EXPECT_EQ(audit.skipped_lines.size(), malformed + 1);
+  EXPECT_FALSE(audit.clean());
+}
+
+TEST(SwfFuzz, StrictModeStopsAtTheFirstMalformedRow) {
+  std::istringstream in(
+      "1 0 5 100 4 -1 -1 4 200 -1 1 3 -1 -1 -1 -1 -1 -1\n"
+      "not a row\n");
+  EXPECT_THROW((void)read_swf(in, theta_spec()), ParseError);
+}
+
+TEST(SwfFuzz, OutOfRangeValuesClampInsteadOfUndefinedBehavior) {
+  // Values that fit a double but not the integer field: the conversion
+  // must clamp (saturate), never hit UB via a direct cast.
+  const auto row = parse_swf_row(
+      "1e300 0 5 100 4294967296 -1 -1 1 200 -1 1 99999999999 -1 -1 -1 -1 "
+      "-1 -1",
+      ResourceKind::Cpu, {}, 1);
+  EXPECT_EQ(row.job.id, UINT64_MAX);
+  EXPECT_EQ(row.job.cores, UINT32_MAX);
+  EXPECT_EQ(row.job.user, UINT32_MAX);
+  EXPECT_FALSE(row.unknown_runtime);
+}
+
+TEST(SwfFuzz, OutOfRangeStatusCodeMapsToFailed) {
+  const auto row = parse_swf_row(
+      "1 0 5 100 4 -1 -1 4 200 -1 7 3 -1 -1 -1 -1 -1 -1",
+      ResourceKind::Cpu, {}, 1);
+  EXPECT_EQ(row.job.status, JobStatus::Failed);
+}
+
+TEST(SwfFuzz, NegativeRuntimeIsUnknownNotMalformed) {
+  const auto row = parse_swf_row(
+      "1 0 5 -1 4 -1 -1 4 200 -1 1 3 -1 -1 -1 -1 -1 -1",
+      ResourceKind::Cpu, {}, 1);
+  EXPECT_TRUE(row.unknown_runtime);
 }
 
 }  // namespace

@@ -8,9 +8,10 @@
 #   tsan      ThreadSanitizer build + `ctest -L tsan` concurrency suite
 #   failpoints Debug build with -DLUMOS_FAILPOINTS=ON + `ctest -L
 #             failpoints` fault-injection suite (typed-error propagation)
-#   lint      the three lumos_lint ctest cases (lumos_lint token rules,
+#   lint      the lumos_lint ctest cases (lumos_lint token rules,
 #             lint_layers include-graph/layer DAG, lint_hotpath
-#             LUMOS_HOT_PATH discipline) with --output-on-failure so a
+#             LUMOS_HOT_PATH discipline, lint_signals LUMOS_SIGNAL_HANDLER
+#             async-signal-safety) with --output-on-failure so a
 #             break prints file:line diagnostics, plus a direct --ratchet
 #             run that prints per-rule finding counts
 #             (clang-tidy additionally gates compiles when configured with
@@ -23,6 +24,12 @@
 #   bench:supervised  the bench_supervised_smoke ctest: fault drill of the
 #             crash-isolated fleet (injected crash/hang/garbage, journal
 #             resume, in-process-vs-supervised metric equivalence)
+#   serve:chaos  the ext_serve_chaos drill standalone: lumos_serve killed
+#             (SIGKILL) at seeded points mid-stream and SIGTERM'd once,
+#             restarted, and required to replay only the gap since its
+#             last checkpoint and reproduce the uninterrupted report
+#             bit-identically (same-seed determinism via --verify is
+#             covered by the bench:smoke stage, which runs it in-process)
 #   bench:perf  `lumos perf-gate` compares the smoke run's throughput
 #             gauges (sim.jobs_per_sec, stream.events_per_sec) against
 #             the committed BENCH_results.json and fails on a >20%
@@ -85,7 +92,8 @@ fi
 # diagnostics; the direct run prints per-rule counts and exercises the
 # committed baseline exactly as CI does.
 run_stage "lint:ctest" ctest --test-dir build \
-  -R '^(lumos_lint|lint_layers|lint_hotpath)$' --output-on-failure
+  -R '^(lumos_lint|lint_layers|lint_hotpath|lint_signals)$' \
+  --output-on-failure
 run_stage "lint:ratchet" ./build/tools/lumos_lint --ratchet \
   --layers tools/lint/layers.txt --baseline tools/lint/baseline.json \
   src bench
@@ -97,6 +105,10 @@ run_stage "bench:smoke" ./build/bench/bench_runner --smoke --verify \
   --out build/BENCH_check.json
 run_stage "bench:supervised" ctest --test-dir build \
   -R '^bench_supervised_smoke$' --output-on-failure
+# Crash-consistency drill: kill -9 the serve daemon at seeded points,
+# restart, and require gap-only replay plus a bit-identical final report
+# (DESIGN.md §4g; the harness throws on any divergence).
+run_stage "serve:chaos" ./build/bench/ext_serve_chaos --smoke
 # Throughput gate: the bench:smoke stage above refreshed
 # build/BENCH_check.json; gate its throughput gauges (sim.jobs_per_sec,
 # stream.events_per_sec) against the committed baseline. 20% tolerance

@@ -9,18 +9,26 @@ namespace lumos::lint {
 
 namespace {
 
-constexpr std::string_view kMarker = "LUMOS_HOT_PATH";
-
-struct HotRule {
+struct MarkerRule {
   const char* name;
   std::vector<const char*> fast;  // any-of substring screen
   std::regex pattern;
   const char* message;
 };
 
-const std::vector<HotRule>& hot_rules() {
-  static const std::vector<HotRule> rules = [] {
-    std::vector<HotRule> r;
+/// A marker-scoped body pass: find `marker`, brace-match the function body
+/// that follows, and hold every line of it to `rules`. The hot-path and
+/// signal-handler disciplines are the two instances.
+struct MarkerPass {
+  std::string_view marker;
+  const char* misuse_rule;
+  const char* misuse_message;
+  const std::vector<MarkerRule>* rules;
+};
+
+const std::vector<MarkerRule>& hot_rules() {
+  static const std::vector<MarkerRule> rules = [] {
+    std::vector<MarkerRule> r;
     r.push_back({"hot-alloc",
                  {"new", "alloc", "make_unique", "make_shared"},
                  std::regex(R"(\bnew\b|\b(?:m|c|re)alloc\s*\(|\bmake_unique\b|\bmake_shared\b)"),
@@ -60,6 +68,62 @@ const std::vector<HotRule>& hot_rules() {
     return r;
   }();
   return rules;
+}
+
+// Async-signal-safety: a handler body may touch lock-free atomics,
+// sig_atomic_t, and the short POSIX async-signal-safe list — nothing that
+// allocates, locks, formats, or unwinds. POSIX 2.4.3 is the authority;
+// these rules catch the ways C++ code usually violates it.
+const std::vector<MarkerRule>& signal_rules() {
+  static const std::vector<MarkerRule> rules = [] {
+    std::vector<MarkerRule> r;
+    r.push_back({"signal-alloc",
+                 {"new", "alloc", "make_unique", "make_shared"},
+                 std::regex(R"(\bnew\b|\b(?:m|c|re)alloc\s*\(|\bfree\s*\(|\bmake_unique\b|\bmake_shared\b)"),
+                 "allocation in a signal handler: malloc takes a lock the "
+                 "interrupted thread may already hold — handlers store "
+                 "into a pre-existing lock-free atomic and return"});
+    r.push_back({"signal-mutex",
+                 {"lock", "mutex"},
+                 std::regex(R"(\bstd\s*::\s*(?:recursive_|shared_|timed_)*mutex\b|\b(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b|\.\s*lock\s*\()"),
+                 "lock in a signal handler: if the interrupted thread "
+                 "holds it the process deadlocks — only lock-free atomics "
+                 "are async-signal-safe"});
+    r.push_back({"signal-stream",
+                 {"cout", "cerr", "clog", "stream", "printf", "puts",
+                  "LUMOS_INFO", "LUMOS_WARN", "LUMOS_ERROR", "LUMOS_DEBUG"},
+                 std::regex(R"(\bstd\s*::\s*(?:cout|cerr|clog)\b|\bstd\s*::\s*[io]?(?:string|f)stream\b|\b(?:f|s|vf|vs)?printf\s*\(|\bputs\s*\(|\bLUMOS_(?:INFO|WARN|ERROR|DEBUG)\b)"),
+                 "I/O or logging in a signal handler: stdio and the "
+                 "LUMOS_* log macros buffer, lock, and allocate — none of "
+                 "which is async-signal-safe; set a flag and log from the "
+                 "normal control path"});
+    r.push_back({"signal-throw",
+                 {"throw"},
+                 std::regex(R"(\bthrow\b)"),
+                 "throw in a signal handler: unwinding out of a handler "
+                 "is undefined behaviour — record the condition in an "
+                 "atomic and act on it outside the handler"});
+    return r;
+  }();
+  return rules;
+}
+
+const MarkerPass& hot_pass() {
+  static const MarkerPass pass{
+      "LUMOS_HOT_PATH", "hot-path-misuse",
+      "LUMOS_HOT_PATH marks a declaration, not a definition — the marker "
+      "checks a function body, so put it on the definition",
+      &hot_rules()};
+  return pass;
+}
+
+const MarkerPass& signal_pass() {
+  static const MarkerPass pass{
+      "LUMOS_SIGNAL_HANDLER", "signal-handler-misuse",
+      "LUMOS_SIGNAL_HANDLER marks a declaration, not a definition — the "
+      "marker checks a function body, so put it on the definition",
+      &signal_rules()};
+  return pass;
 }
 
 int line_of(std::string_view text, std::size_t offset) {
@@ -136,19 +200,18 @@ Body find_body(std::string_view stripped, std::size_t marker_end) {
   return body;
 }
 
-}  // namespace
-
-std::vector<Diagnostic> check_hot_paths(std::string_view rel_path,
-                                        std::string_view content) {
+std::vector<Diagnostic> scan_marked_bodies(const MarkerPass& pass,
+                                           std::string_view rel_path,
+                                           std::string_view content) {
   std::vector<Diagnostic> out;
   if (rel_path == "util/annotations.hpp") return out;  // definition site
 
   const std::string stripped = strip_for_scan(content);
   std::size_t scanned_until = 0;  // markers inside a scanned body: skip
   std::size_t pos = 0;
-  while ((pos = stripped.find(kMarker, pos)) != std::string::npos) {
+  while ((pos = stripped.find(pass.marker, pos)) != std::string::npos) {
     const std::size_t marker_at = pos;
-    pos += kMarker.size();
+    pos += pass.marker.size();
     // Token boundary: don't fire on e.g. LUMOS_HOT_PATH_SOMETHING.
     if (pos < stripped.size() && is_ident(stripped[pos])) continue;
     if (marker_at > 0 && is_ident(stripped[marker_at - 1])) continue;
@@ -157,15 +220,12 @@ std::vector<Diagnostic> check_hot_paths(std::string_view rel_path,
     const Body body = find_body(stripped, pos);
     if (body.misuse) {
       out.push_back({std::string(rel_path), line_of(stripped, marker_at),
-                     "hot-path-misuse",
-                     "LUMOS_HOT_PATH marks a declaration, not a "
-                     "definition — the marker checks a function body, so "
-                     "put it on the definition"});
+                     pass.misuse_rule, pass.misuse_message});
       continue;
     }
     scanned_until = body.close;
 
-    // Scan the body line by line against the hot rules.
+    // Scan the body line by line against the pass's rules.
     std::size_t line_start = body.open;
     int line_no = line_of(stripped, body.open);
     while (line_start < body.close) {
@@ -173,7 +233,7 @@ std::vector<Diagnostic> check_hot_paths(std::string_view rel_path,
       if (nl == std::string::npos || nl > body.close) nl = body.close;
       const std::string_view line =
           std::string_view(stripped).substr(line_start, nl - line_start);
-      for (const HotRule& rule : hot_rules()) {
+      for (const MarkerRule& rule : *pass.rules) {
         const bool maybe = std::any_of(
             rule.fast.begin(), rule.fast.end(), [&](const char* needle) {
               return line.find(needle) != std::string_view::npos;
@@ -198,14 +258,36 @@ std::vector<Diagnostic> check_hot_paths(std::string_view rel_path,
   return out;
 }
 
-std::vector<Diagnostic> check_hot_paths(const std::vector<SourceFile>& files) {
+std::vector<Diagnostic> scan_tree(const MarkerPass& pass,
+                                  const std::vector<SourceFile>& files) {
   std::vector<Diagnostic> out;
   for (const SourceFile& file : files) {
-    auto diags = check_hot_paths(file.rel_path, file.content);
+    auto diags = scan_marked_bodies(pass, file.rel_path, file.content);
     out.insert(out.end(), std::make_move_iterator(diags.begin()),
                std::make_move_iterator(diags.end()));
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_hot_paths(std::string_view rel_path,
+                                        std::string_view content) {
+  return scan_marked_bodies(hot_pass(), rel_path, content);
+}
+
+std::vector<Diagnostic> check_hot_paths(const std::vector<SourceFile>& files) {
+  return scan_tree(hot_pass(), files);
+}
+
+std::vector<Diagnostic> check_signal_handlers(std::string_view rel_path,
+                                              std::string_view content) {
+  return scan_marked_bodies(signal_pass(), rel_path, content);
+}
+
+std::vector<Diagnostic> check_signal_handlers(
+    const std::vector<SourceFile>& files) {
+  return scan_tree(signal_pass(), files);
 }
 
 }  // namespace lumos::lint

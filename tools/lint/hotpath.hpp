@@ -1,4 +1,4 @@
-// Hot-path discipline: per-function rules for the simulator's inner loop.
+// Marker-scoped function-body disciplines: hot paths and signal handlers.
 //
 // PR-6 made the simulator core data-oriented — calendar-queue events, SoA
 // job state — precisely so the per-event path does no hidden work. This
@@ -24,8 +24,24 @@
 //                       with the invariant spelled out.
 //   hot-regex           std::regex — never acceptable per event.
 //
+// The same body scanner powers the async-signal-safety discipline: a
+// function marked `LUMOS_SIGNAL_HANDLER` (the handler run_ingest's
+// graceful shutdown installs, util/signal_util.cpp) may only do what
+// POSIX 2.4.3 allows — store into a lock-free atomic and return. Findings
+// inside a marked handler body:
+//
+//   signal-alloc   new / make_unique / malloc family / free — malloc
+//                  takes a lock the interrupted thread may hold.
+//   signal-mutex   mutex types and lock guards — same deadlock, spelled
+//                  out.
+//   signal-stream  stdio/iostream and the LUMOS_* log macros — they
+//                  buffer, lock, and allocate; set a flag, log outside.
+//   signal-throw   `throw` — unwinding out of a signal handler is UB.
+//   signal-handler-misuse  marker on a declaration instead of the
+//                  definition.
+//
 // Mechanics: the scanner works on stripped content (strip_for_scan), finds
-// each LUMOS_HOT_PATH token, skips to the first '{' at parenthesis depth 0
+// each marker token, skips to the first '{' at parenthesis depth 0
 // (the function body — so default arguments and noexcept(...) clauses are
 // crossed correctly), and brace-matches to the body's end. Lambdas and
 // nested blocks inside the body are part of it and are scanned too. A
@@ -51,6 +67,15 @@ namespace lumos::lint {
 /// check_hot_paths over a loaded tree; suppressions applied, diagnostics
 /// sorted by (file, line).
 [[nodiscard]] std::vector<Diagnostic> check_hot_paths(
+    const std::vector<SourceFile>& files);
+
+/// Scans one file for LUMOS_SIGNAL_HANDLER bodies and returns
+/// async-signal-safety findings, sorted by line. Pure; unit-testable.
+[[nodiscard]] std::vector<Diagnostic> check_signal_handlers(
+    std::string_view rel_path, std::string_view content);
+
+/// check_signal_handlers over a loaded tree.
+[[nodiscard]] std::vector<Diagnostic> check_signal_handlers(
     const std::vector<SourceFile>& files);
 
 }  // namespace lumos::lint

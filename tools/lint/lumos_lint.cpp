@@ -2,7 +2,8 @@
 //
 //   lumos_lint [options] <source-dir>...
 //
-//   --pass rules|layers|hotpath   run one pass (repeatable; default: all)
+//   --pass rules|layers|hotpath|signals
+//                                 run one pass (repeatable; default: all)
 //   --layers <file>               layer DAG spec (default tools/lint/layers.txt)
 //   --baseline <file>             baseline file (default tools/lint/baseline.json)
 //   --ratchet                     tolerate findings pinned in the baseline;
@@ -13,8 +14,10 @@
 //   --json <path>                 machine-readable report ("-" = stdout)
 //
 // Passes: `rules` is the per-file engine (lint.hpp), `layers` the
-// include-graph analysis against the declared DAG (structure.hpp), and
-// `hotpath` the LUMOS_HOT_PATH body discipline (hotpath.hpp). Trees are
+// include-graph analysis against the declared DAG (structure.hpp),
+// `hotpath` the LUMOS_HOT_PATH body discipline, and `signals` the
+// LUMOS_SIGNAL_HANDLER async-signal-safety discipline (hotpath.hpp,
+// which hosts both marker-scoped scanners). Trees are
 // loaded once and shared; the structural passes see the concatenation of
 // every root, so cross-root edges (bench/ including src/ headers) are
 // part of the graph.
@@ -50,6 +53,7 @@ struct Options {
   bool pass_rules = true;
   bool pass_layers = true;
   bool pass_hotpath = true;
+  bool pass_signals = true;
   std::string layers_file = "tools/lint/layers.txt";
   std::string baseline_file = "tools/lint/baseline.json";
   bool ratchet = false;
@@ -59,7 +63,8 @@ struct Options {
 
 void usage(std::ostream& out) {
   out << "usage: lumos_lint [options] <source-dir>...\n"
-         "  --pass rules|layers|hotpath  run one pass (repeatable; default "
+         "  --pass rules|layers|hotpath|signals\n"
+         "                               run one pass (repeatable; default "
          "all)\n"
          "  --layers <file>              layer DAG (default "
          "tools/lint/layers.txt)\n"
@@ -140,13 +145,15 @@ int main(int argc, char** argv) {
   }
   if (!passes.empty()) {
     opt.pass_rules = opt.pass_layers = opt.pass_hotpath = false;
+    opt.pass_signals = false;
     for (const std::string& p : passes) {
       if (p == "rules") opt.pass_rules = true;
       else if (p == "layers") opt.pass_layers = true;
       else if (p == "hotpath") opt.pass_hotpath = true;
+      else if (p == "signals") opt.pass_signals = true;
       else {
         std::cerr << "lumos_lint: unknown pass '" << p
-                  << "' (rules|layers|hotpath)\n";
+                  << "' (rules|layers|hotpath|signals)\n";
         return 2;
       }
     }
@@ -196,6 +203,11 @@ int main(int argc, char** argv) {
       }
       if (opt.pass_hotpath) {
         auto diags = lumos::lint::check_hot_paths(files);
+        findings.insert(findings.end(), std::make_move_iterator(diags.begin()),
+                        std::make_move_iterator(diags.end()));
+      }
+      if (opt.pass_signals) {
+        auto diags = lumos::lint::check_signal_handlers(files);
         findings.insert(findings.end(), std::make_move_iterator(diags.begin()),
                         std::make_move_iterator(diags.end()));
       }

@@ -1,44 +1,68 @@
-// lumos_serve — long-running streaming characterization driver.
+// lumos_serve — long-running streaming characterization daemon.
 //
 // Tails an SWF event source (growing file, FIFO, or stdin) through
 // stream::run_ingest and periodically publishes the bounded-memory
 // characterization as a schema-versioned report JSON written atomically,
 // so consumers polling the output path never observe a torn document.
-// EXPERIMENTS.md ("Streaming ingest walkthrough") shows end-to-end
-// usage; DESIGN.md "Streaming mode" documents the report schema.
+// With --checkpoint it is crash-consistent: state + source cursor persist
+// periodically, SIGTERM/SIGINT flush a final checkpoint + report, and a
+// restart resumes from the cursor, replaying only the gap (DESIGN.md §4g;
+// bench/ext_serve_chaos drills SIGKILL at arbitrary points).
+// EXPERIMENTS.md ("Streaming ingest walkthrough" and "Kill-and-resume
+// walkthrough") shows end-to-end usage.
 //
 //   lumos_serve --in trace.swf --out report.json [--follow]
+//               [--checkpoint PATH] [--checkpoint-every N] [--no-resume]
 //               [--every N] [--max-events N] [--epoch-unix T]
 //               [--utc-offset H] [--sketch-k K] [--window-s S]
 //               [--bad-row-budget N] [--idle-timeout-s S]
+//               [--poll-interval-s S] [--stall-warn-s S]
 //
-// Exit codes follow the bench taxonomy: 0 ok, 2 usage, 1 runtime error.
+// Exit codes follow the unified bench taxonomy (bench/common.hpp): 0 ok
+// (including graceful shutdown by signal), 2 usage, 3 runtime error,
+// 4 injected fault. SIGPIPE is ignored so a vanished report reader
+// surfaces as a write error (code 3), not a silent signal death.
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <map>
-#include <optional>
 #include <string>
 
 #include "stream/ingest.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace {
+
+// Unified process exit codes — keep in sync with bench/common.hpp
+// (kExitOk/kExitUsage/kExitRuntime/kExitFault); tools sit below bench in
+// the layer DAG, so the constants are mirrored rather than included.
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitRuntime = 3;
+constexpr int kExitFault = 4;
 
 int usage() {
   std::cerr
       << "usage: lumos_serve --in PATH|- --out PATH|- [--follow]\n"
-         "  --in PATH           SWF source; '-' reads stdin (default -)\n"
-         "  --out PATH          report JSON destination; '-' for stdout\n"
-         "  --follow            keep tailing a growing file after EOF\n"
-         "  --every N           report every N job events (default 10000)\n"
-         "  --max-events N      stop after N events (0 = unlimited)\n"
-         "  --epoch-unix T      trace epoch for the diurnal profile\n"
-         "  --utc-offset H      local-time offset hours for the profile\n"
-         "  --sketch-k K        quantile sketch accuracy knob (default 200)\n"
-         "  --window-s S        tumbling window seconds (default 86400)\n"
-         "  --bad-row-budget N  malformed rows tolerated (default 1000)\n"
-         "  --idle-timeout-s S  follow mode: stop after S idle seconds\n";
-  return 2;
+         "  --in PATH            SWF source; '-' reads stdin (default -)\n"
+         "  --out PATH           report JSON destination; '-' for stdout\n"
+         "  --follow             keep tailing a growing file after EOF\n"
+         "  --checkpoint PATH    persist crash-consistent state here\n"
+         "  --checkpoint-every N checkpoint every N events (default 0 =\n"
+         "                       only on shutdown/end of stream)\n"
+         "  --no-resume          ignore an existing checkpoint on start\n"
+         "  --every N            report every N job events (default 10000)\n"
+         "  --max-events N       stop after N events (0 = unlimited)\n"
+         "  --epoch-unix T       trace epoch for the diurnal profile\n"
+         "  --utc-offset H       local-time offset hours for the profile\n"
+         "  --sketch-k K         quantile sketch accuracy knob (default 200)\n"
+         "  --window-s S         tumbling window seconds (default 86400)\n"
+         "  --bad-row-budget N   malformed rows tolerated (default 1000)\n"
+         "  --idle-timeout-s S   stop after S seconds without data\n"
+         "  --poll-interval-s S  follow/FIFO poll interval (default 0.25)\n"
+         "  --stall-warn-s S     warn when no event for S seconds (0 off)\n";
+  return kExitUsage;
 }
 
 double number_or(const std::map<std::string, std::string>& options,
@@ -50,6 +74,10 @@ double number_or(const std::map<std::string, std::string>& options,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A disappearing report reader must surface as a write error, not kill
+  // the daemon mid-checkpoint.
+  std::signal(SIGPIPE, SIG_IGN);
+
   std::map<std::string, std::string> options;
   for (int i = 1; i < argc; ++i) {
     std::string key = argv[i];
@@ -74,23 +102,48 @@ int main(int argc, char** argv) {
   ingest.bad_row_budget =
       static_cast<std::uint64_t>(number_or(options, "bad-row-budget", 1000));
   ingest.idle_timeout_s = number_or(options, "idle-timeout-s", 5.0);
+  ingest.poll_interval_s = number_or(options, "poll-interval-s", 0.25);
   ingest.config.epoch_unix =
       static_cast<std::int64_t>(number_or(options, "epoch-unix", 0));
   ingest.config.utc_offset_hours = number_or(options, "utc-offset", 0.0);
   ingest.config.sketch_k =
       static_cast<std::size_t>(number_or(options, "sketch-k", 200));
   ingest.config.window_seconds = number_or(options, "window-s", 86400.0);
+  ingest.checkpoint_path =
+      options.count("checkpoint") ? options["checkpoint"] : "";
+  ingest.checkpoint_every_events = static_cast<std::uint64_t>(
+      number_or(options, "checkpoint-every", 0));
+  ingest.resume = options.count("no-resume") == 0;
+  ingest.stall_warn_s = number_or(options, "stall-warn-s", 0.0);
+  ingest.handle_signals = true;
 
   try {
     const auto result = lumos::stream::run_ingest(ingest);
-    std::cerr << "lumos_serve: " << result.events << " events, "
+    std::cerr << "lumos_serve: " << result.events << " events ("
+              << result.resumed_events << " resumed, "
+              << result.replayed_events << " ingested), "
               << result.reports_written << " report(s), "
+              << result.checkpoints_written << " checkpoint(s), "
               << result.bad_rows << " bad row(s), "
               << static_cast<long long>(result.events_per_sec)
-              << " events/s\n";
-    return 0;
+              << " events/s";
+    if (result.shutdown_signal != 0) {
+      std::cerr << "; graceful shutdown on signal "
+                << result.shutdown_signal;
+    }
+    std::cerr << '\n';
+    return kExitOk;
+  } catch (const lumos::fault::InjectedFault& e) {
+    std::cerr << "lumos_serve: " << e.what() << '\n';
+    return kExitFault;
+  } catch (const lumos::InvalidArgument& e) {
+    std::cerr << "lumos_serve: " << e.what() << '\n';
+    return kExitUsage;
   } catch (const lumos::Error& e) {
     std::cerr << "lumos_serve: " << e.what() << '\n';
-    return 1;
+    return kExitRuntime;
+  } catch (const std::exception& e) {
+    std::cerr << "lumos_serve: " << e.what() << '\n';
+    return kExitRuntime;
   }
 }
