@@ -167,6 +167,8 @@ const std::vector<HarnessInfo>& all_harnesses() {
        {"median_runtime_s.", "peak_hour_ratio."}},
       {"ext_node_failures", "Extension", run_ext_node_failures,
        {"goodput_share.", "wasted_core_hours."}},
+      {"ext_dag_hedging", "Extension", run_ext_dag_hedging,
+       {"p99_slowdown.", "hedges."}},
       {"ext_sweep_scaling", "Extension", run_ext_sweep_scaling,
        {"wait_s.", "sweep."}},
       {"ext_stream_ingest", "Extension", run_ext_stream_ingest,

@@ -16,9 +16,10 @@ void SimAuditor::check(
     const Cluster& cluster,
     const std::vector<std::vector<std::uint32_t>>& queues,
     const std::vector<std::vector<RunningJob>>& running_by_part,
-    std::size_t total_queued) {
+    std::size_t total_queued, const JobSoA* jobs) {
   ++counters_->audits;
   std::fill(seen_.begin(), seen_.end(), 0);
+  const bool hedges = jobs != nullptr && jobs->hedge_enabled();
 
   // 1. Core accounting, per partition.
   if (running_by_part.size() != cluster.partitions()) {
@@ -29,11 +30,28 @@ void SimAuditor::check(
     std::uint64_t running_cores = 0;
     for (const RunningJob& r : running_by_part[p]) {
       running_cores += r.cores;
-      if (r.index >= seen_.size() || seen_[r.index] != 0) {
-        fail("job appears in two running sets");
+      if (r.index >= seen_.size()) {
+        fail("running job index out of range");
         return;
       }
-      seen_[r.index] = 2;
+      if (r.hedge != 0) {
+        // 4. A duplicate only exists for a hedge-active job, once.
+        if (!hedges || !jobs->hedge_active(r.index)) {
+          fail("hedge copy running without hedge-active state");
+          return;
+        }
+        if ((seen_[r.index] & 4) != 0) {
+          fail("job has two hedge copies running");
+          return;
+        }
+        seen_[r.index] |= 4;
+      } else {
+        if ((seen_[r.index] & 2) != 0) {
+          fail("job appears in two running sets");
+          return;
+        }
+        seen_[r.index] |= 2;
+      }
     }
     // Degraded capacity: cores on failed nodes are neither free nor
     // allocated, and the three pools partition the capacity exactly.
@@ -56,20 +74,61 @@ void SimAuditor::check(
         fail("queued job index out of range");
         return;
       }
-      if (seen_[idx] == 2) {
+      if ((seen_[idx] & (2 | 4)) != 0) {
         fail("job is both queued and running");
         return;
       }
-      if (seen_[idx] == 1) {
+      if ((seen_[idx] & 1) != 0) {
         fail("job is queued twice");
         return;
       }
-      seen_[idx] = 1;
+      seen_[idx] |= 1;
     }
   }
   if (queued != total_queued) {
     fail("total_queued does not match the sum of queue sizes");
     return;
+  }
+
+  // 4. Hedge pairing: both copies of a pair run together — a duplicate
+  // without its primary (or a hedge-active job missing either copy) means
+  // a cancellation path dropped one side only.
+  if (hedges) {
+    for (std::size_t i = 0; i < seen_.size(); ++i) {
+      if ((seen_[i] & 4) != 0 && (seen_[i] & 2) == 0) {
+        fail("hedge copy running without its primary");
+        return;
+      }
+      if (jobs->hedge_active(i) && (seen_[i] & (2 | 4)) != (2 | 4)) {
+        fail("hedge-active job missing a running copy");
+        return;
+      }
+    }
+  }
+
+  // 5. DAG release: a child never enters the queue (or beyond) while any
+  // parent is unfinished, and nothing released still counts unmet parents.
+  if (jobs != nullptr && jobs->dag_enabled()) {
+    for (std::size_t i = 0; i < seen_.size(); ++i) {
+      const JobLocation loc = jobs->location(i);
+      const bool past_release =
+          loc != JobLocation::NotArrived && loc != JobLocation::Blocked &&
+          loc != JobLocation::Abandoned;
+      if (past_release && jobs->unmet_parents(i) != 0) {
+        fail("released job still counts unmet parents");
+        return;
+      }
+      if (loc == JobLocation::Finished) continue;
+      for (const std::uint32_t* c = jobs->children_begin(i);
+           c != jobs->children_end(i); ++c) {
+        const JobLocation cloc = jobs->location(*c);
+        if (cloc != JobLocation::NotArrived && cloc != JobLocation::Blocked &&
+            cloc != JobLocation::Abandoned) {
+          fail("child started before all parents finished");
+          return;
+        }
+      }
+    }
   }
 }
 

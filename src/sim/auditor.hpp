@@ -16,6 +16,13 @@
 //     handle check in the event loop (and the interruption-epoch staleness
 //     check on the completion heap) this enforces that an interrupted job
 //     leaves the running set exactly once.
+//  4. Hedge pairing (when hedge lanes are built): a duplicate copy runs
+//     only while its primary runs and its job's hedge-active flag is set,
+//     at most one duplicate per job, and every hedge-active job has both
+//     copies in the running set — a pair is never counted as two jobs.
+//  5. DAG release (when precedence lanes are built): no child is queued,
+//     running, or finished while any of its parents is unfinished, and
+//     every released job's unmet-parent count is zero.
 //
 // `check_profile` additionally asserts that an incrementally maintained
 // availability profile is identical to a from-scratch rebuild — the proof
@@ -29,6 +36,7 @@
 #include <vector>
 
 #include "sim/cluster.hpp"
+#include "sim/job_soa.hpp"
 #include "sim/profile.hpp"
 #include "sim/simulator.hpp"
 
@@ -39,11 +47,12 @@ class SimAuditor {
   /// `jobs` bounds the job-index space; `fatal` selects throw-on-failure.
   SimAuditor(SimCounters& counters, std::size_t jobs, bool fatal = true);
 
-  /// Asserts invariants 1–3 over the current event-loop state.
+  /// Asserts invariants 1–3 over the current event-loop state; with a
+  /// JobSoA whose hedge/DAG lanes are built, also invariants 4–5.
   void check(const Cluster& cluster,
              const std::vector<std::vector<std::uint32_t>>& queues,
              const std::vector<std::vector<RunningJob>>& running_by_part,
-             std::size_t total_queued);
+             std::size_t total_queued, const JobSoA* jobs = nullptr);
 
   /// Asserts that the cached profile matches a from-scratch rebuild.
   void check_profile(const ResourceProfile& cached,
@@ -53,7 +62,9 @@ class SimAuditor {
   void fail(const char* what);
 
   SimCounters* counters_;
-  std::vector<std::uint8_t> seen_;  ///< scratch: 0 free, 1 queued, 2 running
+  /// Scratch bitmask per job: 1 = queued, 2 = primary running, 4 =
+  /// duplicate (hedge copy) running.
+  std::vector<std::uint8_t> seen_;
   bool fatal_;
 };
 

@@ -4,13 +4,17 @@
 // faults — are ordered by ONE documented comparator, `event_before`:
 //
 //   1. time      ascending (simulated seconds)
-//   2. kind      Finish < Arrive < Fail  — at the same instant, a
+//   2. kind      Finish < Arrive < Fail < Hedge — at the same instant, a
 //                finishing job frees cores before a new arrival is
-//                considered, and faults land after both, matching the
-//                drain order of the event loop (DESIGN.md §4b/§4f)
+//                considered, faults land after both, and hedge-check
+//                timers fire last (they inspect post-event state),
+//                matching the drain order of the event loop
+//                (DESIGN.md §4b/§4f/§4h)
 //   3. id       ascending job/node index — stable across runs
-//   4. seq      ascending disambiguator (the job epoch for completions;
-//                a push sequence number otherwise)
+//   4. seq      ascending disambiguator (2*epoch + hedge-copy flag for
+//                completions, so a job's primary and hedged duplicate
+//                coexist under distinct keys; a push sequence number
+//                otherwise)
 //
 // Historically ties at (2)-(4) fell to std::priority_queue insertion
 // order: deterministic for a fixed binary, but silently pinned to one
@@ -36,6 +40,15 @@
 // distinct — (kind, id, seq) uniqueness is the caller's contract — so
 // both backends pop the unique `event_before`-minimum and produce
 // identical sequences.
+//
+// Cancellation is tombstone-based lazy deletion: `cancel(key)` marks a
+// live entry dead without locating it; the entry is physically dropped
+// (and its tombstone retired) when it would surface at the head. Both
+// backends share the identical tombstone path, so cancellation preserves
+// heap/calendar bit-identity. The caller contract: each cancelled key
+// must currently be live and not already cancelled — the simulator
+// cancels only events it recorded when pushing (a hedged loser's Finish,
+// a finished job's pending hedge check).
 #pragma once
 
 #include <cstdint>
@@ -51,13 +64,21 @@
 
 namespace lumos::sim {
 
-enum class EventKind : std::uint8_t { Finish = 0, Arrive = 1, Fail = 2 };
+enum class EventKind : std::uint8_t {
+  Finish = 0,
+  Arrive = 1,
+  Fail = 2,
+  Hedge = 3,  ///< straggler-hedge check timer (fires after same-time events)
+};
 
 struct EventKey {
   double time = 0.0;
   EventKind kind = EventKind::Finish;
   std::uint32_t id = 0;
   std::uint32_t seq = 0;
+  /// Exact (bitwise on time) equality — tombstone matching; cancelled
+  /// keys are rebuilt from the same stored fields that were pushed.
+  [[nodiscard]] bool operator==(const EventKey&) const = default;
 };
 
 /// The one total order on simulator events; see the file comment.
@@ -136,8 +157,27 @@ class EventQueue {
 
   [[nodiscard]] EventQueueKind kind() const { return kind_; }
   [[nodiscard]] bool empty() const { return size() == 0; }
+  /// Live entries: physical population minus pending tombstones.
   [[nodiscard]] std::size_t size() const {
-    return kind_ == EventQueueKind::Heap ? heap_.size() : count_;
+    return (kind_ == EventQueueKind::Heap ? heap_.size() : count_) -
+           tombs_.size();
+  }
+
+  /// Marks the live entry with this exact key as cancelled (lazy delete;
+  /// the entry is dropped when it would reach the head). Contract: the
+  /// key IS currently live and has not been cancelled before — see the
+  /// file comment. O(1); pending tombstones cost O(|tombs|) per head
+  /// inspection, so cancellations should be retired promptly (the
+  /// simulator's are: a loser's Finish surfaces at its end time).
+  LUMOS_HOT_PATH void cancel(const EventKey& key) {
+    tombs_.push_back(key);
+    ++cancelled_total_;
+  }
+
+  /// Total cancel() calls over the queue's lifetime (the
+  /// `sim.events_cancelled` accounting hook).
+  [[nodiscard]] std::uint64_t cancelled_total() const {
+    return cancelled_total_;
   }
 
   LUMOS_HOT_PATH void push(const Entry& entry) {
@@ -157,12 +197,14 @@ class EventQueue {
   }
 
   [[nodiscard]] LUMOS_HOT_PATH const Entry& top() {
+    drain_cancelled();
     if (kind_ == EventQueueKind::Heap) return heap_.top();
     find_min();
     return lanes_[min_bucket_][min_slot_].entry;
   }
 
   LUMOS_HOT_PATH void pop() {
+    drain_cancelled();
     if (kind_ == EventQueueKind::Heap) {
       heap_.pop();
       return;
@@ -188,6 +230,40 @@ class EventQueue {
       return event_before(b.key(), a.key());  // min-queue
     }
   };
+
+  /// If `key` has a pending tombstone, retires it and returns true. The
+  /// tombstone list stays flat (no node containers on the hot path) and
+  /// is empty whenever no cancellation is in flight.
+  LUMOS_HOT_PATH bool retire_tombstone(const EventKey& key) {
+    for (std::size_t i = 0; i < tombs_.size(); ++i) {
+      if (tombs_[i] == key) {
+        tombs_[i] = tombs_.back();
+        tombs_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Physically drops cancelled entries that have reached the head, so
+  /// top()/pop() only ever see live minimums. Identical logic over both
+  /// backends: the head is located through the backend's own minimum
+  /// search, then removed if tombstoned.
+  LUMOS_HOT_PATH void drain_cancelled() {
+    while (!tombs_.empty()) {
+      if (kind_ == EventQueueKind::Heap) {
+        if (heap_.empty() || !retire_tombstone(heap_.top().key())) return;
+        heap_.pop();
+      } else {
+        if (count_ == 0) return;
+        find_min();
+        if (!retire_tombstone(min_key_)) return;
+        lanes_[min_bucket_].swap_remove(min_slot_);
+        --count_;
+        min_valid_ = false;
+      }
+    }
+  }
 
   // Monotone non-decreasing time -> virtual index map. Monotonicity is
   // the only correctness requirement (t1 < t2 implies vindex(t1) <=
@@ -327,6 +403,11 @@ class EventQueue {
   EventKey min_key_{};
   std::uint32_t min_bucket_ = 0;
   std::uint32_t min_slot_ = 0;
+
+  // Cancellation tombstones (shared by both backends) and the lifetime
+  // cancel() count surfaced as `sim.events_cancelled`.
+  std::vector<EventKey> tombs_;
+  std::uint64_t cancelled_total_ = 0;
 };
 
 }  // namespace lumos::sim

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/cluster.hpp"
+#include "trace/dag.hpp"
 #include "trace/trace.hpp"
 #include "util/annotations.hpp"
 
@@ -35,6 +36,7 @@ enum class JobLocation : std::uint8_t {
   Dropped,    ///< oversized for its partition, removed from the queue
   Retrying,   ///< interrupted; waiting out its resubmission backoff
   Abandoned,  ///< interrupted and out of retry budget: left as Failed
+  Blocked,    ///< arrived but waiting on unfinished DAG parents
 };
 
 class JobSoA {
@@ -77,6 +79,37 @@ class JobSoA {
     epoch_.assign(n_, 0);
   }
 
+  /// Allocates the precedence lanes from the trace's validated DAG edges
+  /// (call after build; traces without edges never pay for them). The
+  /// critical-path lane is weighted by planned runtimes — the same
+  /// quantity every policy scores against.
+  void enable_dag_state(const trace::Trace& trace) {
+    trace::DagIndex index = trace::build_dag_index(trace, planned_);
+    unmet_parents_ = std::move(index.parent_count);
+    child_offset_ = std::move(index.child_offset);
+    children_ = std::move(index.children);
+    cp_length_ = std::move(index.critical_path);
+  }
+
+  /// Allocates the straggler-hedging lanes. The duplicate's runtime is
+  /// the trace's straggler-free estimate when present, else the job's own
+  /// runtime (a duplicate of a non-straggler gains nothing). run_start_
+  /// doubles as the primary copy's start for wasted-work accounting, so
+  /// it is allocated here too when faults are off.
+  void enable_hedge_state(const trace::Trace& trace) {
+    if (run_start_.empty()) run_start_.assign(n_, 0.0);
+    hedge_run_.resize(n_);
+    const auto jobs = trace.jobs();
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double h = jobs[i].hedge_run_time;
+      hedge_run_[i] = h > 0.0 ? h : run_[i];
+    }
+    hedge_active_.assign(n_, 0);
+    hedge_slot_.assign(n_, 0);
+    hedge_start_.assign(n_, 0.0);
+    hedge_check_time_.assign(n_, -1.0);
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
 
   // Hot lanes (immutable after build).
@@ -99,6 +132,32 @@ class JobSoA {
   [[nodiscard]] std::uint32_t& epoch(std::size_t i) noexcept { return epoch_[i]; }
   [[nodiscard]] std::uint32_t epoch(std::size_t i) const noexcept { return epoch_[i]; }
 
+  // DAG lanes (valid only after enable_dag_state()).
+  [[nodiscard]] bool dag_enabled() const noexcept { return !child_offset_.empty(); }
+  [[nodiscard]] std::uint32_t& unmet_parents(std::size_t i) noexcept { return unmet_parents_[i]; }
+  [[nodiscard]] std::uint32_t unmet_parents(std::size_t i) const noexcept { return unmet_parents_[i]; }
+  /// Children of job i as a contiguous [begin, end) index range.
+  [[nodiscard]] const std::uint32_t* children_begin(std::size_t i) const noexcept {
+    return children_.data() + child_offset_[i];
+  }
+  [[nodiscard]] const std::uint32_t* children_end(std::size_t i) const noexcept {
+    return children_.data() + child_offset_[i + 1];
+  }
+  /// Downstream critical-path length (planned seconds, inclusive of i).
+  [[nodiscard]] double cp_length(std::size_t i) const noexcept { return cp_length_[i]; }
+
+  // Hedge lanes (valid only after enable_hedge_state()).
+  [[nodiscard]] bool hedge_enabled() const noexcept { return !hedge_run_.empty(); }
+  [[nodiscard]] double hedge_run(std::size_t i) const noexcept { return hedge_run_[i]; }
+  [[nodiscard]] bool hedge_active(std::size_t i) const noexcept { return hedge_active_[i] != 0; }
+  LUMOS_HOT_PATH void set_hedge_active(std::size_t i, bool on) noexcept { hedge_active_[i] = on ? 1 : 0; }
+  [[nodiscard]] std::uint32_t hedge_slot(std::size_t i) const noexcept { return hedge_slot_[i]; }
+  LUMOS_HOT_PATH void set_hedge_slot(std::size_t i, std::uint32_t s) noexcept { hedge_slot_[i] = s; }
+  [[nodiscard]] double& hedge_start(std::size_t i) noexcept { return hedge_start_[i]; }
+  /// Pending hedge-check event time for the current attempt (-1 = none);
+  /// recorded so a finished/interrupted job can cancel its timer.
+  [[nodiscard]] double& hedge_check_time(std::size_t i) noexcept { return hedge_check_time_[i]; }
+
  private:
   std::size_t n_ = 0;
   std::vector<double> submit_;
@@ -113,6 +172,17 @@ class JobSoA {
   std::vector<double> run_start_;       ///< start of the current attempt
   std::vector<std::uint32_t> attempts_; ///< interruptions suffered so far
   std::vector<std::uint32_t> epoch_;    ///< current interruption generation
+  // Cold DAG lanes (CSR children over job indices).
+  std::vector<std::uint32_t> unmet_parents_;
+  std::vector<std::uint32_t> child_offset_;
+  std::vector<std::uint32_t> children_;
+  std::vector<double> cp_length_;
+  // Cold hedge lanes.
+  std::vector<double> hedge_run_;       ///< duplicate's (fresh) runtime
+  std::vector<std::uint8_t> hedge_active_;
+  std::vector<std::uint32_t> hedge_slot_;
+  std::vector<double> hedge_start_;
+  std::vector<double> hedge_check_time_;
 };
 
 }  // namespace lumos::sim

@@ -18,6 +18,7 @@ SimMetrics compute_metrics(const trace::Trace& trace, const SimResult& result,
   m.wasted_core_hours = result.wasted_core_hours;
   m.interrupted_jobs = result.interrupted_jobs;
   m.abandoned_jobs = result.abandoned_jobs;
+  m.hedged_jobs = result.hedged_jobs;
   m.counters = result.counters;
 
   double wait_sum = 0.0;

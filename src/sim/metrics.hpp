@@ -24,6 +24,7 @@ struct SimMetrics {
   double wasted_core_hours = 0.0;
   std::size_t interrupted_jobs = 0;
   std::size_t abandoned_jobs = 0;
+  std::size_t hedged_jobs = 0;      ///< distinct jobs that got a duplicate
   SimCounters counters;             ///< event-loop instrumentation,
                                     ///< copied from the SimResult
 

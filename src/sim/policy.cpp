@@ -14,6 +14,7 @@ std::string_view to_string(PolicyKind p) noexcept {
     case PolicyKind::Wfp3: return "WFP3";
     case PolicyKind::Unicep: return "UNICEP";
     case PolicyKind::Saf: return "SAF";
+    case PolicyKind::CriticalPath: return "CP";
   }
   return "?";
 }
@@ -25,6 +26,7 @@ PolicyKind policy_from_string(std::string_view name) {
   if (n == "wfp3") return PolicyKind::Wfp3;
   if (n == "unicep") return PolicyKind::Unicep;
   if (n == "saf") return PolicyKind::Saf;
+  if (n == "cp" || n == "critical_path") return PolicyKind::CriticalPath;
   throw InvalidArgument("unknown scheduling policy: " + std::string(name));
 }
 
@@ -49,6 +51,11 @@ double policy_score(PolicyKind policy, const PolicyJobView& job) noexcept {
     }
     case PolicyKind::Saf:
       return cores * request;
+    case PolicyKind::CriticalPath:
+      // Edge-free fallback: the downstream critical path of an
+      // independent job is the job itself. The simulator substitutes the
+      // full DAG critical-path length when dependency lanes are built.
+      return -request;
   }
   return job.submit_time;
 }

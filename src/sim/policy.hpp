@@ -19,11 +19,18 @@ enum class PolicyKind : std::uint8_t {
   Wfp3,    ///< -(wait/request)^3 * cores — favours long-waiting small jobs
   Unicep,  ///< wait / (log2(cores) * request) — UNICEP/F4-style
   Saf,     ///< smallest area (cores * request) first
+  /// Longest downstream critical path first (DAG workloads): the job
+  /// whose completion unblocks the longest chain of planned work runs
+  /// earliest. For edge-free traces the downstream path is the job
+  /// itself, so this degrades to longest-job-first. The simulator scores
+  /// it from the precomputed JobSoA critical-path lane; the fallback
+  /// below sees only the job's own planned runtime.
+  CriticalPath,
 };
 
 [[nodiscard]] std::string_view to_string(PolicyKind p) noexcept;
-/// Parses "fcfs"/"sjf"/"wfp3"/"unicep"/"saf" (case-insensitive); throws
-/// InvalidArgument on anything else.
+/// Parses "fcfs"/"sjf"/"wfp3"/"unicep"/"saf"/"cp" (case-insensitive);
+/// throws InvalidArgument on anything else.
 [[nodiscard]] PolicyKind policy_from_string(std::string_view name);
 
 /// A waiting job as a policy sees it.

@@ -13,6 +13,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/job_soa.hpp"
 #include "sim/profile.hpp"
+#include "trace/dag.hpp"
 #include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -41,6 +42,18 @@ struct RetryEvent {
   }
 };
 
+/// A straggler-hedge check timer: fires `threshold * planned` after a job
+/// starts; if the job is still running, a duplicate copy is launched.
+/// At most one check is live per job (finish/interrupt cancels the
+/// pending timer), so seq 0 keeps keys unique.
+struct HedgeEvent {
+  double time = 0.0;
+  std::uint32_t index = 0;
+  [[nodiscard]] EventKey key() const noexcept {
+    return {time, EventKind::Hedge, index, 0};
+  }
+};
+
 /// The event-loop engine: all per-run state lives here, laid out
 /// data-oriented (see job_soa.hpp / event_queue.hpp), with every scratch
 /// buffer hoisted to a member so the steady-state loop allocates nothing.
@@ -58,7 +71,8 @@ class SimEngine {
         config_(config),
         cluster_(Cluster::from_spec(trace.spec())),
         running_(config.event_queue),
-        retries_(config.event_queue) {}
+        retries_(config.event_queue),
+        hedge_checks_(config.event_queue) {}
 
   [[nodiscard]] SimResult run();
 
@@ -71,8 +85,147 @@ class SimEngine {
 
   void audit() {
     if (auditor_) {
-      auditor_->check(cluster_, queues_, running_by_part_, total_queued_);
+      auditor_->check(cluster_, queues_, running_by_part_, total_queued_,
+                      &jobs_);
     }
+  }
+
+  // Swap-erases slot `slot` out of a partition's running vector, patching
+  // the moved entry's run-slot or hedge-slot handle per its copy kind.
+  LUMOS_HOT_PATH void remove_running_slot(std::vector<RunningJob>& vec,
+                                          std::uint32_t slot) {
+    vec[slot] = vec.back();
+    const RunningJob& moved = vec[slot];
+    if (moved.hedge != 0) {
+      jobs_.set_hedge_slot(moved.index, slot);
+    } else {
+      jobs_.set_run_slot(moved.index, slot);
+    }
+    vec.pop_back();
+  }
+
+  // Cancels the pending hedge-check timer for `idx`, if any. Finishing or
+  // interrupting a job before its check fires must retire the timer, or a
+  // later attempt's state would be probed by a stale event.
+  void cancel_hedge_check(std::uint32_t idx) {
+    if (!hedging_on_) return;
+    double& t = jobs_.hedge_check_time(idx);
+    if (t >= 0.0) {
+      hedge_checks_.cancel(EventKey{t, EventKind::Hedge, idx, 0});
+      t = -1.0;
+    }
+  }
+
+  // First finish of a hedged pair wins: tears down the losing copy when
+  // `winner` completes. The loser's cores are freed here — exactly once,
+  // because its Finish entry is tombstoned and can never drain as a
+  // completion — and its burned core-hours are charged to waste.
+  void cancel_hedge_loser(const RunningJob& winner) {
+    auto& vec = running_by_part_[winner.partition];
+    const std::uint32_t lslot = winner.hedge != 0
+                                    ? jobs_.run_slot(winner.index)
+                                    : jobs_.hedge_slot(winner.index);
+    if (lslot >= vec.size() || vec[lslot].index != winner.index ||
+        vec[lslot].hedge == winner.hedge) {
+      throw InternalError("hedge pair out of sync with running slots");
+    }
+    const RunningJob loser = vec[lslot];
+    remove_running_slot(vec, lslot);
+    cluster_.release(loser.cores, loser.partition);
+    running_.cancel(loser.key());
+    jobs_.set_hedge_active(winner.index, false);
+    const double lstart = loser.hedge != 0 ? jobs_.hedge_start(winner.index)
+                                           : jobs_.run_start(winner.index);
+    const double burned = std::max(0.0, winner.end - lstart) *
+                          static_cast<double>(loser.cores) / 3600.0;
+    result_.wasted_core_hours += burned;
+    counters_->hedge_wasted_core_hours += burned;
+    ++counters_->hedges_cancelled;
+    invalidate_profile(winner.partition);
+  }
+
+  // Launches a duplicate copy of a still-running straggler if its
+  // partition has the spare cores; a full partition forfeits the hedge
+  // (the next event is the primary's own finish). The duplicate runs the
+  // trace's straggler-free runtime from scratch — no checkpoint handoff.
+  LUMOS_HOT_PATH void try_launch_hedge(std::uint32_t idx) {
+    if (jobs_.location(idx) != JobLocation::Running ||
+        jobs_.hedge_active(idx)) {
+      return;
+    }
+    const std::size_t part = jobs_.partition(idx);
+    const std::uint64_t cores = jobs_.cores(idx);
+    if (!cluster_.fits(cores, part)) return;
+    const bool ok = cluster_.allocate(cores, part);
+    // lumos-lint: allow(hot-throw) guard: fits() was checked on the line above
+    if (!ok) throw InternalError("hedge launch without free cores");
+    RunningJob h;
+    h.end = now_ + jobs_.hedge_run(idx);
+    h.planned_end = now_ + jobs_.planned(idx);
+    h.cores = cores;
+    h.partition = part;
+    h.index = idx;
+    h.epoch = faults_on_ ? jobs_.epoch(idx) : 0;
+    h.hedge = 1;
+    running_.push(h);
+    auto& vec = running_by_part_[part];
+    jobs_.set_hedge_slot(idx, static_cast<std::uint32_t>(vec.size()));
+    vec.push_back(h);
+    jobs_.set_hedge_active(idx, true);
+    jobs_.hedge_start(idx) = now_;
+    ++counters_->hedges_launched;
+    auto& outcome = result_.outcomes[idx];
+    if (!outcome.hedged) {
+      outcome.hedged = true;
+      ++result_.hedged_jobs;
+    }
+    // The duplicate reserves planned capacity like any other start.
+    ProfileCache& cache = profiles_[part];
+    if (cache.valid && cache.time == now_) {
+      cache.profile.reserve(now_, h.planned_end, h.cores);
+    }
+  }
+
+  // Marks every unstarted descendant of a dead job Abandoned: with an
+  // ancestor abandoned or dropped, the child's parent set can never
+  // complete, and leaving it Blocked would strand the workflow silently.
+  void abandon_descendants(std::uint32_t idx) {
+    cascade_.assign(1, idx);
+    while (!cascade_.empty()) {
+      const std::uint32_t parent = cascade_.back();
+      cascade_.pop_back();
+      for (const std::uint32_t* c = jobs_.children_begin(parent);
+           c != jobs_.children_end(parent); ++c) {
+        const JobLocation loc = jobs_.location(*c);
+        if (loc != JobLocation::NotArrived && loc != JobLocation::Blocked) {
+          continue;  // already released (other parents done) or abandoned
+        }
+        jobs_.set_location(*c, JobLocation::Abandoned);
+        result_.outcomes[*c].abandoned = true;
+        ++result_.abandoned_jobs;
+        ++counters_->dag_abandoned;
+        cascade_.push_back(*c);
+      }
+    }
+  }
+
+  // Releases the blocked children whose last parent finished this batch.
+  // Completions drain in event_before order on both backends, but sorting
+  // the released set by job index makes the FCFS queue order independent
+  // of even that — release order matches arrival-order semantics and is
+  // bit-identical across heap and calendar queues.
+  LUMOS_HOT_PATH void release_ready_children() {
+    std::sort(released_.begin(), released_.end());
+    for (const std::uint32_t idx : released_) {
+      const std::size_t part = jobs_.partition(idx);
+      queues_[part].push_back(idx);
+      jobs_.set_location(idx, JobLocation::Queued);
+      sort_dirty_[part] = 1;
+      ++total_queued_;
+      ++counters_->dag_releases;
+    }
+    released_.clear();
+    audit();
   }
 
   // Planned-availability profile for one partition from its running jobs,
@@ -155,6 +308,15 @@ class SimEngine {
       r.epoch = jobs_.epoch(idx);
       jobs_.run_start(idx) = now_;
     }
+    if (hedging_on_) {
+      jobs_.run_start(idx) = now_;
+      const double planned = jobs_.planned(idx);
+      if (planned >= config_.hedge.min_planned_s) {
+        const double check_at = now_ + config_.hedge.threshold * planned;
+        hedge_checks_.push(HedgeEvent{check_at, idx});
+        jobs_.hedge_check_time(idx) = check_at;
+      }
+    }
     running_.push(r);
     jobs_.set_location(idx, JobLocation::Running);
     jobs_.set_run_slot(idx,
@@ -210,6 +372,9 @@ class SimEngine {
           jobs_.set_location(queue[r], JobLocation::Dropped);
           ++result_.skipped_oversized;
           --total_queued_;
+          // A dropped parent can never finish; its descendants can never
+          // release.
+          if (dag_on_) abandon_descendants(queue[r]);
         } else {
           queue[w++] = queue[r];
         }
@@ -226,10 +391,18 @@ class SimEngine {
         (sort_dirty_[part] != 0 ||
          (time_dependent_ && sorted_at_[part] != now_))) {
       ++counters_->sort_invocations;
-      for (const std::uint32_t idx : queue) {
-        const PolicyJobView view{jobs_.submit(idx), now_ - jobs_.submit(idx),
-                                 jobs_.planned(idx), jobs_.cores(idx)};
-        score_[idx] = policy_score(config_.policy, view);
+      if (cp_scored_) {
+        // Critical-path-first: negate so the longest downstream chain of
+        // planned work sorts to the head (lower score serves earlier).
+        for (const std::uint32_t idx : queue) {
+          score_[idx] = -jobs_.cp_length(idx);
+        }
+      } else {
+        for (const std::uint32_t idx : queue) {
+          const PolicyJobView view{jobs_.submit(idx), now_ - jobs_.submit(idx),
+                                   jobs_.planned(idx), jobs_.cores(idx)};
+          score_[idx] = policy_score(config_.policy, view);
+        }
       }
       std::stable_sort(queue.begin(), queue.end(),
                        [this](std::uint32_t a, std::uint32_t b) {
@@ -391,15 +564,35 @@ class SimEngine {
   void interrupt(std::uint32_t idx) {
     const std::size_t part = jobs_.partition(idx);
     auto& vec = running_by_part_[part];
+    // A node failure tears down the whole hedged pair: the duplicate is
+    // cancelled first (cores freed, Finish entry tombstoned) so the
+    // primary teardown below sees ordinary single-copy state, and the
+    // retried attempt starts un-hedged with a fresh check timer.
+    if (hedging_on_ && jobs_.hedge_active(idx)) {
+      const std::uint32_t hslot = jobs_.hedge_slot(idx);
+      if (hslot >= vec.size() || vec[hslot].index != idx ||
+          vec[hslot].hedge == 0) {
+        throw InternalError("interrupt: hedge-slot handle out of sync");
+      }
+      const RunningJob dup = vec[hslot];
+      remove_running_slot(vec, hslot);
+      cluster_.release(dup.cores, dup.partition);
+      running_.cancel(dup.key());
+      jobs_.set_hedge_active(idx, false);
+      const double burned = std::max(0.0, now_ - jobs_.hedge_start(idx)) *
+                            static_cast<double>(dup.cores) / 3600.0;
+      result_.wasted_core_hours += burned;
+      counters_->hedge_wasted_core_hours += burned;
+      ++counters_->hedges_cancelled;
+    }
+    cancel_hedge_check(idx);
     const std::uint32_t slot = jobs_.run_slot(idx);
     if (jobs_.location(idx) != JobLocation::Running || slot >= vec.size() ||
-        vec[slot].index != idx) {
+        vec[slot].index != idx || vec[slot].hedge != 0) {
       throw InternalError("interrupt: running-slot handle out of sync");
     }
     const RunningJob r = vec[slot];
-    vec[slot] = vec.back();
-    jobs_.set_run_slot(vec[slot].index, slot);
-    vec.pop_back();
+    remove_running_slot(vec, slot);
     cluster_.release(r.cores, r.partition);
     ++jobs_.epoch(idx);
 
@@ -430,6 +623,7 @@ class SimEngine {
                              static_cast<double>(jobs_.cores(idx)) / 3600.0;
       result_.wasted_core_hours += sunk_ch;
       counters_->work_lost_core_hours += sunk_ch;
+      if (dag_on_) abandon_descendants(idx);
       return;
     }
     ++counters_->retries;
@@ -464,6 +658,10 @@ class SimEngine {
                   std::greater<std::uint32_t>());
         for (std::uint32_t idx : victims_) {
           if (cluster_.free(part) >= ev.cores) break;
+          // A hedged pair appears twice in the running vector; its first
+          // interruption tears both copies down, so the second sighting
+          // (and any job another interrupt requeued) is skipped.
+          if (jobs_.location(idx) != JobLocation::Running) continue;
           interrupt(idx);
         }
       }
@@ -535,6 +733,15 @@ class SimEngine {
   std::optional<fault::FaultProcess> faults_;
   EventQueue<RetryEvent> retries_;
 
+  // DAG precedence + straggler hedging. Like faults, both are opt-in and
+  // their disabled paths stay bit-identical to the pre-DAG simulator.
+  bool dag_on_ = false;
+  bool cp_scored_ = false;              ///< CriticalPath policy with DAG lanes
+  std::vector<std::uint32_t> released_; ///< children unblocked this batch
+  std::vector<std::uint32_t> cascade_;  ///< abandon-descendants DFS stack
+  bool hedging_on_ = false;
+  EventQueue<HedgeEvent> hedge_checks_;
+
   std::optional<SimAuditor> auditor_;
 };
 
@@ -563,6 +770,14 @@ LUMOS_HOT_PATH SimResult SimEngine::run() {
     jobs_.enable_fault_state();
   }
 
+  // Precedence lanes only when the trace actually carries edges (and the
+  // edges must validate — cycles, self-edges, and unknown parents throw).
+  dag_on_ = trace::has_dependencies(trace_);
+  if (dag_on_) jobs_.enable_dag_state(trace_);
+  cp_scored_ = config_.policy == PolicyKind::CriticalPath && dag_on_;
+  hedging_on_ = config_.hedge.enabled();
+  if (hedging_on_) jobs_.enable_hedge_state(trace_);
+
   if (config_.audit) {
     auditor_.emplace(*counters_, jobs.size(), config_.audit_fatal);
   }
@@ -581,6 +796,9 @@ LUMOS_HOT_PATH SimResult SimEngine::run() {
     if (!retries_.empty()) {
       next_time = std::min(next_time, retries_.top().time);
     }
+    if (hedging_on_ && !hedge_checks_.empty()) {
+      next_time = std::min(next_time, hedge_checks_.top().time);
+    }
     if (faults_on_) next_time = std::min(next_time, faults_->peek()->time);
     now_ = std::max(now_, next_time);
     ++counters_->event_batches;
@@ -593,29 +811,57 @@ LUMOS_HOT_PATH SimResult SimEngine::run() {
       // node failure already tore down; the teardown in interrupt() was
       // this job's single departure from the running set.
       if (faults_on_ && jobs_.epoch(r.index) != r.epoch) continue;
+      // First finish of a hedged pair wins: tear the loser down before
+      // touching the winner's slot (the teardown may move it). A pair
+      // ending at the same instant drains the primary first (its key's
+      // seq is even), which then tombstones the duplicate's entry — a
+      // hedged job leaves the running set exactly once.
+      if (hedging_on_ && jobs_.hedge_active(r.index)) cancel_hedge_loser(r);
+      cancel_hedge_check(r.index);
       cluster_.release(r.cores, r.partition);
       // Swap-erase the running slot; patch the moved job's handle.
       auto& vec = running_by_part_[r.partition];
-      const std::uint32_t slot = jobs_.run_slot(r.index);
-      if (slot >= vec.size() || vec[slot].index != r.index) {
+      const std::uint32_t slot =
+          r.hedge != 0 ? jobs_.hedge_slot(r.index) : jobs_.run_slot(r.index);
+      if (slot >= vec.size() || vec[slot].index != r.index ||
+          vec[slot].hedge != r.hedge) {
         // lumos-lint: allow(hot-throw) corrupted run_slot handle means the swap-erase patching broke; fail loudly
         throw InternalError("running-slot handle out of sync");
       }
-      vec[slot] = vec.back();
-      jobs_.set_run_slot(vec[slot].index, slot);
-      vec.pop_back();
+      remove_running_slot(vec, slot);
       jobs_.set_location(r.index, JobLocation::Finished);
       // A release frees planned capacity the cached profile still holds
       // reserved; it must be rebuilt on next use.
       invalidate_profile(r.partition);
       result_.makespan = std::max(result_.makespan, r.end);
+      auto& outcome = result_.outcomes[r.index];
+      outcome.finish_time = r.end;
+      if (r.hedge != 0) {
+        outcome.hedge_won = true;
+        ++counters_->hedges_won;
+      }
       ++counters_->completions;
-      if (faults_on_) {
+      if (faults_on_ || hedging_on_) {
+        const double useful =
+            r.hedge != 0 ? jobs_.hedge_run(r.index) : jobs_.run(r.index);
         result_.goodput_core_hours +=
-            jobs_.run(r.index) * static_cast<double>(r.cores) / 3600.0;
+            useful * static_cast<double>(r.cores) / 3600.0;
+      }
+      if (dag_on_) {
+        // The winner's completion satisfies one parent edge per child;
+        // children whose last parent this was are released below, after
+        // the batch drains (sorted, so release order is backend-agnostic).
+        for (const std::uint32_t* c = jobs_.children_begin(r.index);
+             c != jobs_.children_end(r.index); ++c) {
+          if (--jobs_.unmet_parents(*c) == 0 &&
+              jobs_.location(*c) == JobLocation::Blocked) {
+            released_.push_back(*c);
+          }
+        }
       }
       audit();
     }
+    if (dag_on_ && !released_.empty()) release_ready_children();
     // Node failures/recoveries at or before `now` (after completions: a
     // job ending exactly when its node dies is considered done).
     if (faults_on_) {
@@ -640,14 +886,41 @@ LUMOS_HOT_PATH SimResult SimEngine::run() {
     while (next_arrival_ < jobs_.size() &&
            jobs_.submit(next_arrival_) <= now_ + kEps) {
       const auto idx = static_cast<std::uint32_t>(next_arrival_);
+      ++next_arrival_;
+      if (dag_on_) {
+        // Descendants of dead parents were cascade-abandoned before they
+        // arrived; jobs with unfinished parents park in Blocked until
+        // their last parent's completion releases them.
+        if (jobs_.location(idx) == JobLocation::Abandoned) continue;
+        if (jobs_.unmet_parents(idx) > 0) {
+          jobs_.set_location(idx, JobLocation::Blocked);
+          ++counters_->arrivals;
+          audit();
+          continue;
+        }
+      }
       const std::size_t part = jobs_.partition(idx);
       queues_[part].push_back(idx);
       jobs_.set_location(idx, JobLocation::Queued);
       sort_dirty_[part] = 1;
       ++total_queued_;
-      ++next_arrival_;
       ++counters_->arrivals;
       audit();
+    }
+    // Hedge-check timers at or before `now`: still-running stragglers get
+    // a duplicate if the cores are free. Checked before the scheduling
+    // round, so a launched duplicate is planned around immediately; at
+    // equal instants hedges therefore outrank queued work for spare cores
+    // (the straggler is already holding up its workflow's critical path).
+    if (hedging_on_) {
+      while (!hedge_checks_.empty() &&
+             hedge_checks_.top().time <= now_ + kEps) {
+        const HedgeEvent hv = hedge_checks_.top();
+        hedge_checks_.pop();
+        jobs_.hedge_check_time(hv.index) = -1.0;
+        try_launch_hedge(hv.index);
+        audit();
+      }
     }
     result_.max_queue_length =
         std::max(result_.max_queue_length, total_queued_);
@@ -655,6 +928,8 @@ LUMOS_HOT_PATH SimResult SimEngine::run() {
   }
 
   counters_->events = counters_->completions + counters_->arrivals;
+  counters_->events_cancelled =
+      running_.cancelled_total() + hedge_checks_.cancelled_total();
   return result_;
 }
 
@@ -696,6 +971,19 @@ SimResult simulate(const trace::Trace& trace, const SimConfig& config,
     registry.counter("sim.retries").add(c.retries);
     registry.counter("sim.jobs_abandoned").add(c.jobs_abandoned);
     registry.gauge("sim.work_lost_core_hours").set(c.work_lost_core_hours);
+  }
+  if (trace::has_dependencies(trace) || config.hedge.enabled()) {
+    // Published only when precedence or hedging is in play, so plain
+    // replay snapshots stay identical to the pre-DAG observability
+    // surface (same gating discipline as the fault counters above).
+    registry.counter("sim.dag_releases").add(c.dag_releases);
+    registry.counter("sim.dag_abandoned").add(c.dag_abandoned);
+    registry.counter("sim.events_cancelled").add(c.events_cancelled);
+    registry.counter("sim.hedges_launched").add(c.hedges_launched);
+    registry.counter("sim.hedges_won").add(c.hedges_won);
+    registry.counter("sim.hedges_cancelled").add(c.hedges_cancelled);
+    registry.gauge("sim.hedge_wasted_core_hours")
+        .set(c.hedge_wasted_core_hours);
   }
   return result;
 }

@@ -33,6 +33,22 @@ class Registry;
 
 namespace lumos::sim {
 
+/// Straggler-mitigation by hedged duplicate launches (DESIGN.md §4h).
+/// When a running job's elapsed time exceeds `threshold` times its
+/// planned (requested/oracle) runtime, the scheduler launches a duplicate
+/// copy on the same partition if the cores are free. First finish wins;
+/// the loser is cancelled, its cores freed exactly once and its burned
+/// core-hours accounted as waste. Disabled (threshold 0) runs are
+/// bit-identical to the pre-hedging simulator.
+struct HedgeConfig {
+  /// Launch a duplicate once elapsed > threshold * planned. 0 disables.
+  double threshold = 0.0;
+  /// Jobs with planned runtime below this never hedge (duplicating tiny
+  /// jobs wastes cores for no tail benefit).
+  double min_planned_s = 0.0;
+  [[nodiscard]] bool enabled() const noexcept { return threshold > 0.0; }
+};
+
 struct SimConfig {
   PolicyKind policy = PolicyKind::Fcfs;
   BackfillConfig backfill;
@@ -60,6 +76,10 @@ struct SimConfig {
   /// bit-identical; Calendar is O(1) amortised per event, Heap is the
   /// reference fallback.
   EventQueueKind event_queue = EventQueueKind::Calendar;
+  /// Straggler hedging (see HedgeConfig). Disabled by default; a disabled
+  /// config leaves every result field and counter bit-identical to the
+  /// pre-hedging simulator.
+  HedgeConfig hedge;
 };
 
 /// Event-loop instrumentation, surfaced through SimResult. All counters
@@ -89,6 +109,14 @@ struct SimCounters {
   std::uint64_t retries = 0;           ///< resubmissions + requeues
   std::uint64_t jobs_abandoned = 0;    ///< jobs that exhausted retries
   double work_lost_core_hours = 0.0;   ///< progress discarded by faults
+  // DAG + hedging (all zero for edge-free traces with hedging disabled).
+  std::uint64_t dag_releases = 0;      ///< blocked jobs released by a parent
+  std::uint64_t dag_abandoned = 0;     ///< descendants of dead parents
+  std::uint64_t events_cancelled = 0;  ///< event-queue tombstones consumed
+  std::uint64_t hedges_launched = 0;   ///< duplicate copies started
+  std::uint64_t hedges_won = 0;        ///< duplicates that beat the primary
+  std::uint64_t hedges_cancelled = 0;  ///< losing copies torn down
+  double hedge_wasted_core_hours = 0.0;///< losers' burned core-hours
   [[nodiscard]] bool operator==(const SimCounters&) const = default;
 };
 
@@ -103,20 +131,26 @@ struct RunningJob {
   /// Interruption generation at start; a queue entry whose epoch is stale
   /// belongs to an execution attempt a node failure already tore down.
   std::uint32_t epoch = 0;
-  /// Completion-event ordering key: (end, Finish, index, epoch) under
-  /// `event_before` — same-instant completions drain in job-index order.
+  /// 1 for a hedged duplicate copy, 0 for the primary.
+  std::uint8_t hedge = 0;
+  /// Completion-event ordering key: (end, Finish, index, 2*epoch+hedge)
+  /// under `event_before` — same-instant completions drain in job-index
+  /// order, and a primary beats its duplicate at the exact same end.
   [[nodiscard]] EventKey key() const noexcept {
-    return {end, EventKind::Finish, index, epoch};
+    return {end, EventKind::Finish, index, 2 * epoch + hedge};
   }
 };
 
 /// Outcome for one job, index-aligned with the input trace.
 struct JobOutcome {
   double start_time = -1.0;          ///< -1 = never started (oversized)
+  double finish_time = -1.0;         ///< winner's completion (-1 = none)
   double first_reservation = -1.0;   ///< -1 = never needed a reservation
   bool backfilled = false;           ///< started ahead of the queue head
   std::uint32_t interruptions = 0;   ///< node-failure interruptions
   bool abandoned = false;            ///< gave up after exhausting retries
+  bool hedged = false;               ///< a duplicate copy was launched
+  bool hedge_won = false;            ///< the duplicate finished first
   [[nodiscard]] bool started() const noexcept { return start_time >= 0.0; }
   /// Positive when a relaxed backfill pushed this job past its promise.
   [[nodiscard]] double reservation_delay() const noexcept {
@@ -148,6 +182,7 @@ struct SimResult {
   double wasted_core_hours = 0.0;
   std::size_t interrupted_jobs = 0;     ///< distinct jobs interrupted
   std::size_t abandoned_jobs = 0;
+  std::size_t hedged_jobs = 0;          ///< distinct jobs that got a duplicate
   SimCounters counters;                 ///< event-loop instrumentation
   /// Field-for-field (bit-exact for doubles) — the backend-equivalence
   /// and shard-identity tests compare entire results with this.

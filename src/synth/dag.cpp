@@ -1,0 +1,156 @@
+#include "synth/dag.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "trace/dag.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace lumos::synth {
+
+std::string_view to_string(WorkflowShape s) noexcept {
+  switch (s) {
+    case WorkflowShape::Chain: return "chain";
+    case WorkflowShape::ForkJoin: return "forkjoin";
+    case WorkflowShape::RandomLayered: return "layered";
+  }
+  return "?";
+}
+
+WorkflowShape workflow_shape_from_string(std::string_view name) {
+  const std::string n = util::to_lower(name);
+  if (n == "chain") return WorkflowShape::Chain;
+  if (n == "forkjoin" || n == "fork-join") return WorkflowShape::ForkJoin;
+  if (n == "layered" || n == "random_layered") {
+    return WorkflowShape::RandomLayered;
+  }
+  throw InvalidArgument("unknown workflow shape: " + std::string(name));
+}
+
+namespace {
+
+/// Emits one workflow's tasks into `out`. Task ids are `first_id + k` with
+/// k in generation order; every parent is generated before its children,
+/// so edges always point at lower ids (acyclic by construction — and
+/// revalidated before generate returns).
+void emit_workflow(const DagWorkloadOptions& opt, util::Rng& rng,
+                   std::uint32_t workflow, double submit,
+                   std::uint64_t first_id, std::vector<trace::Job>& out) {
+  std::size_t n = opt.min_tasks +
+                  rng.uniform_index(opt.max_tasks - opt.min_tasks + 1);
+  if (opt.shape == WorkflowShape::ForkJoin && n < 3) n = 3;
+
+  const std::size_t base = out.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    trace::Job j;
+    j.id = first_id + k;
+    j.user = workflow;
+    j.submit_time = submit;
+    j.run_time = rng.lognormal(opt.runtime_log_mu, opt.runtime_log_sigma);
+    j.requested_time = j.run_time * opt.walltime_factor;
+    j.cores = opt.min_cores + static_cast<std::uint32_t>(rng.uniform_index(
+                                  opt.max_cores - opt.min_cores + 1));
+    out.push_back(std::move(j));
+  }
+
+  auto link = [&](std::size_t child, std::size_t parent) {
+    out[base + child].parents.push_back(first_id + parent);
+  };
+  switch (opt.shape) {
+    case WorkflowShape::Chain:
+      for (std::size_t k = 1; k < n; ++k) link(k, k - 1);
+      break;
+    case WorkflowShape::ForkJoin:
+      // Task 0 fans out to 1..n-2; task n-1 joins them all.
+      for (std::size_t k = 1; k + 1 < n; ++k) link(k, 0);
+      for (std::size_t k = 1; k + 1 < n; ++k) link(n - 1, k);
+      break;
+    case WorkflowShape::RandomLayered: {
+      // Slice 0..n-1 into random-width layers; every task in layer L > 0
+      // gets one mandatory parent in layer L-1 plus Bernoulli extras.
+      std::size_t layer_begin = 0;
+      std::size_t layer_end = 1 + rng.uniform_index(
+                                      std::min(opt.max_width, n));
+      while (layer_end < n) {
+        const std::size_t remaining = n - layer_end;
+        const std::size_t width =
+            1 + rng.uniform_index(std::min(opt.max_width, remaining));
+        const std::size_t prev_size = layer_end - layer_begin;
+        for (std::size_t k = layer_end; k < layer_end + width; ++k) {
+          const std::size_t mandatory =
+              layer_begin + rng.uniform_index(prev_size);
+          link(k, mandatory);
+          for (std::size_t p = layer_begin; p < layer_end; ++p) {
+            if (p != mandatory && rng.bernoulli(opt.edge_prob)) link(k, p);
+          }
+        }
+        layer_begin = layer_end;
+        layer_end += width;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+trace::Trace generate_dag_workload(const DagWorkloadOptions& opt) {
+  LUMOS_REQUIRE(opt.min_tasks >= 1 && opt.min_tasks <= opt.max_tasks,
+                "DagWorkloadOptions: need 1 <= min_tasks <= max_tasks");
+  LUMOS_REQUIRE(opt.min_cores >= 1 && opt.min_cores <= opt.max_cores,
+                "DagWorkloadOptions: need 1 <= min_cores <= max_cores");
+  LUMOS_REQUIRE(opt.max_cores <= opt.cluster_cores,
+                "DagWorkloadOptions: tasks must fit the cluster");
+  LUMOS_REQUIRE(opt.edge_prob >= 0.0 && opt.edge_prob <= 1.0,
+                "DagWorkloadOptions: edge_prob must be a probability");
+  LUMOS_REQUIRE(opt.max_width >= 1,
+                "DagWorkloadOptions: max_width must be >= 1");
+
+  util::Rng rng(opt.seed);
+  std::vector<trace::Job> jobs;
+  jobs.reserve(opt.workflows * (opt.min_tasks + opt.max_tasks) / 2);
+  double submit = 0.0;
+  for (std::size_t w = 0; w < opt.workflows; ++w) {
+    submit += rng.exponential(1.0 / opt.mean_interarrival_s);
+    emit_workflow(opt, rng, static_cast<std::uint32_t>(w), submit,
+                  jobs.size(), jobs);
+  }
+
+  trace::SystemSpec spec;
+  spec.name = "dag-synth";
+  spec.affiliation = "synthetic";
+  spec.cores = opt.cluster_cores;
+  spec.nodes = opt.cluster_cores;
+  spec.has_walltime_estimates = true;
+  trace::Trace trace(std::move(spec), std::move(jobs));
+  // Workflows share one submit instant per workflow and the sort is
+  // stable, so generation order (parents before children) survives.
+  trace.sort_by_submit();
+  trace::validate_dependencies(trace);
+  return trace;
+}
+
+trace::Trace inject_heavy_tail(const trace::Trace& input,
+                               const HeavyTailOptions& opt) {
+  LUMOS_REQUIRE(opt.fraction >= 0.0 && opt.fraction <= 1.0,
+                "HeavyTailOptions: fraction must be a probability");
+  LUMOS_REQUIRE(opt.alpha > 0.0, "HeavyTailOptions: alpha must be > 0");
+  LUMOS_REQUIRE(opt.max_multiplier >= 1.0,
+                "HeavyTailOptions: max_multiplier must be >= 1");
+  util::Rng rng(opt.seed);
+  std::vector<trace::Job> jobs(input.jobs().begin(), input.jobs().end());
+  for (trace::Job& j : jobs) {
+    if (!rng.bernoulli(opt.fraction)) continue;
+    const double mult = std::min(rng.pareto(1.0, opt.alpha),
+                                 opt.max_multiplier);
+    if (mult <= 1.0 || j.run_time <= 0.0) continue;
+    j.hedge_run_time = j.run_time;
+    j.run_time *= mult;
+  }
+  return trace::Trace(input.spec(), std::move(jobs));
+}
+
+}  // namespace lumos::synth

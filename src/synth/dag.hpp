@@ -1,0 +1,95 @@
+// DAG workflow synthesis and heavy-tail runtime injection.
+//
+// Produces workflow-structured traces for the DAG/hedging extension
+// (DESIGN.md §4h): every workflow is a set of tasks connected by parent
+// edges (Job::parents), submitted together and released by the simulator
+// as parents finish. Three shapes cover the spectrum the scheduling
+// literature studies: chains (maximal depth), fork-joins (maximal width,
+// one straggler gates the sink), and random layered DAGs (both).
+//
+// The heavy-tail injector turns a seeded fraction of tasks into
+// stragglers by inflating their runtime with a Pareto multiplier,
+// recording the original sample in Job::hedge_run_time — the runtime a
+// freshly launched duplicate would achieve. This is the workload knob
+// the straggler-hedging ablation (bench/ext_dag_hedging) turns.
+//
+// Everything is deterministic for a given options struct: the same seed
+// reproduces the same trace bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "trace/trace.hpp"
+
+namespace lumos::synth {
+
+/// Workflow topology family.
+enum class WorkflowShape : std::uint8_t {
+  Chain,          ///< t0 -> t1 -> ... -> tn-1
+  ForkJoin,       ///< source -> n-2 parallel tasks -> sink
+  RandomLayered,  ///< random layers, edges only between adjacent layers
+};
+
+[[nodiscard]] std::string_view to_string(WorkflowShape s) noexcept;
+/// Parses "chain"/"forkjoin"/"layered" (case-insensitive); throws
+/// InvalidArgument on anything else.
+[[nodiscard]] WorkflowShape workflow_shape_from_string(std::string_view name);
+
+struct DagWorkloadOptions {
+  std::uint64_t seed = 42;
+  std::size_t workflows = 64;
+  WorkflowShape shape = WorkflowShape::RandomLayered;
+  /// Tasks per workflow, drawn uniformly in [min_tasks, max_tasks]
+  /// (fork-join needs >= 3; smaller draws are clamped).
+  std::size_t min_tasks = 4;
+  std::size_t max_tasks = 24;
+  /// RandomLayered: cap on tasks per layer.
+  std::size_t max_width = 8;
+  /// RandomLayered: probability of each extra edge from the previous
+  /// layer (every task always gets at least one parent there).
+  double edge_prob = 0.35;
+  /// Workflow interarrival times are exponential with this mean (s). The
+  /// default keeps a 256-core cluster near half-loaded before heavy-tail
+  /// inflation, leaving spare cores for hedged duplicates to land on.
+  double mean_interarrival_s = 600.0;
+  /// Task runtimes are lognormal(mu, sigma) seconds.
+  double runtime_log_mu = 6.0;
+  double runtime_log_sigma = 0.8;
+  /// Walltime request = factor * runtime (the scheduler plans on this).
+  double walltime_factor = 1.5;
+  /// Task core counts, uniform in [min_cores, max_cores].
+  std::uint32_t min_cores = 1;
+  std::uint32_t max_cores = 16;
+  /// Capacity of the single-partition synthetic system.
+  std::uint32_t cluster_cores = 256;
+};
+
+/// Generates a workflow trace: submit-sorted, ids 0..n-1, Job::user set
+/// to the owning workflow's index (analyses group tasks by user), and
+/// dependencies validated acyclic before returning.
+[[nodiscard]] trace::Trace generate_dag_workload(
+    const DagWorkloadOptions& options);
+
+struct HeavyTailOptions {
+  std::uint64_t seed = 7;
+  /// Probability that a task becomes a straggler.
+  double fraction = 0.15;
+  /// Pareto shape of the runtime multiplier; smaller = heavier tail
+  /// (alpha <= 1 has infinite mean — 1.1 is a plausibly brutal default).
+  double alpha = 1.1;
+  /// Clamp on the multiplier so a single sample cannot dominate makespan.
+  double max_multiplier = 50.0;
+};
+
+/// Returns a copy of `input` where a seeded Bernoulli(fraction) subset of
+/// jobs runs Pareto(1, alpha)-times longer. Each straggler's original
+/// runtime is recorded in Job::hedge_run_time, so a hedged duplicate
+/// (which re-rolls the straggler lottery by construction) finishes in the
+/// un-inflated time. Walltime requests are not touched: the scheduler
+/// keeps planning on the user's estimate, exactly as real stragglers
+/// blow through theirs.
+[[nodiscard]] trace::Trace inject_heavy_tail(const trace::Trace& input,
+                                             const HeavyTailOptions& options);
+
+}  // namespace lumos::synth

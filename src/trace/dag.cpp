@@ -1,0 +1,145 @@
+#include "trace/dag.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace lumos::trace {
+
+namespace {
+
+/// Resolves every edge into index space, rejecting self-edges, duplicate
+/// edges, and ids that name no job. Returns per-job parent index lists.
+std::vector<std::vector<std::uint32_t>> resolve_edges(const Trace& trace) {
+  const auto jobs = trace.jobs();
+  std::unordered_map<std::uint64_t, std::uint32_t> by_id;
+  by_id.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    by_id[jobs[i].id] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::vector<std::uint32_t>> parents(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto& resolved = parents[i];
+    resolved.reserve(jobs[i].parents.size());
+    for (const std::uint64_t pid : jobs[i].parents) {
+      if (pid == jobs[i].id) {
+        throw InvalidArgument("DAG: job " + std::to_string(jobs[i].id) +
+                              " lists itself as a parent");
+      }
+      const auto it = by_id.find(pid);
+      if (it == by_id.end()) {
+        throw InvalidArgument("DAG: job " + std::to_string(jobs[i].id) +
+                              " references unknown parent id " +
+                              std::to_string(pid));
+      }
+      resolved.push_back(it->second);
+    }
+    std::sort(resolved.begin(), resolved.end());
+    if (std::adjacent_find(resolved.begin(), resolved.end()) !=
+        resolved.end()) {
+      throw InvalidArgument("DAG: job " + std::to_string(jobs[i].id) +
+                            " lists a parent twice");
+    }
+  }
+  return parents;
+}
+
+/// Kahn's algorithm over the resolved edges. Returns a topological order;
+/// throws naming a job on the cycle when one exists.
+std::vector<std::uint32_t> topological_order(
+    const Trace& trace,
+    const std::vector<std::vector<std::uint32_t>>& parents) {
+  const std::size_t n = parents.size();
+  std::vector<std::uint32_t> indegree(n, 0);
+  std::vector<std::vector<std::uint32_t>> children(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    indegree[i] = static_cast<std::uint32_t>(parents[i].size());
+    for (const std::uint32_t p : parents[i]) {
+      children[p].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) order.push_back(static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (const std::uint32_t c : children[order[head]]) {
+      if (--indegree[c] == 0) order.push_back(c);
+    }
+  }
+  if (order.size() != n) {
+    // Any job with a remaining unmet parent sits on (or downstream of) a
+    // cycle; the smallest-index one gives a stable diagnostic.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indegree[i] > 0) {
+        throw InvalidArgument("DAG: dependency cycle through job " +
+                              std::to_string(trace.jobs()[i].id));
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+bool has_dependencies(const Trace& trace) {
+  for (const Job& j : trace.jobs()) {
+    if (!j.parents.empty()) return true;
+  }
+  return false;
+}
+
+void validate_dependencies(const Trace& trace) {
+  if (!has_dependencies(trace)) return;
+  const auto parents = resolve_edges(trace);
+  (void)topological_order(trace, parents);
+}
+
+DagIndex build_dag_index(const Trace& trace,
+                         const std::vector<double>& weight) {
+  LUMOS_REQUIRE(weight.size() == trace.size(),
+                "build_dag_index: weight size does not match the trace");
+  const auto parents = resolve_edges(trace);
+  const auto order = topological_order(trace, parents);
+  const std::size_t n = parents.size();
+
+  DagIndex index;
+  index.parent_count.resize(n);
+  index.child_offset.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    index.parent_count[i] = static_cast<std::uint32_t>(parents[i].size());
+    for (const std::uint32_t p : parents[i]) ++index.child_offset[p + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    index.child_offset[i + 1] += index.child_offset[i];
+  }
+  index.children.resize(index.child_offset[n]);
+  {
+    std::vector<std::uint32_t> cursor(index.child_offset.begin(),
+                                      index.child_offset.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const std::uint32_t p : parents[i]) {
+        index.children[cursor[p]++] = static_cast<std::uint32_t>(i);
+      }
+    }
+  }
+  // Downstream critical path: reverse topological order guarantees every
+  // child is final before its parents read it.
+  index.critical_path.assign(n, 0.0);
+  for (std::size_t k = n; k-- > 0;) {
+    const std::uint32_t i = order[k];
+    double longest_child = 0.0;
+    for (std::uint32_t e = index.child_offset[i]; e < index.child_offset[i + 1];
+         ++e) {
+      longest_child = std::max(longest_child,
+                               index.critical_path[index.children[e]]);
+    }
+    index.critical_path[i] = weight[i] + longest_child;
+  }
+  return index;
+}
+
+}  // namespace lumos::trace

@@ -1,0 +1,60 @@
+// Precedence-DAG helpers over a Trace.
+//
+// Workflow jobs carry `Job::parents` — ids of jobs that must complete
+// before they may start. Everything that consumes those edges (the
+// simulator's topological release, the critical-path policy, the workflow
+// bench) goes through this module:
+//
+//   * has_dependencies   cheap scan: does any job carry a parent edge?
+//   * validate_dependencies  rejects malformed DAG input with a typed
+//     InvalidArgument naming the offending job: self-edges, duplicate
+//     edges, parent ids that resolve to no job in the trace, and cycles
+//     (Kahn's algorithm; the diagnostic names a job on the cycle).
+//   * DagIndex           index-space adjacency (CSR children + parent
+//     counts) plus the downstream critical-path length per job, the
+//     precomputation the simulator's DAG lanes are built from.
+//
+// Ids vs indices: edges are expressed in `Job::id` space (stable across
+// file round-trips); the index is built against the trace's current job
+// order and maps ids through a hash lookup exactly once, at build time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace lumos::trace {
+
+/// True when any job in the trace carries a parent edge.
+[[nodiscard]] bool has_dependencies(const Trace& trace);
+
+/// Validates the precedence edges of `trace`; throws InvalidArgument
+/// naming the offending job for self-edges, duplicate parent edges,
+/// unresolvable parent ids, and cycles. No-op for edge-free traces.
+void validate_dependencies(const Trace& trace);
+
+/// Index-space view of the DAG: children in CSR layout, per-job parent
+/// counts, and the downstream critical-path length. Build validates the
+/// edges first (same exceptions as validate_dependencies).
+struct DagIndex {
+  /// children of job i are child_ids[child_offset[i] .. child_offset[i+1])
+  std::vector<std::uint32_t> child_offset;  ///< size n+1
+  std::vector<std::uint32_t> children;      ///< flat child index list
+  std::vector<std::uint32_t> parent_count;  ///< in-degree per job
+  /// Sum of `weight` along the longest chain from job i to a leaf,
+  /// inclusive of i itself — the critical-path-first priority key.
+  std::vector<double> critical_path;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return parent_count.size();
+  }
+};
+
+/// Builds the index for `trace` using `weight[i]` as job i's length on
+/// critical paths (the simulator passes planned runtimes). `weight` must
+/// have one entry per job. Throws InvalidArgument on malformed edges.
+[[nodiscard]] DagIndex build_dag_index(const Trace& trace,
+                                       const std::vector<double>& weight);
+
+}  // namespace lumos::trace

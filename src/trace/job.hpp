@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace lumos::trace {
 
@@ -52,6 +53,16 @@ struct Job {
   ResourceKind kind = ResourceKind::Cpu;
   JobStatus status = JobStatus::Passed;
   std::int32_t virtual_cluster = kNoVirtualCluster;  ///< Philly-style VC id
+  /// Straggler-free runtime a freshly launched duplicate of this job would
+  /// achieve (seconds). The heavy-tail injector (synth::inject_heavy_tail)
+  /// records the pre-inflation sample here; kNoValue means "no better
+  /// estimate than run_time", so a hedged duplicate gains nothing.
+  double hedge_run_time = kNoValue;
+  /// Precedence edges: ids of jobs that must complete before this one may
+  /// start (workflow DAGs). Empty for independent batch jobs. Validated by
+  /// trace::validate_dependencies; remapped by Trace::sort_by_submit when
+  /// ids are renumbered.
+  std::vector<std::uint64_t> parents;
 
   /// Scheduler-visible start.
   [[nodiscard]] double start_time() const noexcept {

@@ -1,6 +1,7 @@
 #include "trace/trace.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace lumos::trace {
@@ -13,6 +14,24 @@ void Trace::sort_by_submit() {
                    [](const Job& a, const Job& b) {
                      return a.submit_time < b.submit_time;
                    });
+  // Renumbering invalidates precedence edges expressed in the old id
+  // space; remap them through old-id -> new-id so workflow DAGs survive
+  // the sort. Unresolvable parents are left untouched for
+  // validate_dependencies to reject with a proper diagnostic.
+  const bool has_parents =
+      std::any_of(jobs_.begin(), jobs_.end(),
+                  [](const Job& j) { return !j.parents.empty(); });
+  if (has_parents) {
+    std::unordered_map<std::uint64_t, std::uint64_t> renumber;
+    renumber.reserve(jobs_.size());
+    for (std::size_t i = 0; i < jobs_.size(); ++i) renumber[jobs_[i].id] = i;
+    for (Job& j : jobs_) {
+      for (std::uint64_t& parent : j.parents) {
+        const auto it = renumber.find(parent);
+        if (it != renumber.end()) parent = it->second;
+      }
+    }
+  }
   for (std::size_t i = 0; i < jobs_.size(); ++i) jobs_[i].id = i;
 }
 

@@ -1,10 +1,12 @@
 // lumos — unified command-line front-end.
 //
 //   lumos generate  --system Mira --days 7 --out mira.swf [--format swf|csv]
+//                   [--dag-workflows N --dag-shape chain|forkjoin|layered]
+//                   [--heavy-tail-prob P --heavy-tail-mult M]
 //   lumos validate  --swf trace.swf --system Theta
 //   lumos characterize [--swf trace.swf --system NAME | --days D --seed S]
 //   lumos simulate  --swf trace.swf --system Theta --policy fcfs
-//                   --backfill adaptive [--factor 0.1]
+//                   --backfill adaptive [--factor 0.1] [--hedge 1.25]
 //   lumos fit       --swf trace.swf --system Theta [--regen-days D --out f.swf]
 //   lumos predict   --system Philly [--days D] [--max-jobs N]
 //   lumos takeaways [--days D --seed S]
@@ -24,6 +26,7 @@
 #include "obs/json.hpp"
 
 #include "core/lumos.hpp"
+#include "synth/dag.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -60,29 +63,52 @@ int usage() {
       "  predict      runtime-prediction study (use case 1)\n"
       "  takeaways    evaluate the paper's 8 takeaways on a fresh study\n"
       "  perf-gate    fail when a throughput gauge regresses vs a baseline\n"
-      "common options: --system NAME --days D --seed S --swf FILE --csv FILE\n";
+      "common options: --system NAME --days D --seed S --swf FILE --csv FILE\n"
+      "                --dag-workflows N [--dag-shape chain|forkjoin|layered]\n"
+      "                --heavy-tail-prob P [--heavy-tail-mult M]\n"
+      "                (simulate: --policy cp --hedge T for DAG workloads)\n";
   return 2;
 }
 
 lumos::trace::Trace load_or_generate(const Cli& cli) {
   const std::string system = cli.get("system").value_or("Theta");
-  if (const auto swf = cli.get("swf")) {
-    const auto spec = lumos::trace::find_system_spec(system);
-    if (!spec) throw lumos::InvalidArgument("unknown system: " + system);
-    return lumos::trace::read_swf_file(*swf, *spec);
+  auto trace = [&]() -> lumos::trace::Trace {
+    if (const auto swf = cli.get("swf")) {
+      const auto spec = lumos::trace::find_system_spec(system);
+      if (!spec) throw lumos::InvalidArgument("unknown system: " + system);
+      return lumos::trace::read_swf_file(*swf, *spec);
+    }
+    if (const auto csv = cli.get("csv")) {
+      const auto spec = lumos::trace::find_system_spec(system);
+      if (!spec) throw lumos::InvalidArgument("unknown system: " + system);
+      return lumos::trace::read_lumos_csv_file(*csv, *spec);
+    }
+    if (cli.get("dag-workflows")) {
+      lumos::synth::DagWorkloadOptions options;
+      options.seed = static_cast<std::uint64_t>(cli.number("seed", 42));
+      options.workflows =
+          static_cast<std::size_t>(cli.number("dag-workflows", 64));
+      if (const auto shape = cli.get("dag-shape")) {
+        options.shape = lumos::synth::workflow_shape_from_string(*shape);
+      }
+      return lumos::synth::generate_dag_workload(options);
+    }
+    lumos::synth::GeneratorOptions options;
+    options.seed = static_cast<std::uint64_t>(cli.number("seed", 42));
+    if (cli.get("days")) options.duration_days = cli.number("days", 14.0);
+    if (cli.get("max-jobs")) {
+      options.max_jobs = static_cast<std::size_t>(cli.number("max-jobs", 0));
+    }
+    return lumos::synth::generate_system(system, options);
+  }();
+  if (cli.get("heavy-tail-prob")) {
+    lumos::synth::HeavyTailOptions tail;
+    tail.seed = static_cast<std::uint64_t>(cli.number("seed", 42)) + 1;
+    tail.fraction = cli.number("heavy-tail-prob", tail.fraction);
+    tail.max_multiplier = cli.number("heavy-tail-mult", tail.max_multiplier);
+    trace = lumos::synth::inject_heavy_tail(trace, tail);
   }
-  if (const auto csv = cli.get("csv")) {
-    const auto spec = lumos::trace::find_system_spec(system);
-    if (!spec) throw lumos::InvalidArgument("unknown system: " + system);
-    return lumos::trace::read_lumos_csv_file(*csv, *spec);
-  }
-  lumos::synth::GeneratorOptions options;
-  options.seed = static_cast<std::uint64_t>(cli.number("seed", 42));
-  if (cli.get("days")) options.duration_days = cli.number("days", 14.0);
-  if (cli.get("max-jobs")) {
-    options.max_jobs = static_cast<std::size_t>(cli.number("max-jobs", 0));
-  }
-  return lumos::synth::generate_system(system, options);
+  return trace;
 }
 
 int cmd_generate(const Cli& cli) {
@@ -142,6 +168,10 @@ int cmd_simulate(const Cli& cli) {
       lumos::sim::backfill_from_string(cli.get("backfill").value_or("easy"));
   config.backfill.relax_factor = cli.number("factor", 0.10);
   config.audit = cli.get("audit").has_value();
+  if (cli.get("hedge")) {
+    config.hedge.threshold = cli.number("hedge", 1.25);
+    config.hedge.min_planned_s = cli.number("hedge-min-planned", 60.0);
+  }
   const auto result = lumos::sim::simulate(trace, config);
   const auto metrics = lumos::sim::compute_metrics(trace, result);
   std::cout << trace.spec().name << " x " << to_string(config.policy)
@@ -159,6 +189,16 @@ int cmd_simulate(const Cli& cli) {
         static_cast<unsigned long long>(c.sort_invocations),
         static_cast<unsigned long long>(c.profile_rebuilds),
         static_cast<unsigned long long>(c.profile_cache_hits));
+  }
+  if (config.hedge.enabled()) {
+    const auto& c = result.counters;
+    std::cout << lumos::util::format(
+        "  hedges: %llu launched, %llu won, %llu cancelled "
+        "(wasted %.1f core-h)\n",
+        static_cast<unsigned long long>(c.hedges_launched),
+        static_cast<unsigned long long>(c.hedges_won),
+        static_cast<unsigned long long>(c.hedges_cancelled),
+        c.hedge_wasted_core_hours);
   }
   if (result.used_oracle_runtimes) {
     std::cout << "  (trace lacks walltime requests; planning used oracle "
